@@ -1,0 +1,524 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section 5) on the machine model, then times the
+   optimization pipeline itself with Bechamel (one Test.make per
+   table/figure).
+
+     dune exec bench/main.exe            - everything
+     dune exec bench/main.exe -- fig7    - a single experiment
+   Experiments: table1 table2 fig1 fig3 fig5 fig4_6 fig7 fig8 scaling
+                ablation extras tiling locality space vector bechamel *)
+
+let section title =
+  Printf.printf "\n==============================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==============================================================\n%!"
+
+(* --- shared machinery ---------------------------------------------------- *)
+
+module Model = Fusion.Model
+
+open Model (* constructors Icc .. Wisefuse *)
+
+let model_name = Model.name
+let all_models = Model.all
+let scheduler_config = Model.scheduler_config
+
+(* optimize once, memoized: (kernel, model) -> ast (+ result for the
+   polyhedral models) *)
+let memo : (string * string, Codegen.Ast.node * Pluto.Scheduler.result option) Hashtbl.t =
+  Hashtbl.create 64
+
+let optimize prog model =
+  let key = (prog.Scop.Program.name, model_name model) in
+  match Hashtbl.find_opt memo key with
+  | Some v -> v
+  | None ->
+    let opt = Model.optimize model prog in
+    let v = (opt.Model.ast, opt.Model.scheduler) in
+    Hashtbl.replace memo key v;
+    v
+
+let simulate ?(cores = 8) prog model =
+  let ast, _ = optimize prog model in
+  let config = Machine.Perf.with_cores cores Machine.Perf.default in
+  Machine.Perf.simulate ~config prog ast
+    ~params:prog.Scop.Program.default_params
+
+let verify prog model =
+  let params = prog.Scop.Program.default_params in
+  let ast, _ = optimize prog model in
+  let m_ref = Machine.Interp.init_memory prog ~params in
+  Machine.Interp.run_original prog m_ref ~params;
+  let m = Machine.Interp.init_memory prog ~params in
+  Machine.Interp.run prog ast m ~params;
+  Machine.Interp.first_diff m_ref m
+
+(* --- Table 1 ------------------------------------------------------------- *)
+
+let table1 () =
+  section "Table 1: summary of the fusion models";
+  List.iter
+    (fun m ->
+      Printf.printf "  %-10s %s\n" (Model.name m) (Model.description m))
+    [ Icc; Wisefuse; Smartfuse; Nofuse; Maxfuse ]
+
+(* --- Table 2 ------------------------------------------------------------- *)
+
+let table2 () =
+  section "Table 2: benchmarks (paper sizes and scaled model sizes)";
+  Printf.printf "  %-10s %-10s %-34s %-30s %s\n" "name" "suite" "category"
+    "paper size" "model N";
+  List.iter
+    (fun (e : Kernels.Registry.entry) ->
+      Printf.printf "  %-10s %-10s %-34s %-30s %d\n" e.name e.suite e.category
+        e.paper_size e.model_size)
+    Kernels.Registry.all
+
+(* --- Figure 1 / Figure 3: gemver ------------------------------------------ *)
+
+let fig1 () =
+  section "Figure 1: gemver - fusion of S1 and S2 requires interchange";
+  let prog = Kernels.Gemver.program ~n:20 () in
+  let res = Pluto.Scheduler.run (scheduler_config Wisefuse) prog in
+  let part = res.Pluto.Scheduler.outer_partition in
+  Printf.printf "  S1 and S2 fused: %b (partitions: S1=%d S2=%d S3=%d S4=%d)\n"
+    (part.(0) = part.(1))
+    part.(0) part.(1) part.(2) part.(3);
+  let first_hyp id =
+    let rec go = function
+      | Pluto.Sched.Hyp h :: _ -> h
+      | _ :: rest -> go rest
+      | [] -> [||]
+    in
+    go res.Pluto.Scheduler.sched.(id)
+  in
+  let h1 = first_hyp 0 in
+  Printf.printf "  S1's outer hyperplane: (%d %d) -> %s\n" h1.(0) h1.(1)
+    (if h1.(0) = 0 && h1.(1) = 1 then "loops interchanged (Figure 1(c))"
+     else "unexpected");
+  (match verify prog Wisefuse with
+  | None -> Printf.printf "  legality: transformed == original\n"
+  | Some d -> Printf.printf "  BUG: %s\n" d)
+
+let fig3 () =
+  section "Figure 3: gemver - statement-wise multidimensional transforms";
+  let prog = Kernels.Gemver.program ~n:20 () in
+  let res = Pluto.Scheduler.run (scheduler_config Wisefuse) prog in
+  Format.printf "%a@." (Pluto.Sched.pp prog) res.Pluto.Scheduler.sched;
+  Printf.printf "  (paper: T_S1=(0,j,i), T_S2=(0,i,j), T_S3=(1,i,-), T_S4=(2,i,j);\n";
+  Printf.printf "   the trailing scalar row is the textual position inside the nest)\n"
+
+(* --- Figure 2 / Figure 5: swim --------------------------------------------- *)
+
+let fig5 () =
+  section "Figure 5: swim - pre-fusion schedules and fused partitions";
+  let prog = Kernels.Swim.program ~n:24 () in
+  let wf = Pluto.Scheduler.run (scheduler_config Wisefuse) prog in
+  let sf = Pluto.Scheduler.run (scheduler_config Smartfuse) prog in
+  let stmt_names (res : Pluto.Scheduler.result) =
+    List.map
+      (fun scc ->
+        let members = (Deps.Ddg.components res.scc_of).(scc) in
+        String.concat ","
+          (List.map
+             (fun id -> prog.Scop.Program.stmts.(id).Scop.Statement.name)
+             members))
+      res.scc_order
+  in
+  Printf.printf "  Algorithm 1 order: %s\n" (String.concat " " (stmt_names wf));
+  Printf.printf "  PLuTo DFS order:   %s\n" (String.concat " " (stmt_names sf));
+  Format.printf "@.%a@." Fusion.Report.pp_table wf;
+  Format.printf "%a@." Fusion.Report.pp_table sf;
+  Printf.printf
+    "  partitions: wisefuse %d vs smartfuse %d; reuse co-located: %d vs %d\n"
+    (Fusion.Report.partition_count wf)
+    (Fusion.Report.partition_count sf)
+    (Fusion.Report.reuse_score wf)
+    (Fusion.Report.reuse_score sf)
+
+(* --- Figure 4 / Figure 6: advect ------------------------------------------- *)
+
+let fig4_6 () =
+  section "Figures 4 & 6: advect - shifting vs Algorithm 2 distribution";
+  let prog = Kernels.Advect.program ~n:16 () in
+  let mf = Pluto.Scheduler.run (scheduler_config Maxfuse) prog in
+  let wf = Pluto.Scheduler.run (scheduler_config Wisefuse) prog in
+  Printf.printf "maxfuse (Figure 4(c), fully fused after shifting):\n";
+  Format.printf "%a@." (Codegen.Ast.pp prog) (Codegen.Scan.of_result mf);
+  Printf.printf "wisefuse (Figure 6, S4 distributed, both nests parallel):\n";
+  Format.printf "%a@." (Codegen.Ast.pp prog) (Codegen.Scan.of_result wf);
+  Printf.printf "  partitions: maxfuse %d, wisefuse %d\n"
+    (Fusion.Report.partition_count mf)
+    (Fusion.Report.partition_count wf)
+
+(* --- Figure 7: normalized performance -------------------------------------- *)
+
+let fig7 () =
+  section
+    "Figure 7: performance normalized to icc, 8 model cores (higher = faster)";
+  Printf.printf "  %-10s" "benchmark";
+  List.iter (fun m -> Printf.printf " %10s" (model_name m)) all_models;
+  Printf.printf "   (model cycles: icc)\n";
+  let ratios = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Kernels.Registry.entry) ->
+      let prog = Kernels.Registry.build e in
+      List.iter
+        (fun m ->
+          match verify prog m with
+          | None -> ()
+          | Some d ->
+            Printf.printf "  !! %s/%s semantic mismatch: %s\n" e.name
+              (model_name m) d)
+        all_models;
+      let icc_cycles = (simulate prog Icc).Machine.Perf.cycles in
+      Printf.printf "  %-10s" e.name;
+      List.iter
+        (fun m ->
+          let c = (simulate prog m).Machine.Perf.cycles in
+          let ratio = float_of_int icc_cycles /. float_of_int c in
+          Hashtbl.replace ratios (e.name, m) ratio;
+          Printf.printf " %10.2f" ratio)
+        all_models;
+      Printf.printf "   (%d)\n%!" icc_cycles)
+    Kernels.Registry.all;
+  Printf.printf "  %-10s" "GM";
+  List.iter
+    (fun m ->
+      let prod, n =
+        List.fold_left
+          (fun (p, n) (e : Kernels.Registry.entry) ->
+            (p *. Hashtbl.find ratios (e.name, m), n + 1))
+          (1.0, 0) Kernels.Registry.all
+      in
+      Printf.printf " %10.2f" (prod ** (1.0 /. float_of_int n)))
+    all_models;
+  Printf.printf "\n"
+
+(* --- Figure 8: gemsfdtd partitioning ---------------------------------------- *)
+
+let fig8 () =
+  section "Figure 8: gemsfdtd - partitioning per fusion model";
+  let prog = Kernels.Gemsfdtd.program ~n:10 () in
+  let wf = Pluto.Scheduler.run (scheduler_config Wisefuse) prog in
+  let sf = Pluto.Scheduler.run (scheduler_config Smartfuse) prog in
+  let icc = Icc.Icc_model.run prog in
+  let icc_part = Array.make (Array.length prog.Scop.Program.stmts) 0 in
+  List.iteri
+    (fun idx (nst : Icc.Icc_model.nest) ->
+      List.iter (fun id -> icc_part.(id) <- idx) nst.Icc.Icc_model.stmts)
+    icc.Icc.Icc_model.nests;
+  Printf.printf "  %-6s %-4s %-6s %-10s %-9s\n" "SCC" "dim" "icc" "smartfuse"
+    "wisefuse";
+  List.iter
+    (fun (r : Fusion.Report.row) ->
+      let rep = List.hd r.members in
+      Printf.printf "  %-6d %-4d %-6d %-10d %-9d (%s)\n" r.scc r.dim
+        icc_part.(rep)
+        sf.Pluto.Scheduler.outer_partition.(rep)
+        wf.Pluto.Scheduler.outer_partition.(rep)
+        prog.Scop.Program.stmts.(rep).Scop.Statement.name)
+    (Fusion.Report.partition_table wf);
+  let distinct a = List.length (List.sort_uniq compare (Array.to_list a)) in
+  Printf.printf "  partitions: icc %d, smartfuse %d, wisefuse %d\n"
+    (List.length icc.Icc.Icc_model.nests)
+    (distinct sf.Pluto.Scheduler.outer_partition)
+    (distinct wf.Pluto.Scheduler.outer_partition)
+
+(* --- scaling (Section 5.3's "the performance gap increases with the
+   number of processors") ----------------------------------------------------- *)
+
+let scaling () =
+  section "Scaling: wisefuse vs smartfuse cycles at 1/2/4/8 cores";
+  List.iter
+    (fun (name, prog) ->
+      Printf.printf "  %s:\n  %8s %12s %12s %8s\n" name "cores" "smartfuse"
+        "wisefuse" "gap";
+      List.iter
+        (fun cores ->
+          let sf = (simulate ~cores prog Smartfuse).Machine.Perf.cycles in
+          let wf = (simulate ~cores prog Wisefuse).Machine.Perf.cycles in
+          Printf.printf "  %8d %12d %12d %8.2f\n%!" cores sf wf
+            (float_of_int sf /. float_of_int wf))
+        [ 1; 2; 4; 8 ])
+    [ ("advect", Kernels.Advect.program ~n:40 ());
+      ("swim", Kernels.Swim.program ~n:40 ()) ]
+
+(* --- ablations ---------------------------------------------------------------- *)
+
+let ablation () =
+  section "Ablations: what each ingredient of wisefuse buys";
+  let no_rar_order prog (ddg : Deps.Ddg.t) scc_of =
+    (* Algorithm 1 without input dependences (Section 2.3, drawback 2) *)
+    let filtered = { ddg with Deps.Ddg.deps = List.filter Deps.Dep.is_true ddg.deps } in
+    Fusion.Prefusion.order prog filtered scc_of
+  in
+  let variants =
+    [ ("wisefuse", Fusion.Wisefuse.config);
+      ( "no-RAR",
+        { Fusion.Wisefuse.config with
+          Pluto.Scheduler.name = "wisefuse-no-rar";
+          order_sccs = no_rar_order } );
+      ( "no-Alg2",
+        { Fusion.Wisefuse.config with
+          Pluto.Scheduler.name = "wisefuse-no-alg2";
+          outer_parallel = false } );
+      ( "lazy-cuts",
+        { Fusion.Wisefuse.config with
+          Pluto.Scheduler.name = "wisefuse-lazy";
+          initial_cut = None;
+          fallback_cut = Pluto.Scheduler.Cut_between_dims } ) ]
+  in
+  List.iter
+    (fun (kname, prog) ->
+      Printf.printf "  %s:\n" kname;
+      List.iter
+        (fun (tag, cfg) ->
+          let res = Pluto.Scheduler.run cfg prog in
+          let ast = Codegen.Scan.of_result res in
+          let st =
+            Machine.Perf.simulate prog ast
+              ~params:prog.Scop.Program.default_params
+          in
+          Printf.printf
+            "    %-10s partitions=%2d reuse=%3d cycles=%9d barriers=%3d\n%!" tag
+            (Fusion.Report.partition_count res)
+            (Fusion.Report.reuse_score res)
+            st.Machine.Perf.cycles st.Machine.Perf.barriers)
+        variants)
+    [ ("swim", Kernels.Swim.program ~n:24 ());
+      ("advect", Kernels.Advect.program ~n:24 ());
+      ("gemsfdtd", Kernels.Gemsfdtd.program ~n:8 ()) ]
+
+(* --- Polybench extras: wisefuse == smartfuse on small kernels --------------- *)
+
+let extras () =
+  section
+    "Polybench extras: wisefuse matches smartfuse's partitionings (Section 5.3)";
+  List.iter
+    (fun (name, mk) ->
+      let prog = mk () in
+      let wf = Pluto.Scheduler.run (scheduler_config Wisefuse) prog in
+      let sf = Pluto.Scheduler.run (scheduler_config Smartfuse) prog in
+      let same =
+        wf.Pluto.Scheduler.outer_partition = sf.Pluto.Scheduler.outer_partition
+      in
+      Printf.printf "  %-10s partitions: wisefuse %d, smartfuse %d  %s
+%!" name
+        (Fusion.Report.partition_count wf)
+        (Fusion.Report.partition_count sf)
+        (if same then "(identical)" else "(different!)"))
+    Kernels.Extras.all
+
+(* --- tiling ablation -------------------------------------------------------- *)
+
+let tiling () =
+  section "Tiling ablation: wisefuse with and without rectangular tiling";
+  Printf.printf "  %-10s %12s %12s %8s %10s %10s
+" "benchmark" "untiled"
+    "tiled" "ratio" "l2m plain" "l2m tiled";
+  List.iter
+    (fun (name, prog) ->
+      let res = Pluto.Scheduler.run (scheduler_config Wisefuse) prog in
+      let params = prog.Scop.Program.default_params in
+      let plain =
+        Machine.Perf.simulate prog (Codegen.Scan.of_result res) ~params
+      in
+      let tiled =
+        Machine.Perf.simulate prog (Codegen.Tile.of_result ~size:8 res) ~params
+      in
+      Printf.printf "  %-10s %12d %12d %8.2f %10d %10d
+%!" name
+        plain.Machine.Perf.cycles tiled.Machine.Perf.cycles
+        (float_of_int plain.Machine.Perf.cycles
+        /. float_of_int tiled.Machine.Perf.cycles)
+        plain.Machine.Perf.l2_misses tiled.Machine.Perf.l2_misses)
+    [ ("gemver", Kernels.Gemver.program ~n:64 ());
+      ("advect", Kernels.Advect.program ~n:48 ());
+      ("tce", Kernels.Tce.program ~n:16 ()) ]
+
+(* --- reuse-distance profiles ------------------------------------------------- *)
+
+let locality () =
+  section "Reuse distances: how much closer fusion brings reuses (swim)";
+  let prog = Kernels.Swim.program ~n:16 () in
+  let params = prog.Scop.Program.default_params in
+  Printf.printf "  %-10s %10s %8s %12s %12s %12s
+" "model" "accesses" "cold"
+    "mean dist" "<64 lines" "<256 lines";
+  List.iter
+    (fun m ->
+      let ast, _ = optimize prog m in
+      let s = Machine.Locality.of_trace (Machine.Locality.capture prog ast ~params) in
+      Printf.printf "  %-10s %10d %8d %12.1f %12d %12d
+%!" (model_name m)
+        s.Machine.Locality.accesses s.Machine.Locality.cold
+        s.Machine.Locality.mean_finite
+        (s.Machine.Locality.within 64)
+        (s.Machine.Locality.within 256))
+    all_models
+
+(* --- the introduction's search space, exhaustively ---------------------------- *)
+
+let space () =
+  section
+    "Search space (Section 1): orderings x partitionings, and exhaustive search";
+  (* the two counting examples of the introduction *)
+  let mini3 =
+    let open Scop.Build in
+    let ctx = create ~name:"indep3" ~params:[ ("N", 16) ] in
+    let n = param ctx "N" in
+    let a = array ctx "a" [ n ] and b = array ctx "b" [ n ] and c = array ctx "c" [ n ] in
+    let x = array ctx "x" [ n ] and y = array ctx "y" [ n ] and z = array ctx "z" [ n ] in
+    let lb = ci 0 and ub = n -~ ci 1 in
+    loop ctx "i" ~lb ~ub (fun i -> assign ctx "S1" a [ i ] (x.%([ i ]) *: f 2.0));
+    loop ctx "i" ~lb ~ub (fun i -> assign ctx "S2" b [ i ] ((x.%([ i ]) +: y.%([ i ])) *: f 0.5));
+    loop ctx "i" ~lb ~ub (fun i -> assign ctx "S3" c [ i ] (z.%([ i ]) *: f 2.0));
+    finish ctx
+  in
+  let deps = Deps.Dep.analyze mini3 in
+  let ddg = Deps.Ddg.build mini3 deps in
+  let scc_of = Deps.Ddg.scc_kosaraju ddg in
+  Printf.printf
+    "  3 independent statements: %d orderings x %d partitionings = %d candidates
+"
+    (List.length (Fusion.Search.orderings ddg scc_of))
+    (Fusion.Search.partitionings_per_ordering 3)
+    (Fusion.Search.space_size ddg scc_of);
+  Printf.printf
+    "  (the paper: 24; and 90 x 32 = 2880 for swim's S13-S18 - verified in the
+";
+  Printf.printf
+    "   test suite; for all 18 statements of the swim excerpt the space is
+";
+  Printf.printf
+    "   astronomically large, which is why a cost model is needed at all)
+
+";
+  (* exhaustive evaluation of all 24 candidates on the machine model *)
+  let cands = Fusion.Search.best ~limit:64 mini3 in
+  Printf.printf "  exhaustive search over %d candidates (modeled cycles):
+"
+    (List.length cands);
+  (match (cands, List.rev cands) with
+  | bestc :: _, worst :: _ ->
+    Printf.printf "    best  %8d  (order %s, groups %s)
+" bestc.Fusion.Search.cycles
+      (String.concat "," (List.map string_of_int bestc.Fusion.Search.order))
+      (String.concat "," (List.map string_of_int bestc.Fusion.Search.groups));
+    Printf.printf "    worst %8d
+" worst.Fusion.Search.cycles;
+    let wf = Pluto.Scheduler.run (scheduler_config Wisefuse) mini3 in
+    let st =
+      Machine.Perf.simulate mini3 (Codegen.Scan.of_result wf)
+        ~params:mini3.Scop.Program.default_params
+    in
+    Printf.printf "    wisefuse (no search): %d
+%!" st.Machine.Perf.cycles
+  | _ -> ())
+
+(* --- vectorization ablation --------------------------------------------------- *)
+
+let vector () =
+  section
+    "Vectorization ablation (simd model on): guarded/fused loops lose simd";
+  Printf.printf
+    "  gemver: fusing S1 (interchanged) with S2's reduction kills the
+";
+  Printf.printf
+    "  vectorization of S1's nest - the mechanism behind the paper's
+";
+  Printf.printf "  'nofuse outperforms wisefuse/smartfuse on gemver'.
+
+";
+  let config = { Machine.Perf.default with Machine.Perf.simd_width = 4 } in
+  Printf.printf "  %-10s %-10s %12s %12s
+" "benchmark" "model" "no-simd"
+    "simd x4";
+  List.iter
+    (fun (kname, prog) ->
+      let params = prog.Scop.Program.default_params in
+      List.iter
+        (fun m ->
+          let ast, _ = optimize prog m in
+          let plain = Machine.Perf.simulate prog ast ~params in
+          let simd = Machine.Perf.simulate ~config prog ast ~params in
+          Printf.printf "  %-10s %-10s %12d %12d
+%!" kname (model_name m)
+            plain.Machine.Perf.cycles simd.Machine.Perf.cycles)
+        [ Nofuse; Wisefuse ])
+    [ ("gemver", Kernels.Gemver.program ~n:48 ());
+      ("advect", Kernels.Advect.program ~n:32 ()) ]
+
+(* --- Bechamel: time the compiler itself -------------------------------------- *)
+
+let bechamel () =
+  section "Bechamel: optimization-pipeline timings (one test per experiment)";
+  let open Bechamel in
+  let open Toolkit in
+  let mk name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    [ mk "table2-registry" (fun () -> ignore (List.length Kernels.Registry.all));
+      mk "fig1-gemver-smartfuse" (fun () ->
+          ignore
+            (Pluto.Scheduler.run Pluto.Scheduler.smartfuse
+               (Kernels.Gemver.program ~n:10 ())));
+      mk "fig3-gemver-wisefuse" (fun () ->
+          ignore (Fusion.Wisefuse.run (Kernels.Gemver.program ~n:10 ())));
+      mk "fig5-swim-prefusion" (fun () ->
+          let prog = Kernels.Swim.program ~n:6 () in
+          let deps = Deps.Dep.analyze prog in
+          let ddg = Deps.Ddg.build prog deps in
+          let scc = Deps.Ddg.scc_kosaraju ddg in
+          ignore (Fusion.Prefusion.order prog ddg scc));
+      mk "fig4_6-advect-alg2" (fun () ->
+          ignore (Fusion.Wisefuse.run (Kernels.Advect.program ~n:8 ())));
+      mk "fig7-simulate-gemver" (fun () ->
+          let prog = Kernels.Gemver.program ~n:10 () in
+          let ast = Codegen.Scan.original prog ~deps:[] in
+          ignore
+            (Machine.Perf.simulate prog ast
+               ~params:prog.Scop.Program.default_params));
+      mk "fig8-gemsfdtd-icc" (fun () ->
+          ignore (Icc.Icc_model.run (Kernels.Gemsfdtd.program ~n:4 ()))) ]
+  in
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun t ->
+      let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ t ]) in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      let res = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name r ->
+          match Analyze.OLS.estimates r with
+          | Some [ est ] -> Printf.printf "  %-26s %14.0f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-26s (no estimate)\n%!" name)
+        res)
+    tests
+
+(* --- driver -------------------------------------------------------------------- *)
+
+let experiments =
+  [ ("table1", table1); ("table2", table2); ("fig1", fig1); ("fig3", fig3);
+    ("fig5", fig5); ("fig4_6", fig4_6); ("fig7", fig7); ("fig8", fig8);
+    ("scaling", scaling); ("ablation", ablation); ("extras", extras);
+    ("tiling", tiling); ("locality", locality); ("space", space);
+    ("vector", vector); ("bechamel", bechamel) ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] -> List.iter (fun (_, f) -> f ()) experiments
+  | names ->
+    List.iter
+      (fun n ->
+        match List.assoc_opt n experiments with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %s; known: %s\n" n
+            (String.concat " " (List.map fst experiments));
+          exit 1)
+      names

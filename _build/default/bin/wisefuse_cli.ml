@@ -1,0 +1,192 @@
+(* wisefuse: command-line driver.
+
+   Subcommands:
+     list              - the benchmark registry (Table 2)
+     show KERNEL       - print the source program
+     deps KERNEL       - dependences, DDG and SCCs
+     opt KERNEL        - schedule + partitions + generated code
+     sim KERNEL        - simulate and report the machine model's stats *)
+
+open Cmdliner
+
+let kernel_arg =
+  let doc = "Benchmark name (see `wisefuse list')." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc)
+
+let model_names = List.map Fusion.Model.name Fusion.Model.all
+
+let model_arg =
+  let doc =
+    Printf.sprintf "Fusion model: %s." (String.concat ", " model_names)
+  in
+  Arg.(value & opt string "wisefuse" & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
+
+let size_arg =
+  let doc = "Problem size N (default: the registry's model size)." in
+  Arg.(value & opt (some int) None & info [ "n"; "size" ] ~docv:"N" ~doc)
+
+let cores_arg =
+  let doc = "Number of model cores." in
+  Arg.(value & opt int 8 & info [ "c"; "cores" ] ~docv:"CORES" ~doc)
+
+let tile_arg =
+  let doc = "Tile permutable bands with this edge (polyhedral models only)." in
+  Arg.(value & opt (some int) None & info [ "t"; "tile" ] ~docv:"SIZE" ~doc)
+
+let simd_arg =
+  let doc = "Model simd width (1 = off)." in
+  Arg.(value & opt int 1 & info [ "simd" ] ~docv:"W" ~doc)
+
+let load name size =
+  match Kernels.Registry.find name with
+  | entry ->
+    let n = Option.value size ~default:entry.Kernels.Registry.model_size in
+    entry.Kernels.Registry.program ~n ()
+  | exception Not_found ->
+    Printf.eprintf "unknown kernel %s; try `wisefuse list'\n" name;
+    exit 1
+
+let ast_of_model ?tile prog mname =
+  match Fusion.Model.of_name mname with
+  | m ->
+    let opt = Fusion.Model.optimize m prog in
+    let ast =
+      match (tile, opt.Fusion.Model.scheduler) with
+      | Some size, Some res -> Codegen.Tile.of_result ~size res
+      | Some _, None ->
+        Printf.eprintf "note: --tile applies to polyhedral models only\n";
+        opt.Fusion.Model.ast
+      | None, _ -> opt.Fusion.Model.ast
+    in
+    (ast, opt.Fusion.Model.scheduler)
+  | exception Not_found ->
+    Printf.eprintf "unknown model %s (expected one of %s)\n" mname
+      (String.concat ", " model_names);
+    exit 1
+
+(* --- list ------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-10s %-10s %-34s %-28s %s\n" "name" "suite" "category"
+      "paper size" "model N";
+    List.iter
+      (fun (e : Kernels.Registry.entry) ->
+        Printf.printf "%-10s %-10s %-34s %-28s %d\n" e.name e.suite e.category
+          e.paper_size e.model_size)
+      Kernels.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmarks (Table 2)")
+    Term.(const run $ const ())
+
+(* --- show ------------------------------------------------------------- *)
+
+let show_cmd =
+  let run name size =
+    let prog = load name size in
+    Format.printf "%a@." Scop.Program.pp prog
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print the source program")
+    Term.(const run $ kernel_arg $ size_arg)
+
+(* --- deps ------------------------------------------------------------- *)
+
+let dot_arg =
+  let doc = "Emit the DDG as Graphviz dot instead of text." in
+  Arg.(value & flag & info [ "dot" ] ~doc)
+
+let deps_cmd =
+  let run name size dot =
+    let prog = load name size in
+    let deps = Deps.Dep.analyze prog in
+    let ddg = Deps.Ddg.build prog deps in
+    if dot then begin
+      print_string (Deps.Ddg.to_dot prog ddg);
+      exit 0
+    end;
+    Format.printf "%a@.@." Deps.Ddg.pp ddg;
+    let scc = Deps.Ddg.scc_kosaraju ddg in
+    Format.printf "SCCs:";
+    Array.iteri
+      (fun id comp_id ->
+        Format.printf " %s->%d" prog.Scop.Program.stmts.(id).Scop.Statement.name comp_id)
+      scc;
+    Format.printf "@.@.dependences (%d):@." (List.length deps);
+    List.iter (fun d -> Format.printf "  %a@." Deps.Dep.pp d) deps
+  in
+  Cmd.v (Cmd.info "deps" ~doc:"Print dependences, DDG and SCCs")
+    Term.(const run $ kernel_arg $ size_arg $ dot_arg)
+
+(* --- opt -------------------------------------------------------------- *)
+
+let opt_cmd =
+  let run name size model tile =
+    let prog = load name size in
+    let ast, res = ast_of_model ?tile prog model in
+    (match res with
+    | Some res ->
+      Format.printf "=== schedule (%s) ===@.%a@." model
+        (Pluto.Sched.pp prog) res.Pluto.Scheduler.sched;
+      Format.printf "=== partitions ===@.%a@.@." Fusion.Report.pp_table res
+    | None ->
+      let r = Icc.Icc_model.run prog in
+      Format.printf "=== icc nests ===@.";
+      List.iter
+        (fun (nst : Icc.Icc_model.nest) ->
+          Format.printf "  nest (depth %d, %s):" nst.depth
+            (if nst.parallel then "parallel" else "serial");
+          List.iter
+            (fun id ->
+              Format.printf " %s" prog.Scop.Program.stmts.(id).Scop.Statement.name)
+            nst.stmts;
+          Format.printf "@.")
+        r.Icc.Icc_model.nests);
+    Format.printf "=== generated code ===@.%a@." (Codegen.Ast.pp prog) ast
+  in
+  Cmd.v (Cmd.info "opt" ~doc:"Optimize and print the transformed code")
+    Term.(const run $ kernel_arg $ size_arg $ model_arg $ tile_arg)
+
+(* --- emit ------------------------------------------------------------- *)
+
+let emit_cmd =
+  let run name size model =
+    let prog = load name size in
+    let ast, _ = ast_of_model prog model in
+    print_string
+      (Codegen.Cprint.program ~name:(name ^ "_" ^ model) prog ast)
+  in
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Emit a complete C program for the transformed code")
+    Term.(const run $ kernel_arg $ size_arg $ model_arg)
+
+(* --- sim -------------------------------------------------------------- *)
+
+let sim_cmd =
+  let run name size model cores tile simd =
+    let prog = load name size in
+    let params = prog.Scop.Program.default_params in
+    let ast, _ = ast_of_model ?tile prog model in
+    (* semantic check against the original *)
+    let m_ref = Machine.Interp.init_memory prog ~params in
+    Machine.Interp.run_original prog m_ref ~params;
+    let m = Machine.Interp.init_memory prog ~params in
+    Machine.Interp.run prog ast m ~params;
+    (match Machine.Interp.first_diff m_ref m with
+    | None -> Format.printf "semantics: OK (matches the original program)@."
+    | Some d -> Format.printf "semantics: MISMATCH %s@." d);
+    let config =
+      { (Machine.Perf.with_cores cores Machine.Perf.default) with
+        Machine.Perf.simd_width = simd }
+    in
+    let st = Machine.Perf.simulate ~config prog ast ~params in
+    Format.printf "%s on %d cores: %a@." model cores Machine.Perf.pp_stats st;
+    Format.printf "modeled time: %.3f ms@." (Machine.Perf.seconds st *. 1e3)
+  in
+  Cmd.v (Cmd.info "sim" ~doc:"Simulate on the machine model")
+    Term.(const run $ kernel_arg $ size_arg $ model_arg $ cores_arg $ tile_arg
+          $ simd_arg)
+
+let () =
+  let doc = "loop fusion in the polyhedral framework (PPoPP'14 reproduction)" in
+  let info = Cmd.info "wisefuse" ~version:"1.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; show_cmd; deps_cmd; opt_cmd; emit_cmd; sim_cmd ]))

@@ -1,0 +1,1 @@
+examples/advect_parallelism.ml: Codegen Format Fusion Kernels List Machine Pluto Scop

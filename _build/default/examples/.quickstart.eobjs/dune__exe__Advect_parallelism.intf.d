@@ -1,0 +1,1 @@
+examples/advect_parallelism.mli:

@@ -1,0 +1,1 @@
+examples/gemsfdtd_report.ml: Array Format Fusion Icc Kernels List Pluto Scop

@@ -1,0 +1,1 @@
+examples/gemsfdtd_report.mli:

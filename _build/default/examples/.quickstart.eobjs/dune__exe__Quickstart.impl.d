@@ -1,0 +1,1 @@
+examples/quickstart.ml: Codegen Format Fusion Machine Pluto Scop

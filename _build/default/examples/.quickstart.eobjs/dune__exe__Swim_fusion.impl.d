@@ -1,0 +1,1 @@
+examples/swim_fusion.ml: Array Codegen Deps Format Fusion Icc Kernels List Machine Pluto Scop

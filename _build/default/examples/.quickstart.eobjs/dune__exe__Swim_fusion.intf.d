@@ -1,0 +1,1 @@
+examples/swim_fusion.mli:

@@ -1,0 +1,55 @@
+(* The paper's Figure 5, reproduced end to end on the swim excerpt:
+   Algorithm 1's pre-fusion schedule vs PLuTo's DFS order, the
+   resulting fusion partitions, reuse scores and modeled performance.
+
+     dune exec examples/swim_fusion.exe *)
+
+let pp_order (prog : Scop.Program.t) res =
+  List.iter
+    (fun scc ->
+      let members = (Deps.Ddg.components res.Pluto.Scheduler.scc_of).(scc) in
+      Format.printf " [%d:" scc;
+      List.iter
+        (fun id -> Format.printf " %s" prog.stmts.(id).Scop.Statement.name)
+        members;
+      Format.printf "]")
+    res.Pluto.Scheduler.scc_order;
+  Format.printf "@."
+
+let () =
+  let prog = Kernels.Swim.program ~n:16 () in
+  let params = prog.Scop.Program.default_params in
+
+  Format.printf "swim excerpt: %d statements, %d parameters@.@."
+    (Array.length prog.stmts) (Scop.Program.nparams prog);
+
+  let wf = Fusion.Wisefuse.run prog in
+  let sf = Pluto.Scheduler.run Pluto.Scheduler.smartfuse prog in
+
+  Format.printf "pre-fusion schedule, Algorithm 1 (wisefuse):@.";
+  pp_order prog wf;
+  Format.printf "@.pre-fusion schedule, DFS order (PLuTo / smartfuse):@.";
+  pp_order prog sf;
+
+  Format.printf "@.%a@." Fusion.Report.pp_table wf;
+  Format.printf "@.%a@." Fusion.Report.pp_table sf;
+
+  Format.printf "@.reuse co-located by fusion: wisefuse %d vs smartfuse %d@."
+    (Fusion.Report.reuse_score wf)
+    (Fusion.Report.reuse_score sf);
+  Format.printf "partitions: wisefuse %d vs smartfuse %d@.@."
+    (Fusion.Report.partition_count wf)
+    (Fusion.Report.partition_count sf);
+
+  (* modeled performance on 8 cores *)
+  List.iter
+    (fun (tag, res) ->
+      let ast = Codegen.Scan.of_result res in
+      let st = Machine.Perf.simulate prog ast ~params in
+      Format.printf "%-10s %a@." tag Machine.Perf.pp_stats st)
+    [ ("wisefuse", wf); ("smartfuse", sf);
+      ("nofuse", Pluto.Scheduler.run Pluto.Scheduler.nofuse prog);
+      ("maxfuse", Pluto.Scheduler.run Pluto.Scheduler.maxfuse prog) ];
+  let icc = Icc.Icc_model.run prog in
+  let st = Machine.Perf.simulate prog icc.Icc.Icc_model.ast ~params in
+  Format.printf "%-10s %a@." "icc" Machine.Perf.pp_stats st

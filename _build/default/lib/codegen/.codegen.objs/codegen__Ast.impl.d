@@ -1,0 +1,1 @@
+lib/codegen/ast.ml: Array Buffer Format List Printf Scop String

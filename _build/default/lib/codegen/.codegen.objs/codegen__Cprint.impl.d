@@ -1,0 +1,1 @@
+lib/codegen/cprint.ml: Access Array Ast Buffer Expr Format Linalg List Poly Printf Program Scop Statement String

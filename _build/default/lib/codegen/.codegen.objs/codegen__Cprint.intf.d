@@ -1,0 +1,1 @@
+lib/codegen/cprint.mli: Ast Scop

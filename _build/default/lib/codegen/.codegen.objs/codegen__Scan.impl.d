@@ -1,0 +1,1 @@
+lib/codegen/scan.ml: Array Ast Bigint Constr Deps Fun Hashtbl Linalg List Mat Option Pluto Poly Polyhedron Printf Q Scop

@@ -1,0 +1,1 @@
+lib/codegen/tile.ml: Array Ast Deps Linalg List Pluto Scan

@@ -1,0 +1,1 @@
+lib/codegen/tile.mli: Ast Deps Pluto Scop

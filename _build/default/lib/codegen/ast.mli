@@ -1,0 +1,67 @@
+(** Loop ASTs generated from multidimensional affine schedules.
+
+    The AST scans the transformed time space: one loop per hyperplane
+    row, sequencing per scalar (beta) row. Loop variables are numbered
+    by nesting depth ([y_0] outermost); bounds are affine in outer loop
+    variables and parameters, with integer division (ceil for lower,
+    floor for upper bounds).
+
+    A statement instance recovers its original iterators from the loop
+    variables by inverting the statement's hyperplane rows; a guard
+    (divisibility + constant-row equality + domain membership) makes
+    partial fusion of statements with different domains correct. *)
+
+type bound = {
+  num : int array;
+      (** affine in [y_0 .. y_(level-1); params; 1] — width level+np+1 *)
+  den : int;  (** positive divisor: lower bounds take ceil, upper floor *)
+}
+
+type parallelism = Parallel | Forward | Sequential
+
+type instance = {
+  stmt_id : int;
+  (* x = (hinv_num * (y_sel - g_sel)) / det, where y_sel are the values
+     of the selected loop variables *)
+  sel_levels : int array;  (** the d loop levels used for inversion *)
+  hinv_num : int array array;  (** d x d integer adjugate-like matrix *)
+  det : int;  (** non-zero *)
+  g : int array array;
+      (** per selected level: parameter part of the row, width np+1 *)
+  const_rows : (int * int array) array;
+      (** (level, param part): zero-iterator rows; the guard requires
+          y_level = param_part(p) *)
+}
+
+type node =
+  | Exec of instance
+  | Seq of node list
+  | Loop of loop
+
+and loop = {
+  level : int;  (** index of this loop's variable *)
+  (* per-statement bound groups: the loop ranges over
+     [min over groups (max of group) .. max over groups (min of group)];
+     each statement additionally guards itself *)
+  lb_groups : bound list list;
+  ub_groups : bound list list;
+  par : parallelism;
+  body : node;
+}
+
+(** [eval_bound b ~outer ~params ~lower] computes the concrete value
+    (ceil division when [lower], floor otherwise). *)
+val eval_bound : bound -> outer:int array -> params:int array -> lower:bool -> int
+
+(** [loop_range loop ~outer ~params] is the concrete [(lb, ub)]
+    (inclusive; empty when [lb > ub]). *)
+val loop_range : loop -> outer:int array -> params:int array -> int * int
+
+(** [instance_iters inst ~y ~params] recovers the original iterator
+    vector, or [None] when the guard fails (not an integer point, a
+    constant row mismatches, or out of the domain — the caller checks
+    domain membership separately via {!guard}). *)
+val instance_iters :
+  instance -> y:int array -> params:int array -> int array option
+
+val pp : Scop.Program.t -> Format.formatter -> node -> unit

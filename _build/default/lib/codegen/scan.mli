@@ -1,0 +1,27 @@
+(** Polyhedra scanning: turn a schedule into a loop AST (mini-CLooG).
+
+    For every statement the {e transformed domain} — the image of its
+    iteration domain under its schedule rows — is computed exactly by
+    Fourier-Motzkin elimination; loop bounds at each level are the
+    projections of those domains. Statements sharing a fusion
+    partition share loops, with per-instance guards (domain membership,
+    integer inversion, constant-row equality) making unequal domains,
+    shifts, and lower-dimensional statements correct. *)
+
+(** [generate ~prog ~sched ~deps] builds the AST for an arbitrary
+    schedule. [deps] (true dependences) drive the parallelism marks on
+    loops. *)
+val generate :
+  prog:Scop.Program.t ->
+  sched:Pluto.Sched.t ->
+  deps:Deps.Dep.t list ->
+  Ast.node
+
+(** AST of a scheduling result. *)
+val of_result : Pluto.Scheduler.result -> Ast.node
+
+(** The identity (2d+1, original program order) schedule. *)
+val identity_schedule : Scop.Program.t -> Pluto.Sched.t
+
+(** AST of the original program (identity schedule). *)
+val original : Scop.Program.t -> deps:Deps.Dep.t list -> Ast.node

@@ -1,0 +1,211 @@
+open Ast
+
+(* row index (into the schedule) of each loop level *)
+let loop_rows (sched : Pluto.Sched.t) =
+  let rec go i = function
+    | [] -> []
+    | Pluto.Sched.Hyp _ :: rest -> i :: go (i + 1) rest
+    | Pluto.Sched.Beta _ :: rest -> go (i + 1) rest
+  in
+  go 0 sched.(0)
+
+let rec members = function
+  | Exec i -> [ i.stmt_id ]
+  | Seq l -> List.concat_map members l
+  | Loop l -> members l.body
+
+(* the chain of directly nested loops starting at [node] *)
+let rec chain node =
+  match node with
+  | Loop l -> (
+    match l.body with
+    | Loop _ -> l :: chain l.body
+    | Seq _ | Exec _ -> [ l ])
+  | Seq _ | Exec _ -> []
+
+(* structural tileability of one band loop: unit denominators and no
+   reference to variables inside the band *)
+let loop_tileable ~band_start (l : loop) =
+  let bound_ok (b : bound) =
+    b.den = 1
+    &&
+    let ok = ref true in
+    for i = band_start to l.level - 1 do
+      if b.num.(i) <> 0 then ok := false
+    done;
+    !ok
+  in
+  List.for_all (List.for_all bound_ok) l.lb_groups
+  && List.for_all (List.for_all bound_ok) l.ub_groups
+
+(* full-permutability prefix of a chain: all live dependences have
+   delta >= 0 at every row of the prefix *)
+let permutable_prefix ~prog ~sched ~deps ~rows_of_level chain_loops =
+  match chain_loops with
+  | [] -> 0
+  | first :: _ ->
+    let mem = members (Loop first) in
+    let row0 = List.nth rows_of_level first.level in
+    let live =
+      List.filter
+        (fun (d : Deps.Dep.t) ->
+          Deps.Dep.is_true d
+          && List.mem d.Deps.Dep.src mem
+          && List.mem d.Deps.Dep.dst mem
+          &&
+          match Pluto.Satisfy.satisfaction_level prog d sched with
+          | Some l -> l >= row0
+          | None -> true)
+        deps
+    in
+    let row_ok level =
+      let row = List.nth rows_of_level level in
+      List.for_all
+        (fun d ->
+          let r = Pluto.Satisfy.diff_range prog d sched ~level:row in
+          match r.Pluto.Satisfy.dmin with
+          | Some v -> Linalg.Q.sign v >= 0
+          | None -> false)
+        live
+    in
+    let rec go k = function
+      | l :: rest
+        when loop_tileable ~band_start:first.level l && row_ok l.level ->
+        go (k + 1) rest
+      | _ -> k
+    in
+    go 0 chain_loops
+
+(* --- index shifting -------------------------------------------------------- *)
+
+(* insert [k] zero slots at position [at] in a bound numerator *)
+let shift_num ~at ~k (num : int array) =
+  let w = Array.length num in
+  Array.init (w + k) (fun i ->
+      if i < at then num.(i) else if i < at + k then 0 else num.(i - k))
+
+let shift_bound ~at ~k (b : bound) = { b with num = shift_num ~at ~k b.num }
+
+let rec shift_node ~at ~k node =
+  match node with
+  | Seq l -> Seq (List.map (shift_node ~at ~k) l)
+  | Exec inst ->
+    Exec
+      {
+        inst with
+        sel_levels =
+          Array.map (fun l -> if l >= at then l + k else l) inst.sel_levels;
+        const_rows =
+          Array.map
+            (fun (l, row) -> ((if l >= at then l + k else l), row))
+            inst.const_rows;
+      }
+  | Loop l ->
+    Loop
+      {
+        l with
+        level = (if l.level >= at then l.level + k else l.level);
+        lb_groups = List.map (List.map (shift_bound ~at ~k)) l.lb_groups;
+        ub_groups = List.map (List.map (shift_bound ~at ~k)) l.ub_groups;
+        body = shift_node ~at ~k l.body;
+      }
+
+(* --- building the tiled nest ------------------------------------------------ *)
+
+let tile_band ~size band inner =
+  match band with
+  | [] -> inner
+  | first :: _ ->
+    let l0 = first.level in
+    let k = List.length band in
+    (* 1. shift everything (band loops included) by k at position l0 *)
+    let shifted_band =
+      List.map
+        (fun l ->
+          match shift_node ~at:l0 ~k (Loop l) with
+          | Loop l' -> l'
+          | _ -> assert false)
+        band
+    in
+    let shifted_inner = shift_node ~at:l0 ~k inner in
+    (* 2. point loops: clamp each shifted band loop to its tile *)
+    let point_loops =
+      List.mapi
+        (fun i (l : loop) ->
+          (* l.level = l0 + k + i; its tile variable sits at l0 + i *)
+          let width = l.level + 0 in
+          ignore width;
+          let tile_var = l0 + i in
+          let num_width =
+            match l.lb_groups with
+            | (b :: _) :: _ -> Array.length b.num
+            | _ -> invalid_arg "Tile: loop without bounds"
+          in
+          let lb_clamp =
+            let num = Array.make num_width 0 in
+            num.(tile_var) <- size;
+            { num; den = 1 }
+          in
+          let ub_clamp =
+            let num = Array.make num_width 0 in
+            num.(tile_var) <- size;
+            num.(num_width - 1) <- size - 1;
+            { num; den = 1 }
+          in
+          {
+            l with
+            lb_groups = List.map (fun g -> lb_clamp :: g) l.lb_groups;
+            ub_groups = List.map (fun g -> ub_clamp :: g) l.ub_groups;
+            par = Sequential;
+          })
+        shifted_band
+    in
+    (* 3. tile loops from the original (unshifted) band bounds *)
+    let tile_loops =
+      List.map
+        (fun (l : loop) ->
+          let to_tile_lb (b : bound) =
+            (* floor(x / size) as a ceil-division lower bound *)
+            let num = Array.copy b.num in
+            num.(Array.length num - 1) <- num.(Array.length num - 1) - (size - 1);
+            { num; den = size }
+          in
+          let to_tile_ub (b : bound) = { b with den = size } in
+          {
+            l with
+            lb_groups = List.map (List.map to_tile_lb) l.lb_groups;
+            ub_groups = List.map (List.map to_tile_ub) l.ub_groups;
+          })
+        band
+    in
+    (* 4. nest: tile loops, then point loops, then the inner region *)
+    let rec nest loops innermost =
+      match loops with
+      | [] -> innermost
+      | l :: rest -> Loop { l with body = nest rest innermost }
+    in
+    nest tile_loops (nest point_loops shifted_inner)
+
+let tile ?(size = 4) ~prog ~sched ~deps ast =
+  let rows_of_level = loop_rows sched in
+  let rec walk node =
+    match node with
+    | Seq l -> Seq (List.map walk l)
+    | Exec _ -> node
+    | Loop l -> (
+      let ch = chain node in
+      let k = permutable_prefix ~prog ~sched ~deps ~rows_of_level ch in
+      if k >= 2 then begin
+        let band = List.filteri (fun i _ -> i < k) ch in
+        (* the region below the band: the (k-1)-th loop's body *)
+        let inner = (List.nth ch (k - 1)).body in
+        tile_band ~size band inner
+      end
+      else Loop { l with body = walk l.body })
+  in
+  walk ast
+
+let of_result ?size (res : Pluto.Scheduler.result) =
+  let ast = Scan.of_result res in
+  tile ?size ~prog:res.Pluto.Scheduler.prog ~sched:res.Pluto.Scheduler.sched
+    ~deps:res.Pluto.Scheduler.true_deps ast

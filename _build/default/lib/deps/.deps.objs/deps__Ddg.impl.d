@@ -1,0 +1,1 @@
+lib/deps/ddg.ml: Array Buffer Dep Format Hashtbl List Printf Scop

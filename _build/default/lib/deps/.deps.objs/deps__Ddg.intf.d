@@ -1,0 +1,1 @@
+lib/deps/ddg.mli: Dep Format Scop

@@ -1,0 +1,1 @@
+lib/deps/dep.ml: Access Array Format Ilp List Poly Printf Program Scop Statement

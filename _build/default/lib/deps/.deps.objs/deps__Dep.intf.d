@@ -1,0 +1,1 @@
+lib/deps/dep.mli: Format Poly Scop

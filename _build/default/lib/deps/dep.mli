@@ -1,0 +1,52 @@
+(** Exact data-dependence analysis.
+
+    For every ordered pair of accesses to the same array, a dependence
+    polyhedron is built over [src iterators ++ dst iterators ++ params]
+    and split by satisfaction level in the original program: carried by
+    the ℓ-th common loop, or loop-independent. Each non-empty piece
+    (integer emptiness checked by branch-and-bound) becomes one
+    dependence edge.
+
+    Flow (RAW), anti (WAR) and output (WAW) dependences are the "true"
+    edges of the DDG used for legality; input (RAR) dependences are
+    computed separately because the paper's pre-fusion heuristic uses
+    them for reuse (Section 2.3, drawback 2). *)
+
+type kind = Flow | Anti | Output | Input
+
+type level =
+  | Carried of int  (** 0-based index of the carrying common loop *)
+  | Independent  (** same common iteration, textual order *)
+
+type t = {
+  src : int;  (** source statement id *)
+  dst : int;  (** destination statement id *)
+  kind : kind;
+  src_access : Scop.Access.t;
+  dst_access : Scop.Access.t;
+  level : level;
+  poly : Poly.Polyhedron.t;
+      (** over [src iters (d1); dst iters (d2); params (np)] *)
+}
+
+(** Is this a real DDG edge (not an input dependence)? *)
+val is_true : t -> bool
+
+(** [analyze ?param_floor ?with_input program] computes all
+    dependences. [param_floor] (default 2) adds [p >= param_floor] for
+    every program parameter when testing emptiness, standing for the
+    "sufficiently large problem size" assumption. [with_input]
+    (default true) also computes read-after-read dependences. *)
+val analyze : ?param_floor:int -> ?with_input:bool -> Scop.Program.t -> t list
+
+(** Dependence-polyhedron layout helpers. *)
+
+(** [src_iter d i], [dst_iter dep i], [param_col dep ~np p]: column
+    indices into [poly]. *)
+val src_iter_col : int -> int
+
+val dst_iter_col : d1:int -> int -> int
+val param_col : d1:int -> d2:int -> int -> int
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit

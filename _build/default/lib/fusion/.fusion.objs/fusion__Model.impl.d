@@ -1,0 +1,1 @@
+lib/fusion/model.ml: Codegen Icc List Machine Pluto Scop Wisefuse

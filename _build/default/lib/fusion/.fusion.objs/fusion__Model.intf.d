@@ -1,0 +1,1 @@
+lib/fusion/model.mli: Codegen Icc Machine Pluto Scop

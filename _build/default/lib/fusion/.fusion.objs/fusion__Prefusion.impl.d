@@ -1,0 +1,1 @@
+lib/fusion/prefusion.ml: Array Ddg Dep Deps List Scop

@@ -1,0 +1,1 @@
+lib/fusion/prefusion.mli: Deps Scop

@@ -1,0 +1,1 @@
+lib/fusion/report.ml: Array Ddg Dep Deps Format List Pluto Scop

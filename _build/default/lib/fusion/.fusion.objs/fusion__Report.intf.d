@@ -1,0 +1,1 @@
+lib/fusion/report.mli: Format Pluto

@@ -1,0 +1,1 @@
+lib/fusion/search.ml: Array Codegen Ddg Dep Deps List Machine Pluto Printf Scop

@@ -1,0 +1,1 @@
+lib/fusion/search.mli: Deps Machine Pluto Scop

@@ -1,0 +1,1 @@
+lib/fusion/wisefuse.ml: Pluto Prefusion

@@ -1,0 +1,1 @@
+lib/fusion/wisefuse.mli: Pluto Scop

@@ -1,0 +1,59 @@
+type t = Icc | Nofuse | Smartfuse | Maxfuse | Wisefuse
+
+let all = [ Icc; Nofuse; Smartfuse; Maxfuse; Wisefuse ]
+
+let name = function
+  | Icc -> "icc"
+  | Nofuse -> "nofuse"
+  | Smartfuse -> "smartfuse"
+  | Maxfuse -> "maxfuse"
+  | Wisefuse -> "wisefuse"
+
+let description = function
+  | Icc -> "pairwise nest fusion + conservative parallelization (baseline)"
+  | Wisefuse ->
+    "the paper's model: Algorithm 1 pre-fusion schedule + Algorithm 2 parallelism cuts"
+  | Smartfuse ->
+    "PLuTo default: DFS pre-fusion order, cuts between SCCs of different dimensionality"
+  | Nofuse -> "every SCC in its own loop nest"
+  | Maxfuse -> "fuse maximally; cut only when the ILP has no hyperplane"
+
+let of_name s =
+  match List.find_opt (fun m -> name m = s) all with
+  | Some m -> m
+  | None -> raise Not_found
+
+let scheduler_config = function
+  | Nofuse -> Pluto.Scheduler.nofuse
+  | Smartfuse -> Pluto.Scheduler.smartfuse
+  | Maxfuse -> Pluto.Scheduler.maxfuse
+  | Wisefuse -> Wisefuse.config
+  | Icc -> invalid_arg "Fusion.Model: icc has no scheduler config"
+
+type optimized = {
+  ast : Codegen.Ast.node;
+  scheduler : Pluto.Scheduler.result option;
+  icc : Icc.Icc_model.result option;
+}
+
+let optimize m prog =
+  match m with
+  | Icc ->
+    let r = Icc.Icc_model.run prog in
+    { ast = r.Icc.Icc_model.ast; scheduler = None; icc = Some r }
+  | _ ->
+    let res = Pluto.Scheduler.run (scheduler_config m) prog in
+    { ast = Codegen.Scan.of_result res; scheduler = Some res; icc = None }
+
+let simulate ?config m (prog : Scop.Program.t) =
+  let { ast; _ } = optimize m prog in
+  Machine.Perf.simulate ?config prog ast ~params:prog.default_params
+
+let verify m (prog : Scop.Program.t) =
+  let params = prog.default_params in
+  let { ast; _ } = optimize m prog in
+  let reference = Machine.Interp.init_memory prog ~params in
+  Machine.Interp.run_original prog reference ~params;
+  let transformed = Machine.Interp.init_memory prog ~params in
+  Machine.Interp.run prog ast transformed ~params;
+  Machine.Interp.first_diff reference transformed

@@ -1,0 +1,37 @@
+(** The five fusion models of Table 1 behind one type — the single
+    entry point the CLI, benchmarks and tests dispatch on. *)
+
+type t = Icc | Nofuse | Smartfuse | Maxfuse | Wisefuse
+
+(** In Table 1 order (baseline first). *)
+val all : t list
+
+val name : t -> string
+
+(** Table 1's description column. *)
+val description : t -> string
+
+(** @raise Not_found for unknown names. *)
+val of_name : string -> t
+
+(** The scheduler configuration, for the four polyhedral models.
+    @raise Invalid_argument for [Icc]. *)
+val scheduler_config : t -> Pluto.Scheduler.config
+
+type optimized = {
+  ast : Codegen.Ast.node;
+  scheduler : Pluto.Scheduler.result option;  (** [None] for [Icc] *)
+  icc : Icc.Icc_model.result option;  (** [Some] for [Icc] *)
+}
+
+(** Run the model's whole pipeline on a program. *)
+val optimize : t -> Scop.Program.t -> optimized
+
+(** [simulate ?config m prog] optimizes and runs the machine model (at
+    the program's default parameters). *)
+val simulate : ?config:Machine.Perf.config -> t -> Scop.Program.t -> Machine.Perf.stats
+
+(** [verify m prog] interprets the transformed program against the
+    original; [None] means semantically equivalent, [Some msg] is the
+    first difference. *)
+val verify : t -> Scop.Program.t -> string option

@@ -1,0 +1,83 @@
+open Deps
+
+(* statement-pair reuse: any dependence (true or input) between the two
+   statements means they touch common data *)
+let reuse_matrix (prog : Scop.Program.t) (ddg : Ddg.t) =
+  let n = Array.length prog.stmts in
+  let m = Array.make_matrix n n false in
+  List.iter
+    (fun (d : Dep.t) ->
+      m.(d.src).(d.dst) <- true;
+      m.(d.dst).(d.src) <- true)
+    ddg.deps;
+  m
+
+let run (prog : Scop.Program.t) (ddg : Ddg.t) scc_of =
+  let n = Array.length prog.stmts in
+  let nscc = Ddg.scc_count scc_of in
+  let comps = Ddg.components scc_of in
+  let reuse = reuse_matrix prog ddg in
+  (* external predecessor SCCs of each SCC *)
+  let scc_preds = Array.make nscc [] in
+  Array.iteri
+    (fun v succs ->
+      List.iter
+        (fun w ->
+          let a = scc_of.(v) and b = scc_of.(w) in
+          if a <> b && not (List.mem a scc_preds.(b)) then
+            scc_preds.(b) <- a :: scc_preds.(b))
+        succs)
+    ddg.succ;
+  let visited = Array.make nscc false in
+  let ready scc = List.for_all (fun p -> visited.(p)) scc_preds.(scc) in
+  let depth id = Scop.Statement.depth prog.stmts.(id) in
+  let clusters = ref [] in
+  let remaining = ref nscc in
+  while !remaining > 0 do
+    (* seed: first statement in program order whose SCC is unvisited and
+       ready (see the mli note on the precedence check) *)
+    let seed = ref (-1) in
+    (try
+       for s = 0 to n - 1 do
+         let scc = scc_of.(s) in
+         if (not visited.(scc)) && ready scc then begin
+           seed := s;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !seed < 0 then failwith "Prefusion: no ready SCC (cyclic condensation?)";
+    let s = !seed in
+    let seed_scc = scc_of.(s) in
+    visited.(seed_scc) <- true;
+    decr remaining;
+    let cluster = ref [ seed_scc ] in
+    let fusable = ref comps.(seed_scc) in
+    let cluster_dim = depth s in
+    (* single pass over the remaining statements in program order
+       (Heuristic 2), pulling in same-dimensionality SCCs with reuse
+       (Heuristic 1) whose precedence constraint is met *)
+    for t = 0 to n - 1 do
+      let t_scc = scc_of.(t) in
+      if (not visited.(t_scc)) && depth t = cluster_dim then begin
+        let members = comps.(t_scc) in
+        let has_reuse =
+          List.exists
+            (fun i -> List.exists (fun j -> reuse.(i).(j)) members)
+            !fusable
+        in
+        if has_reuse && ready t_scc then begin
+          visited.(t_scc) <- true;
+          decr remaining;
+          cluster := t_scc :: !cluster;
+          fusable := !fusable @ members
+        end
+      end
+    done;
+    clusters := List.rev !cluster :: !clusters
+  done;
+  List.rev !clusters
+
+let clusters = run
+
+let order prog ddg scc_of = List.concat (run prog ddg scc_of)

@@ -1,0 +1,44 @@
+open Deps
+
+type row = { scc : int; members : int list; dim : int; partition : int }
+
+let partition_table (res : Pluto.Scheduler.result) =
+  let comps = Ddg.components res.scc_of in
+  List.map
+    (fun scc ->
+      let members = comps.(scc) in
+      let dim = Pluto.Scheduler.scc_dim res.prog members in
+      let partition =
+        match members with
+        | m :: _ -> res.outer_partition.(m)
+        | [] -> 0
+      in
+      { scc; members; dim; partition })
+    res.scc_order
+
+let partition_count (res : Pluto.Scheduler.result) =
+  List.length (Pluto.Scheduler.partitions res)
+
+let score_deps pred (res : Pluto.Scheduler.result) =
+  List.length
+    (List.filter
+       (fun (d : Dep.t) ->
+         pred d
+         && d.src <> d.dst
+         && res.outer_partition.(d.src) = res.outer_partition.(d.dst))
+       res.all_deps)
+
+let reuse_score res = score_deps (fun _ -> true) res
+let rar_reuse_score res = score_deps (fun (d : Dep.t) -> d.kind = Dep.Input) res
+
+let pp_table fmt (res : Pluto.Scheduler.result) =
+  Format.fprintf fmt "@[<v>SCC | dim | partition (%s)@," res.config_name;
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%3d |  %d  | %d   (stmts:" r.scc r.dim r.partition;
+      List.iter
+        (fun id -> Format.fprintf fmt " %s" res.prog.stmts.(id).Scop.Statement.name)
+        r.members;
+      Format.fprintf fmt ")@,")
+    (partition_table res);
+  Format.fprintf fmt "@]"

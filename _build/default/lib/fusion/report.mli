@@ -1,0 +1,25 @@
+(** Fusion-partitioning reports: the data behind Figure 8 and the
+    reuse discussion of Section 5. *)
+
+type row = {
+  scc : int;  (** SCC id *)
+  members : int list;  (** statement ids *)
+  dim : int;  (** dimensionality (Figure 8, column 2) *)
+  partition : int;  (** partition number in the transformed code *)
+}
+
+(** One row per SCC, in pre-fusion order. *)
+val partition_table : Pluto.Scheduler.result -> row list
+
+(** Number of distinct outermost fusion partitions. *)
+val partition_count : Pluto.Scheduler.result -> int
+
+(** Number of dependence pairs (including input/RAR — the reuse the
+    paper's heuristics chase) whose endpoints share a fusion
+    partition. Higher is better locality, all else being equal. *)
+val reuse_score : Pluto.Scheduler.result -> int
+
+(** Same, but only input (RAR) dependences. *)
+val rar_reuse_score : Pluto.Scheduler.result -> int
+
+val pp_table : Format.formatter -> Pluto.Scheduler.result -> unit

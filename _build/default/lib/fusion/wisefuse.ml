@@ -1,0 +1,10 @@
+let config =
+  {
+    Pluto.Scheduler.name = "wisefuse";
+    order_sccs = Prefusion.order;
+    initial_cut = Some Pluto.Scheduler.Cut_between_dims;
+    fallback_cut = Pluto.Scheduler.Cut_minimal;
+    outer_parallel = true;
+  }
+
+let run ?param_floor prog = Pluto.Scheduler.run ?param_floor config prog

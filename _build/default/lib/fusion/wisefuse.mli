@@ -1,0 +1,18 @@
+(** The paper's fusion model: Algorithm 1 (pre-fusion schedule) plus
+    Algorithm 2 (outer-level parallelism by minimal cuts), on top of
+    the Pluto-style scheduler. *)
+
+(** The wisefuse scheduler configuration:
+    - pre-fusion order from {!Prefusion.order};
+    - initial cuts between SCCs of different dimensionality (the
+      framework's primary cut criterion, which Algorithm 1's ordering
+      is designed to exploit);
+    - minimal fallback cuts;
+    - Algorithm 2 enabled: the first hyperplane level is re-solved with
+      a cut between exactly the SCCs carrying a forward dependence, so
+      the outermost loop stays communication-free with minimal loss of
+      fusion. *)
+val config : Pluto.Scheduler.config
+
+(** [run program] = [Pluto.Scheduler.run config program]. *)
+val run : ?param_floor:int -> Scop.Program.t -> Pluto.Scheduler.result

@@ -1,0 +1,1 @@
+lib/icc/icc_model.ml: Array Codegen Dep Deps Format Linalg List Pluto Poly Scop

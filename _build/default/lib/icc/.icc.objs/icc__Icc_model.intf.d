@@ -1,0 +1,1 @@
+lib/icc/icc_model.mli: Codegen Deps Pluto Scop

@@ -1,0 +1,1 @@
+lib/ilp/bb.ml: Array Bigint Constr Linalg List Lp Option Poly Polyhedron Q Vec

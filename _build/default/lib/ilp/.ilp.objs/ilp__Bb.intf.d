@@ -1,0 +1,1 @@
+lib/ilp/bb.mli: Linalg Poly

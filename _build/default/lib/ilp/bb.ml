@@ -1,0 +1,158 @@
+open Linalg
+open Poly
+
+type answer =
+  | Optimal of Q.t * int array
+  | Infeasible
+  | Unbounded
+  | Gave_up
+
+
+
+let to_int_point (x : Vec.t) = Array.map (fun q -> Bigint.to_int (Q.to_bigint q)) x
+
+let first_fractional (x : Vec.t) =
+  let n = Array.length x in
+  let rec go i = if i >= n then None else if Q.is_integer x.(i) then go (i + 1) else Some i in
+  go 0
+
+(* x_i <= floor(v):  -x_i + floor(v) >= 0 *)
+let le_branch dim i v =
+  let c = Vec.zero (dim + 1) in
+  c.(i) <- Q.minus_one;
+  c.(dim) <- Q.of_bigint (Q.floor v);
+  Constr.make Constr.Ge c
+
+(* x_i >= ceil(v):  x_i - ceil(v) >= 0 *)
+let ge_branch dim i v =
+  let c = Vec.zero (dim + 1) in
+  c.(i) <- Q.one;
+  c.(dim) <- Q.neg (Q.of_bigint (Q.ceil v));
+  Constr.make Constr.Ge c
+
+type search_state = {
+  nonneg : bool;
+  mutable incumbent : (Q.t * int array) option;
+  mutable nodes : int;
+  mutable saw_unbounded : bool;
+  mutable gave_up : bool;
+  max_nodes : int;
+  stop_at_first : bool; (* feasibility search: stop on the first point *)
+}
+
+exception Found_first
+
+let rec branch st p obj =
+  if st.nodes >= st.max_nodes then st.gave_up <- true
+  else begin
+    st.nodes <- st.nodes + 1;
+    match Lp.minimize ~nonneg:st.nonneg p obj with
+    | Lp.Infeasible -> ()
+    | Lp.Unbounded -> st.saw_unbounded <- true
+    | Lp.Optimal (v, x) ->
+      let dominated =
+        match st.incumbent with
+        | Some (best, _) -> Q.compare v best >= 0
+        | None -> false
+      in
+      if not dominated then begin
+        match first_fractional x with
+        | None ->
+          st.incumbent <- Some (v, to_int_point x);
+          if st.stop_at_first then raise Found_first
+        | Some i ->
+          let dim = Polyhedron.dim p in
+          branch st (Polyhedron.add p (le_branch dim i x.(i))) obj;
+          branch st (Polyhedron.add p (ge_branch dim i x.(i))) obj
+      end
+  end
+
+let run ?(max_nodes = 20000) ?(stop_at_first = false) ?(nonneg = false) p obj =
+  let st =
+    {
+      nonneg;
+      incumbent = None;
+      nodes = 0;
+      saw_unbounded = false;
+      gave_up = false;
+      max_nodes;
+      stop_at_first;
+    }
+  in
+  (try branch st p obj with Found_first -> ());
+  st
+
+let minimize ?max_nodes ?nonneg p obj =
+  if Vec.dim obj <> Polyhedron.dim p + 1 then
+    invalid_arg "Ilp.minimize: objective length";
+  let st = run ?max_nodes ?nonneg p obj in
+  match st.incumbent with
+  | Some (v, x) -> if st.saw_unbounded then Unbounded else Optimal (v, x)
+  | None ->
+    if st.saw_unbounded then Unbounded
+    else if st.gave_up then Gave_up
+    else Infeasible
+
+let integer_point ?max_nodes ?nonneg p =
+  let obj = Vec.zero (Polyhedron.dim p + 1) in
+  let st = run ?max_nodes ~stop_at_first:true ?nonneg p obj in
+  Option.map snd st.incumbent
+
+let feasible p =
+  if Polyhedron.is_empty p then false
+  else begin
+    let obj = Vec.zero (Polyhedron.dim p + 1) in
+    let st = run ~stop_at_first:true p obj in
+    match st.incumbent with
+    | Some _ -> true
+    | None ->
+      (* no integer point found: exact "no" if the search completed,
+         conservative "yes" (rational-feasible) if it gave up *)
+      st.gave_up
+  end
+
+let lexmin ?max_nodes ?nonneg p objs =
+  let dim = Polyhedron.dim p in
+  let rec go p acc = function
+    | [] ->
+      (* recover a point optimal for all fixed objectives *)
+      (match integer_point ?max_nodes ?nonneg p with
+      | Some x -> Some (List.rev acc, x)
+      | None -> None)
+    | obj :: rest -> (
+      match minimize ?max_nodes ?nonneg p obj with
+      | Optimal (v, _) ->
+        (* fix this objective: obj . x + c = v *)
+        let fix = Vec.copy obj in
+        fix.(dim) <- Q.sub fix.(dim) v;
+        go (Polyhedron.add p (Constr.make Constr.Eq fix)) (v :: acc) rest
+      | Infeasible | Unbounded | Gave_up -> None)
+  in
+  go p [] objs
+
+let remove_redundant p =
+  let dim = Polyhedron.dim p in
+  let eqs, ineqs =
+    List.partition
+      (fun c -> Constr.kind c = Constr.Eq)
+      (Polyhedron.constraints p)
+  in
+  (* test each inequality against everything else kept so far *)
+  let rec filter kept = function
+    | [] -> kept
+    | c :: rest ->
+      let others = eqs @ kept @ rest in
+      let q = Polyhedron.make dim others in
+      let obj =
+        let v = Vec.copy (Constr.coeffs c) in
+        v
+      in
+      let redundant =
+        match Lp.minimize q obj with
+        | Lp.Optimal (v, _) -> Q.sign v >= 0
+        | Lp.Infeasible -> true (* empty set: anything is implied *)
+        | Lp.Unbounded -> false
+      in
+      if redundant then filter kept rest else filter (c :: kept) rest
+  in
+  Polyhedron.make dim (eqs @ filter [] ineqs)

@@ -1,0 +1,53 @@
+(** Exact integer linear programming by branch-and-bound over the
+    rational simplex ({!Lp}).
+
+    Used for: the per-level hyperplane ILP of the Pluto-style scheduler
+    (bounded coefficient boxes, so termination is structural) and exact
+    integer emptiness of dependence polyhedra. *)
+
+type answer =
+  | Optimal of Linalg.Q.t * int array
+      (** objective value (an integer when the objective has integer
+          coefficients) and an optimal integer point *)
+  | Infeasible
+  | Unbounded  (** the LP relaxation is unbounded in the objective *)
+  | Gave_up  (** node budget exhausted without a conclusion *)
+
+(** [minimize ?max_nodes p obj] minimizes the affine objective [obj]
+    (length [dim p + 1]) over the integer points of [p]. *)
+val minimize :
+  ?max_nodes:int -> ?nonneg:bool -> Poly.Polyhedron.t -> Linalg.Vec.t -> answer
+
+(** [integer_point ?max_nodes p] finds any integer point, if one
+    exists. [None] means "none exists" when the search completed,
+    and "unknown" when the node budget ran out (see {!feasible} for a
+    sound wrapper). *)
+val integer_point :
+  ?max_nodes:int -> ?nonneg:bool -> Poly.Polyhedron.t -> int array option
+
+(** [feasible p]: does [p] contain an integer point?
+
+    Exact when the branch-and-bound concludes within budget. If the
+    budget runs out, the answer falls back to rational feasibility,
+    which errs on the side of reporting a dependence — conservative
+    (never unsound) for the legality analyses built on top. *)
+val feasible : Poly.Polyhedron.t -> bool
+
+(** [lexmin ?max_nodes p objs] sequentially minimizes the affine
+    objectives in [objs], fixing each to its optimum before the next
+    (lexicographic minimization). Returns the objective values and a
+    final optimal point, or [None] if infeasible / unbounded /
+    inconclusive. *)
+val lexmin :
+  ?max_nodes:int ->
+  ?nonneg:bool ->
+  Poly.Polyhedron.t ->
+  Linalg.Vec.t list ->
+  (Linalg.Q.t list * int array) option
+
+(** [remove_redundant p] drops every inequality that is implied by the
+    remaining constraints (exact rational LP test per row; equalities
+    are kept). The result describes the same set with (often far) fewer
+    rows - used to shrink Fourier-Motzkin output before it enters a
+    larger ILP. *)
+val remove_redundant : Poly.Polyhedron.t -> Poly.Polyhedron.t

@@ -1,0 +1,299 @@
+(* Two-phase dense simplex over exact rationals.
+
+   Conversion to standard form (min c.y, A y = rhs, y >= 0, rhs >= 0):
+     - every free variable x_i becomes x_i^+ - x_i^- (skipped in
+       [nonneg] mode where x >= 0 is implied);
+     - every inequality a.x + k >= 0 gains a slack;
+     - rows are oriented so rhs >= 0. An inequality with k >= 0 can
+       then use its slack as the initial basic variable; only rows with
+       k < 0 and equalities get an artificial column, which keeps
+       phase 1 small;
+     - phase 1 minimizes the sum of artificials.
+
+   Bland's rule (least-index entering and leaving) guarantees
+   termination. Everything is exact, so no tolerance anywhere. *)
+
+open Linalg
+open Poly
+
+type result =
+  | Infeasible
+  | Unbounded
+  | Optimal of Q.t * Vec.t
+
+type tableau = {
+  a : Q.t array array; (* m rows, each of length ncols + 1 (rhs last) *)
+  basis : int array; (* basic variable of each row *)
+  ncols : int; (* structural + slack + artificial columns, excluding rhs *)
+  nstruct : int; (* structural (split) + slack columns *)
+}
+
+let rhs_col t = t.ncols
+
+let pivots_internal = ref 0
+
+(* Pivot on (row, col): make column [col] the basis column of [row]. *)
+let pivot t row col =
+  incr pivots_internal;
+  let arow = t.a.(row) in
+  let p = arow.(col) in
+  assert (not (Q.is_zero p));
+  let inv = Q.inv p in
+  for j = 0 to t.ncols do
+    arow.(j) <- Q.mul arow.(j) inv
+  done;
+  for i = 0 to Array.length t.a - 1 do
+    if i <> row then begin
+      let f = t.a.(i).(col) in
+      if not (Q.is_zero f) then begin
+        let irow = t.a.(i) in
+        for j = 0 to t.ncols do
+          (* the pivot row is sparse: skip zero columns *)
+          if not (Q.is_zero arow.(j)) then
+            irow.(j) <- Q.sub irow.(j) (Q.mul f arow.(j))
+        done
+      end
+    end
+  done;
+  t.basis.(row) <- col
+
+(* One simplex phase: minimize obj (a row of reduced costs, length
+   ncols + 1 with the objective value negated in the rhs slot).
+   [allowed col] filters columns that may enter. Mutates [t], [obj]. *)
+let run_phase t obj allowed =
+  let m = Array.length t.a in
+  let continue_ = ref true in
+  let status = ref `Optimal in
+  (* Dantzig's rule (most negative reduced cost) is much faster in
+     practice; fall back to Bland's rule permanently once the objective
+     stagnates for too long (degenerate-cycling guard), which restores
+     the termination guarantee. *)
+  let use_bland = ref false in
+  let stall = ref 0 in
+  let last_value = ref obj.(Array.length obj - 1) in
+  while !continue_ do
+    if not !use_bland then begin
+      if Q.equal obj.(Array.length obj - 1) !last_value then begin
+        incr stall;
+        if !stall > 40 + m then use_bland := true
+      end
+      else begin
+        stall := 0;
+        last_value := obj.(Array.length obj - 1)
+      end
+    end;
+    let entering = ref (-1) in
+    if !use_bland then (
+      try
+        for j = 0 to t.ncols - 1 do
+          if allowed j && Q.sign obj.(j) < 0 then begin
+            entering := j;
+            raise Exit
+          end
+        done
+      with Exit -> ())
+    else begin
+      let best = ref Q.zero in
+      for j = 0 to t.ncols - 1 do
+        if allowed j && Q.sign obj.(j) < 0 && Q.compare obj.(j) !best < 0 then begin
+          best := obj.(j);
+          entering := j
+        end
+      done
+    end;
+    if !entering < 0 then continue_ := false
+    else begin
+      let col = !entering in
+      (* leaving: min ratio rhs/a over rows with a > 0; ties by least
+         basis index (Bland) *)
+      let best = ref (-1) in
+      let best_ratio = ref Q.zero in
+      for i = 0 to m - 1 do
+        let aij = t.a.(i).(col) in
+        if Q.sign aij > 0 then begin
+          let ratio = Q.div t.a.(i).(rhs_col t) aij in
+          if
+            !best < 0
+            || Q.compare ratio !best_ratio < 0
+            || (Q.equal ratio !best_ratio && t.basis.(i) < t.basis.(!best))
+          then begin
+            best := i;
+            best_ratio := ratio
+          end
+        end
+      done;
+      if !best < 0 then begin
+        status := `Unbounded;
+        continue_ := false
+      end
+      else begin
+        let row = !best in
+        pivot t row col;
+        let f = obj.(col) in
+        if not (Q.is_zero f) then begin
+          let arow = t.a.(row) in
+          for j = 0 to t.ncols do
+            if not (Q.is_zero arow.(j)) then
+              obj.(j) <- Q.sub obj.(j) (Q.mul f arow.(j))
+          done
+        end
+      end
+    end
+  done;
+  !status
+
+exception Found_infeasible
+
+let minimize_exn ~nonneg p obj_aff =
+  let n = Polyhedron.dim p in
+  if Vec.dim obj_aff <> n + 1 then invalid_arg "Lp.minimize: objective length";
+  let cons = Polyhedron.constraints p in
+  let m = List.length cons in
+  let n_split = if nonneg then n else 2 * n in
+  let n_slack = List.length (List.filter (fun c -> Constr.kind c = Constr.Ge) cons) in
+  (* artificials: equalities and inequalities with negative constant *)
+  let needs_artificial c =
+    match Constr.kind c with
+    | Constr.Eq -> true
+    | Constr.Ge -> Q.sign (Constr.const c) < 0
+  in
+  let n_art = List.length (List.filter needs_artificial cons) in
+  let nstruct = n_split + n_slack in
+  let ncols = nstruct + n_art in
+  let a = Array.init m (fun _ -> Array.make (ncols + 1) Q.zero) in
+  let basis = Array.make m (-1) in
+  let slack_idx = ref 0 and art_idx = ref 0 in
+  List.iteri
+    (fun i c ->
+      let row = a.(i) in
+      let k = Constr.const c in
+      (* encode a.x + k >= 0 (or = 0) as a.x (- s) = -k *)
+      for v = 0 to n - 1 do
+        let cv = Constr.coeff c v in
+        if nonneg then row.(v) <- cv
+        else begin
+          row.(2 * v) <- cv;
+          row.((2 * v) + 1) <- Q.neg cv
+        end
+      done;
+      let slack_col =
+        match Constr.kind c with
+        | Constr.Ge ->
+          let col = n_split + !slack_idx in
+          incr slack_idx;
+          row.(col) <- Q.minus_one;
+          Some col
+        | Constr.Eq -> None
+      in
+      row.(ncols) <- Q.neg k;
+      if Q.sign row.(ncols) < 0 then
+        for j = 0 to ncols do
+          row.(j) <- Q.neg row.(j)
+        done;
+      if needs_artificial c then begin
+        let col = nstruct + !art_idx in
+        incr art_idx;
+        row.(col) <- Q.one;
+        basis.(i) <- col
+      end
+      else begin
+        (* rhs >= 0; orient the row so the slack has coefficient +1 and
+           make it basic (for k = 0 the rhs is 0 either way) *)
+        match slack_col with
+        | Some col ->
+          if Q.sign row.(col) < 0 then
+            for j = 0 to ncols do
+              row.(j) <- Q.neg row.(j)
+            done;
+          assert (Q.equal row.(col) Q.one && Q.sign row.(ncols) >= 0);
+          basis.(i) <- col
+        | None -> assert false
+      end)
+    cons;
+  let t = { a; basis; ncols; nstruct } in
+  let is_artificial col = col >= t.nstruct in
+  (* phase 1: minimize the sum of artificials *)
+  if n_art > 0 then begin
+    let obj1 = Array.make (ncols + 1) Q.zero in
+    for j = t.nstruct to ncols - 1 do
+      obj1.(j) <- Q.one
+    done;
+    for i = 0 to m - 1 do
+      if is_artificial t.basis.(i) then
+        for j = 0 to ncols do
+          obj1.(j) <- Q.sub obj1.(j) t.a.(i).(j)
+        done
+    done;
+    (match run_phase t obj1 (fun _ -> true) with
+    | `Unbounded -> assert false (* bounded below by 0 *)
+    | `Optimal -> ());
+    if Q.sign obj1.(ncols) <> 0 then raise Found_infeasible;
+    (* drive remaining artificials out of the basis where possible *)
+    for i = 0 to m - 1 do
+      if is_artificial t.basis.(i) then begin
+        let found = ref (-1) in
+        (try
+           for j = 0 to t.nstruct - 1 do
+             if not (Q.is_zero t.a.(i).(j)) then begin
+               found := j;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !found >= 0 then pivot t i !found
+        (* else: redundant row; the artificial stays basic at value 0 *)
+      end
+    done
+  end;
+  (* phase 2 *)
+  let obj2 = Array.make (ncols + 1) Q.zero in
+  for v = 0 to n - 1 do
+    if nonneg then obj2.(v) <- obj_aff.(v)
+    else begin
+      obj2.(2 * v) <- obj_aff.(v);
+      obj2.((2 * v) + 1) <- Q.neg obj_aff.(v)
+    end
+  done;
+  for i = 0 to m - 1 do
+    let b = t.basis.(i) in
+    let f = obj2.(b) in
+    if not (Q.is_zero f) then
+      for j = 0 to ncols do
+        obj2.(j) <- Q.sub obj2.(j) (Q.mul f t.a.(i).(j))
+      done
+  done;
+  let allowed j = j < t.nstruct in
+  match run_phase t obj2 allowed with
+  | `Unbounded -> Unbounded
+  | `Optimal ->
+    let y = Array.make (ncols + 1) Q.zero in
+    for i = 0 to m - 1 do
+      y.(t.basis.(i)) <- t.a.(i).(ncols)
+    done;
+    let x =
+      if nonneg then Array.init n (fun v -> y.(v))
+      else Array.init n (fun v -> Q.sub y.(2 * v) y.((2 * v) + 1))
+    in
+    let value = Q.add (Q.neg obj2.(ncols)) obj_aff.(n) in
+    Optimal (value, x)
+
+let solves = ref 0
+let solve_count () = !solves
+let pivot_count () = !pivots_internal
+
+let minimize ?(nonneg = false) p obj_aff =
+  incr solves;
+  try minimize_exn ~nonneg p obj_aff with Found_infeasible -> Infeasible
+
+let maximize ?nonneg p obj_aff =
+  match minimize ?nonneg p (Vec.neg obj_aff) with
+  | Infeasible -> Infeasible
+  | Unbounded -> Unbounded
+  | Optimal (v, x) -> Optimal (Q.neg v, x)
+
+let feasible_point ?nonneg p =
+  let n = Polyhedron.dim p in
+  match minimize ?nonneg p (Vec.zero (n + 1)) with
+  | Infeasible -> None
+  | Unbounded -> None (* cannot happen with zero objective *)
+  | Optimal (_, x) -> Some x

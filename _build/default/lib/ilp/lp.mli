@@ -1,0 +1,33 @@
+(** Exact rational linear programming (two-phase dense simplex,
+    Bland's rule, arbitrary-precision arithmetic).
+
+    Variables are unrestricted in sign; non-negativity must appear as
+    explicit constraints in the polyhedron when wanted. Termination is
+    guaranteed by Bland's anti-cycling rule; exactness by {!Linalg.Q}. *)
+
+type result =
+  | Infeasible
+  | Unbounded
+  | Optimal of Linalg.Q.t * Linalg.Vec.t
+      (** optimal objective value and one optimal point *)
+
+(** [minimize ?nonneg p obj] minimizes the affine objective [obj]
+    (length [dim p + 1], trailing constant) over polyhedron [p].
+    With [nonneg:true] every variable is additionally constrained to be
+    [>= 0] (and the free-variable split is skipped — cheaper; callers
+    must not also add explicit [x >= 0] rows).
+    @raise Invalid_argument on objective length mismatch. *)
+val minimize : ?nonneg:bool -> Poly.Polyhedron.t -> Linalg.Vec.t -> result
+
+(** [maximize p obj] likewise (implemented by negation). *)
+val maximize : ?nonneg:bool -> Poly.Polyhedron.t -> Linalg.Vec.t -> result
+
+(** [feasible_point p] returns a rational point of [p] if one exists
+    (phase-1 only). *)
+val feasible_point : ?nonneg:bool -> Poly.Polyhedron.t -> Linalg.Vec.t option
+
+(** Number of LP solves since process start (diagnostics). *)
+val solve_count : unit -> int
+
+(** Number of simplex pivots since process start (diagnostics). *)
+val pivot_count : unit -> int

@@ -1,0 +1,1 @@
+lib/kernels/advect.ml: Scop

@@ -1,0 +1,1 @@
+lib/kernels/applu.ml: Scop

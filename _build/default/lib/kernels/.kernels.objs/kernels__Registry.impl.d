@@ -1,0 +1,1 @@
+lib/kernels/registry.ml: Advect Applu Bt Gemsfdtd Gemver List Lu Scop Sp Swim Tce Wupwise

@@ -1,0 +1,1 @@
+lib/kernels/swim.ml: Scop

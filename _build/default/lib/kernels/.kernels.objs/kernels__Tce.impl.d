@@ -1,0 +1,1 @@
+lib/kernels/tce.ml: Scop

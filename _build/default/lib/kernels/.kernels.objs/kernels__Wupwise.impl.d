@@ -1,0 +1,1 @@
+lib/kernels/wupwise.ml: Scop

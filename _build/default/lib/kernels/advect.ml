@@ -1,0 +1,40 @@
+(* advect (the PLuTo weather-modeling example; Figure 4 of the paper):
+   three flux statements S1-S3 followed by an update S4 whose stencil
+   reads cx[i][j+1] and cy[i+1][j]. Full fusion needs S4 shifted by one
+   iteration (Figure 4(c)), turning the outer loop into a
+   forward-dependence (pipelined) loop; Algorithm 2 instead distributes
+   only S4 (Figure 6), keeping both nests outer-parallel. *)
+
+open Scop.Build
+
+let program ?(n = 30) () =
+  let ctx = create ~name:"advect" ~params:[ ("N", n) ] in
+  let n = param ctx "N" in
+  let ext = n +~ ci 2 in
+  let u = array ctx "u" [ ext; ext ] in
+  let v = array ctx "v" [ ext; ext ] in
+  let w0 = array ctx "w0" [ ext; ext ] in
+  let cx = array ctx "cx" [ ext; ext ] in
+  let cy = array ctx "cy" [ ext; ext ] in
+  let cz = array ctx "cz" [ ext; ext ] in
+  let adv = array ctx "adv" [ ext; ext ] in
+  let lb = ci 1 and ub = n in
+  loop ctx "i" ~lb ~ub (fun i ->
+      loop ctx "j" ~lb ~ub (fun j ->
+          assign ctx "S1" cx [ i; j ]
+            ((u.%([ i; j ]) +: u.%([ i; j +~ ci 1 ])) *: f 0.5)));
+  loop ctx "i" ~lb ~ub (fun i ->
+      loop ctx "j" ~lb ~ub (fun j ->
+          assign ctx "S2" cy [ i; j ]
+            ((v.%([ i; j ]) +: v.%([ i +~ ci 1; j ]) +: u.%([ i; j ])) *: f 0.25)));
+  loop ctx "i" ~lb ~ub (fun i ->
+      loop ctx "j" ~lb ~ub (fun j ->
+          assign ctx "S3" cz [ i; j ]
+            ((w0.%([ i; j ]) +: u.%([ i; j ])) *: f 0.5)));
+  loop ctx "i" ~lb ~ub (fun i ->
+      loop ctx "j" ~lb ~ub (fun j ->
+          assign ctx "S4" adv [ i; j ]
+            (cx.%([ i; j ]) -: cx.%([ i; j +~ ci 1 ])
+            +: (cy.%([ i; j ]) -: cy.%([ i +~ ci 1; j ]))
+            +: cz.%([ i; j ]))));
+  finish ctx

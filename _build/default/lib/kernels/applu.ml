@@ -1,0 +1,55 @@
+(* applu (SPEC OMP, CFD): an x-pass / y-pass / z-pass structure (the
+   SSOR sweeps' flux computations). Each pass holds statements that
+   share pass-local flux arrays — reuse through {e input} dependences,
+   exactly the structure the paper credits wisefuse with exploiting
+   ("wisefuse fused SCCs that belonged to the same pass (x-, y- or
+   z-pass) and thus enjoyed excellent reuse through the input
+   dependences", Section 5.3).
+
+   Passes are chained by spatially-offset flow dependences, so fusing
+   {e across} passes needs shifting and turns the outer loop into a
+   pipelined loop (what smartfuse does); wisefuse's Algorithm 2 cuts
+   between the passes instead. Within a pass, the nests have slightly
+   different bounds, so the icc model cannot fuse them at all. *)
+
+open Scop.Build
+
+let program ?(n = 10) () =
+  let ctx = create ~name:"applu" ~params:[ ("N", n) ] in
+  let n = param ctx "N" in
+  let ext = n +~ ci 2 in
+  let u = array ctx "u" [ ext; ext; ext ] in
+  let rsd = array ctx "rsd" [ ext; ext; ext ] in
+  let flux_x = array ctx "flux_x" [ ext; ext; ext ] in
+  let flux_y = array ctx "flux_y" [ ext; ext; ext ] in
+  let flux_z = array ctx "flux_z" [ ext; ext; ext ] in
+  let one = ci 1 in
+  let pass name_flux flux off_i off_j prev =
+    (* Sa: flux from u (stencil along the pass direction);
+       Sb: rsd update reading the same flux twice-shifted (RAR with Sa's
+       reads) and the previous pass's result at an offset *)
+    let sa = "S" ^ name_flux ^ "a" and sb = "S" ^ name_flux ^ "b" in
+    loop ctx "i" ~lb:one ~ub:n (fun i ->
+        loop ctx "j" ~lb:one ~ub:n (fun j ->
+            loop ctx "k" ~lb:one ~ub:n (fun k ->
+                assign ctx sa flux [ i; j; k ]
+                  ((u.%([ i +~ off_i; j +~ off_j; k ]) -: u.%([ i; j; k ]))
+                  *: f 0.5))));
+    (* different bounds: starts at 2 - non-conformable for icc; the
+       flux difference is along k (innermost), so within-pass fusion
+       keeps the outer loop parallel, while the previous pass's result
+       is read at a diagonal (i-1, j-1, k-1) offset, so cross-pass
+       fusion needs shifting and no outer loop stays
+       communication-free *)
+    loop ctx "i" ~lb:(ci 2) ~ub:n (fun i ->
+        loop ctx "j" ~lb:one ~ub:n (fun j ->
+            loop ctx "k" ~lb:one ~ub:n (fun k ->
+                assign ctx sb rsd [ i; j; k ]
+                  (rsd.%([ i; j; k ])
+                  +: (flux.%([ i; j; k ]) -: flux.%([ i; j; k -~ one ]))
+                  +: (prev.%([ i -~ one; j -~ one; k -~ one ]) *: f 0.125)))))
+  in
+  pass "x" flux_x one (ci 0) u;
+  pass "y" flux_y (ci 0) one flux_x;
+  pass "z" flux_z one one flux_y;
+  finish ctx

@@ -1,0 +1,50 @@
+(* bt (NPB Block-Tridiagonal, CLASS-C-like structure at model scale):
+   three directional passes (x, y, z), each with three statements -
+   a stencil "jacobian" (Sa), a right-hand-side update reading it at an
+   inner-dimension offset (Sb), and the solution update (Sc) writing
+   the pass's output array. Passes communicate through spatially-offset
+   reads of the previous pass's output, so cross-pass fusion needs
+   shifting and costs outer parallelism; within-pass fusion is
+   outer-parallel and reuse-rich (shared reads of the pass input). *)
+
+open Scop.Build
+
+let program ?(n = 10) () =
+  let ctx = create ~name:"bt" ~params:[ ("N", n) ] in
+  let n = param ctx "N" in
+  let ext = n +~ ci 4 in
+  let u0 = array ctx "u0" [ ext; ext; ext ] in
+  let u1 = array ctx "u1" [ ext; ext; ext ] in
+  let u2 = array ctx "u2" [ ext; ext; ext ] in
+  let u3 = array ctx "u3" [ ext; ext; ext ] in
+  let lhs = array ctx "lhs" [ ext; ext; ext ] in
+  let rhs = array ctx "rhs" [ ext; ext; ext ] in
+  let one = ci 1 in
+  let pass tag (di, dj) input output =
+    let name s = "S" ^ tag ^ s in
+    (* Sa: directional second difference of the pass input *)
+    loop ctx "i" ~lb:(ci 2) ~ub:(n +~ one) (fun i ->
+        loop ctx "j" ~lb:(ci 2) ~ub:(n +~ one) (fun j ->
+            loop ctx "k" ~lb:(ci 2) ~ub:(n +~ one) (fun k ->
+                assign ctx (name "a") lhs [ i; j; k ]
+                  (input.%([ i +~ di; j +~ dj; k +~ one ])
+                  +: input.%([ i -~ di; j -~ dj; k -~ one ])
+                  -: (f 2.0 *: input.%([ i; j; k ]))))));
+    (* Sb: rhs from lhs at a k-offset (bounds differ: icc cannot fuse) *)
+    loop ctx "i" ~lb:(ci 2) ~ub:n (fun i ->
+        loop ctx "j" ~lb:(ci 2) ~ub:(n +~ one) (fun j ->
+            loop ctx "k" ~lb:(ci 2) ~ub:(n +~ one) (fun k ->
+                assign ctx (name "b") rhs [ i; j; k ]
+                  ((lhs.%([ i; j; k ]) -: lhs.%([ i; j; k -~ one ])) *: f 0.5
+                  +: input.%([ i; j; k ])))));
+    (* Sc: pass output *)
+    loop ctx "i" ~lb:(ci 2) ~ub:n (fun i ->
+        loop ctx "j" ~lb:(ci 2) ~ub:(n +~ one) (fun j ->
+            loop ctx "k" ~lb:(ci 2) ~ub:(n +~ one) (fun k ->
+                assign ctx (name "c") output [ i; j; k ]
+                  (input.%([ i; j; k ]) +: (rhs.%([ i; j; k ]) *: f 0.1)))))
+  in
+  pass "x" (one, ci 0) u0 u1;
+  pass "y" (ci 0, one) u1 u2;
+  pass "z" (one, one) u2 u3;
+  finish ctx

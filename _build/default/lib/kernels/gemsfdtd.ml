@@ -1,0 +1,90 @@
+(* gemsfdtd (SPEC 2006): a UPMLupdateh-like routine - the subject of
+   Figure 8. Six 3-D field-update statements (B and H for each of
+   x/y/z, chained by flow dependences and sharing the E-field reads and
+   the 1-D PML coefficient arrays) interleaved in program order with
+   2-D boundary-plane statements. The dimensionality mix is what
+   defeats both icc (adjacent nests of different dimensionality are
+   never fused) and the DFS pre-fusion order of smartfuse; wisefuse
+   reorders the same-dimensionality SCCs together and fuses all six 3-D
+   statements into one nest (and the 2-D ones into another), minimizing
+   the partition count as in Figure 8. *)
+
+open Scop.Build
+
+let program ?(n = 10) () =
+  let ctx = create ~name:"gemsfdtd" ~params:[ ("N", n) ] in
+  let n = param ctx "N" in
+  let ext = n +~ ci 2 in
+  let ex = array ctx "ex" [ ext; ext; ext ] in
+  let ey = array ctx "ey" [ ext; ext; ext ] in
+  let ez = array ctx "ez" [ ext; ext; ext ] in
+  let bx = array ctx "bx" [ ext; ext; ext ] in
+  let by = array ctx "by" [ ext; ext; ext ] in
+  let bz = array ctx "bz" [ ext; ext; ext ] in
+  let hx = array ctx "hx" [ ext; ext; ext ] in
+  let hy = array ctx "hy" [ ext; ext; ext ] in
+  let hz = array ctx "hz" [ ext; ext; ext ] in
+  let den = array ctx "den" [ ext ] in
+  let co1 = array ctx "co1" [ ext ] in
+  let co2 = array ctx "co2" [ ext ] in
+  let one = ci 1 in
+  let lb = one and ub = n in
+  let loop3 name body =
+    loop ctx "i" ~lb ~ub (fun i ->
+        loop ctx "j" ~lb ~ub (fun j ->
+            loop ctx "k" ~lb ~ub (fun k -> body name i j k)))
+  in
+  (* the H updates iterate (k, i, j): same space, different loop order,
+     so a traditional compiler cannot line them up with the B updates *)
+  let loop3_permuted name body =
+    loop ctx "k" ~lb ~ub (fun k ->
+        loop ctx "i" ~lb ~ub (fun i ->
+            loop ctx "j" ~lb ~ub (fun j -> body name i j k)))
+  in
+  let loop2 name body =
+    loop ctx "i" ~lb ~ub (fun i -> loop ctx "j" ~lb ~ub (fun j -> body name i j))
+  in
+  (* Bx update (3-D), then Hx from Bx (3-D), then a 2-D boundary plane *)
+  loop3 "S1" (fun name i j k ->
+      assign ctx name bx [ i; j; k ]
+        (bx.%([ i; j; k ])
+        +: (den.%([ k ])
+           *: (ey.%([ i; j; k +~ one ]) -: ey.%([ i; j; k ])
+              -: ez.%([ i; j +~ one; k ]) +: ez.%([ i; j; k ])))));
+  loop3_permuted "S2" (fun name i j k ->
+      assign ctx name hx [ i; j; k ]
+        ((co1.%([ i ]) *: hx.%([ i; j; k ])) +: (co2.%([ i ]) *: bx.%([ i; j; k ]))));
+  loop2 "S3" (fun name i j ->
+      assign ctx name bx [ i; j; ci 0 ] (bx.%([ i; j; n ])));
+  (* By, Hy, boundary *)
+  loop3 "S4" (fun name i j k ->
+      assign ctx name by [ i; j; k ]
+        (by.%([ i; j; k ])
+        +: (den.%([ k ])
+           *: (ez.%([ i +~ one; j; k ]) -: ez.%([ i; j; k ])
+              -: ex.%([ i; j; k +~ one ]) +: ex.%([ i; j; k ])))));
+  loop3_permuted "S5" (fun name i j k ->
+      assign ctx name hy [ i; j; k ]
+        ((co1.%([ i ]) *: hy.%([ i; j; k ])) +: (co2.%([ i ]) *: by.%([ i; j; k ]))));
+  loop2 "S6" (fun name i j ->
+      assign ctx name by [ i; j; ci 0 ] (by.%([ i; j; n ])));
+  (* Bz, Hz, boundary *)
+  loop3 "S7" (fun name i j k ->
+      assign ctx name bz [ i; j; k ]
+        (bz.%([ i; j; k ])
+        +: (den.%([ k ])
+           *: (ex.%([ i; j +~ one; k ]) -: ex.%([ i; j; k ])
+              -: ey.%([ i +~ one; j; k ]) +: ey.%([ i; j; k ])))));
+  loop3_permuted "S8" (fun name i j k ->
+      assign ctx name hz [ i; j; k ]
+        ((co1.%([ i ]) *: hz.%([ i; j; k ])) +: (co2.%([ i ]) *: bz.%([ i; j; k ]))));
+  loop2 "S9" (fun name i j ->
+      assign ctx name bz [ i; j; ci 0 ] (bz.%([ i; j; n ])));
+  (* trailing 2-D H boundary planes *)
+  loop2 "S10" (fun name i j ->
+      assign ctx name hx [ i; j; ci 0 ] (hx.%([ i; j; n ])));
+  loop2 "S11" (fun name i j ->
+      assign ctx name hy [ i; j; ci 0 ] (hy.%([ i; j; n ])));
+  loop2 "S12" (fun name i j ->
+      assign ctx name hz [ i; j; ci 0 ] (hz.%([ i; j; n ])));
+  finish ctx

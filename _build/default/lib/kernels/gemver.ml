@@ -1,0 +1,41 @@
+(* gemver (Polybench; Figure 1(a) of the paper):
+
+     for i for j: S1: A[i][j] += u1[i]*v1[j] + u2[i]*v2[j]
+     for i for j: S2: x[i]    += beta * A[j][i] * y[j]
+     for i:       S3: x[i]    += z[i]
+     for i for j: S4: w[i]    += alpha * A[i][j] * x[j]
+
+   Fusing S1 and S2 requires interchanging S1's loops (Figure 1(c));
+   the paper's Figure 3 shows the resulting statement-wise transforms. *)
+
+open Scop.Build
+
+let beta_c = 1.2
+let alpha_c = 1.5
+
+let program ?(n = 40) () =
+  let ctx = create ~name:"gemver" ~params:[ ("N", n) ] in
+  let n = param ctx "N" in
+  let a = array ctx "A" [ n; n ] in
+  let u1 = array ctx "u1" [ n ] and v1 = array ctx "v1" [ n ] in
+  let u2 = array ctx "u2" [ n ] and v2 = array ctx "v2" [ n ] in
+  let x = array ctx "x" [ n ] and y = array ctx "y" [ n ] in
+  let z = array ctx "z" [ n ] and w = array ctx "w" [ n ] in
+  let lb = ci 0 and ub = n -~ ci 1 in
+  loop ctx "i" ~lb ~ub (fun i ->
+      loop ctx "j" ~lb ~ub (fun j ->
+          assign ctx "S1" a [ i; j ]
+            (a.%([ i; j ])
+            +: (u1.%([ i ]) *: v1.%([ j ]))
+            +: (u2.%([ i ]) *: v2.%([ j ])))));
+  loop ctx "i" ~lb ~ub (fun i ->
+      loop ctx "j" ~lb ~ub (fun j ->
+          assign ctx "S2" x [ i ]
+            (x.%([ i ]) +: (f beta_c *: a.%([ j; i ]) *: y.%([ j ])))));
+  loop ctx "i" ~lb ~ub (fun i ->
+      assign ctx "S3" x [ i ] (x.%([ i ]) +: z.%([ i ])));
+  loop ctx "i" ~lb ~ub (fun i ->
+      loop ctx "j" ~lb ~ub (fun j ->
+          assign ctx "S4" w [ i ]
+            (w.%([ i ]) +: (f alpha_c *: a.%([ i; j ]) *: x.%([ j ])))));
+  finish ctx

@@ -1,0 +1,28 @@
+(* lu (Polybench): Gaussian elimination with a triangular (non-
+   rectangular) iteration space.
+
+     for k:
+       for j = k+1 .. N-1:            S1: A[k][j] /= A[k][k]
+       for i = k+1 .. N-1:
+         for j = k+1 .. N-1:          S2: A[i][j] -= A[i][k] * A[k][j]
+
+   S1 and S2 are mutually dependent (one SCC): every fusion model gets
+   the same partitioning; the interesting comparison is against the
+   icc model, which refuses to parallelize non-rectangular nests
+   (Section 5.3, "Small Kernel Programs"). *)
+
+open Scop.Build
+
+let program ?(n = 24) () =
+  let ctx = create ~name:"lu" ~params:[ ("N", n) ] in
+  let n = param ctx "N" in
+  let a = array ctx "A" [ n; n ] in
+  loop ctx "k" ~lb:(ci 0) ~ub:(n -~ ci 1) (fun k ->
+      loop ctx "j" ~lb:(k +~ ci 1) ~ub:(n -~ ci 1) (fun j ->
+          assign ctx "S1" a [ k; j ] (a.%([ k; j ]) /: (a.%([ k; k ]) +: f 2.0)));
+      loop ctx "i" ~lb:(k +~ ci 1) ~ub:(n -~ ci 1) (fun i ->
+          loop ctx "j" ~lb:(k +~ ci 1) ~ub:(n -~ ci 1) (fun j ->
+              assign ctx "S2" a [ i; j ]
+                (a.%([ i; j ]) -: (a.%([ i; k ]) *: a.%([ k; j ]))))))
+    ;
+  finish ctx

@@ -1,0 +1,107 @@
+type entry = {
+  name : string;
+  suite : string;
+  category : string;
+  paper_size : string;
+  model_size : int;
+  large : bool;
+  program : ?n:int -> unit -> Scop.Program.t;
+}
+
+let all =
+  [
+    {
+      name = "gemsfdtd";
+      suite = "SPEC 2006";
+      category = "Computational Electromagnetics";
+      paper_size = "Reference Input";
+      model_size = 12;
+      large = true;
+      program = Gemsfdtd.program;
+    };
+    {
+      name = "swim";
+      suite = "SPEC OMP";
+      category = "Shallow Water Modeling";
+      paper_size = "Reference Input";
+      model_size = 16;
+      large = true;
+      program = Swim.program;
+    };
+    {
+      name = "applu";
+      suite = "SPEC OMP";
+      category = "Computational Fluid Dynamics";
+      paper_size = "Reference Input";
+      model_size = 12;
+      large = true;
+      program = Applu.program;
+    };
+    {
+      name = "bt";
+      suite = "NPB";
+      category = "Block Tri-diagonal solver";
+      paper_size = "CLASS C; (162)^3, dt = 0.0001";
+      model_size = 12;
+      large = true;
+      program = Bt.program;
+    };
+    {
+      name = "sp";
+      suite = "NPB";
+      category = "Scalar Penta-diagonal solver";
+      paper_size = "CLASS C; (162)^3, dt = 0.00067";
+      model_size = 12;
+      large = true;
+      program = Sp.program;
+    };
+    {
+      name = "advect";
+      suite = "PLuTo";
+      category = "Weather modeling";
+      paper_size = "nx=ny=nz=300";
+      model_size = 40;
+      large = false;
+      program = Advect.program;
+    };
+    {
+      name = "lu";
+      suite = "Polybench";
+      category = "Linear Algebra";
+      paper_size = "N=1500";
+      model_size = 28;
+      large = false;
+      program = Lu.program;
+    };
+    {
+      name = "tce";
+      suite = "Polybench";
+      category = "Computational Chemistry";
+      paper_size = "Standard; (55)^3";
+      model_size = 14;
+      large = false;
+      program = Tce.program;
+    };
+    {
+      name = "gemver";
+      suite = "Polybench";
+      category = "Linear Algebra";
+      paper_size = "N=1500";
+      model_size = 48;
+      large = false;
+      program = Gemver.program;
+    };
+    {
+      name = "wupwise";
+      suite = "SPEC OMP";
+      category = "Quantum Chromodynamics";
+      paper_size = "Reference Input";
+      model_size = 22;
+      large = false;
+      program = Wupwise.program;
+    };
+  ]
+
+let find name = List.find (fun e -> e.name = name) all
+
+let build e = e.program ~n:e.model_size ()

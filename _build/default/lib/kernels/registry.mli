@@ -1,0 +1,22 @@
+(** The benchmark registry: Table 2 of the paper, with the scaled
+    problem sizes used by the machine model. *)
+
+type entry = {
+  name : string;
+  suite : string;  (** benchmark suite, as in Table 2 *)
+  category : string;  (** application domain, as in Table 2 *)
+  paper_size : string;  (** the problem size the paper used *)
+  model_size : int;  (** our scaled N (see DESIGN.md) *)
+  large : bool;  (** one of the paper's "large programs"? *)
+  program : ?n:int -> unit -> Scop.Program.t;
+}
+
+(** All ten benchmarks, in the order of Table 2 (the five large
+    programs first). *)
+val all : entry list
+
+(** @raise Not_found for unknown names. *)
+val find : string -> entry
+
+(** Build the program at its model size. *)
+val build : entry -> Scop.Program.t

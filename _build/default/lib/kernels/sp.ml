@@ -1,0 +1,45 @@
+(* sp (NPB Scalar Penta-diagonal): like bt, a three-pass directional
+   structure, but with the penta-diagonal two-wide stencil (offsets of
+   2 in the pass direction). Two statements per pass; the wider
+   cross-pass offsets need larger shifts under maximal fusion, which
+   makes the pipelined (smartfuse/maxfuse) variant even less
+   attractive. *)
+
+open Scop.Build
+
+let program ?(n = 10) () =
+  let ctx = create ~name:"sp" ~params:[ ("N", n) ] in
+  let n = param ctx "N" in
+  let ext = n +~ ci 6 in
+  let v0 = array ctx "v0" [ ext; ext; ext ] in
+  let v1 = array ctx "v1" [ ext; ext; ext ] in
+  let v2 = array ctx "v2" [ ext; ext; ext ] in
+  let v3 = array ctx "v3" [ ext; ext; ext ] in
+  let work = array ctx "work" [ ext; ext; ext ] in
+  let two = ci 2 in
+  let pass tag (di, dj) input output =
+    let name s = "S" ^ tag ^ s in
+    (* Sa: penta-diagonal combination of the pass input *)
+    loop ctx "i" ~lb:(ci 2) ~ub:(n +~ ci 3) (fun i ->
+        loop ctx "j" ~lb:(ci 2) ~ub:(n +~ ci 3) (fun j ->
+            loop ctx "k" ~lb:(ci 2) ~ub:(n +~ ci 3) (fun k ->
+                assign ctx (name "a") work [ i; j; k ]
+                  ((input.%([ i +~ (2 *~ di); j +~ (2 *~ dj); k +~ two ])
+                   +: input.%([ i -~ (2 *~ di); j -~ (2 *~ dj); k -~ two ]))
+                  *: f 0.25
+                  +: ((input.%([ i +~ di; j +~ dj; k ])
+                      +: input.%([ i -~ di; j -~ dj; k ]))
+                     *: f 0.5)))));
+    (* Sb: output update; reads work at an inner offset and the pass
+       input at the same cell (bounds differ from Sa for the icc model) *)
+    loop ctx "i" ~lb:(ci 3) ~ub:(n +~ ci 3) (fun i ->
+        loop ctx "j" ~lb:(ci 2) ~ub:(n +~ ci 3) (fun j ->
+            loop ctx "k" ~lb:(ci 2) ~ub:(n +~ ci 3) (fun k ->
+                assign ctx (name "b") output [ i; j; k ]
+                  (input.%([ i; j; k ])
+                  +: ((work.%([ i; j; k ]) -: work.%([ i; j; k -~ two ])) *: f 0.2)))))
+  in
+  pass "x" (ci 1, ci 0) v0 v1;
+  pass "y" (ci 0, ci 1) v1 v2;
+  pass "z" (ci 1, ci 1) v2 v3;
+  finish ctx

@@ -1,0 +1,99 @@
+(* swim (SPEC OMP; the Figure 2 excerpt of the paper, 18 statements):
+
+   - a first 2-D nest computing unew/vnew/pnew (S1-S3) with heavy
+     read reuse of cu, cv, z, h among the three statements;
+   - nine 1-D "intermediate" statements fixing periodic boundaries of
+     unew, vnew and some of their inputs (S4-S12) - dimensionality 1;
+   - a second 2-D nest (time smoothing, S13-S18) whose u/v statements
+     (S13, S16, S14, S17) depend on the boundary fixes while the
+     p statements (S15, S18) do not.
+
+   Algorithm 1 therefore orders S15 and S18 right after S1-S3
+   (same dimensionality, reuse through pnew/p, precedence satisfied),
+   reproducing the fused nest of Figure 5(b); the DFS order used by
+   PLuTo interleaves the 1-D SCCs and loses that fusion (Figure 5(c)).
+
+   The second nest ranges over 0..N so that u/v statements read the
+   boundary cells written by S4-S12, creating the blocking
+   dependences the paper describes; pnew has no boundary statement, so
+   S15/S18 stay independent of the intermediates. *)
+
+open Scop.Build
+
+let alpha = 0.2
+
+let program ?(n = 16) () =
+  let ctx = create ~name:"swim" ~params:[ ("N", n) ] in
+  let n = param ctx "N" in
+  let ext = n +~ ci 2 in
+  let cu = array ctx "cu" [ ext; ext ] in
+  let cv = array ctx "cv" [ ext; ext ] in
+  let z = array ctx "z" [ ext; ext ] in
+  let h = array ctx "h" [ ext; ext ] in
+  let u = array ctx "u" [ ext; ext ] in
+  let v = array ctx "v" [ ext; ext ] in
+  let p = array ctx "p" [ ext; ext ] in
+  let uold = array ctx "uold" [ ext; ext ] in
+  let vold = array ctx "vold" [ ext; ext ] in
+  let pold = array ctx "pold" [ ext; ext ] in
+  let unew = array ctx "unew" [ ext; ext ] in
+  let vnew = array ctx "vnew" [ ext; ext ] in
+  let pnew = array ctx "pnew" [ ext; ext ] in
+  let one = ci 1 in
+  (* first nest: 1..N x 1..N *)
+  loop ctx "i" ~lb:one ~ub:n (fun i ->
+      loop ctx "j" ~lb:one ~ub:n (fun j ->
+          assign ctx "S1" unew [ i; j ]
+            (uold.%([ i; j ])
+            +: (f 0.1
+               *: (z.%([ i +~ one; j +~ one ]) +: z.%([ i +~ one; j ]))
+               *: (cv.%([ i +~ one; j +~ one ]) +: cv.%([ i; j +~ one ])))
+            -: (f 0.2 *: (h.%([ i +~ one; j ]) -: h.%([ i; j ]))));
+          assign ctx "S2" vnew [ i; j ]
+            (vold.%([ i; j ])
+            -: (f 0.1
+               *: (z.%([ i +~ one; j +~ one ]) +: z.%([ i; j +~ one ]))
+               *: (cu.%([ i +~ one; j +~ one ]) +: cu.%([ i +~ one; j ])))
+            -: (f 0.2 *: (h.%([ i; j +~ one ]) -: h.%([ i; j ]))));
+          assign ctx "S3" pnew [ i; j ]
+            (pold.%([ i; j ])
+            -: (f 0.3 *: (cu.%([ i +~ one; j ]) -: cu.%([ i; j ])))
+            -: (f 0.3 *: (cv.%([ i; j +~ one ]) -: cv.%([ i; j ]))))));
+  (* intermediate 1-D boundary statements: S4 - S12 *)
+  loop ctx "k" ~lb:one ~ub:n (fun k ->
+      assign ctx "S4" unew [ k; ci 0 ] (unew.%([ k; n ])));
+  loop ctx "k" ~lb:one ~ub:n (fun k ->
+      assign ctx "S5" unew [ ci 0; k ] (unew.%([ n; k ])));
+  loop ctx "k" ~lb:one ~ub:n (fun k ->
+      assign ctx "S6" cu [ k; ci 0 ] (cu.%([ k; n ])));
+  loop ctx "k" ~lb:one ~ub:n (fun k ->
+      assign ctx "S7" vnew [ k; ci 0 ] (vnew.%([ k; n ])));
+  loop ctx "k" ~lb:one ~ub:n (fun k ->
+      assign ctx "S8" vnew [ ci 0; k ] (vnew.%([ n; k ])));
+  loop ctx "k" ~lb:one ~ub:n (fun k ->
+      assign ctx "S9" cv [ k; ci 0 ] (cv.%([ k; n ])));
+  loop ctx "k" ~lb:one ~ub:n (fun k ->
+      assign ctx "S10" z [ k; ci 0 ] (z.%([ k; n ])));
+  loop ctx "k" ~lb:one ~ub:n (fun k ->
+      assign ctx "S11" h [ k; ci 0 ] (h.%([ k; n ])));
+  loop ctx "k" ~lb:one ~ub:n (fun k ->
+      assign ctx "S12" u [ k; ci 0 ] (u.%([ k; n ])));
+  (* second nest: time smoothing over 0..N (reads the boundary cells) *)
+  loop ctx "i" ~lb:(ci 0) ~ub:n (fun i ->
+      loop ctx "j" ~lb:(ci 0) ~ub:n (fun j ->
+          assign ctx "S13" uold [ i; j ]
+            (u.%([ i; j ])
+            +: (f alpha
+               *: (unew.%([ i; j ]) -: (f 2.0 *: u.%([ i; j ])) +: uold.%([ i; j ]))));
+          assign ctx "S14" vold [ i; j ]
+            (v.%([ i; j ])
+            +: (f alpha
+               *: (vnew.%([ i; j ]) -: (f 2.0 *: v.%([ i; j ])) +: vold.%([ i; j ]))));
+          assign ctx "S15" pold [ i; j ]
+            (p.%([ i; j ])
+            +: (f alpha
+               *: (pnew.%([ i; j ]) -: (f 2.0 *: p.%([ i; j ])) +: pold.%([ i; j ]))));
+          assign ctx "S16" u [ i; j ] (unew.%([ i; j ]));
+          assign ctx "S17" v [ i; j ] (vnew.%([ i; j ]));
+          assign ctx "S18" p [ i; j ] (pnew.%([ i; j ]))));
+  finish ctx

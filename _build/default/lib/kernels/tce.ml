@@ -1,0 +1,43 @@
+(* tce (Polybench / computational chemistry): four 3-D loop nests with
+   heavy producer-consumer reuse, each written with its loops in a
+   different order. A traditional compiler finds no conformable pattern
+   to fuse (the paper, Section 5.3); the polyhedral models find common
+   hyperplanes (per-statement permutations) and fuse all four. *)
+
+open Scop.Build
+
+let program ?(n = 14) () =
+  let ctx = create ~name:"tce" ~params:[ ("N", n) ] in
+  let n = param ctx "N" in
+  let x = array ctx "x" [ n; n; n ] in
+  let y = array ctx "y" [ n; n; n ] in
+  let t1 = array ctx "t1" [ n; n; n ] in
+  let t2 = array ctx "t2" [ n; n; n ] in
+  let t3 = array ctx "t3" [ n; n; n ] in
+  let out = array ctx "out" [ n; n; n ] in
+  let lb = ci 0 and ub = n -~ ci 1 in
+  (* nest 1: (a, b, c) *)
+  loop ctx "a" ~lb ~ub (fun a ->
+      loop ctx "b" ~lb ~ub (fun b ->
+          loop ctx "c" ~lb ~ub (fun c ->
+              assign ctx "S1" t1 [ a; b; c ]
+                ((x.%([ a; b; c ]) +: y.%([ a; b; c ])) *: f 0.5))));
+  (* nest 2: loops permuted to (b, c, a) *)
+  loop ctx "b" ~lb ~ub (fun b ->
+      loop ctx "c" ~lb ~ub (fun c ->
+          loop ctx "a" ~lb ~ub (fun a ->
+              assign ctx "S2" t2 [ a; b; c ]
+                (t1.%([ a; b; c ]) +: (x.%([ a; b; c ]) *: f 0.25)))));
+  (* nest 3: loops permuted to (c, a, b) *)
+  loop ctx "c" ~lb ~ub (fun c ->
+      loop ctx "a" ~lb ~ub (fun a ->
+          loop ctx "b" ~lb ~ub (fun b ->
+              assign ctx "S3" t3 [ a; b; c ]
+                (t2.%([ a; b; c ]) *: t1.%([ a; b; c ])))));
+  (* nest 4: loops permuted to (b, a, c) *)
+  loop ctx "b" ~lb ~ub (fun b ->
+      loop ctx "a" ~lb ~ub (fun a ->
+          loop ctx "c" ~lb ~ub (fun c ->
+              assign ctx "S4" out [ a; b; c ]
+                (t3.%([ a; b; c ]) +: t2.%([ a; b; c ]) +: y.%([ a; b; c ])))));
+  finish ctx

@@ -1,0 +1,43 @@
+(* wupwise (SPEC OMP, lattice QCD): 60% of its time is zgemm - complex
+   matrix multiplication - written as a collection of imperfect nests.
+   The data-dependent control flow of the original is made affine by
+   predication ([8] in the paper): the predicate array enters the
+   arithmetic as a multiplicative mask, which is exactly what
+   if-conversion produces.
+
+   Structure: a 2-D initialization pair (real/imaginary accumulators)
+   followed by a 3-D complex multiply-accumulate pair. wisefuse
+   distributes by dimensionality into two perfect nests and
+   parallelizes both; the icc model keeps the imperfect structure and,
+   because the 3-D nest is an inner-loop reduction, does not
+   parallelize it - reproducing the serial-vs-8-core gap the paper
+   reports (20% serial, 40% on 8 cores). *)
+
+open Scop.Build
+
+let program ?(n = 22) () =
+  let ctx = create ~name:"wupwise" ~params:[ ("N", n) ] in
+  let n = param ctx "N" in
+  let ar = array ctx "ar" [ n; n ] and ai = array ctx "ai" [ n; n ] in
+  let br = array ctx "br" [ n; n ] and bi = array ctx "bi" [ n; n ] in
+  let cr = array ctx "cr" [ n; n ] and ci_ = array ctx "ci" [ n; n ] in
+  let pred = array ctx "pred" [ n ] in
+  let lb = ci 0 and ub = n -~ ci 1 in
+  (* imperfect nest: the init statements sit at depth 2, the multiply-
+     accumulate at depth 3, all under the same (i, j) loops *)
+  loop ctx "i" ~lb ~ub (fun i ->
+      loop ctx "j" ~lb ~ub (fun j ->
+          assign ctx "S1" cr [ i; j ] (pred.%([ i ]) *: f 0.0);
+          assign ctx "S2" ci_ [ i; j ] (pred.%([ i ]) *: f 0.0);
+          loop ctx "k" ~lb ~ub (fun k ->
+              assign ctx "S3" cr [ i; j ]
+                (cr.%([ i; j ])
+                +: (pred.%([ i ])
+                   *: ((ar.%([ i; k ]) *: br.%([ k; j ]))
+                      -: (ai.%([ i; k ]) *: bi.%([ k; j ])))));
+              assign ctx "S4" ci_ [ i; j ]
+                (ci_.%([ i; j ])
+                +: (pred.%([ i ])
+                   *: ((ar.%([ i; k ]) *: bi.%([ k; j ]))
+                      +: (ai.%([ i; k ]) *: br.%([ k; j ]))))))));
+  finish ctx

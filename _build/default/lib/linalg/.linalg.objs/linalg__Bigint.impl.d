@@ -1,0 +1,1 @@
+lib/linalg/bigint.ml: Array Buffer Char Format List Printf Stdlib String

@@ -1,0 +1,382 @@
+(* Sign + magnitude bignums in base 2^30.
+
+   Magnitudes are little-endian int arrays with no zero digit at the top.
+   All digit-level products fit in a native int: 2^30 * 2^30 = 2^60 < 2^62.
+   Division uses Knuth's Algorithm D (TAOCP vol. 2, 4.3.1). *)
+
+let base_bits = 30
+let base = 1 lsl base_bits (* 2^30 *)
+let digit_mask = base - 1
+
+type t = { sign : int; mag : int array }
+(* invariants: sign = 0 iff mag = [||]; otherwise sign is 1 or -1 and the
+   highest digit of mag is non-zero; every digit is in [0, base). *)
+
+let zero = { sign = 0; mag = [||] }
+
+let mag_norm (m : int array) : int array =
+  let n = ref (Array.length m) in
+  while !n > 0 && m.(!n - 1) = 0 do decr n done;
+  if !n = Array.length m then m else Array.sub m 0 !n
+
+let make sign mag =
+  let mag = mag_norm mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n > 0 then 1 else -1 in
+    (* min_int's absolute value overflows; peel digits off using mod that
+       works on negative numbers instead. *)
+    let rec digits n acc =
+      if n = 0 then List.rev acc
+      else digits (n / base) (abs (n mod base) :: acc)
+    in
+    { sign; mag = Array.of_list (digits n []) }
+  end
+
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+
+let sign x = x.sign
+let is_zero x = x.sign = 0
+
+let mag_cmp a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i = if i < 0 then 0
+      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let compare x y =
+  if x.sign <> y.sign then compare x.sign y.sign
+  else if x.sign = 0 then 0
+  else x.sign * mag_cmp x.mag y.mag
+
+let equal x y = compare x y = 0
+let is_one x = equal x one
+
+let hash x =
+  Array.fold_left (fun h d -> (h * 131) + d) x.sign x.mag
+
+(* --- magnitude arithmetic ------------------------------------------- *)
+
+let mag_add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = (if la > lb then la else lb) + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s =
+      !carry
+      + (if i < la then a.(i) else 0)
+      + (if i < lb then b.(i) else 0)
+    in
+    r.(i) <- s land digit_mask;
+    carry := s lsr base_bits
+  done;
+  mag_norm r
+
+(* requires a >= b *)
+let mag_sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin r.(i) <- d + base; borrow := 1 end
+    else begin r.(i) <- d; borrow := 0 end
+  done;
+  assert (!borrow = 0);
+  mag_norm r
+
+let mag_mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        for j = 0 to lb - 1 do
+          let t = (ai * b.(j)) + r.(i + j) + !carry in
+          r.(i + j) <- t land digit_mask;
+          carry := t lsr base_bits
+        done;
+        (* propagate the final carry *)
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let t = r.(!k) + !carry in
+          r.(!k) <- t land digit_mask;
+          carry := t lsr base_bits;
+          incr k
+        done
+      end
+    done;
+    mag_norm r
+  end
+
+(* shift a magnitude left by [bits] (< base_bits) bits *)
+let mag_shl a bits =
+  if bits = 0 then Array.copy a
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let t = (a.(i) lsl bits) lor !carry in
+      r.(i) <- t land digit_mask;
+      carry := t lsr base_bits
+    done;
+    r.(la) <- !carry;
+    mag_norm r
+  end
+
+(* shift right by [bits] (< base_bits) bits *)
+let mag_shr a bits =
+  if bits = 0 then Array.copy a
+  else begin
+    let la = Array.length a in
+    let r = Array.make la 0 in
+    for i = 0 to la - 1 do
+      let lo = a.(i) lsr bits in
+      let hi = if i + 1 < la then (a.(i + 1) lsl (base_bits - bits)) land digit_mask else 0 in
+      r.(i) <- lo lor hi
+    done;
+    mag_norm r
+  end
+
+(* divide magnitude by a single digit; returns (quotient, remainder digit) *)
+let mag_divmod_digit a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (mag_norm q, !r)
+
+(* Knuth Algorithm D. Requires |b| >= 2 digits and a >= b. *)
+let mag_divmod_knuth a b =
+  let n = Array.length b in
+  (* normalize so the top digit of v is >= base/2 *)
+  let shift =
+    let top = b.(n - 1) in
+    let s = ref 0 in
+    let t = ref top in
+    while !t < base / 2 do t := !t lsl 1; incr s done;
+    !s
+  in
+  let u0 = mag_shl a shift in
+  let v = mag_shl b shift in
+  assert (Array.length v = n);
+  (* u gets one extra (possibly zero) top digit *)
+  let m = Array.length u0 - n in
+  let u = Array.make (Array.length u0 + 1) 0 in
+  Array.blit u0 0 u 0 (Array.length u0);
+  let q = Array.make (m + 1) 0 in
+  let vn1 = v.(n - 1) and vn2 = v.(n - 2) in
+  for j = m downto 0 do
+    (* estimate q-hat from the top two digits of the running remainder *)
+    let top2 = (u.(j + n) lsl base_bits) lor u.(j + n - 1) in
+    let qhat = ref (top2 / vn1) and rhat = ref (top2 mod vn1) in
+    let adjust = ref true in
+    while !adjust do
+      if !qhat >= base || !qhat * vn2 > ((!rhat lsl base_bits) lor u.(j + n - 2))
+      then begin
+        decr qhat;
+        rhat := !rhat + vn1;
+        if !rhat >= base then adjust := false
+      end
+      else adjust := false
+    done;
+    (* multiply and subtract: u[j .. j+n] -= qhat * v *)
+    let borrow = ref 0 and carry = ref 0 in
+    for i = 0 to n - 1 do
+      let p = (!qhat * v.(i)) + !carry in
+      carry := p lsr base_bits;
+      let d = u.(i + j) - (p land digit_mask) - !borrow in
+      if d < 0 then begin u.(i + j) <- d + base; borrow := 1 end
+      else begin u.(i + j) <- d; borrow := 0 end
+    done;
+    let d = u.(j + n) - !carry - !borrow in
+    if d < 0 then begin
+      (* q-hat was one too large: add v back *)
+      u.(j + n) <- d + base;
+      decr qhat;
+      let c = ref 0 in
+      for i = 0 to n - 1 do
+        let s = u.(i + j) + v.(i) + !c in
+        u.(i + j) <- s land digit_mask;
+        c := s lsr base_bits
+      done;
+      u.(j + n) <- (u.(j + n) + !c) land digit_mask
+    end
+    else u.(j + n) <- d;
+    q.(j) <- !qhat
+  done;
+  let r = mag_shr (mag_norm (Array.sub u 0 n)) shift in
+  (mag_norm q, r)
+
+let mag_divmod a b =
+  match Array.length b with
+  | 0 -> raise Division_by_zero
+  | _ when mag_cmp a b < 0 -> ([||], Array.copy a)
+  | 1 ->
+    let q, r = mag_divmod_digit a b.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  | _ -> mag_divmod_knuth a b
+
+(* --- signed operations ---------------------------------------------- *)
+
+let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
+let abs x = if x.sign < 0 then neg x else x
+
+let add x y =
+  if x.sign = 0 then y
+  else if y.sign = 0 then x
+  else if x.sign = y.sign then { sign = x.sign; mag = mag_add x.mag y.mag }
+  else begin
+    let c = mag_cmp x.mag y.mag in
+    if c = 0 then zero
+    else if c > 0 then make x.sign (mag_sub x.mag y.mag)
+    else make y.sign (mag_sub y.mag x.mag)
+  end
+
+let sub x y = add x (neg y)
+let succ x = add x one
+let pred x = sub x one
+
+let mul x y =
+  if x.sign = 0 || y.sign = 0 then zero
+  else { sign = x.sign * y.sign; mag = mag_mul x.mag y.mag }
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero
+  else if a.sign = 0 then (zero, zero)
+  else begin
+    let qm, rm = mag_divmod a.mag b.mag in
+    (make (a.sign * b.sign) qm, make a.sign rm)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let fdiv a b =
+  let q, r = divmod a b in
+  if r.sign <> 0 && r.sign <> b.sign then sub q one else q
+
+let cdiv a b =
+  let q, r = divmod a b in
+  if r.sign <> 0 && r.sign = b.sign then add q one else q
+
+let rec gcd_mag a b =
+  if b.sign = 0 then a else gcd_mag b (rem a b)
+
+let gcd a b = gcd_mag (abs a) (abs b)
+
+let lcm a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else abs (div (mul a b) (gcd a b))
+
+let mul_int x n = mul x (of_int n)
+
+let pow x n =
+  if Stdlib.(n < 0) then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b n =
+    if n = 0 then acc
+    else go (if n land 1 = 1 then mul acc b else acc) (mul b b) (n lsr 1)
+  in
+  go one x n
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+(* --- conversions ----------------------------------------------------- *)
+
+let fits_int x =
+  (* max_int has 62 bits; accept up to 3 digits when the top digit is small *)
+  match Array.length x.mag with
+  | 0 | 1 | 2 -> true
+  | 3 -> x.mag.(2) < 4 (* 3 digits => < 2^62; top digit < 4 keeps it < 2^62 *)
+  | _ -> false
+
+let to_int_opt x =
+  if not (fits_int x) then None
+  else begin
+    let v = Array.fold_right (fun d acc -> (acc lsl base_bits) lor d) x.mag 0 in
+    if Stdlib.(v < 0) then None (* overflowed into the sign bit *)
+    else Some (x.sign * v)
+  end
+
+let to_int x =
+  match to_int_opt x with
+  | Some v -> v
+  | None -> failwith "Bigint.to_int: does not fit"
+
+let to_float x =
+  let m = Array.fold_right (fun d acc -> (acc *. 1073741824.0) +. float_of_int d) x.mag 0.0 in
+  float_of_int x.sign *. m
+
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 16 in
+    let rec chunks m acc =
+      if Array.length m = 0 then acc
+      else begin
+        let q, r = mag_divmod_digit m 1000000000 in
+        chunks q (r :: acc)
+      end
+    in
+    match chunks x.mag [] with
+    | [] -> "0"
+    | first :: rest ->
+      if Stdlib.(x.sign < 0) then Buffer.add_char buf '-';
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest;
+      Buffer.contents buf
+  end
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Bigint.of_string: empty";
+  let sign, start =
+    match s.[0] with
+    | '-' -> (-1, 1)
+    | '+' -> (1, 1)
+    | _ -> (1, 0)
+  in
+  if start >= n then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  let ten = of_int 10 in
+  for i = start to n - 1 do
+    let c = s.[i] in
+    if Stdlib.(c < '0' || c > '9') then invalid_arg "Bigint.of_string: bad digit";
+    acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+  done;
+  if sign = -1 then neg !acc else !acc
+
+(* --- operators & printing ------------------------------------------- *)
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( ~- ) = neg
+let ( = ) = equal
+let ( < ) a b = Stdlib.( < ) (compare a b) 0
+let ( <= ) a b = Stdlib.( <= ) (compare a b) 0
+let ( > ) a b = Stdlib.( > ) (compare a b) 0
+let ( >= ) a b = Stdlib.( >= ) (compare a b) 0
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)

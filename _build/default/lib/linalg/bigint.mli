@@ -1,0 +1,112 @@
+(** Arbitrary-precision signed integers.
+
+    This module replaces GMP for the exact arithmetic needed by the
+    polyhedral substrate (Fourier-Motzkin elimination and exact simplex
+    pivoting produce coefficients that overflow native integers).
+
+    The representation is sign + magnitude, where the magnitude is a
+    little-endian array of base-2{^30} digits with no leading zeros. *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val minus_one : t
+val two : t
+
+(** {1 Conversions} *)
+
+(** [of_int n] converts a native integer. Total. *)
+val of_int : int -> t
+
+(** [to_int x] converts back to a native integer.
+    @raise Failure if [x] does not fit in a native [int]. *)
+val to_int : t -> int
+
+(** [to_int_opt x] is [Some n] if [x] fits in a native [int]. *)
+val to_int_opt : t -> int option
+
+(** [of_string s] parses an optionally-signed decimal literal.
+    @raise Invalid_argument on malformed input. *)
+val of_string : string -> t
+
+val to_string : t -> string
+
+(** [to_float x] is a best-effort float approximation. *)
+val to_float : t -> float
+
+(** {1 Queries} *)
+
+(** [sign x] is [-1], [0] or [1]. *)
+val sign : t -> int
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** [fits_int x] is [true] iff [to_int x] would succeed. *)
+val fits_int : t -> bool
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [0 <= |r| < |b|] and
+    [r] carrying the sign of [a] (truncated division, like OCaml [/]).
+    @raise Division_by_zero if [b] is zero. *)
+val divmod : t -> t -> t * t
+
+(** Truncated quotient. @raise Division_by_zero if divisor is zero. *)
+val div : t -> t -> t
+
+(** Truncated remainder. @raise Division_by_zero if divisor is zero. *)
+val rem : t -> t -> t
+
+(** [fdiv a b] is the floor division: largest [q] with [q*b <= a]
+    (assuming [b > 0]); more generally floor of the rational quotient.
+    @raise Division_by_zero if [b] is zero. *)
+val fdiv : t -> t -> t
+
+(** [cdiv a b] is the ceiling of the rational quotient.
+    @raise Division_by_zero if [b] is zero. *)
+val cdiv : t -> t -> t
+
+(** [gcd a b] is the non-negative greatest common divisor;
+    [gcd 0 0 = 0]. *)
+val gcd : t -> t -> t
+
+(** [lcm a b] is the non-negative least common multiple. *)
+val lcm : t -> t -> t
+
+val mul_int : t -> int -> t
+
+(** [pow x n] for [n >= 0]. @raise Invalid_argument if [n < 0]. *)
+val pow : t -> int -> t
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Infix operators and printing} *)
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( ~- ) : t -> t
+val ( = ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

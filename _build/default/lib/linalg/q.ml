@@ -1,0 +1,91 @@
+(* Canonical rationals: den > 0, gcd (num, den) = 1, zero = 0/1. *)
+
+type t = { num : Bigint.t; den : Bigint.t }
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero
+  else if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let num, den =
+      if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den)
+      else (num, den)
+    in
+    let g = Bigint.gcd num den in
+    if Bigint.is_one g then { num; den }
+    else { num = Bigint.div num g; den = Bigint.div den g }
+  end
+
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints n d = make (Bigint.of_int n) (Bigint.of_int d)
+
+let zero = of_int 0
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+
+let num q = q.num
+let den q = q.den
+
+let sign q = Bigint.sign q.num
+let is_zero q = Bigint.is_zero q.num
+let is_integer q = Bigint.is_one q.den
+
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+
+let compare a b =
+  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den (dens > 0) *)
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let neg q = { q with num = Bigint.neg q.num }
+let abs q = { q with num = Bigint.abs q.num }
+
+let add a b =
+  if Bigint.is_zero a.num then b
+  else if Bigint.is_zero b.num then a
+  else if Bigint.is_one a.den && Bigint.is_one b.den then
+    (* integer fast path: no gcd needed *)
+    { num = Bigint.add a.num b.num; den = Bigint.one }
+  else
+    make
+      (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+      (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if Bigint.is_zero a.num || Bigint.is_zero b.num then
+    { num = Bigint.zero; den = Bigint.one }
+  else if Bigint.is_one a.den && Bigint.is_one b.den then
+    { num = Bigint.mul a.num b.num; den = Bigint.one }
+  else make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+let div a b = make (Bigint.mul a.num b.den) (Bigint.mul a.den b.num)
+let inv q = make q.den q.num
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let floor q = Bigint.fdiv q.num q.den
+let ceil q = Bigint.cdiv q.num q.den
+
+let to_bigint q =
+  if is_integer q then q.num else failwith "Q.to_bigint: not an integer"
+
+let to_float q = Bigint.to_float q.num /. Bigint.to_float q.den
+
+let to_string q =
+  if is_integer q then Bigint.to_string q.num
+  else Bigint.to_string q.num ^ "/" ^ Bigint.to_string q.den
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( ~- ) = neg
+let ( = ) = equal
+let ( < ) a b = Stdlib.( < ) (compare a b) 0
+let ( <= ) a b = Stdlib.( <= ) (compare a b) 0
+let ( > ) a b = Stdlib.( > ) (compare a b) 0
+let ( >= ) a b = Stdlib.( >= ) (compare a b) 0
+
+let pp fmt q = Format.pp_print_string fmt (to_string q)

@@ -1,0 +1,79 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Values are kept in canonical form: the denominator is positive and
+    coprime with the numerator; zero is [0/1]. *)
+
+type t = private { num : Bigint.t; den : Bigint.t }
+
+val zero : t
+val one : t
+val minus_one : t
+val two : t
+
+(** [make num den] normalizes the fraction [num/den].
+    @raise Division_by_zero if [den] is zero. *)
+val make : Bigint.t -> Bigint.t -> t
+
+(** [of_ints n d] is [make (of_int n) (of_int d)]. *)
+val of_ints : int -> int -> t
+
+val of_int : int -> t
+val of_bigint : Bigint.t -> t
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+(** {1 Queries} *)
+
+(** [sign q] is [-1], [0] or [1]. *)
+val sign : t -> int
+
+val is_zero : t -> bool
+val is_integer : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** @raise Division_by_zero on division by zero. *)
+val div : t -> t -> t
+
+(** Multiplicative inverse. @raise Division_by_zero on zero. *)
+val inv : t -> t
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** Greatest integer [<= q]. *)
+val floor : t -> Bigint.t
+
+(** Least integer [>= q]. *)
+val ceil : t -> Bigint.t
+
+(** [to_bigint q] when [is_integer q].
+    @raise Failure otherwise. *)
+val to_bigint : t -> Bigint.t
+
+val to_float : t -> float
+val to_string : t -> string
+
+(** {1 Infix operators and printing} *)
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( ~- ) : t -> t
+val ( = ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/machine/interp.ml: Access Array Codegen Expr Float Hashtbl List Poly Printf Program Scop

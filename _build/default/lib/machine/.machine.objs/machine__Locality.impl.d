@@ -1,0 +1,1 @@
+lib/machine/locality.ml: Array Format Hashtbl Interp List Option

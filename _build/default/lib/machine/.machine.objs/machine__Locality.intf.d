@@ -1,0 +1,1 @@
+lib/machine/locality.mli: Codegen Format Scop

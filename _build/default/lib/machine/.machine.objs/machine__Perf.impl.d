@@ -1,0 +1,1 @@
+lib/machine/perf.ml: Array Cache Codegen Format Interp List Scop

@@ -1,0 +1,72 @@
+(** Trace-driven multicore performance model.
+
+    Stands in for the paper's testbed (8-core Sandy Bridge Xeon
+    E5-2650): private L1/L2 per model core, a shared L3, fixed access
+    latencies, a per-operation compute cost, and barrier costs for
+    parallel-loop synchronization.
+
+    Loop handling (coarse-grained parallelism only, as in the paper):
+    - the {e outermost} loop of each nest is parallelized when its mark
+      allows it: [Parallel] loops split their iterations block-wise
+      over the cores and pay one barrier; [Forward] (pipelined) loops
+      also split the work but pay one synchronization {e per outer
+      iteration} — the paper's "constant communication costs involved
+      after the parallel execution of each wavefront";
+    - inner loops run sequentially on their core.
+
+    Elapsed time for a parallel region is the maximum over cores of the
+    cycles they accumulated, plus synchronization. Caches are scaled
+    down with the scaled-down problem sizes (see DESIGN.md). *)
+
+type config = {
+  cores : int;
+  l1_bytes : int;
+  l1_assoc : int;
+  l2_bytes : int;
+  l2_assoc : int;
+  l3_bytes : int;
+  l3_assoc : int;
+  line_bytes : int;
+  lat_l1 : int;
+  lat_l2 : int;
+  lat_l3 : int;
+  lat_mem : int;
+  op_cost : int;
+  barrier_cost : int;
+  sequential : bool;  (** force everything onto one core (icc -O3 without -parallel, or a serial baseline) *)
+  simd_width : int;
+      (** arithmetic throughput multiplier applied inside {e innermost}
+          loops that are communication-free ([Parallel] mark) and
+          guard-free (single shared bound group, unit-determinant
+          instances) - a first-order model of auto-vectorization; 1
+          disables it (the default: the paper's evaluation argues
+          through caches and synchronization, vectorization is an
+          opt-in refinement) *)
+}
+
+(** 8 cores; 4KB/16KB private, 128KB shared caches (scaled); latencies
+    4/12/40/220 cycles; 64B lines; barrier 3000 cycles. *)
+val default : config
+
+val with_cores : int -> config -> config
+
+type stats = {
+  cycles : int;
+  instances : int;  (** executed statement instances *)
+  flops : int;
+  accesses : int;
+  l1_misses : int;
+  l2_misses : int;
+  l3_misses : int;
+  barriers : int;  (** synchronization events charged *)
+}
+
+(** [simulate ?config prog ast ~params] executes the AST once (with real
+    array semantics) while modeling time. Fresh memory, fresh caches. *)
+val simulate :
+  ?config:config -> Scop.Program.t -> Codegen.Ast.node -> params:int array -> stats
+
+(** Convenience: seconds at the modeled 2 GHz clock. *)
+val seconds : stats -> float
+
+val pp_stats : Format.formatter -> stats -> unit

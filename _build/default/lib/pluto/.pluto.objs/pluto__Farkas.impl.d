@@ -1,0 +1,1 @@
+lib/pluto/farkas.ml: Array Bigint Constr Ilp Linalg List Poly Polyhedron Q

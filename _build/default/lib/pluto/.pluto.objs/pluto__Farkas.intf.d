@@ -1,0 +1,1 @@
+lib/pluto/farkas.mli: Poly

@@ -1,0 +1,1 @@
+lib/pluto/satisfy.ml: Array Dep Deps Ilp Linalg List Q Sched Scop

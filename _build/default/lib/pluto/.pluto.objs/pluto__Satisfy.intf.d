@@ -1,0 +1,1 @@
+lib/pluto/satisfy.mli: Deps Linalg Sched Scop

@@ -1,0 +1,1 @@
+lib/pluto/sched.ml: Array Buffer Format Linalg List Q Scop Vec

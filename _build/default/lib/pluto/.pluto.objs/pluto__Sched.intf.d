@@ -1,0 +1,1 @@
+lib/pluto/sched.mli: Format Linalg Scop

@@ -1,0 +1,1 @@
+lib/pluto/scheduler.ml: Array Bigint Ddg Dep Deps Farkas Fun Hashtbl Ilp Linalg List Mat Option Poly Printf Q Sched Scop Vec

@@ -1,0 +1,1 @@
+lib/pluto/scheduler.mli: Deps Sched Scop

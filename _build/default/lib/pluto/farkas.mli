@@ -1,0 +1,56 @@
+(** Affine form of the Farkas lemma, applied to dependence polyhedra.
+
+    A dependence edge e: S_src -> S_dst with polyhedron P_e over
+    z = [s (d1); t (d2); params (np)] induces two requirements on the
+    unknown hyperplane coefficients (Bondhugula et al., CC'08):
+
+    - legality:  ϕ_dst(t) − ϕ_src(s) ≥ 0            ∀ z ∈ P_e
+    - bounding:  u.p + w − (ϕ_dst(t) − ϕ_src(s)) ≥ 0 ∀ z ∈ P_e
+
+    Each is turned into linear constraints on the coefficients by
+    writing the form as a non-negative combination λ0 + λ.P_e of the
+    polyhedron's constraints, equating coefficients dimension by
+    dimension, and eliminating the multipliers λ by (rational)
+    Fourier-Motzkin.
+
+    The resulting constraint sets live in a {e local} coefficient
+    space; the scheduler renames them into its global ILP space:
+
+    {v
+    0 .. d1-1          iterator coefficients of ϕ_src
+    d1                 constant of ϕ_src
+    d1+1 .. d1+d2      iterator coefficients of ϕ_dst
+    d1+1+d2            constant of ϕ_dst
+    d1+d2+2 .. +np-1   u (one per parameter)
+    d1+d2+2+np         w
+    v} *)
+
+(** Size of the local space: [d1 + d2 + np + 3]. *)
+val local_dim : d1:int -> d2:int -> np:int -> int
+
+(** Column indices in the local space. *)
+val src_coeff : int -> int
+
+val src_const : d1:int -> int
+val dst_coeff : d1:int -> int -> int
+val dst_const : d1:int -> d2:int -> int
+val u_col : d1:int -> d2:int -> int -> int
+val w_col : d1:int -> d2:int -> np:int -> int
+
+(** [legality_space ~d1 ~d2 ~np poly]: all local coefficient vectors
+    whose hyperplanes weakly preserve the dependence. *)
+val legality_space :
+  d1:int -> d2:int -> np:int -> Poly.Polyhedron.t -> Poly.Polyhedron.t
+
+(** [bounding_space ~d1 ~d2 ~np poly]: the cost-model constraint tying
+    the dependence distance to [u.p + w]. *)
+val bounding_space :
+  d1:int -> d2:int -> np:int -> Poly.Polyhedron.t -> Poly.Polyhedron.t
+
+(** General entry point: [space_for ~form ~nloc poly] constrains the
+    [nloc] local unknowns so that the affine form (given per
+    z-column as a sparse list of [(local_var, coefficient)] pairs;
+    column [dim poly] is the constant) is non-negative everywhere on
+    [poly]. *)
+val space_for :
+  form:(int -> (int * int) list) -> nloc:int -> Poly.Polyhedron.t -> Poly.Polyhedron.t

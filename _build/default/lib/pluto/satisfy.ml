@@ -1,0 +1,92 @@
+open Linalg
+open Deps
+
+type range = { dmin : Q.t option; dmax : Q.t option }
+
+let diff_vec (prog : Scop.Program.t) (dep : Dep.t) (sched : Sched.t) ~level =
+  let src = prog.stmts.(dep.src) and dst = prog.stmts.(dep.dst) in
+  let d1 = Scop.Statement.depth src and d2 = Scop.Statement.depth dst in
+  let np = Scop.Program.nparams prog in
+  let src_row = Sched.row_as_hyp ~depth:d1 ~np (List.nth sched.(dep.src) level) in
+  let dst_row = Sched.row_as_hyp ~depth:d2 ~np (List.nth sched.(dep.dst) level) in
+  Sched.phi_diff ~d1 ~d2 ~np src_row dst_row
+
+let diff_min prog dep sched ~level =
+  let obj = diff_vec prog dep sched ~level in
+  match Ilp.Lp.minimize dep.poly obj with
+  | Ilp.Lp.Optimal (v, _) -> Some v
+  | Ilp.Lp.Unbounded -> None
+  | Ilp.Lp.Infeasible -> invalid_arg "Satisfy.diff_min: empty dependence"
+
+let diff_range prog dep sched ~level =
+  let obj = diff_vec prog dep sched ~level in
+  let dmin =
+    match Ilp.Lp.minimize dep.poly obj with
+    | Ilp.Lp.Optimal (v, _) -> Some v
+    | Ilp.Lp.Unbounded -> None
+    | Ilp.Lp.Infeasible -> invalid_arg "Satisfy.diff_range: empty dependence"
+  in
+  let dmax =
+    match Ilp.Lp.maximize dep.poly obj with
+    | Ilp.Lp.Optimal (v, _) -> Some v
+    | Ilp.Lp.Unbounded -> None
+    | Ilp.Lp.Infeasible -> invalid_arg "Satisfy.diff_range: empty dependence"
+  in
+  { dmin; dmax }
+
+let satisfaction_level prog dep sched =
+  let n = Sched.num_rows sched in
+  let rec go level =
+    if level >= n then None
+    else begin
+      match diff_min prog dep sched ~level with
+      | Some v when Q.compare v Q.one >= 0 -> Some level
+      | _ -> go (level + 1)
+    end
+  in
+  go 0
+
+let check_legal prog deps sched =
+  let n = Sched.num_rows sched in
+  let check_dep (d : Dep.t) =
+    if not (Dep.is_true d) then true
+    else begin
+      (* scan rows: all deltas >= 0 until the first >= 1 *)
+      let rec go level =
+        if level >= n then false (* never satisfied *)
+        else begin
+          match diff_min prog d sched ~level with
+          | Some v when Q.compare v Q.one >= 0 -> true
+          | Some v when Q.sign v >= 0 -> go (level + 1)
+          | _ -> false (* negative or unbounded below: violated *)
+        end
+      in
+      go 0
+    end
+  in
+  let rec first_bad = function
+    | [] -> Ok ()
+    | d :: rest -> if check_dep d then first_bad rest else Error d
+  in
+  first_bad deps
+
+type loop_class = Parallel | Forward
+
+let row_class prog deps sched ~level ~members =
+  let live (d : Dep.t) =
+    Dep.is_true d
+    && List.mem d.src members && List.mem d.dst members
+    &&
+    (* not satisfied before this level *)
+    match satisfaction_level prog d sched with
+    | Some l -> l >= level
+    | None -> true
+  in
+  let carries_forward (d : Dep.t) =
+    let r = diff_range prog d sched ~level in
+    match r.dmax with
+    | Some v -> Q.sign v > 0
+    | None -> true
+  in
+  if List.exists (fun d -> live d && carries_forward d) deps then Forward
+  else Parallel

@@ -1,0 +1,48 @@
+(** Dependence satisfaction and per-level classification, given a
+    concrete schedule.
+
+    For a dependence e and a schedule row r, the quantity of interest
+    is δ(z) = ϕ_dst(t) − ϕ_src(s) over the dependence polyhedron. Its
+    exact rational range [dmin, dmax] (computed by LP) classifies the
+    row:
+
+    - dmin ≥ 1: the row {e carries} (strongly satisfies) e;
+    - dmin = dmax = 0: e is level-independent at this row;
+    - dmin ≥ 0 < dmax: legal, but the loop has a {e forward}
+      dependence — a pipelined (non-communication-free) loop;
+    - dmin < 0: the row violates e (illegal unless e was satisfied at
+      an earlier row). *)
+
+type range = {
+  dmin : Linalg.Q.t option;  (** [None] = unbounded below *)
+  dmax : Linalg.Q.t option;  (** [None] = unbounded above *)
+}
+
+(** δ range of a dependence at one row. *)
+val diff_range : Scop.Program.t -> Deps.Dep.t -> Sched.t -> level:int -> range
+
+(** Only the minimum (one LP instead of two) — enough for legality and
+    satisfaction scans. *)
+val diff_min : Scop.Program.t -> Deps.Dep.t -> Sched.t -> level:int -> Linalg.Q.t option
+
+(** First row index that strongly satisfies the dependence, scanning
+    rows outermost-first; rows after the first satisfying one are
+    unconstrained (lexicographic positivity). *)
+val satisfaction_level : Scop.Program.t -> Deps.Dep.t -> Sched.t -> int option
+
+(** [legal prog deps sched]: every true dependence is strongly
+    satisfied at some row, and no row before its satisfaction level has
+    a negative δ. Returns the offending dependence if any. *)
+val check_legal : Scop.Program.t -> Deps.Dep.t list -> Sched.t -> (unit, Deps.Dep.t) result
+
+type loop_class =
+  | Parallel  (** communication-free: every live dependence has δ = 0 *)
+  | Forward  (** carries or may carry a dependence forward: pipelined *)
+
+(** [row_class prog deps sched ~level ~members] classifies the loop at
+    row [level] for the set of statements [members] (a fusion
+    partition), considering only dependences with both endpoints in
+    [members] that are not satisfied before [level]. *)
+val row_class :
+  Scop.Program.t -> Deps.Dep.t list -> Sched.t -> level:int -> members:int list ->
+  loop_class

@@ -1,0 +1,102 @@
+open Linalg
+
+type row = Hyp of int array | Beta of int
+
+type t = row list array
+
+let eval_row row ~iters ~params =
+  match row with
+  | Beta b -> b
+  | Hyp h ->
+    let d = Array.length iters and np = Array.length params in
+    if Array.length h <> d + np + 1 then invalid_arg "Sched.eval_row: width";
+    let acc = ref h.(d + np) in
+    for i = 0 to d - 1 do
+      acc := !acc + (h.(i) * iters.(i))
+    done;
+    for p = 0 to np - 1 do
+      acc := !acc + (h.(d + p) * params.(p))
+    done;
+    !acc
+
+let timestamp sched id ~iters ~params =
+  Array.of_list (List.map (fun r -> eval_row r ~iters ~params) sched.(id))
+
+let row_as_hyp ~depth ~np = function
+  | Hyp h ->
+    if Array.length h <> depth + np + 1 then invalid_arg "Sched.row_as_hyp: width";
+    h
+  | Beta b ->
+    let h = Array.make (depth + np + 1) 0 in
+    h.(depth + np) <- b;
+    h
+
+let iter_part ~depth = function
+  | Hyp h -> Array.sub h 0 depth
+  | Beta _ -> Array.make depth 0
+
+(* phi_dst(t) - phi_src(s) over [s(d1); t(d2); p(np); 1] *)
+let phi_diff ~d1 ~d2 ~np src_row dst_row =
+  if Array.length src_row <> d1 + np + 1 then invalid_arg "Sched.phi_diff: src width";
+  if Array.length dst_row <> d2 + np + 1 then invalid_arg "Sched.phi_diff: dst width";
+  let v = Vec.zero (d1 + d2 + np + 1) in
+  for i = 0 to d1 - 1 do
+    v.(i) <- Q.of_int (-src_row.(i))
+  done;
+  for j = 0 to d2 - 1 do
+    v.(d1 + j) <- Q.of_int dst_row.(j)
+  done;
+  for p = 0 to np - 1 do
+    v.(d1 + d2 + p) <- Q.of_int (dst_row.(d2 + p) - src_row.(d1 + p))
+  done;
+  v.(d1 + d2 + np) <- Q.of_int (dst_row.(d2 + np) - src_row.(d1 + np));
+  v
+
+let num_rows (s : t) =
+  if Array.length s = 0 then invalid_arg "Sched.num_rows: no statements";
+  List.length s.(0)
+
+let is_beta_level (s : t) level =
+  match List.nth s.(0) level with Beta _ -> true | Hyp _ -> false
+
+let pp_row ~iter_names ~param_names fmt = function
+  | Beta b -> Format.fprintf fmt "[%d]" b
+  | Hyp h ->
+    let d = Array.length iter_names and np = Array.length param_names in
+    let buf = Buffer.create 16 in
+    let first = ref true in
+    let term c name =
+      if c <> 0 then begin
+        if c > 0 && not !first then Buffer.add_string buf "+";
+        if c = -1 then Buffer.add_string buf "-"
+        else if c <> 1 then Buffer.add_string buf (string_of_int c ^ "*");
+        Buffer.add_string buf name;
+        first := false
+      end
+    in
+    for i = 0 to d - 1 do
+      term h.(i) iter_names.(i)
+    done;
+    for p = 0 to np - 1 do
+      term h.(d + p) param_names.(p)
+    done;
+    let k = h.(d + np) in
+    if !first then Buffer.add_string buf (string_of_int k)
+    else if k > 0 then Buffer.add_string buf ("+" ^ string_of_int k)
+    else if k < 0 then Buffer.add_string buf (string_of_int k);
+    Format.pp_print_string fmt (Buffer.contents buf)
+
+let pp (prog : Scop.Program.t) fmt (s : t) =
+  Format.fprintf fmt "@[<v>";
+  Array.iteri
+    (fun id rows ->
+      let st = prog.stmts.(id) in
+      Format.fprintf fmt "T_%s = (" st.Scop.Statement.name;
+      List.iteri
+        (fun i r ->
+          if i > 0 then Format.fprintf fmt ", ";
+          pp_row ~iter_names:st.Scop.Statement.iters ~param_names:prog.params fmt r)
+        rows;
+      Format.fprintf fmt ")@,")
+    s;
+  Format.fprintf fmt "@]"

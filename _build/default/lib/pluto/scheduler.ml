@@ -1,0 +1,641 @@
+open Linalg
+open Deps
+
+type cut_strategy =
+  | Cut_all_sccs
+  | Cut_between_dims
+  | Cut_minimal
+  | Cut_groups of int list
+
+type config = {
+  name : string;
+  order_sccs : Scop.Program.t -> Ddg.t -> int array -> int list;
+  initial_cut : cut_strategy option;
+  fallback_cut : cut_strategy;
+  outer_parallel : bool;
+}
+
+type result = {
+  prog : Scop.Program.t;
+  config_name : string;
+  all_deps : Dep.t list;
+  true_deps : Dep.t list;
+  ddg : Ddg.t;
+  scc_of : int array;
+  scc_order : int list;
+  sched : Sched.t;
+  outer_partition : int array;
+}
+
+let dfs_order _prog _ddg scc_of =
+  List.init (Ddg.scc_count scc_of) Fun.id
+
+let scc_dim (prog : Scop.Program.t) members =
+  List.fold_left
+    (fun m id -> max m (Scop.Statement.depth prog.stmts.(id)))
+    0 members
+
+(* --- ILP coefficient bounds (Pluto-style) ------------------------------ *)
+
+let c_iter_max = 4
+let c_const_max = 6
+let u_max = 30
+let w_max = 30
+
+(* --- mutable scheduling state ------------------------------------------ *)
+
+type state = {
+  prog : Scop.Program.t;
+  np : int;
+  cfg : config;
+  true_deps : Dep.t array;
+  scc_of : int array;
+  scc_pos : int array; (* scc id -> position in pre-fusion order *)
+  stmt_order : int array; (* position in execution order -> stmt id *)
+  (* per-dep cached Farkas constraint systems in the global ILP space *)
+  legality : Poly.Constr.t list array;
+  bounding : Poly.Constr.t list array;
+  var_offset : int array; (* stmt id -> first column of its coeff block *)
+  nv : int; (* total ILP variables *)
+  rows_rev : Sched.row list array; (* per stmt, innermost first *)
+  satisfied : bool array; (* per true dep *)
+  mutable part : int array; (* current (outer) partition per stmt *)
+  hyp_rows : int array list array; (* found iterator parts per stmt, for rank *)
+  rank : int array; (* per stmt *)
+  mutable accepted_hyp_rows : int;
+}
+
+let stmt_depth (prog : Scop.Program.t) id = Scop.Statement.depth prog.stmts.(id)
+
+(* Rename a Farkas-local constraint system into the global ILP space.
+   Global layout: [u(np); w; per stmt: c_1..c_d, c0]. *)
+let rename_local_to_global ~np ~var_offset ~nv (dep : Dep.t) ~d1 ~d2 cons_poly =
+  let f i =
+    if i < d1 then var_offset.(dep.src) + i
+    else if i = d1 then var_offset.(dep.src) + d1 (* src const; block size d1+1 *)
+    else if i < d1 + 1 + d2 then var_offset.(dep.dst) + (i - d1 - 1)
+    else if i = d1 + 1 + d2 then var_offset.(dep.dst) + d2
+    else if i < d1 + d2 + 2 + np then i - (d1 + d2 + 2) (* u_p -> column p *)
+    else np (* w *)
+  in
+  Poly.Polyhedron.constraints (Poly.Polyhedron.rename cons_poly ~dim_to:nv f)
+
+let make_state cfg (prog : Scop.Program.t) all_deps =
+  let np = Scop.Program.nparams prog in
+  let n = Array.length prog.stmts in
+  let ddg = Ddg.build prog all_deps in
+  let scc_of = Ddg.scc_kosaraju ddg in
+  let scc_order = cfg.order_sccs prog ddg scc_of in
+  let nscc = Ddg.scc_count scc_of in
+  if List.sort compare scc_order <> List.init nscc Fun.id then
+    invalid_arg "Scheduler: order_sccs must be a permutation of SCC ids";
+  let scc_pos = Array.make nscc 0 in
+  List.iteri (fun pos id -> scc_pos.(id) <- pos) scc_order;
+  (* execution order: by (scc position, statement id) *)
+  let stmt_order =
+    Array.of_list
+      (List.sort
+         (fun a b ->
+           compare (scc_pos.(scc_of.(a)), a) (scc_pos.(scc_of.(b)), b))
+         (List.init n Fun.id))
+  in
+  let var_offset = Array.make n 0 in
+  let off = ref (np + 1) in
+  Array.iteri
+    (fun id _ ->
+      var_offset.(id) <- !off;
+      off := !off + stmt_depth prog id + 1)
+    prog.stmts;
+  let nv = !off in
+  let true_deps = Array.of_list (List.filter Dep.is_true all_deps) in
+  let legality =
+    Array.map
+      (fun (d : Dep.t) ->
+        let d1 = stmt_depth prog d.src and d2 = stmt_depth prog d.dst in
+        rename_local_to_global ~np ~var_offset ~nv d ~d1 ~d2
+          (Farkas.legality_space ~d1 ~d2 ~np d.poly))
+      true_deps
+  in
+  let bounding =
+    Array.map
+      (fun (d : Dep.t) ->
+        let d1 = stmt_depth prog d.src and d2 = stmt_depth prog d.dst in
+        rename_local_to_global ~np ~var_offset ~nv d ~d1 ~d2
+          (Farkas.bounding_space ~d1 ~d2 ~np d.poly))
+      true_deps
+  in
+  ( {
+      prog;
+      np;
+      cfg;
+      true_deps;
+      scc_of;
+      scc_pos;
+      stmt_order;
+      legality;
+      bounding;
+      var_offset;
+      nv;
+      rows_rev = Array.make n [];
+      satisfied = Array.map (fun _ -> false) true_deps;
+      part = Array.make n 0;
+      hyp_rows = Array.make n [];
+      rank = Array.make n 0;
+      accepted_hyp_rows = 0;
+    },
+    ddg,
+    scc_order )
+
+(* --- cuts ---------------------------------------------------------------- *)
+
+(* Assign dense partition ids from per-statement keys, scanning in
+   execution order so ids are execution-ordered. *)
+let densify st (key : int -> int * int) =
+  let n = Array.length st.prog.stmts in
+  let out = Array.make n 0 in
+  let next = ref (-1) in
+  let last = ref None in
+  Array.iter
+    (fun id ->
+      let k = key id in
+      (match !last with
+      | Some k' when k' = k -> ()
+      | _ -> incr next);
+      last := Some (key id);
+      out.(id) <- !next)
+    st.stmt_order;
+  out
+
+let beta_of_cut st strategy ~violating =
+  match strategy with
+  | Cut_all_sccs -> densify st (fun id -> (st.part.(id), st.scc_pos.(st.scc_of.(id))))
+  | Cut_between_dims ->
+    (* walk SCCs in order; a new group starts when the current partition
+       changes or the dimensionality changes *)
+    let dim_of_scc = Hashtbl.create 16 in
+    Array.iteri
+      (fun id scc ->
+        let d = stmt_depth st.prog id in
+        let cur = Option.value (Hashtbl.find_opt dim_of_scc scc) ~default:0 in
+        Hashtbl.replace dim_of_scc scc (max cur d))
+      st.scc_of;
+    let group_of_scc = Hashtbl.create 16 in
+    let group = ref (-1) in
+    let last = ref None in
+    Array.iter
+      (fun id ->
+        let scc = st.scc_of.(id) in
+        if not (Hashtbl.mem group_of_scc scc) then begin
+          let k = (st.part.(id), Hashtbl.find dim_of_scc scc) in
+          (match !last with Some k' when k' = k -> () | _ -> incr group);
+          last := Some k;
+          Hashtbl.add group_of_scc scc !group
+        end)
+      st.stmt_order;
+    densify st (fun id -> (0, Hashtbl.find group_of_scc st.scc_of.(id)))
+  | Cut_minimal -> (
+    match violating with
+    | None -> invalid_arg "Scheduler: minimal cut needs a violating dependence"
+    | Some (d : Dep.t) ->
+      let boundary = st.scc_pos.(st.scc_of.(d.dst)) in
+      densify st (fun id ->
+          (st.part.(id), if st.scc_pos.(st.scc_of.(id)) < boundary then 0 else 1)))
+  | Cut_groups groups ->
+    let arr = Array.of_list groups in
+    densify st (fun id -> (st.part.(id), arr.(st.scc_pos.(st.scc_of.(id)))))
+
+(* mark dependences satisfied by a beta row; error on a backward cut *)
+let mark_beta_satisfaction st beta =
+  Array.iteri
+    (fun i (d : Dep.t) ->
+      if not st.satisfied.(i) then begin
+        let bs = beta.(d.src) and bd = beta.(d.dst) in
+        if bd > bs then st.satisfied.(i) <- true
+        else if bd < bs then
+          failwith
+            (Printf.sprintf "Scheduler(%s): backward cut over dependence S%d->S%d"
+               st.cfg.name d.src d.dst)
+      end)
+    st.true_deps
+
+let apply_beta st beta =
+  Array.iteri
+    (fun id rows -> st.rows_rev.(id) <- Sched.Beta beta.(id) :: rows)
+    st.rows_rev;
+  mark_beta_satisfaction st beta;
+  st.part <- Array.copy beta
+
+(* has the cut refined anything? *)
+let is_refinement st beta = beta <> st.part
+
+(* --- the per-level ILP --------------------------------------------------- *)
+
+let upper_bound_cons st =
+  let bound v ub =
+    let row = Array.make (st.nv + 1) 0 in
+    row.(v) <- -1;
+    row.(st.nv) <- ub;
+    Poly.Constr.ge (Array.to_list row)
+  in
+  let cons = ref [] in
+  for p = 0 to st.np - 1 do
+    cons := bound p u_max :: !cons
+  done;
+  cons := bound st.np w_max :: !cons;
+  Array.iteri
+    (fun id _ ->
+      let d = stmt_depth st.prog id in
+      for i = 0 to d - 1 do
+        cons := bound (st.var_offset.(id) + i) c_iter_max :: !cons
+      done;
+      cons := bound (st.var_offset.(id) + d) c_const_max :: !cons)
+    st.prog.stmts;
+  !cons
+
+let stmt_cons st =
+  let cons = ref [] in
+  Array.iteri
+    (fun id _ ->
+      let d = stmt_depth st.prog id in
+      let o = st.var_offset.(id) in
+      if st.rank.(id) >= d then begin
+        (* finished: force the whole block to zero *)
+        for i = 0 to d do
+          let row = Array.make (st.nv + 1) 0 in
+          row.(o + i) <- 1;
+          cons := Poly.Constr.eq (Array.to_list row) :: !cons
+        done
+      end
+      else begin
+        (* non-trivial: sum of iterator coefficients >= 1 *)
+        let row = Array.make (st.nv + 1) 0 in
+        for i = 0 to d - 1 do
+          row.(o + i) <- 1
+        done;
+        row.(st.nv) <- -1;
+        cons := Poly.Constr.ge (Array.to_list row) :: !cons;
+        (* linear independence from the rows already found: every basis
+           vector of the orthogonal complement must have a non-negative
+           projection, and their sum a positive one (Pluto heuristic) *)
+        if st.hyp_rows.(id) <> [] then begin
+          let h = Mat.of_ints (Array.of_list (List.rev st.hyp_rows.(id))) in
+          let comp = Mat.orthogonal_complement h in
+          (* orient each basis vector so its entry sum is >= 0 *)
+          let comp =
+            List.map
+              (fun v ->
+                let s = Array.fold_left Q.add Q.zero v in
+                if Q.sign s < 0 then Vec.neg v else v)
+              comp
+          in
+          let sum_row = Array.make (st.nv + 1) 0 in
+          List.iter
+            (fun v ->
+              let row = Array.make (st.nv + 1) 0 in
+              Array.iteri
+                (fun i q ->
+                  let c = Bigint.to_int (Q.num q) in
+                  row.(o + i) <- c;
+                  sum_row.(o + i) <- sum_row.(o + i) + c)
+                v;
+              cons := Poly.Constr.ge (Array.to_list row) :: !cons)
+            comp;
+          sum_row.(st.nv) <- -1;
+          cons := Poly.Constr.ge (Array.to_list sum_row) :: !cons
+        end
+      end)
+    st.prog.stmts;
+  !cons
+
+let dep_cons st =
+  let cons = ref [] in
+  Array.iteri
+    (fun i _ ->
+      if not st.satisfied.(i) then
+        cons := st.legality.(i) @ st.bounding.(i) @ !cons)
+    st.true_deps;
+  !cons
+
+let solve_level st =
+  let cons = upper_bound_cons st @ stmt_cons st @ dep_cons st in
+  let p = Poly.Polyhedron.make st.nv cons in
+  let obj mask =
+    let v = Vec.zero (st.nv + 1) in
+    List.iter (fun i -> v.(i) <- Q.one) mask;
+    v
+  in
+  let sum_u = obj (List.init st.np Fun.id) in
+  let just_w = obj [ st.np ] in
+  let sum_c_iter =
+    obj
+      (List.concat
+         (List.mapi
+            (fun id _ ->
+              List.init (stmt_depth st.prog id) (fun i -> st.var_offset.(id) + i))
+            (Array.to_list st.prog.stmts)))
+  in
+  let sum_c0 =
+    obj
+      (List.mapi
+         (fun id _ -> st.var_offset.(id) + stmt_depth st.prog id)
+         (Array.to_list st.prog.stmts))
+  in
+  (* first tie-break: spatial locality - penalize hyperplanes built
+     from iterators that index the last (stride-1, row-major) subscript
+     of some access, so those iterators sink to the innermost levels *)
+  let stride =
+    let v = Vec.zero (st.nv + 1) in
+    Array.iteri
+      (fun id (s : Scop.Statement.t) ->
+        let d = stmt_depth st.prog id in
+        List.iter
+          (fun (a : Scop.Access.t) ->
+            let last = a.Scop.Access.idx.(Scop.Access.arity a - 1) in
+            for i = 0 to d - 1 do
+              if last.(i) <> 0 then v.(st.var_offset.(id) + i) <- Q.one
+            done)
+          (Scop.Statement.accesses s))
+      st.prog.stmts;
+    v
+  in
+  (* second tie-break: prefer earlier original iterators at outer
+     levels, so untied permutations follow program order *)
+  let iter_order =
+    let v = Vec.zero (st.nv + 1) in
+    Array.iteri
+      (fun id _ ->
+        for i = 0 to stmt_depth st.prog id - 1 do
+          v.(st.var_offset.(id) + i) <- Q.of_int i
+        done)
+      st.prog.stmts;
+    v
+  in
+  match
+    Ilp.Bb.lexmin ~nonneg:true p
+      [ sum_u; just_w; sum_c_iter; stride; iter_order; sum_c0 ]
+  with
+  | None -> None
+  | Some (_, x) -> Some x
+
+let row_of_solution st x id =
+  let d = stmt_depth st.prog id in
+  let o = st.var_offset.(id) in
+  let row = Array.make (d + st.np + 1) 0 in
+  for i = 0 to d - 1 do
+    row.(i) <- x.(o + i)
+  done;
+  row.(d + st.np) <- x.(o + d);
+  row
+
+(* delta range of dependence [d] for candidate rows *)
+let dep_range st (d : Dep.t) src_row dst_row =
+  let d1 = stmt_depth st.prog d.src and d2 = stmt_depth st.prog d.dst in
+  let objv = Sched.phi_diff ~d1 ~d2 ~np:st.np src_row dst_row in
+  let dmin =
+    match Ilp.Lp.minimize d.poly objv with
+    | Ilp.Lp.Optimal (v, _) -> Some v
+    | Ilp.Lp.Unbounded -> None
+    | Ilp.Lp.Infeasible -> Some Q.zero (* empty dependence: vacuous *)
+  in
+  let dmax =
+    match Ilp.Lp.maximize d.poly objv with
+    | Ilp.Lp.Optimal (v, _) -> Some v
+    | Ilp.Lp.Unbounded -> None
+    | Ilp.Lp.Infeasible -> Some Q.zero
+  in
+  (dmin, dmax)
+
+let accept_row st x =
+  Array.iteri
+    (fun id _ ->
+      let row = row_of_solution st x id in
+      st.rows_rev.(id) <- Sched.Hyp row :: st.rows_rev.(id);
+      if st.rank.(id) < stmt_depth st.prog id then begin
+        st.hyp_rows.(id) <- Array.sub row 0 (stmt_depth st.prog id) :: st.hyp_rows.(id);
+        st.rank.(id) <- st.rank.(id) + 1
+      end)
+    st.prog.stmts;
+  st.accepted_hyp_rows <- st.accepted_hyp_rows + 1;
+  (* mark strong satisfaction *)
+  Array.iteri
+    (fun i (d : Dep.t) ->
+      if not st.satisfied.(i) then begin
+        let src_row = row_of_solution st x d.src in
+        let dst_row = row_of_solution st x d.dst in
+        match fst (dep_range st d src_row dst_row) with
+        | Some v when Q.compare v Q.one >= 0 -> st.satisfied.(i) <- true
+        | _ -> ()
+      end)
+    st.true_deps
+
+(* Algorithm 2 helper: dependences that would make the (first) outer
+   loop a forward-dependence loop, and that a cut can fix. *)
+let outer_violations st x =
+  let viol = ref [] in
+  Array.iteri
+    (fun i (d : Dep.t) ->
+      if
+        (not st.satisfied.(i))
+        && st.part.(d.src) = st.part.(d.dst)
+        && st.scc_of.(d.src) <> st.scc_of.(d.dst)
+      then begin
+        let src_row = row_of_solution st x d.src in
+        let dst_row = row_of_solution st x d.dst in
+        match snd (dep_range st d src_row dst_row) with
+        | Some v when Q.sign v <= 0 -> ()
+        | _ -> viol := d :: !viol
+      end)
+    st.true_deps;
+  List.rev !viol
+
+(* pick a dependence justifying a minimal fallback cut: an unsatisfied
+   inter-SCC dependence inside one partition, with the earliest
+   destination SCC *)
+let pick_violating st =
+  let best = ref None in
+  Array.iteri
+    (fun i (d : Dep.t) ->
+      if
+        (not st.satisfied.(i))
+        && st.part.(d.src) = st.part.(d.dst)
+        && st.scc_of.(d.src) <> st.scc_of.(d.dst)
+      then begin
+        match !best with
+        | Some (b : Dep.t) when st.scc_pos.(st.scc_of.(b.dst)) <= st.scc_pos.(st.scc_of.(d.dst)) -> ()
+        | _ -> best := Some d
+      end)
+    st.true_deps;
+  !best
+
+let try_cut st strategy =
+  let violating = pick_violating st in
+  let attempt strat =
+    match strat with
+    | Cut_minimal when violating = None -> None
+    | _ ->
+      let beta = beta_of_cut st strat ~violating in
+      if is_refinement st beta then Some beta else None
+  in
+  (* ensure progress: escalate through strategies if the preferred one
+     does not refine the current partitioning *)
+  let chain =
+    match strategy with
+    | Cut_minimal -> [ Cut_minimal; Cut_between_dims; Cut_all_sccs ]
+    | Cut_between_dims -> [ Cut_between_dims; Cut_all_sccs ]
+    | Cut_all_sccs -> [ Cut_all_sccs ]
+    | Cut_groups _ as g -> [ g; Cut_minimal; Cut_between_dims; Cut_all_sccs ]
+  in
+  let rec go = function
+    | [] -> false
+    | s :: rest -> (
+      match attempt s with
+      | Some beta ->
+        apply_beta st beta;
+        true
+      | None -> go rest)
+  in
+  go chain
+
+(* final textual ordering inside each partition *)
+let final_beta st =
+  let n = Array.length st.prog.stmts in
+  let beta = Array.make n 0 in
+  let counters = Hashtbl.create 16 in
+  Array.iter
+    (fun id ->
+      let p = st.part.(id) in
+      let c = Option.value (Hashtbl.find_opt counters p) ~default:0 in
+      beta.(id) <- c;
+      Hashtbl.replace counters p (c + 1))
+    st.stmt_order;
+  beta
+
+let run_with_deps cfg (prog : Scop.Program.t) all_deps =
+  let st, ddg, scc_order = make_state cfg prog all_deps in
+  (* initial cut *)
+  (match cfg.initial_cut with
+  | None -> ()
+  | Some strategy ->
+    let beta = beta_of_cut st strategy ~violating:None in
+    (* apply even when trivial (single partition): the row is harmless *)
+    apply_beta st beta);
+  let max_depth = Scop.Program.max_depth prog in
+  let guard = ref 0 in
+  while Array.exists (fun id -> st.rank.(id) < stmt_depth prog id)
+          (Array.init (Array.length prog.stmts) Fun.id)
+        && !guard < 10 * (max_depth + Array.length prog.stmts)
+  do
+    incr guard;
+    match solve_level st with
+    | Some x ->
+      let is_first = st.accepted_hyp_rows = 0 in
+      let cut_done =
+        if cfg.outer_parallel && is_first then begin
+          match outer_violations st x with
+          | [] -> false
+          | d :: _ ->
+            (* discard the candidate row; distribute the offending SCCs *)
+            let beta = beta_of_cut st Cut_minimal ~violating:(Some d) in
+            if is_refinement st beta then begin
+              apply_beta st beta;
+              true
+            end
+            else false
+        end
+        else false
+      in
+      if not cut_done then accept_row st x
+    | None ->
+      if not (try_cut st cfg.fallback_cut) then
+        failwith
+          (Printf.sprintf
+             "Scheduler(%s): no hyperplane and no further cut possible" cfg.name)
+  done;
+  if Array.exists (fun id -> st.rank.(id) < stmt_depth prog id)
+       (Array.init (Array.length prog.stmts) Fun.id)
+  then failwith (Printf.sprintf "Scheduler(%s): did not converge" cfg.name);
+  (* final textual order *)
+  let fb = final_beta st in
+  Array.iteri (fun id rows -> st.rows_rev.(id) <- Sched.Beta fb.(id) :: rows) st.rows_rev;
+  mark_beta_satisfaction st fb;
+  let sched = Array.map List.rev st.rows_rev in
+  (* outermost fusion partitions: statements sharing every scalar
+     dimension before the first loop row share the outermost nest *)
+  let outer_partition =
+    let prefix id =
+      let rec go acc = function
+        | Sched.Beta b :: rest -> go (b :: acc) rest
+        | Sched.Hyp _ :: _ | [] -> List.rev acc
+      in
+      go [] sched.(id)
+    in
+    let n = Array.length prog.stmts in
+    let keys = Array.init n prefix in
+    let tbl = Hashtbl.create 8 in
+    let next = ref 0 in
+    Array.map
+      (fun k ->
+        match Hashtbl.find_opt tbl k with
+        | Some id -> id
+        | None ->
+          let id = !next in
+          incr next;
+          Hashtbl.add tbl k id;
+          id)
+      keys
+  in
+  {
+    prog;
+    config_name = cfg.name;
+    all_deps;
+    true_deps = Array.to_list st.true_deps;
+    ddg;
+    scc_of = st.scc_of;
+    scc_order;
+    sched;
+    outer_partition;
+  }
+
+let run ?param_floor cfg prog =
+  let all_deps = Dep.analyze ?param_floor prog in
+  run_with_deps cfg prog all_deps
+
+let partitions (result : result) =
+  let n = Array.length result.prog.stmts in
+  let by_part = Hashtbl.create 16 in
+  for id = 0 to n - 1 do
+    let p = result.outer_partition.(id) in
+    let cur = Option.value (Hashtbl.find_opt by_part p) ~default:[] in
+    Hashtbl.replace by_part p (id :: cur)
+  done;
+  let parts = Hashtbl.fold (fun p members acc -> (p, List.rev members) :: acc) by_part [] in
+  List.map snd (List.sort compare parts)
+
+(* --- stock configurations --------------------------------------------- *)
+
+let nofuse =
+  {
+    name = "nofuse";
+    order_sccs = dfs_order;
+    initial_cut = Some Cut_all_sccs;
+    fallback_cut = Cut_all_sccs;
+    outer_parallel = false;
+  }
+
+let maxfuse =
+  {
+    name = "maxfuse";
+    order_sccs = dfs_order;
+    initial_cut = None;
+    fallback_cut = Cut_minimal;
+    outer_parallel = false;
+  }
+
+let smartfuse =
+  {
+    name = "smartfuse";
+    order_sccs = dfs_order;
+    initial_cut = Some Cut_between_dims;
+    fallback_cut = Cut_minimal;
+    outer_parallel = false;
+  }

@@ -1,0 +1,1 @@
+lib/poly/constr.ml: Array Bigint Buffer Format Linalg Printf Q Stdlib Vec

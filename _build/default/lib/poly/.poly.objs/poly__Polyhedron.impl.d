@@ -1,0 +1,1 @@
+lib/poly/polyhedron.ml: Array Constr Format Fun Hashtbl Linalg List Q Vec

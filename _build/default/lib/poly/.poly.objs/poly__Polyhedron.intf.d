@@ -1,0 +1,1 @@
+lib/poly/polyhedron.mli: Constr Format Linalg

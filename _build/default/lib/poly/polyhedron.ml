@@ -1,0 +1,276 @@
+open Linalg
+
+type t = {
+  dim : int;
+  cons : Constr.t list; (* normalized, deduplicated, no trivially-true *)
+  known_empty : bool; (* a trivially-false constraint was added *)
+}
+
+let dim p = p.dim
+let constraints p = if p.known_empty then [ Constr.ge [ -1 ] |> Constr.rename ~dim_to:p.dim (fun _ -> 0) ] else p.cons
+
+(* Keep, for two inequalities with identical variable parts, only the
+   tighter one (smaller constant); drop duplicates and trivial truths. *)
+let dedup cons =
+  let cmp_varpart a b =
+    (* compare kind + all coefficients except the constant *)
+    let ka = Constr.kind a and kb = Constr.kind b in
+    if ka <> kb then compare ka kb
+    else begin
+      let ca = Constr.coeffs a and cb = Constr.coeffs b in
+      let n = Vec.dim ca - 1 in
+      let rec go i =
+        if i >= n then 0
+        else begin
+          match Q.compare ca.(i) cb.(i) with 0 -> go (i + 1) | c -> c
+        end
+      in
+      go 0
+    end
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        match cmp_varpart a b with
+        | 0 -> Q.compare (Constr.const a) (Constr.const b)
+        | c -> c)
+      cons
+  in
+  (* after sorting, the first of each variable-part group of
+     inequalities is the tightest (smallest constant); equalities with
+     equal var part but different constants are contradictory - keep
+     both so the emptiness check notices *)
+  let rec keep = function
+    | [] -> []
+    | a :: rest ->
+      let rest =
+        if Constr.kind a = Constr.Ge then
+          drop_same_group a rest
+        else
+          drop_exact_dups a rest
+      in
+      a :: keep rest
+  and drop_same_group a = function
+    | b :: rest when Constr.kind b = Constr.Ge && cmp_varpart a b = 0 ->
+      drop_same_group a rest
+    | rest -> rest
+  and drop_exact_dups a = function
+    | b :: rest when Constr.equal a b -> drop_exact_dups a rest
+    | rest -> rest
+  in
+  keep sorted
+
+let classify cons =
+  (* split into (empty?, useful constraints) *)
+  let useful = ref [] in
+  let falsity = ref false in
+  List.iter
+    (fun c ->
+      match Constr.is_trivial c with
+      | Some true -> ()
+      | Some false -> falsity := true
+      | None -> useful := c :: !useful)
+    cons;
+  (!falsity, dedup !useful)
+
+let make dim cons =
+  List.iter
+    (fun c ->
+      if Constr.dim c <> dim then invalid_arg "Polyhedron.make: dimension mismatch")
+    cons;
+  let falsity, cons = classify cons in
+  { dim; cons; known_empty = falsity }
+
+let universe dim = { dim; cons = []; known_empty = false }
+let empty dim = { dim; cons = []; known_empty = true }
+
+let add p c =
+  if Constr.dim c <> p.dim then invalid_arg "Polyhedron.add: dimension mismatch";
+  match Constr.is_trivial c with
+  | Some true -> p
+  | Some false -> { p with known_empty = true }
+  | None -> { p with cons = dedup (c :: p.cons) }
+
+let add_list p cs = List.fold_left add p cs
+
+let intersect a b =
+  if a.dim <> b.dim then invalid_arg "Polyhedron.intersect: dimension mismatch";
+  {
+    dim = a.dim;
+    cons = dedup (a.cons @ b.cons);
+    known_empty = a.known_empty || b.known_empty;
+  }
+
+let contains p x =
+  (not p.known_empty) && List.for_all (fun c -> Constr.holds c x) p.cons
+
+let contains_int p x = contains p (Array.map Q.of_int x)
+
+(* --- Fourier-Motzkin ------------------------------------------------- *)
+
+(* Eliminate variable [k] from a constraint list over [n] variables.
+   The variable keeps its slot (coefficient forced to zero); callers
+   compact the space afterwards. *)
+let fm_step ~integer n cons k =
+  let coeff c = Constr.coeff c k in
+  let with_k, without_k = List.partition (fun c -> not (Q.is_zero (coeff c))) cons in
+  (* gcd-tighten the inequalities about to be combined - only sound when
+     the eliminated variable ranges over integers *)
+  let with_k = if integer then List.map Constr.tighten_int with_k else with_k in
+  match List.find_opt (fun c -> Constr.kind c = Constr.Eq) with_k with
+  | Some e ->
+    (* substitute using the equality: c' = c - (b/a) e *)
+    let a = coeff e in
+    let reduced =
+      List.filter_map
+        (fun c ->
+          if c == e then None
+          else begin
+            let b = coeff c in
+            let f = Q.neg (Q.div b a) in
+            let v = Vec.add (Constr.coeffs c) (Vec.scale f (Constr.coeffs e)) in
+            Some (Constr.make (Constr.kind c) v)
+          end)
+        with_k
+    in
+    (reduced @ without_k, n)
+  | None ->
+    (* all occurrences are inequalities: combine pos/neg pairs *)
+    let pos, neg = List.partition (fun c -> Q.sign (coeff c) > 0) with_k in
+    let combos =
+      List.concat_map
+        (fun p ->
+          List.map
+            (fun m ->
+              let a = coeff p and b = coeff m in
+              (* |b| * p + a * m has zero coefficient on k *)
+              let v =
+                Vec.add
+                  (Vec.scale (Q.abs b) (Constr.coeffs p))
+                  (Vec.scale a (Constr.coeffs m))
+              in
+              let c = Constr.make Constr.Ge v in
+              if integer then Constr.tighten_int c else c)
+            neg)
+        pos
+    in
+    (combos @ without_k, n)
+
+let eliminate ?(integer = true) p vars =
+  let vars = List.sort_uniq compare vars in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= p.dim then invalid_arg "Polyhedron.eliminate: bad index")
+    vars;
+  if p.known_empty then empty (p.dim - List.length vars)
+  else begin
+    let cons = ref p.cons in
+    let empty_found = ref false in
+    List.iter
+      (fun k ->
+        if not !empty_found then begin
+          let next, _ = fm_step ~integer p.dim !cons k in
+          let falsity, cleaned = classify next in
+          if falsity then empty_found := true else cons := cleaned
+        end)
+      vars;
+    if !empty_found then empty (p.dim - List.length vars)
+    else begin
+      (* compact the variable space *)
+      let keep = List.filter (fun i -> not (List.mem i vars)) (List.init p.dim Fun.id) in
+      let new_dim = List.length keep in
+      let index_of = Hashtbl.create 16 in
+      List.iteri (fun new_i old_i -> Hashtbl.add index_of old_i new_i) keep;
+      let remap c =
+        Constr.rename ~dim_to:new_dim
+          (fun old_i ->
+            match Hashtbl.find_opt index_of old_i with
+            | Some i -> i
+            | None -> assert false (* eliminated vars have zero coeffs *))
+          c
+      in
+      make new_dim (List.map remap !cons)
+    end
+  end
+
+let project_onto_first ?integer p k =
+  if k < 0 || k > p.dim then invalid_arg "Polyhedron.project_onto_first";
+  eliminate ?integer p (List.init (p.dim - k) (fun i -> k + i))
+
+let is_empty p =
+  if p.known_empty then true
+  else begin
+    let q = eliminate p (List.init p.dim Fun.id) in
+    q.known_empty
+  end
+
+let insert_dims p ~at ~count =
+  if at < 0 || at > p.dim then invalid_arg "Polyhedron.insert_dims";
+  let new_dim = p.dim + count in
+  let f i = if i < at then i else i + count in
+  {
+    dim = new_dim;
+    cons = List.map (Constr.rename ~dim_to:new_dim f) p.cons;
+    known_empty = p.known_empty;
+  }
+
+let rename p ~dim_to f =
+  {
+    dim = dim_to;
+    cons = dedup (List.map (Constr.rename ~dim_to f) p.cons);
+    known_empty = p.known_empty;
+  }
+
+let integer_points ~lo ~hi p =
+  if Array.length lo <> p.dim || Array.length hi <> p.dim then
+    invalid_arg "Polyhedron.integer_points: box dimension mismatch";
+  if p.known_empty then []
+  else begin
+    let acc = ref [] in
+    let point = Array.make p.dim 0 in
+    let rec go i =
+      if i = p.dim then begin
+        if contains_int p point then acc := Array.copy point :: !acc
+      end
+      else
+        for v = lo.(i) to hi.(i) do
+          point.(i) <- v;
+          go (i + 1)
+        done
+    in
+    go 0;
+    List.rev !acc
+  end
+
+let lower_upper_bounds p k =
+  let lower = ref [] and upper = ref [] and rest = ref [] in
+  List.iter
+    (fun c ->
+      let a = Constr.coeff c k in
+      match (Constr.kind c, Q.sign a) with
+      | _, 0 -> rest := c :: !rest
+      | Constr.Ge, s -> if s > 0 then lower := c :: !lower else upper := c :: !upper
+      | Constr.Eq, s ->
+        (* an equality bounds from both sides; orient so the lower-side
+           copy has a positive coefficient on k *)
+        let v = Constr.coeffs c in
+        let pos = if s > 0 then v else Vec.neg v in
+        lower := Constr.make Constr.Ge pos :: !lower;
+        upper := Constr.make Constr.Ge (Vec.neg pos) :: !upper)
+    p.cons;
+  (List.rev !lower, List.rev !upper, List.rev !rest)
+
+let equal a b =
+  a.dim = b.dim && a.known_empty = b.known_empty
+  && List.equal Constr.equal
+       (List.sort Constr.compare a.cons)
+       (List.sort Constr.compare b.cons)
+
+let pp ?names fmt p =
+  if p.known_empty then Format.pp_print_string fmt "{ false }"
+  else if p.cons = [] then Format.fprintf fmt "{ true (dim %d) }" p.dim
+  else begin
+    Format.fprintf fmt "@[<v 2>{";
+    List.iter (fun c -> Format.fprintf fmt "@,%a" (Constr.pp ?names) c) p.cons;
+    Format.fprintf fmt "@]@,}"
+  end

@@ -1,0 +1,81 @@
+(** Convex polyhedra described by conjunctions of affine constraints,
+    with exact Fourier-Motzkin projection.
+
+    This module is the ISL-set replacement used for iteration domains,
+    dependence polyhedra, and Farkas-multiplier elimination. All
+    arithmetic is exact. Integer tightening (gcd normalization of
+    inequalities) is applied during projection, so {!is_empty} is sound
+    for integer sets: [true] guarantees no integer point. Exact integer
+    emptiness (branch-and-bound) lives in the [ilp] library. *)
+
+type t
+
+(** [make dim constraints].
+    @raise Invalid_argument if a constraint has the wrong dimension. *)
+val make : int -> Constr.t list -> t
+
+(** The unconstrained polyhedron of the given dimension. *)
+val universe : int -> t
+
+(** A canonically empty polyhedron. *)
+val empty : int -> t
+
+val dim : t -> int
+
+(** Constraints, normalized and deduplicated. *)
+val constraints : t -> Constr.t list
+
+val add : t -> Constr.t -> t
+val add_list : t -> Constr.t list -> t
+
+(** @raise Invalid_argument on dimension mismatch. *)
+val intersect : t -> t -> t
+
+(** [contains p x] for a rational point [x]. *)
+val contains : t -> Linalg.Vec.t -> bool
+
+(** [contains_int p x] for an integer point. *)
+val contains_int : t -> int array -> bool
+
+(** [eliminate ?integer p vars] projects away the variables whose
+    indices are in [vars] (Fourier-Motzkin). The remaining variables
+    are renumbered in increasing order of their old index. With
+    [integer:true] (default) gcd tightening is applied — sound only
+    when the eliminated variables range over integers; pass
+    [integer:false] for rational variables (e.g. Farkas multipliers).
+    The result over-approximates the integer projection (standard FM
+    property) and is exact over the rationals. *)
+val eliminate : ?integer:bool -> t -> int list -> t
+
+(** [project_onto_first p k] keeps variables [0 .. k-1]. *)
+val project_onto_first : ?integer:bool -> t -> int -> t
+
+(** Rational (FM-based) emptiness with integer tightening.
+    [true] implies the set has no integer point (indeed no rational
+    point except via tightening, which only removes non-integer ones).
+    [false] means a rational point exists; an integer point is likely
+    but not guaranteed. *)
+val is_empty : t -> bool
+
+(** [insert_dims p ~at ~count] adds [count] fresh unconstrained
+    variables at index [at]; existing variables at [>= at] shift up. *)
+val insert_dims : t -> at:int -> count:int -> t
+
+(** [rename p ~dim_to f] applies {!Constr.rename} to all constraints. *)
+val rename : t -> dim_to:int -> (int -> int) -> t
+
+(** Enumerate all integer points of [p] within the box
+    [lo.(i) <= x_i <= hi.(i)] (for tests and the advisory sampler;
+    exponential in [dim]). Points are returned in lexicographic
+    order. *)
+val integer_points : lo:int array -> hi:int array -> t -> int array list
+
+(** [lower_upper_bounds p k] classifies the constraints of [p] by their
+    sign on variable [k]: [(lower, upper, rest)] where constraints in
+    [lower] have positive coefficient on [k] (they bound it from below)
+    and [upper] negative. Equalities with a non-zero coefficient appear
+    in both lists (as the pair of induced inequalities). *)
+val lower_upper_bounds : t -> int -> Constr.t list * Constr.t list * Constr.t list
+
+val equal : t -> t -> bool
+val pp : ?names:string array -> Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/scop/access.ml: Array Buffer Format Printf

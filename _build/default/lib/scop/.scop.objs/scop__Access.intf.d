@@ -1,0 +1,1 @@
+lib/scop/access.mli: Format

@@ -1,0 +1,1 @@
+lib/scop/build.ml: Access Array Expr List Poly Printf Program Statement

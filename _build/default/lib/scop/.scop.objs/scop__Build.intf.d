@@ -1,0 +1,1 @@
+lib/scop/build.mli: Program

@@ -1,0 +1,1 @@
+lib/scop/expr.ml: Access Format List

@@ -1,0 +1,1 @@
+lib/scop/expr.mli: Access Format

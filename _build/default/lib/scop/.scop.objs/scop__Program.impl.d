@@ -1,0 +1,1 @@
+lib/scop/program.ml: Access Array Format List Poly Printf Set Statement String

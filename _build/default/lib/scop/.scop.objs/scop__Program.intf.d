@@ -1,0 +1,1 @@
+lib/scop/program.mli: Format Statement

@@ -1,0 +1,1 @@
+lib/scop/statement.ml: Access Array Expr Format Poly

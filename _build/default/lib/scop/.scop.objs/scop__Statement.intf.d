@@ -1,0 +1,1 @@
+lib/scop/statement.mli: Access Expr Format Poly

@@ -1,0 +1,83 @@
+type t = { array : string; idx : int array array }
+
+let make array idx =
+  let width =
+    match Array.length idx with
+    | 0 -> invalid_arg "Access.make: scalar accesses need one row"
+    | _ -> Array.length idx.(0)
+  in
+  Array.iter
+    (fun row ->
+      if Array.length row <> width then invalid_arg "Access.make: ragged rows")
+    idx;
+  { array; idx }
+
+let arity a = Array.length a.idx
+let width a = Array.length a.idx.(0)
+
+let eval a ~iters ~params =
+  let d = Array.length iters and np = Array.length params in
+  if d + np + 1 <> width a then invalid_arg "Access.eval: width mismatch";
+  Array.map
+    (fun row ->
+      let acc = ref row.(d + np) in
+      for i = 0 to d - 1 do
+        acc := !acc + (row.(i) * iters.(i))
+      done;
+      for p = 0 to np - 1 do
+        acc := !acc + (row.(d + p) * params.(p))
+      done;
+      !acc)
+    a.idx
+
+let equal a b =
+  a.array = b.array
+  && Array.length a.idx = Array.length b.idx
+  && Array.for_all2 (fun r1 r2 -> r1 = r2) a.idx b.idx
+
+let same_array a b = a.array = b.array
+
+let pp_row ?iter_names ?param_names d np fmt row =
+  let name_iter i =
+    match iter_names with
+    | Some a when i < Array.length a -> a.(i)
+    | _ -> Printf.sprintf "i%d" i
+  in
+  let name_param p =
+    match param_names with
+    | Some a when p < Array.length a -> a.(p)
+    | _ -> Printf.sprintf "p%d" p
+  in
+  let buf = Buffer.create 16 in
+  let first = ref true in
+  let term c name =
+    if c <> 0 then begin
+      if c > 0 && not !first then Buffer.add_string buf "+";
+      if c = -1 then Buffer.add_string buf "-"
+      else if c <> 1 then Buffer.add_string buf (string_of_int c ^ "*");
+      Buffer.add_string buf name;
+      first := false
+    end
+  in
+  for i = 0 to d - 1 do
+    term row.(i) (name_iter i)
+  done;
+  for p = 0 to np - 1 do
+    term row.(d + p) (name_param p)
+  done;
+  let k = row.(d + np) in
+  if !first then Buffer.add_string buf (string_of_int k)
+  else if k > 0 then Buffer.add_string buf ("+" ^ string_of_int k)
+  else if k < 0 then Buffer.add_string buf (string_of_int k);
+  Format.pp_print_string fmt (Buffer.contents buf)
+
+let pp ?iter_names ?param_names fmt a =
+  let np =
+    match param_names with Some p -> Array.length p | None -> 0
+  in
+  let d = width a - np - 1 in
+  Format.fprintf fmt "%s" a.array;
+  Array.iter
+    (fun row ->
+      Format.fprintf fmt "[%a]" (pp_row ?iter_names ?param_names d np) row)
+    a.idx

@@ -1,0 +1,44 @@
+type binop = Add | Sub | Mul | Div
+
+type t =
+  | Const of float
+  | Load of Access.t
+  | Neg of t
+  | Sqrt of t
+  | Bin of binop * t * t
+
+let loads e =
+  let rec go acc = function
+    | Const _ -> acc
+    | Load a -> a :: acc
+    | Neg e | Sqrt e -> go acc e
+    | Bin (_, l, r) -> go (go acc l) r
+  in
+  List.rev (go [] e)
+
+let rec op_count = function
+  | Const _ | Load _ -> 0
+  | Neg e | Sqrt e -> 1 + op_count e
+  | Bin (_, l, r) -> 1 + op_count l + op_count r
+
+let rec eval e ~read =
+  match e with
+  | Const f -> f
+  | Load a -> read a
+  | Neg e -> -.eval e ~read
+  | Sqrt e -> sqrt (eval e ~read)
+  | Bin (op, l, r) ->
+    let a = eval l ~read and b = eval r ~read in
+    (match op with Add -> a +. b | Sub -> a -. b | Mul -> a *. b | Div -> a /. b)
+
+let op_str = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let rec pp ?iter_names ?param_names fmt = function
+  | Const f -> Format.fprintf fmt "%g" f
+  | Load a -> Access.pp ?iter_names ?param_names fmt a
+  | Neg e -> Format.fprintf fmt "-(%a)" (pp ?iter_names ?param_names) e
+  | Sqrt e -> Format.fprintf fmt "sqrt(%a)" (pp ?iter_names ?param_names) e
+  | Bin (op, l, r) ->
+    Format.fprintf fmt "(%a %s %a)"
+      (pp ?iter_names ?param_names) l (op_str op)
+      (pp ?iter_names ?param_names) r

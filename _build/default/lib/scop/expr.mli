@@ -1,0 +1,28 @@
+(** Right-hand-side expressions of SCoP statements.
+
+    Only the array references matter to the polyhedral analyses; the
+    arithmetic structure is kept so the machine substrate can actually
+    execute programs and so transformed programs can be checked
+    semantically equivalent to their sources. *)
+
+type binop = Add | Sub | Mul | Div
+
+type t =
+  | Const of float
+  | Load of Access.t
+  | Neg of t
+  | Sqrt of t
+  | Bin of binop * t * t
+
+(** All [Load] accesses, left to right. *)
+val loads : t -> Access.t list
+
+(** Number of arithmetic operations (for the machine cost model). *)
+val op_count : t -> int
+
+(** [eval e ~read] computes the value, resolving each [Load] through
+    [read]. *)
+val eval : t -> read:(Access.t -> float) -> float
+
+val pp : ?iter_names:string array -> ?param_names:string array ->
+  Format.formatter -> t -> unit

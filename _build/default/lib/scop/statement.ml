@@ -1,0 +1,36 @@
+type t = {
+  id : int;
+  name : string;
+  iters : string array;
+  loop_ids : int array;
+  domain : Poly.Polyhedron.t;
+  write : Access.t;
+  rhs : Expr.t;
+  beta : int array;
+}
+
+let depth s = Array.length s.iters
+let accesses s = s.write :: Expr.loads s.rhs
+let reads s = Expr.loads s.rhs
+
+let common_loops a b =
+  let n = min (Array.length a.loop_ids) (Array.length b.loop_ids) in
+  let rec go i =
+    if i >= n || a.loop_ids.(i) <> b.loop_ids.(i) then i else go (i + 1)
+  in
+  go 0
+
+let textual_before a b =
+  if a.id = b.id then false
+  else begin
+    let c = common_loops a b in
+    (* beta has length depth+1, so index c is always valid *)
+    compare a.beta.(c) b.beta.(c) < 0
+  end
+
+let pp ~params fmt s =
+  Format.fprintf fmt "%s: %a = %a" s.name
+    (Access.pp ~iter_names:s.iters ~param_names:params)
+    s.write
+    (Expr.pp ~iter_names:s.iters ~param_names:params)
+    s.rhs

@@ -1,0 +1,37 @@
+(** SCoP statements.
+
+    A statement is a single assignment nested in [d] loops. Its
+    iteration domain is a polyhedron over [iterators ++ parameters];
+    its textual position in the source is encoded by the [beta] vector
+    (one entry per loop level plus one), as in the classic 2d+1
+    schedule representation. *)
+
+type t = {
+  id : int;  (** index in program order *)
+  name : string;  (** e.g. "S1" *)
+  iters : string array;  (** enclosing iterators, outermost first *)
+  loop_ids : int array;  (** unique ids of the enclosing loops *)
+  domain : Poly.Polyhedron.t;  (** over [iters ++ params] *)
+  write : Access.t;
+  rhs : Expr.t;
+  beta : int array;  (** length [depth + 1]: textual position per level *)
+}
+
+(** Number of enclosing loops (the paper's "dimensionality"). *)
+val depth : t -> int
+
+(** The write access followed by all read accesses. *)
+val accesses : t -> Access.t list
+
+(** Read accesses only. *)
+val reads : t -> Access.t list
+
+(** [common_loops a b] is the number of loops shared by the two
+    statements (longest common prefix of [loop_ids]). *)
+val common_loops : t -> t -> int
+
+(** [textual_before a b]: does [a] appear before [b] at the first
+    level where their loop nests diverge? (Irreflexive.) *)
+val textual_before : t -> t -> bool
+
+val pp : params:string array -> Format.formatter -> t -> unit

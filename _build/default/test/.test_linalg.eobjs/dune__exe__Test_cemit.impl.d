@@ -1,0 +1,1 @@
+test/test_cemit.ml: Alcotest Codegen Deps Filename Fusion Kernels List Pluto Printf String Sys Unix

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Ast Codegen Format Fusion Icc Kernels Lazy List Machine Pluto Poly Scan Scop String

@@ -1,0 +1,1 @@
+test/test_deps.ml: Access Alcotest Array Ddg Dep Deps Format Ilp List Poly Program QCheck QCheck_alcotest Scop Statement

@@ -1,0 +1,1 @@
+test/test_fusion.ml: Alcotest Array Codegen Ddg Dep Deps Format Fun Fusion Hashtbl Kernels List Machine Option Pluto Prefusion Report Scop Search Wisefuse

@@ -1,0 +1,1 @@
+test/test_icc.ml: Alcotest Array Deps Format Icc Icc_model Kernels List Pluto Scop

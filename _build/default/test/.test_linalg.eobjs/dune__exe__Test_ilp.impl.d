@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Bb Constr Gen Ilp Linalg List Lp Poly Polyhedron Q QCheck QCheck_alcotest Vec

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Codegen Deps Format Fusion List Machine Pluto Printf Random Scop

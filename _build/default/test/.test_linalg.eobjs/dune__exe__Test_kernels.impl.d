@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Codegen Ddg Dep Deps Fusion Kernels List Machine Pluto Scop

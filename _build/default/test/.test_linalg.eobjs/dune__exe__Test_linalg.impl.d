@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Bigint Linalg List Mat Printf Q QCheck QCheck_alcotest Stdlib Vec

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Cache Codegen Float Fusion Hashtbl Kernels List Locality Machine Perf Pluto QCheck QCheck_alcotest Scop

@@ -1,0 +1,1 @@
+test/test_pluto.ml: Access Alcotest Array Dep Deps Farkas Format Linalg List Pluto Poly Satisfy Sched Scheduler Scop Statement

@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Array Constr Linalg List Poly Polyhedron QCheck QCheck_alcotest Vec

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Fusion Kernels Linalg List Pluto Sched

@@ -1,0 +1,1 @@
+test/test_scop.ml: Access Alcotest Array Expr List Poly Program Scop Statement

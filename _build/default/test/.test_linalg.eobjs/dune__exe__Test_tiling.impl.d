@@ -1,0 +1,1 @@
+test/test_tiling.ml: Alcotest Codegen Fusion Kernels List Machine Pluto Scop

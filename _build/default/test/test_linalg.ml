@@ -1,0 +1,374 @@
+(* Tests for the exact-arithmetic substrate: Bigint, Q, Vec, Mat. *)
+
+open Linalg
+
+let bi = Bigint.of_int
+let q = Q.of_int
+let qq n d = Q.of_ints n d
+
+(* --- Bigint unit tests ------------------------------------------------ *)
+
+let test_bigint_basics () =
+  Alcotest.(check string) "zero" "0" (Bigint.to_string Bigint.zero);
+  Alcotest.(check string) "neg" "-42" (Bigint.to_string (bi (-42)));
+  Alcotest.(check int) "to_int roundtrip" 123456789 (Bigint.to_int (bi 123456789));
+  Alcotest.(check int) "sign pos" 1 (Bigint.sign (bi 5));
+  Alcotest.(check int) "sign neg" (-1) (Bigint.sign (bi (-5)));
+  Alcotest.(check int) "sign zero" 0 (Bigint.sign Bigint.zero);
+  Alcotest.(check bool) "min_int of_int" true
+    (Bigint.equal (bi min_int) (Bigint.neg (Bigint.sub (bi max_int) (bi (-1)))))
+
+let test_bigint_string () =
+  let s = "123456789012345678901234567890" in
+  Alcotest.(check string) "roundtrip big" s Bigint.(to_string (of_string s));
+  let s2 = "-999999999999999999999999" in
+  Alcotest.(check string) "roundtrip neg big" s2 Bigint.(to_string (of_string s2));
+  Alcotest.(check string) "leading plus" "17" Bigint.(to_string (of_string "+17"));
+  Alcotest.check_raises "empty" (Invalid_argument "Bigint.of_string: empty")
+    (fun () -> ignore (Bigint.of_string ""))
+
+let test_bigint_arith_large () =
+  let a = Bigint.of_string "123456789012345678901234567890" in
+  let b = Bigint.of_string "987654321098765432109876543210" in
+  Alcotest.(check string) "add"
+    "1111111110111111111011111111100"
+    Bigint.(to_string (add a b));
+  Alcotest.(check string) "mul"
+    "121932631137021795226185032733622923332237463801111263526900"
+    Bigint.(to_string (mul a b));
+  let p = Bigint.mul a b in
+  Alcotest.(check bool) "div undoes mul" true Bigint.(equal (div p b) a);
+  Alcotest.(check bool) "rem zero" true Bigint.(is_zero (rem p a))
+
+let test_bigint_divmod_signs () =
+  (* truncated semantics must match OCaml's / and mod *)
+  List.iter
+    (fun (a, b) ->
+      let bq, br = Bigint.divmod (bi a) (bi b) in
+      Alcotest.(check int) (Printf.sprintf "q %d/%d" a b) (a / b) (Bigint.to_int bq);
+      Alcotest.(check int) (Printf.sprintf "r %d/%d" a b) (a mod b) (Bigint.to_int br))
+    [ (7, 2); (-7, 2); (7, -2); (-7, -2); (0, 5); (12, 4); (-12, 4); (1, 7) ]
+
+let test_bigint_fdiv_cdiv () =
+  let check name expect a b f =
+    Alcotest.(check int) name expect (Bigint.to_int (f (bi a) (bi b)))
+  in
+  check "fdiv 7 2" 3 7 2 Bigint.fdiv;
+  check "fdiv -7 2" (-4) (-7) 2 Bigint.fdiv;
+  check "fdiv 7 -2" (-4) 7 (-2) Bigint.fdiv;
+  check "cdiv 7 2" 4 7 2 Bigint.cdiv;
+  check "cdiv -7 2" (-3) (-7) 2 Bigint.cdiv;
+  check "cdiv 6 3" 2 6 3 Bigint.cdiv;
+  check "fdiv 6 3" 2 6 3 Bigint.fdiv
+
+let test_bigint_gcd () =
+  Alcotest.(check int) "gcd 12 18" 6 Bigint.(to_int (gcd (bi 12) (bi 18)));
+  Alcotest.(check int) "gcd -12 18" 6 Bigint.(to_int (gcd (bi (-12)) (bi 18)));
+  Alcotest.(check int) "gcd 0 0" 0 Bigint.(to_int (gcd Bigint.zero Bigint.zero));
+  Alcotest.(check int) "gcd 0 7" 7 Bigint.(to_int (gcd Bigint.zero (bi 7)));
+  Alcotest.(check int) "lcm 4 6" 12 Bigint.(to_int (lcm (bi 4) (bi 6)))
+
+let test_bigint_pow () =
+  Alcotest.(check string) "2^100"
+    "1267650600228229401496703205376"
+    Bigint.(to_string (pow two 100));
+  Alcotest.(check int) "x^0" 1 Bigint.(to_int (pow (bi 7) 0));
+  Alcotest.check_raises "neg exponent"
+    (Invalid_argument "Bigint.pow: negative exponent")
+    (fun () -> ignore (Bigint.pow Bigint.two (-1)))
+
+let test_bigint_div_by_zero () =
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Bigint.div Bigint.one Bigint.zero))
+
+(* Knuth division stress: exercise the add-back branch neighborhood with
+   divisors just below digit boundaries. *)
+let test_bigint_knuth_stress () =
+  let b30 = Bigint.pow Bigint.two 30 in
+  let cases =
+    [ (Bigint.pred (Bigint.pow Bigint.two 90), Bigint.pred b30);
+      (Bigint.pow Bigint.two 120, Bigint.succ b30);
+      (Bigint.pred (Bigint.pow Bigint.two 150), Bigint.pred (Bigint.pow Bigint.two 60));
+      (Bigint.of_string "340282366920938463463374607431768211455",
+       Bigint.of_string "18446744073709551615") ]
+  in
+  List.iter
+    (fun (a, b) ->
+      let qt, r = Bigint.divmod a b in
+      Alcotest.(check bool) "a = q*b + r" true
+        Bigint.(equal a (add (mul qt b) r));
+      Alcotest.(check bool) "0 <= r < b" true
+        Bigint.(Stdlib.( >= ) (sign r) 0 && r < b))
+    cases
+
+(* --- Bigint properties -------------------------------------------------- *)
+
+let med_int = QCheck.int_range (-100000) 100000
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"bigint of_int/to_int roundtrip" ~count:500
+    QCheck.int
+    (fun n -> Bigint.to_int (bi n) = n)
+
+let prop_add_matches =
+  QCheck.Test.make ~name:"bigint add matches native" ~count:500
+    QCheck.(pair med_int med_int)
+    (fun (a, b) -> Bigint.to_int (Bigint.add (bi a) (bi b)) = a + b)
+
+let prop_mul_matches =
+  QCheck.Test.make ~name:"bigint mul matches native" ~count:500
+    QCheck.(pair med_int med_int)
+    (fun (a, b) -> Bigint.to_int (Bigint.mul (bi a) (bi b)) = a * b)
+
+let prop_divmod_invariant =
+  QCheck.Test.make ~name:"bigint divmod invariant (large operands)" ~count:300
+    QCheck.(triple med_int med_int med_int)
+    (fun (a, b, c) ->
+      QCheck.assume (c <> 0);
+      (* build operands with several digits *)
+      let big = Bigint.of_string "123456789123456789123456789" in
+      let x = Bigint.(add (mul big (bi a)) (bi b)) in
+      let y = Bigint.(add (mul (bi c) (bi 1000003)) Bigint.one) in
+      let qt, r = Bigint.divmod x y in
+      Bigint.(equal x (add (mul qt y) r))
+      && Bigint.(Stdlib.( < ) (compare (abs r) (abs y)) 0))
+
+let prop_gcd_divides =
+  QCheck.Test.make ~name:"gcd divides both" ~count:300
+    QCheck.(pair med_int med_int)
+    (fun (a, b) ->
+      QCheck.assume (a <> 0 || b <> 0);
+      let g = Bigint.gcd (bi a) (bi b) in
+      Bigint.(is_zero (rem (bi a) g)) && Bigint.(is_zero (rem (bi b) g)))
+
+let prop_compare_total_order =
+  QCheck.Test.make ~name:"bigint compare matches native" ~count:500
+    QCheck.(pair med_int med_int)
+    (fun (a, b) -> Bigint.compare (bi a) (bi b) = compare a b)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"bigint string roundtrip" ~count:300
+    QCheck.(pair med_int med_int)
+    (fun (a, b) ->
+      let x = Bigint.(mul (mul (bi a) (bi b)) (of_string "1000000000000000000000")) in
+      Bigint.equal x (Bigint.of_string (Bigint.to_string x)))
+
+(* --- Q tests ------------------------------------------------------------ *)
+
+let test_q_normalization () =
+  Alcotest.(check string) "6/4 -> 3/2" "3/2" (Q.to_string (qq 6 4));
+  Alcotest.(check string) "neg den" "-3/2" (Q.to_string (qq 3 (-2)));
+  Alcotest.(check string) "zero" "0" (Q.to_string (qq 0 17));
+  Alcotest.(check bool) "int detect" true (Q.is_integer (qq 8 4))
+
+let test_q_arith () =
+  Alcotest.(check bool) "1/2 + 1/3 = 5/6" true Q.(equal (add (qq 1 2) (qq 1 3)) (qq 5 6));
+  Alcotest.(check bool) "mul" true Q.(equal (mul (qq 2 3) (qq 3 4)) (qq 1 2));
+  Alcotest.(check bool) "div" true Q.(equal (div (qq 1 2) (qq 1 4)) (q 2));
+  Alcotest.(check bool) "inv" true Q.(equal (inv (qq 3 7)) (qq 7 3));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () -> ignore (Q.inv Q.zero))
+
+let test_q_floor_ceil () =
+  let check name expect v =
+    Alcotest.(check int) name expect (Bigint.to_int v)
+  in
+  check "floor 7/2" 3 (Q.floor (qq 7 2));
+  check "floor -7/2" (-4) (Q.floor (qq (-7) 2));
+  check "ceil 7/2" 4 (Q.ceil (qq 7 2));
+  check "ceil -7/2" (-3) (Q.ceil (qq (-7) 2));
+  check "floor int" 5 (Q.floor (q 5));
+  check "ceil int" 5 (Q.ceil (q 5))
+
+let nonzero_small = QCheck.int_range 1 1000
+
+let arb_q =
+  QCheck.map
+    (fun (n, d) -> qq n d)
+    QCheck.(pair (int_range (-1000) 1000) nonzero_small)
+
+let prop_q_field =
+  QCheck.Test.make ~name:"q field laws" ~count:300
+    QCheck.(triple arb_q arb_q arb_q)
+    (fun (a, b, c) ->
+      Q.(equal (add a b) (add b a))
+      && Q.(equal (add (add a b) c) (add a (add b c)))
+      && Q.(equal (mul a (add b c)) (add (mul a b) (mul a c)))
+      && Q.(equal (sub a a) zero)
+      && (Q.is_zero a || Q.(equal (mul a (inv a)) one)))
+
+let prop_q_compare_antisym =
+  QCheck.Test.make ~name:"q compare antisymmetric" ~count:300
+    QCheck.(pair arb_q arb_q)
+    (fun (a, b) -> Q.compare a b = -Q.compare b a)
+
+let prop_q_floor_le =
+  QCheck.Test.make ~name:"floor q <= q < floor q + 1" ~count:300 arb_q
+    (fun a ->
+      let f = Q.of_bigint (Q.floor a) in
+      Q.(f <= a) && Q.(a < add f one))
+
+(* --- Vec tests ----------------------------------------------------------- *)
+
+let test_vec_dot () =
+  let a = Vec.of_ints [| 1; 2; 3 |] and b = Vec.of_ints [| 4; 5; 6 |] in
+  Alcotest.(check bool) "dot" true Q.(equal (Vec.dot a b) (q 32));
+  Alcotest.check_raises "dim mismatch" (Invalid_argument "Vec.dot: dimension mismatch")
+    (fun () -> ignore (Vec.dot a (Vec.of_ints [| 1 |])))
+
+let test_vec_normalize () =
+  let v = [| qq 1 2; qq 1 3; Q.zero |] in
+  let n = Vec.normalize_int v in
+  Alcotest.(check bool) "primitive" true
+    (Vec.equal n (Vec.of_ints [| 3; 2; 0 |]));
+  let w = Vec.of_ints [| 4; 6; 8 |] in
+  Alcotest.(check bool) "gcd divide" true
+    (Vec.equal (Vec.normalize_int w) (Vec.of_ints [| 2; 3; 4 |]));
+  Alcotest.(check bool) "zero stays" true
+    (Vec.is_zero (Vec.normalize_int (Vec.zero 3)))
+
+let test_vec_unit () =
+  let u = Vec.unit 3 1 in
+  Alcotest.(check bool) "unit" true (Vec.equal u (Vec.of_ints [| 0; 1; 0 |]))
+
+(* --- Mat tests ----------------------------------------------------------- *)
+
+let test_mat_mul () =
+  let a = Mat.of_ints [| [| 1; 2 |]; [| 3; 4 |] |] in
+  let b = Mat.of_ints [| [| 5; 6 |]; [| 7; 8 |] |] in
+  Alcotest.(check bool) "mul" true
+    (Mat.equal (Mat.mul a b) (Mat.of_ints [| [| 19; 22 |]; [| 43; 50 |] |]))
+
+let test_mat_inverse () =
+  let a = Mat.of_ints [| [| 2; 1 |]; [| 1; 1 |] |] in
+  (match Mat.inverse a with
+  | None -> Alcotest.fail "invertible matrix reported singular"
+  | Some inv ->
+    Alcotest.(check bool) "a * a^-1 = I" true
+      (Mat.equal (Mat.mul a inv) (Mat.identity 2)));
+  let sing = Mat.of_ints [| [| 1; 2 |]; [| 2; 4 |] |] in
+  Alcotest.(check bool) "singular" true (Mat.inverse sing = None)
+
+let test_mat_rank_nullspace () =
+  let m = Mat.of_ints [| [| 1; 2; 3 |]; [| 2; 4; 6 |]; [| 1; 0; 1 |] |] in
+  Alcotest.(check int) "rank" 2 (Mat.rank m);
+  let ns = Mat.nullspace m in
+  Alcotest.(check int) "nullity" 1 (List.length ns);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "m v = 0" true (Vec.is_zero (Mat.mul_vec m v)))
+    ns
+
+let test_mat_solve () =
+  let a = Mat.of_ints [| [| 1; 1 |]; [| 1; -1 |] |] in
+  let b = Vec.of_ints [| 3; 1 |] in
+  (match Mat.solve a b with
+  | None -> Alcotest.fail "solvable system reported unsolvable"
+  | Some x ->
+    Alcotest.(check bool) "solution" true (Vec.equal (Mat.mul_vec a x) b));
+  (* inconsistent system *)
+  let a2 = Mat.of_ints [| [| 1; 1 |]; [| 1; 1 |] |] in
+  let b2 = Vec.of_ints [| 1; 2 |] in
+  Alcotest.(check bool) "inconsistent" true (Mat.solve a2 b2 = None)
+
+let test_mat_rowspace () =
+  let m = Mat.of_ints [| [| 1; 0; 0 |]; [| 0; 1; 0 |] |] in
+  Alcotest.(check bool) "in" true
+    (Mat.row_space_contains m (Vec.of_ints [| 3; -2; 0 |]));
+  Alcotest.(check bool) "out" false
+    (Mat.row_space_contains m (Vec.of_ints [| 0; 0; 1 |]));
+  Alcotest.(check bool) "empty contains zero" true
+    (Mat.row_space_contains [||] (Vec.zero 3));
+  Alcotest.(check bool) "empty excludes nonzero" false
+    (Mat.row_space_contains [||] (Vec.of_ints [| 1; 0 |]))
+
+let test_mat_orth_complement () =
+  let m = Mat.of_ints [| [| 1; 0; 0 |] |] in
+  let comp = Mat.orthogonal_complement m in
+  Alcotest.(check int) "complement dim" 2 (List.length comp);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "orthogonal" true (Q.is_zero (Vec.dot (Mat.row m 0) v)))
+    comp
+
+let arb_small_mat n =
+  QCheck.map
+    (fun cells ->
+      Array.init n (fun i -> Array.init n (fun j -> q cells.((i * n) + j))))
+    QCheck.(array_of_size (QCheck.Gen.return (n * n)) (int_range (-5) 5))
+
+let prop_inverse_correct =
+  QCheck.Test.make ~name:"mat inverse correct when it exists" ~count:200
+    (arb_small_mat 3)
+    (fun m ->
+      match Mat.inverse m with
+      | None -> Mat.rank m < 3
+      | Some i -> Mat.equal (Mat.mul m i) (Mat.identity 3))
+
+let prop_nullspace_in_kernel =
+  QCheck.Test.make ~name:"nullspace vectors are in the kernel" ~count:200
+    (arb_small_mat 3)
+    (fun m ->
+      List.for_all (fun v -> Vec.is_zero (Mat.mul_vec m v)) (Mat.nullspace m))
+
+let prop_rank_nullity =
+  QCheck.Test.make ~name:"rank + nullity = cols" ~count:200 (arb_small_mat 3)
+    (fun m -> Mat.rank m + List.length (Mat.nullspace m) = 3)
+
+let prop_solve_solves =
+  QCheck.Test.make ~name:"solve finds solutions of constructed systems" ~count:200
+    (QCheck.pair (arb_small_mat 3)
+       (QCheck.triple (QCheck.int_range (-5) 5) (QCheck.int_range (-5) 5)
+          (QCheck.int_range (-5) 5)))
+    (fun (m, (x0, x1, x2)) ->
+      (* build b = m x so the system is solvable by construction *)
+      let x = Vec.of_ints [| x0; x1; x2 |] in
+      let b = Mat.mul_vec m x in
+      match Mat.solve m b with
+      | Some sol -> Vec.equal (Mat.mul_vec m sol) b
+      | None -> false)
+
+let prop_rref_idempotent =
+  QCheck.Test.make ~name:"rref idempotent" ~count:200 (arb_small_mat 3)
+    (fun m ->
+      let r1, _ = Mat.rref m in
+      let r2, _ = Mat.rref r1 in
+      Mat.equal r1 r2)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "linalg"
+    [ ( "bigint",
+        [ Alcotest.test_case "basics" `Quick test_bigint_basics;
+          Alcotest.test_case "strings" `Quick test_bigint_string;
+          Alcotest.test_case "large arithmetic" `Quick test_bigint_arith_large;
+          Alcotest.test_case "divmod signs" `Quick test_bigint_divmod_signs;
+          Alcotest.test_case "fdiv/cdiv" `Quick test_bigint_fdiv_cdiv;
+          Alcotest.test_case "gcd/lcm" `Quick test_bigint_gcd;
+          Alcotest.test_case "pow" `Quick test_bigint_pow;
+          Alcotest.test_case "div by zero" `Quick test_bigint_div_by_zero;
+          Alcotest.test_case "knuth stress" `Quick test_bigint_knuth_stress ] );
+      ( "bigint-props",
+        qt
+          [ prop_roundtrip; prop_add_matches; prop_mul_matches;
+            prop_divmod_invariant; prop_gcd_divides; prop_compare_total_order;
+            prop_string_roundtrip ] );
+      ( "q",
+        [ Alcotest.test_case "normalization" `Quick test_q_normalization;
+          Alcotest.test_case "arithmetic" `Quick test_q_arith;
+          Alcotest.test_case "floor/ceil" `Quick test_q_floor_ceil ] );
+      ("q-props", qt [ prop_q_field; prop_q_compare_antisym; prop_q_floor_le ]);
+      ( "vec",
+        [ Alcotest.test_case "dot" `Quick test_vec_dot;
+          Alcotest.test_case "normalize_int" `Quick test_vec_normalize;
+          Alcotest.test_case "unit" `Quick test_vec_unit ] );
+      ( "mat",
+        [ Alcotest.test_case "mul" `Quick test_mat_mul;
+          Alcotest.test_case "inverse" `Quick test_mat_inverse;
+          Alcotest.test_case "rank/nullspace" `Quick test_mat_rank_nullspace;
+          Alcotest.test_case "solve" `Quick test_mat_solve;
+          Alcotest.test_case "row space" `Quick test_mat_rowspace;
+          Alcotest.test_case "orth complement" `Quick test_mat_orth_complement ] );
+      ( "mat-props",
+        qt
+          [ prop_inverse_correct; prop_nullspace_in_kernel; prop_rank_nullity;
+            prop_rref_idempotent; prop_solve_solves ] ) ]

@@ -1,0 +1,249 @@
+(* Tests for the Pluto-style scheduler: Farkas spaces, hyperplanes,
+   fusion models, satisfaction analysis. Uses the paper's two running
+   examples (gemver, advect). *)
+
+open Scop
+open Scop.Build
+open Deps
+open Pluto
+
+let gemver () =
+  let ctx = create ~name:"gemver" ~params:[ ("N", 20) ] in
+  let n = param ctx "N" in
+  let a = array ctx "A" [ n; n ] in
+  let u1 = array ctx "u1" [ n ] and v1 = array ctx "v1" [ n ] in
+  let x = array ctx "x" [ n ] and y = array ctx "y" [ n ] in
+  let z = array ctx "z" [ n ] and w = array ctx "w" [ n ] in
+  let lb = ci 0 and ub = n -~ ci 1 in
+  loop ctx "i" ~lb ~ub (fun i ->
+      loop ctx "j" ~lb ~ub (fun j ->
+          assign ctx "S1" a [ i; j ] (a.%([ i; j ]) +: (u1.%([ i ]) *: v1.%([ j ])))));
+  loop ctx "i" ~lb ~ub (fun i ->
+      loop ctx "j" ~lb ~ub (fun j ->
+          assign ctx "S2" x [ i ] (x.%([ i ]) +: (a.%([ j; i ]) *: y.%([ j ])))));
+  loop ctx "i" ~lb ~ub (fun i ->
+      assign ctx "S3" x [ i ] (x.%([ i ]) +: z.%([ i ])));
+  loop ctx "i" ~lb ~ub (fun i ->
+      loop ctx "j" ~lb ~ub (fun j ->
+          assign ctx "S4" w [ i ] (w.%([ i ]) +: (a.%([ i; j ]) *: x.%([ j ])))));
+  finish ctx
+
+(* advect (Section 3 / Figure 4): three producers and a consumer whose
+   stencil reads force either shifting (maxfuse) or distribution
+   (Algorithm 2) *)
+let advect () =
+  let ctx = create ~name:"advect" ~params:[ ("N", 12) ] in
+  let n = param ctx "N" in
+  let u = array ctx "u" [ n +~ ci 2; n +~ ci 2 ] in
+  let v = array ctx "v" [ n +~ ci 2; n +~ ci 2 ] in
+  let w0 = array ctx "w0" [ n +~ ci 2; n +~ ci 2 ] in
+  let cx = array ctx "cx" [ n +~ ci 2; n +~ ci 2 ] in
+  let cy = array ctx "cy" [ n +~ ci 2; n +~ ci 2 ] in
+  let cz = array ctx "cz" [ n +~ ci 2; n +~ ci 2 ] in
+  let adv = array ctx "adv" [ n +~ ci 2; n +~ ci 2 ] in
+  let lb = ci 1 and ub = n in
+  loop ctx "i" ~lb ~ub (fun i ->
+      loop ctx "j" ~lb ~ub (fun j ->
+          assign ctx "S1" cx [ i; j ] (u.%([ i; j ]) +: u.%([ i; j +~ ci 1 ]))));
+  loop ctx "i" ~lb ~ub (fun i ->
+      loop ctx "j" ~lb ~ub (fun j ->
+          assign ctx "S2" cy [ i; j ] (v.%([ i; j ]) +: v.%([ i +~ ci 1; j ]))));
+  loop ctx "i" ~lb ~ub (fun i ->
+      loop ctx "j" ~lb ~ub (fun j ->
+          assign ctx "S3" cz [ i; j ] (w0.%([ i; j ]) *: f 2.0)));
+  loop ctx "i" ~lb ~ub (fun i ->
+      loop ctx "j" ~lb ~ub (fun j ->
+          assign ctx "S4" adv [ i; j ]
+            (cx.%([ i; j ]) -: cx.%([ i; j +~ ci 1 ])
+            +: (cy.%([ i; j ]) -: cy.%([ i +~ ci 1; j ]))
+            +: cz.%([ i; j ]))));
+  finish ctx
+
+(* --- Farkas spaces ------------------------------------------------------ *)
+
+(* For gemver's S1 -> S2 flow on A, legal hyperplane pairs must satisfy
+   the legality space; the interchange pair (S1 = j, S2 = i) does, the
+   identity pair (S1 = i, S2 = i) does not. *)
+let test_farkas_legality () =
+  let p = gemver () in
+  let deps = Dep.analyze p in
+  let d =
+    List.find
+      (fun (d : Dep.t) ->
+        d.src = 0 && d.dst = 1 && d.kind = Dep.Flow && d.src_access.Access.array = "A")
+      deps
+  in
+  let space = Farkas.legality_space ~d1:2 ~d2:2 ~np:1 d.poly in
+  (* local layout: [cS1_i; cS1_j; cS1_0; cS2_i; cS2_j; cS2_0; u; w] *)
+  let point l = Array.map Linalg.Q.of_int (Array.of_list l) in
+  Alcotest.(check bool) "interchange legal" true
+    (Poly.Polyhedron.contains space (point [ 0; 1; 0; 1; 0; 0; 0; 0 ]));
+  Alcotest.(check bool) "identity illegal" false
+    (Poly.Polyhedron.contains space (point [ 1; 0; 0; 1; 0; 0; 0; 0 ]));
+  Alcotest.(check bool) "inner pair legal" true
+    (Poly.Polyhedron.contains space (point [ 1; 0; 0; 0; 1; 0; 0; 0 ]))
+
+let test_farkas_bounding () =
+  let p = gemver () in
+  let deps = Dep.analyze p in
+  let d =
+    List.find
+      (fun (d : Dep.t) ->
+        d.src = 0 && d.dst = 1 && d.kind = Dep.Flow && d.src_access.Access.array = "A")
+      deps
+  in
+  let space = Farkas.bounding_space ~d1:2 ~d2:2 ~np:1 d.poly in
+  let point l = Array.map Linalg.Q.of_int (Array.of_list l) in
+  (* interchange pair has delta = 0 everywhere: u = w = 0 suffices *)
+  Alcotest.(check bool) "zero communication bound" true
+    (Poly.Polyhedron.contains space (point [ 0; 1; 0; 1; 0; 0; 0; 0 ]));
+  (* the pair (S1 = j, S2 = j) has delta = i - j, up to N-1: u=0,w=0 fails *)
+  Alcotest.(check bool) "distance needs u" false
+    (Poly.Polyhedron.contains space (point [ 0; 1; 0; 0; 1; 0; 0; 0 ]));
+  Alcotest.(check bool) "u = 1 suffices" true
+    (Poly.Polyhedron.contains space (point [ 0; 1; 0; 0; 1; 0; 1; 0 ]))
+
+(* --- scheduler on gemver ------------------------------------------------ *)
+
+let iter_part_of_first_hyp (res : Scheduler.result) id =
+  let depth = Statement.depth res.prog.stmts.(id) in
+  let rec find = function
+    | [] -> Alcotest.fail "no hyperplane row"
+    | Sched.Hyp h :: _ -> Array.sub h 0 depth
+    | Sched.Beta _ :: rest -> find rest
+  in
+  find res.sched.(id)
+
+let test_gemver_smartfuse () =
+  let res = Scheduler.run Scheduler.smartfuse (gemver ()) in
+  (* legal *)
+  (match Satisfy.check_legal res.prog res.true_deps res.sched with
+  | Ok () -> ()
+  | Error d -> Alcotest.fail (Format.asprintf "illegal: %a" Dep.pp d));
+  (* S1 and S2 fused; S3 and S4 in separate partitions (paper Fig. 3) *)
+  Alcotest.(check int) "S1,S2 fused" res.outer_partition.(0) res.outer_partition.(1);
+  Alcotest.(check bool) "S3 apart" true
+    (res.outer_partition.(2) <> res.outer_partition.(0));
+  Alcotest.(check bool) "S4 apart" true
+    (res.outer_partition.(3) <> res.outer_partition.(2)
+    && res.outer_partition.(3) <> res.outer_partition.(0));
+  (* the fusion is enabled by interchanging S1 (Figure 1(c)) *)
+  Alcotest.(check (array int)) "S1 interchanged" [| 0; 1 |]
+    (iter_part_of_first_hyp res 0);
+  Alcotest.(check (array int)) "S2 keeps i outer" [| 1; 0 |]
+    (iter_part_of_first_hyp res 1)
+
+let test_gemver_nofuse () =
+  let res = Scheduler.run Scheduler.nofuse (gemver ()) in
+  (match Satisfy.check_legal res.prog res.true_deps res.sched with
+  | Ok () -> ()
+  | Error d -> Alcotest.fail (Format.asprintf "illegal: %a" Dep.pp d));
+  let parts = Scheduler.partitions res in
+  Alcotest.(check int) "four partitions" 4 (List.length parts)
+
+let test_gemver_maxfuse () =
+  let res = Scheduler.run Scheduler.maxfuse (gemver ()) in
+  (match Satisfy.check_legal res.prog res.true_deps res.sched with
+  | Ok () -> ()
+  | Error d -> Alcotest.fail (Format.asprintf "illegal: %a" Dep.pp d));
+  let parts = Scheduler.partitions res in
+  Alcotest.(check bool) "at most as many partitions as smartfuse" true
+    (List.length parts
+    <= List.length (Scheduler.partitions (Scheduler.run Scheduler.smartfuse (gemver ()))))
+
+(* --- scheduler on advect ------------------------------------------------- *)
+
+let test_advect_maxfuse_shifts () =
+  let res = Scheduler.run Scheduler.maxfuse (advect ()) in
+  (match Satisfy.check_legal res.prog res.true_deps res.sched with
+  | Ok () -> ()
+  | Error d -> Alcotest.fail (Format.asprintf "illegal: %a" Dep.pp d));
+  (* everything fused into one nest (Figure 4(c)) *)
+  Alcotest.(check int) "one partition" 1
+    (List.length (Scheduler.partitions res));
+  (* ... at the price of outer-loop parallelism: the outermost loop has
+     a forward dependence *)
+  let members = [ 0; 1; 2; 3 ] in
+  let first_hyp_level =
+    let rec find l =
+      if Sched.is_beta_level res.sched l then find (l + 1) else l
+    in
+    find 0
+  in
+  Alcotest.(check bool) "outer loop is pipelined, not parallel" true
+    (Satisfy.row_class res.prog res.true_deps res.sched ~level:first_hyp_level
+       ~members
+    = Satisfy.Forward)
+
+let test_advect_smartfuse_same_as_maxfuse () =
+  (* all SCCs have dimensionality 2 here, so smartfuse = maxfuse
+     (the paper: "Both smartfuse and maxfuse apply maximal fusion in
+     these cases") *)
+  let res = Scheduler.run Scheduler.smartfuse (advect ()) in
+  Alcotest.(check int) "one partition" 1 (List.length (Scheduler.partitions res))
+
+let test_advect_nofuse_parallel () =
+  let res = Scheduler.run Scheduler.nofuse (advect ()) in
+  (match Satisfy.check_legal res.prog res.true_deps res.sched with
+  | Ok () -> ()
+  | Error d -> Alcotest.fail (Format.asprintf "illegal: %a" Dep.pp d));
+  Alcotest.(check int) "four partitions" 4
+    (List.length (Scheduler.partitions res));
+  (* each distributed nest is outer-parallel *)
+  List.iter
+    (fun members ->
+      Alcotest.(check bool) "outer parallel" true
+        (Satisfy.row_class res.prog res.true_deps res.sched ~level:1 ~members
+        = Satisfy.Parallel))
+    (Scheduler.partitions res)
+
+(* --- schedule structure invariants --------------------------------------- *)
+
+let test_schedule_shape () =
+  List.iter
+    (fun cfg ->
+      let res = Scheduler.run cfg (gemver ()) in
+      let lens = Array.map List.length res.sched in
+      Array.iter
+        (fun l -> Alcotest.(check int) "same row count" lens.(0) l)
+        lens;
+      (* row kinds agree across statements *)
+      for level = 0 to lens.(0) - 1 do
+        let kind id =
+          match List.nth res.sched.(id) level with
+          | Sched.Beta _ -> true
+          | Sched.Hyp _ -> false
+        in
+        Array.iteri
+          (fun id _ ->
+            Alcotest.(check bool) "kind agrees" (kind 0) (kind id))
+          res.sched
+      done)
+    [ Scheduler.nofuse; Scheduler.smartfuse; Scheduler.maxfuse ]
+
+let test_satisfaction_levels () =
+  let res = Scheduler.run Scheduler.smartfuse (gemver ()) in
+  (* every true dependence is satisfied somewhere *)
+  List.iter
+    (fun (d : Dep.t) ->
+      match Satisfy.satisfaction_level res.prog d res.sched with
+      | Some _ -> ()
+      | None -> Alcotest.fail (Format.asprintf "unsatisfied: %a" Dep.pp d))
+    res.true_deps
+
+let () =
+  Alcotest.run "pluto"
+    [ ( "farkas",
+        [ Alcotest.test_case "legality space" `Quick test_farkas_legality;
+          Alcotest.test_case "bounding space" `Quick test_farkas_bounding ] );
+      ( "gemver",
+        [ Alcotest.test_case "smartfuse" `Quick test_gemver_smartfuse;
+          Alcotest.test_case "nofuse" `Quick test_gemver_nofuse;
+          Alcotest.test_case "maxfuse" `Quick test_gemver_maxfuse ] );
+      ( "advect",
+        [ Alcotest.test_case "maxfuse shifts" `Quick test_advect_maxfuse_shifts;
+          Alcotest.test_case "smartfuse = maxfuse" `Quick test_advect_smartfuse_same_as_maxfuse;
+          Alcotest.test_case "nofuse parallel" `Quick test_advect_nofuse_parallel ] );
+      ( "structure",
+        [ Alcotest.test_case "shape invariants" `Quick test_schedule_shape;
+          Alcotest.test_case "all satisfied" `Quick test_satisfaction_levels ] ) ]

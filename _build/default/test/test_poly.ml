@@ -1,0 +1,219 @@
+(* Tests for constraints and polyhedra (Fourier-Motzkin core). *)
+
+open Linalg
+open Poly
+
+let vec = Vec.of_int_list
+
+(* --- Constr ----------------------------------------------------------- *)
+
+let test_constr_normalization () =
+  (* 2x + 4y + 6 >= 0 normalizes to x + 2y + 3 >= 0 *)
+  let c = Constr.ge [ 2; 4; 6 ] in
+  Alcotest.(check bool) "normalized" true
+    (Vec.equal (Constr.coeffs c) (vec [ 1; 2; 3 ]));
+  (* orientation preserved *)
+  let c2 = Constr.ge [ -2; -4; -6 ] in
+  Alcotest.(check bool) "orientation" true
+    (Vec.equal (Constr.coeffs c2) (vec [ -1; -2; -3 ]))
+
+let test_constr_eval_holds () =
+  let c = Constr.ge [ 1; -1; 0 ] in
+  (* x - y >= 0 *)
+  Alcotest.(check bool) "holds" true (Constr.holds c (vec [ 3; 2 ]));
+  Alcotest.(check bool) "boundary" true (Constr.holds c (vec [ 2; 2 ]));
+  Alcotest.(check bool) "fails" false (Constr.holds c (vec [ 1; 2 ]));
+  let e = Constr.eq [ 1; 1; -4 ] in
+  Alcotest.(check bool) "eq holds" true (Constr.holds e (vec [ 1; 3 ]));
+  Alcotest.(check bool) "eq fails" false (Constr.holds e (vec [ 1; 2 ]))
+
+let test_constr_trivial () =
+  Alcotest.(check (option bool)) "true" (Some true)
+    (Constr.is_trivial (Constr.ge [ 0; 0; 5 ]));
+  Alcotest.(check (option bool)) "false" (Some false)
+    (Constr.is_trivial (Constr.ge [ 0; 0; -1 ]));
+  Alcotest.(check (option bool)) "eq false" (Some false)
+    (Constr.is_trivial (Constr.eq [ 0; 3 ]));
+  Alcotest.(check (option bool)) "nontrivial" None
+    (Constr.is_trivial (Constr.ge [ 1; 0; 0 ]))
+
+let test_constr_negate () =
+  (* not (x - 3 >= 0) over Z is -x + 2 >= 0 i.e. x <= 2 *)
+  let c = Constr.negate_int (Constr.ge [ 1; -3 ]) in
+  Alcotest.(check bool) "x=2 sat" true (Constr.holds c (vec [ 2 ]));
+  Alcotest.(check bool) "x=3 unsat" false (Constr.holds c (vec [ 3 ]))
+
+let test_constr_rename () =
+  (* x0 + 2 x1 >= 0 over 2 vars -> x1 + 2 x3 over 4 vars *)
+  let c = Constr.ge [ 1; 2; 0 ] in
+  let r = Constr.rename ~dim_to:4 (fun i -> (2 * i) + 1) c in
+  Alcotest.(check bool) "renamed" true
+    (Vec.equal (Constr.coeffs r) (vec [ 0; 1; 0; 2; 0 ]))
+
+let test_constr_tighten () =
+  (* 2x - 3 >= 0 tightens to x - 2 >= 0 (x >= 3/2 means x >= 2 over Z) *)
+  let c = Constr.unsafe_make Constr.Ge (vec [ 2; -3 ]) in
+  let tight = Constr.tighten_int c in
+  Alcotest.(check bool) "tightened" true
+    (Vec.equal (Constr.coeffs tight) (vec [ 1; -2 ]))
+
+(* --- Polyhedron -------------------------------------------------------- *)
+
+(* the triangle 0 <= y <= x <= 5 *)
+let triangle =
+  Polyhedron.make 2
+    [ Constr.ge [ 0; 1; 0 ] (* y >= 0 *);
+      Constr.ge [ 1; -1; 0 ] (* x - y >= 0 *);
+      Constr.ge [ -1; 0; 5 ] (* 5 - x >= 0 *) ]
+
+let test_poly_contains () =
+  Alcotest.(check bool) "inside" true (Polyhedron.contains_int triangle [| 3; 2 |]);
+  Alcotest.(check bool) "vertex" true (Polyhedron.contains_int triangle [| 5; 5 |]);
+  Alcotest.(check bool) "outside" false (Polyhedron.contains_int triangle [| 2; 3 |])
+
+let test_poly_empty () =
+  let p =
+    Polyhedron.make 1 [ Constr.ge [ 1; 0 ] (* x >= 0 *); Constr.ge [ -1; -1 ] (* x <= -1 *) ]
+  in
+  Alcotest.(check bool) "empty" true (Polyhedron.is_empty p);
+  Alcotest.(check bool) "nonempty" false (Polyhedron.is_empty triangle);
+  Alcotest.(check bool) "universe nonempty" false
+    (Polyhedron.is_empty (Polyhedron.universe 3));
+  Alcotest.(check bool) "canonical empty" true
+    (Polyhedron.is_empty (Polyhedron.empty 2))
+
+let test_poly_empty_gap () =
+  (* 1 <= 2x <= 1 within integers: x = 1/2, rational point but the
+     equality normalization keeps it rationally non-empty; with strict
+     integer gap 2x = 1 we rely on FM + tightening of inequalities *)
+  let p =
+    Polyhedron.make 1
+      [ Constr.unsafe_make Constr.Ge (vec [ 2; -1 ]) (* 2x - 1 >= 0 *);
+        Constr.unsafe_make Constr.Ge (vec [ -2; 1 ]) (* -2x + 1 >= 0 *) ]
+  in
+  (* tightening: x >= 1 and x <= 0 -> integer empty *)
+  Alcotest.(check bool) "integer gap detected" true (Polyhedron.is_empty p)
+
+let test_poly_eliminate () =
+  (* project triangle onto x: expect 0 <= x <= 5 *)
+  let proj = Polyhedron.eliminate triangle [ 1 ] in
+  Alcotest.(check int) "dim" 1 (Polyhedron.dim proj);
+  Alcotest.(check bool) "x=0" true (Polyhedron.contains_int proj [| 0 |]);
+  Alcotest.(check bool) "x=5" true (Polyhedron.contains_int proj [| 5 |]);
+  Alcotest.(check bool) "x=-1" false (Polyhedron.contains_int proj [| -1 |]);
+  Alcotest.(check bool) "x=6" false (Polyhedron.contains_int proj [| 6 |])
+
+let test_poly_eliminate_eq () =
+  (* x = y, 0 <= x <= 3; eliminate x -> 0 <= y <= 3 *)
+  let p =
+    Polyhedron.make 2
+      [ Constr.eq [ 1; -1; 0 ]; Constr.ge [ 1; 0; 0 ]; Constr.ge [ -1; 0; 3 ] ]
+  in
+  let proj = Polyhedron.eliminate p [ 0 ] in
+  Alcotest.(check bool) "y=0" true (Polyhedron.contains_int proj [| 0 |]);
+  Alcotest.(check bool) "y=3" true (Polyhedron.contains_int proj [| 3 |]);
+  Alcotest.(check bool) "y=4" false (Polyhedron.contains_int proj [| 4 |])
+
+let test_poly_integer_points () =
+  let pts = Polyhedron.integer_points ~lo:[| 0; 0 |] ~hi:[| 5; 5 |] triangle in
+  (* triangle 0 <= y <= x <= 5 has 6+5+4+3+2+1 = 21 integer points *)
+  Alcotest.(check int) "count" 21 (List.length pts);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "all inside" true (Polyhedron.contains_int triangle p))
+    pts
+
+let test_poly_insert_dims () =
+  let p = Polyhedron.insert_dims triangle ~at:1 ~count:2 in
+  Alcotest.(check int) "dim" 4 (Polyhedron.dim p);
+  (* old y is now var 3; new vars 1, 2 unconstrained *)
+  Alcotest.(check bool) "inside" true
+    (Polyhedron.contains_int p [| 3; 100; -100; 2 |]);
+  Alcotest.(check bool) "outside" false
+    (Polyhedron.contains_int p [| 2; 0; 0; 3 |])
+
+let test_poly_bounds () =
+  let lower, upper, rest = Polyhedron.lower_upper_bounds triangle 0 in
+  (* x appears with +1 in (x - y >= 0) -> lower for x;
+     with -1 in (5 - x >= 0) -> upper; y >= 0 has no x *)
+  Alcotest.(check int) "lower count" 1 (List.length lower);
+  Alcotest.(check int) "upper count" 1 (List.length upper);
+  Alcotest.(check int) "rest count" 1 (List.length rest)
+
+let test_poly_dedup_keeps_tightest () =
+  let p =
+    Polyhedron.make 1
+      [ Constr.ge [ -1; 10 ] (* x <= 10 *); Constr.ge [ -1; 5 ] (* x <= 5 *) ]
+  in
+  Alcotest.(check int) "one constraint survives" 1
+    (List.length (Polyhedron.constraints p));
+  Alcotest.(check bool) "tightest kept" false (Polyhedron.contains_int p [| 7 |]);
+  Alcotest.(check bool) "5 ok" true (Polyhedron.contains_int p [| 5 |])
+
+(* --- projection soundness property ------------------------------------- *)
+
+(* Random small polyhedra in 3 vars; FM projection must (a) contain the
+   shadow of every integer point and (b) over the box, contain no point
+   whose fibre is integer-empty... (b) is not guaranteed over Z by FM
+   (it is exact over Q), so we only check (a) plus rational exactness:
+   every integer point of the projection lifts to a *rational* point. *)
+
+let arb_poly3 =
+  let gen_constr =
+    QCheck.Gen.(
+      map
+        (fun (a, b, c, k) -> Constr.ge [ a; b; c; k ])
+        (quad (int_range (-3) 3) (int_range (-3) 3) (int_range (-3) 3)
+           (int_range 0 6)))
+  in
+  QCheck.make
+    QCheck.Gen.(map (fun cs -> Polyhedron.make 3 cs) (list_size (int_range 1 5) gen_constr))
+
+let prop_projection_sound =
+  QCheck.Test.make ~name:"FM projection contains all shadows" ~count:100 arb_poly3
+    (fun p ->
+      let proj = Polyhedron.eliminate p [ 2 ] in
+      let pts = Polyhedron.integer_points ~lo:[| -4; -4; -4 |] ~hi:[| 4; 4; 4 |] p in
+      List.for_all (fun pt -> Polyhedron.contains_int proj [| pt.(0); pt.(1) |]) pts)
+
+let prop_empty_implies_no_points =
+  QCheck.Test.make ~name:"is_empty implies no integer points in box" ~count:100
+    arb_poly3
+    (fun p ->
+      (not (Polyhedron.is_empty p))
+      || Polyhedron.integer_points ~lo:[| -4; -4; -4 |] ~hi:[| 4; 4; 4 |] p = [])
+
+let prop_intersect_conjunction =
+  QCheck.Test.make ~name:"intersection is conjunction on points" ~count:100
+    (QCheck.pair arb_poly3 arb_poly3)
+    (fun (a, b) ->
+      let inter = Polyhedron.intersect a b in
+      let box = ([| -2; -2; -2 |], [| 2; 2; 2 |]) in
+      let lo, hi = box in
+      Polyhedron.integer_points ~lo ~hi inter
+      = List.filter (Polyhedron.contains_int b) (Polyhedron.integer_points ~lo ~hi a))
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "poly"
+    [ ( "constr",
+        [ Alcotest.test_case "normalization" `Quick test_constr_normalization;
+          Alcotest.test_case "eval/holds" `Quick test_constr_eval_holds;
+          Alcotest.test_case "trivial" `Quick test_constr_trivial;
+          Alcotest.test_case "negate_int" `Quick test_constr_negate;
+          Alcotest.test_case "rename" `Quick test_constr_rename;
+          Alcotest.test_case "tighten_int" `Quick test_constr_tighten ] );
+      ( "polyhedron",
+        [ Alcotest.test_case "contains" `Quick test_poly_contains;
+          Alcotest.test_case "emptiness" `Quick test_poly_empty;
+          Alcotest.test_case "integer gap" `Quick test_poly_empty_gap;
+          Alcotest.test_case "eliminate (FM)" `Quick test_poly_eliminate;
+          Alcotest.test_case "eliminate via equality" `Quick test_poly_eliminate_eq;
+          Alcotest.test_case "integer points" `Quick test_poly_integer_points;
+          Alcotest.test_case "insert dims" `Quick test_poly_insert_dims;
+          Alcotest.test_case "lower/upper bounds" `Quick test_poly_bounds;
+          Alcotest.test_case "dedup tightest" `Quick test_poly_dedup_keeps_tightest ] );
+      ( "poly-props",
+        qt
+          [ prop_projection_sound; prop_empty_implies_no_points;
+            prop_intersect_conjunction ] ) ]
