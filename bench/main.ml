@@ -450,6 +450,138 @@ let vector () =
     [ ("gemver", Kernels.Gemver.program ~n:48 ());
       ("advect", Kernels.Advect.program ~n:32 ()) ]
 
+(* --- end-to-end pipeline timings + BENCH_pipeline.json ------------------------ *)
+
+(* Smoke mode (BENCH_SMOKE=1, used by CI) runs one repetition per kernel
+   and a short Bechamel quota so the job finishes in seconds. *)
+let smoke =
+  match Sys.getenv_opt "BENCH_SMOKE" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+(* The ILP-heavy kernels first: swim and gemsfdtd dominate the exact
+   arithmetic time (20+ statements, hundreds of LP solves each). *)
+let pipeline_kernels =
+  [ ("swim", fun () -> Kernels.Swim.program ~n:24 ());
+    ("gemsfdtd", fun () -> Kernels.Gemsfdtd.program ~n:10 ());
+    ("advect", fun () -> Kernels.Advect.program ~n:16 ());
+    ("gemver", fun () -> Kernels.Gemver.program ~n:20 ()) ]
+
+type pipeline_row = {
+  kernel : string;
+  wall_ms : float; (* best-of-reps wall time of one full scheduler run *)
+  counters : (string * int) list; (* per-run counter averages *)
+  stages : (string * float) list; (* per-run stage seconds *)
+}
+
+let time_pipeline_kernel (name, mk) =
+  let cfg = scheduler_config Wisefuse in
+  let prog = mk () in
+  ignore (Pluto.Scheduler.run cfg prog) (* warm-up *);
+  let reps = if smoke then 1 else 3 in
+  Linalg.Counters.reset ();
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    ignore (Pluto.Scheduler.run cfg prog);
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  let per_run v = v / reps in
+  let counters =
+    List.map (fun (n, v) -> (n, per_run v)) (Linalg.Counters.all_counters ())
+  in
+  let stages =
+    List.map
+      (fun (n, s) -> (n, s /. float_of_int reps))
+      (Linalg.Counters.stage_times ())
+  in
+  { kernel = name; wall_ms = !best *. 1e3; counters; stages }
+
+let bench_json_file = "BENCH_pipeline.json"
+
+let pipeline_json rows =
+  let label =
+    Option.value (Sys.getenv_opt "BENCH_LABEL") ~default:"dev"
+  in
+  let buf = Buffer.create 2048 in
+  let total = List.fold_left (fun a r -> a +. r.wall_ms) 0.0 rows in
+  Buffer.add_string buf
+    (Printf.sprintf "    {\n      \"label\": %S,\n      \"smoke\": %b,\n      \"kernels\": {\n"
+       label smoke);
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf (Printf.sprintf "        %S: {\n" r.kernel);
+      Buffer.add_string buf
+        (Printf.sprintf "          \"wall_ms\": %.2f" r.wall_ms);
+      List.iter
+        (fun (n, v) ->
+          Buffer.add_string buf (Printf.sprintf ",\n          %S: %d" n v))
+        r.counters;
+      List.iter
+        (fun (n, s) ->
+          Buffer.add_string buf
+            (Printf.sprintf ",\n          \"%s_ms\": %.2f" n (s *. 1e3)))
+        r.stages;
+      Buffer.add_string buf
+        (if i = List.length rows - 1 then "\n        }\n" else "\n        },\n"))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf "      },\n      \"total_wall_ms\": %.2f\n    }" total);
+  Buffer.contents buf
+
+let json_header =
+  "{\n  \"schema\": 1,\n  \"unit\": \"wall milliseconds per wisefuse scheduler run (best of N)\",\n  \"runs\": [\n"
+
+let json_footer = "\n  ]\n}\n"
+
+(* Append the new run to the existing file when its shape matches, so the
+   file accumulates the perf trajectory across PRs; otherwise start over. *)
+let write_pipeline_json rows =
+  let run = pipeline_json rows in
+  let existing =
+    if Sys.file_exists bench_json_file then begin
+      let ic = open_in_bin bench_json_file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some s
+    end
+    else None
+  in
+  let content =
+    match existing with
+    | Some s
+      when String.length s > String.length json_footer
+           && String.sub s
+                (String.length s - String.length json_footer)
+                (String.length json_footer)
+              = json_footer ->
+      String.sub s 0 (String.length s - String.length json_footer)
+      ^ ",\n" ^ run ^ json_footer
+    | _ -> json_header ^ run ^ json_footer
+  in
+  let oc = open_out_bin bench_json_file in
+  output_string oc content;
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" bench_json_file
+
+let pipeline () =
+  section
+    "Pipeline: end-to-end wisefuse scheduling time (exact-arithmetic hot path)";
+  let rows = List.map time_pipeline_kernel pipeline_kernels in
+  Printf.printf "  %-10s %10s %10s %10s %10s %12s\n" "kernel" "wall ms"
+    "lp solves" "pivots" "bb nodes" "promotions";
+  List.iter
+    (fun r ->
+      let c n = try List.assoc n r.counters with Not_found -> 0 in
+      Printf.printf "  %-10s %10.2f %10d %10d %10d %12d\n%!" r.kernel r.wall_ms
+        (c "lp_solves") (c "lp_pivots") (c "bb_nodes") (c "big_promotions"))
+    rows;
+  let total = List.fold_left (fun a r -> a +. r.wall_ms) 0.0 rows in
+  Printf.printf "  %-10s %10.2f\n" "total" total;
+  write_pipeline_json rows
+
 (* --- Bechamel: time the compiler itself -------------------------------------- *)
 
 let bechamel () =
@@ -483,7 +615,10 @@ let bechamel () =
           ignore (Icc.Icc_model.run (Kernels.Gemsfdtd.program ~n:4 ()))) ]
   in
   let instances = [ Instance.monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) () in
+  let cfg =
+    if smoke then Benchmark.cfg ~limit:25 ~quota:(Time.second 0.05) ()
+    else Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) ()
+  in
   List.iter
     (fun t ->
       let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ t ]) in
@@ -497,7 +632,10 @@ let bechamel () =
           | Some [ est ] -> Printf.printf "  %-26s %14.0f ns/run\n%!" name est
           | _ -> Printf.printf "  %-26s (no estimate)\n%!" name)
         res)
-    tests
+    tests;
+  (* the pipeline timings ride along so `-- bechamel` (what CI runs)
+     always refreshes BENCH_pipeline.json *)
+  pipeline ()
 
 (* --- driver -------------------------------------------------------------------- *)
 
@@ -506,7 +644,7 @@ let experiments =
     ("fig5", fig5); ("fig4_6", fig4_6); ("fig7", fig7); ("fig8", fig8);
     ("scaling", scaling); ("ablation", ablation); ("extras", extras);
     ("tiling", tiling); ("locality", locality); ("space", space);
-    ("vector", vector); ("bechamel", bechamel) ]
+    ("vector", vector); ("pipeline", pipeline); ("bechamel", bechamel) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -37,6 +37,17 @@ let simd_arg =
   let doc = "Model simd width (1 = off)." in
   Arg.(value & opt int 1 & info [ "simd" ] ~docv:"W" ~doc)
 
+let stats_arg =
+  let doc =
+    "Print pipeline performance counters (LP solves, simplex pivots, \
+     bignum promotions, per-stage wall time) after the run."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let report_stats stats =
+  if stats then
+    Format.printf "=== pipeline counters ===@.%a@." Linalg.Counters.pp ()
+
 let load name size =
   match Kernels.Registry.find name with
   | entry ->
@@ -120,7 +131,7 @@ let deps_cmd =
 (* --- opt -------------------------------------------------------------- *)
 
 let opt_cmd =
-  let run name size model tile =
+  let run name size model tile stats =
     let prog = load name size in
     let ast, res = ast_of_model ?tile prog model in
     (match res with
@@ -141,10 +152,11 @@ let opt_cmd =
             nst.stmts;
           Format.printf "@.")
         r.Icc.Icc_model.nests);
-    Format.printf "=== generated code ===@.%a@." (Codegen.Ast.pp prog) ast
+    Format.printf "=== generated code ===@.%a@." (Codegen.Ast.pp prog) ast;
+    report_stats stats
   in
   Cmd.v (Cmd.info "opt" ~doc:"Optimize and print the transformed code")
-    Term.(const run $ kernel_arg $ size_arg $ model_arg $ tile_arg)
+    Term.(const run $ kernel_arg $ size_arg $ model_arg $ tile_arg $ stats_arg)
 
 (* --- emit ------------------------------------------------------------- *)
 
@@ -162,7 +174,7 @@ let emit_cmd =
 (* --- sim -------------------------------------------------------------- *)
 
 let sim_cmd =
-  let run name size model cores tile simd =
+  let run name size model cores tile simd stats =
     let prog = load name size in
     let params = prog.Scop.Program.default_params in
     let ast, _ = ast_of_model ?tile prog model in
@@ -180,11 +192,12 @@ let sim_cmd =
     in
     let st = Machine.Perf.simulate ~config prog ast ~params in
     Format.printf "%s on %d cores: %a@." model cores Machine.Perf.pp_stats st;
-    Format.printf "modeled time: %.3f ms@." (Machine.Perf.seconds st *. 1e3)
+    Format.printf "modeled time: %.3f ms@." (Machine.Perf.seconds st *. 1e3);
+    report_stats stats
   in
   Cmd.v (Cmd.info "sim" ~doc:"Simulate on the machine model")
     Term.(const run $ kernel_arg $ size_arg $ model_arg $ cores_arg $ tile_arg
-          $ simd_arg)
+          $ simd_arg $ stats_arg)
 
 let () =
   let doc = "loop fusion in the polyhedral framework (PPoPP'14 reproduction)" in

@@ -46,6 +46,7 @@ let rec branch st p obj =
   if st.nodes >= st.max_nodes then st.gave_up <- true
   else begin
     st.nodes <- st.nodes + 1;
+    incr Counters.bb_nodes;
     match Lp.minimize ~nonneg:st.nonneg p obj with
     | Lp.Infeasible -> ()
     | Lp.Unbounded -> st.saw_unbounded <- true
@@ -68,6 +69,7 @@ let rec branch st p obj =
   end
 
 let run ?(max_nodes = 20000) ?(stop_at_first = false) ?(nonneg = false) p obj =
+  incr Counters.ilp_solves;
   let st =
     {
       nonneg;

@@ -10,11 +10,19 @@
        phase 1 small;
      - phase 1 minimizes the sum of artificials.
 
-   Bland's rule (least-index entering and leaving) guarantees
-   termination. Everything is exact, so no tolerance anywhere. *)
+   Pivoting: Dantzig's largest-coefficient rule by default — far fewer
+   pivots in practice — with a degeneracy detector that switches
+   permanently to Bland's least-index rule once the objective stalls,
+   which restores the termination guarantee. The ratio test compares
+   rhs_i/a_i ratios by cross-multiplication instead of exact division
+   (no gcd normalization per candidate row), and pivot updates skip
+   zero entries of the pivot row. Everything is exact, so no tolerance
+   anywhere. *)
 
 open Linalg
 open Poly
+
+type pivot_rule = Bland | Dantzig
 
 type result =
   | Infeasible
@@ -30,7 +38,7 @@ type tableau = {
 
 let rhs_col t = t.ncols
 
-let pivots_internal = ref 0
+let pivots_internal = Linalg.Counters.lp_pivots
 
 (* Pivot on (row, col): make column [col] the basis column of [row]. *)
 let pivot t row col =
@@ -38,10 +46,12 @@ let pivot t row col =
   let arow = t.a.(row) in
   let p = arow.(col) in
   assert (not (Q.is_zero p));
-  let inv = Q.inv p in
-  for j = 0 to t.ncols do
-    arow.(j) <- Q.mul arow.(j) inv
-  done;
+  if not (Q.equal p Q.one) then begin
+    let inv = Q.inv p in
+    for j = 0 to t.ncols do
+      if not (Q.is_zero arow.(j)) then arow.(j) <- Q.mul arow.(j) inv
+    done
+  end;
   for i = 0 to Array.length t.a - 1 do
     if i <> row then begin
       let f = t.a.(i).(col) in
@@ -60,7 +70,7 @@ let pivot t row col =
 (* One simplex phase: minimize obj (a row of reduced costs, length
    ncols + 1 with the objective value negated in the rhs slot).
    [allowed col] filters columns that may enter. Mutates [t], [obj]. *)
-let run_phase t obj allowed =
+let run_phase ~rule t obj allowed =
   let m = Array.length t.a in
   let continue_ = ref true in
   let status = ref `Optimal in
@@ -68,7 +78,7 @@ let run_phase t obj allowed =
      practice; fall back to Bland's rule permanently once the objective
      stagnates for too long (degenerate-cycling guard), which restores
      the termination guarantee. *)
-  let use_bland = ref false in
+  let use_bland = ref (rule = Bland) in
   let stall = ref 0 in
   let last_value = ref obj.(Array.length obj - 1) in
   while !continue_ do
@@ -105,20 +115,28 @@ let run_phase t obj allowed =
     else begin
       let col = !entering in
       (* leaving: min ratio rhs/a over rows with a > 0; ties by least
-         basis index (Bland) *)
+         basis index (Bland). Ratios are compared by cross
+         multiplication — rhs_i/a_i < rhs_b/a_b iff rhs_i*a_b <
+         rhs_b*a_i for positive coefficients — avoiding one exact
+         division (and its gcd normalization) per candidate row. *)
       let best = ref (-1) in
-      let best_ratio = ref Q.zero in
+      let best_rhs = ref Q.zero and best_coeff = ref Q.one in
       for i = 0 to m - 1 do
         let aij = t.a.(i).(col) in
         if Q.sign aij > 0 then begin
-          let ratio = Q.div t.a.(i).(rhs_col t) aij in
-          if
-            !best < 0
-            || Q.compare ratio !best_ratio < 0
-            || (Q.equal ratio !best_ratio && t.basis.(i) < t.basis.(!best))
-          then begin
+          let rhs = t.a.(i).(rhs_col t) in
+          if !best < 0 then begin
             best := i;
-            best_ratio := ratio
+            best_rhs := rhs;
+            best_coeff := aij
+          end
+          else begin
+            let c = Q.compare (Q.mul rhs !best_coeff) (Q.mul !best_rhs aij) in
+            if c < 0 || (c = 0 && t.basis.(i) < t.basis.(!best)) then begin
+              best := i;
+              best_rhs := rhs;
+              best_coeff := aij
+            end
           end
         end
       done;
@@ -144,7 +162,7 @@ let run_phase t obj allowed =
 
 exception Found_infeasible
 
-let minimize_exn ~nonneg p obj_aff =
+let minimize_exn ~rule ~nonneg p obj_aff =
   let n = Polyhedron.dim p in
   if Vec.dim obj_aff <> n + 1 then invalid_arg "Lp.minimize: objective length";
   let cons = Polyhedron.constraints p in
@@ -224,7 +242,7 @@ let minimize_exn ~nonneg p obj_aff =
           obj1.(j) <- Q.sub obj1.(j) t.a.(i).(j)
         done
     done;
-    (match run_phase t obj1 (fun _ -> true) with
+    (match run_phase ~rule t obj1 (fun _ -> true) with
     | `Unbounded -> assert false (* bounded below by 0 *)
     | `Optimal -> ());
     if Q.sign obj1.(ncols) <> 0 then raise Found_infeasible;
@@ -263,7 +281,7 @@ let minimize_exn ~nonneg p obj_aff =
       done
   done;
   let allowed j = j < t.nstruct in
-  match run_phase t obj2 allowed with
+  match run_phase ~rule t obj2 allowed with
   | `Unbounded -> Unbounded
   | `Optimal ->
     let y = Array.make (ncols + 1) Q.zero in
@@ -277,23 +295,23 @@ let minimize_exn ~nonneg p obj_aff =
     let value = Q.add (Q.neg obj2.(ncols)) obj_aff.(n) in
     Optimal (value, x)
 
-let solves = ref 0
+let solves = Linalg.Counters.lp_solves
 let solve_count () = !solves
 let pivot_count () = !pivots_internal
 
-let minimize ?(nonneg = false) p obj_aff =
+let minimize ?(rule = Dantzig) ?(nonneg = false) p obj_aff =
   incr solves;
-  try minimize_exn ~nonneg p obj_aff with Found_infeasible -> Infeasible
+  try minimize_exn ~rule ~nonneg p obj_aff with Found_infeasible -> Infeasible
 
-let maximize ?nonneg p obj_aff =
-  match minimize ?nonneg p (Vec.neg obj_aff) with
+let maximize ?rule ?nonneg p obj_aff =
+  match minimize ?rule ?nonneg p (Vec.neg obj_aff) with
   | Infeasible -> Infeasible
   | Unbounded -> Unbounded
   | Optimal (v, x) -> Optimal (Q.neg v, x)
 
-let feasible_point ?nonneg p =
+let feasible_point ?rule ?nonneg p =
   let n = Polyhedron.dim p in
-  match minimize ?nonneg p (Vec.zero (n + 1)) with
+  match minimize ?rule ?nonneg p (Vec.zero (n + 1)) with
   | Infeasible -> None
   | Unbounded -> None (* cannot happen with zero objective *)
   | Optimal (_, x) -> Some x

@@ -1,9 +1,18 @@
 (** Exact rational linear programming (two-phase dense simplex,
-    Bland's rule, arbitrary-precision arithmetic).
+    arbitrary-precision arithmetic).
 
     Variables are unrestricted in sign; non-negativity must appear as
-    explicit constraints in the polyhedron when wanted. Termination is
-    guaranteed by Bland's anti-cycling rule; exactness by {!Linalg.Q}. *)
+    explicit constraints in the polyhedron when wanted. The default
+    pivot rule is Dantzig's largest-coefficient rule with an automatic,
+    permanent fallback to Bland's least-index rule when the objective
+    stalls on a degenerate vertex — so termination is still guaranteed.
+    Exactness comes from {!Linalg.Q}: there is no tolerance anywhere. *)
+
+(** Entering-variable selection. [Dantzig] (the default) picks the most
+    negative reduced cost and is much faster in practice; [Bland] picks
+    the least column index and never cycles. Both reach the same
+    optimal value on any bounded feasible program. *)
+type pivot_rule = Bland | Dantzig
 
 type result =
   | Infeasible
@@ -11,23 +20,28 @@ type result =
   | Optimal of Linalg.Q.t * Linalg.Vec.t
       (** optimal objective value and one optimal point *)
 
-(** [minimize ?nonneg p obj] minimizes the affine objective [obj]
+(** [minimize ?rule ?nonneg p obj] minimizes the affine objective [obj]
     (length [dim p + 1], trailing constant) over polyhedron [p].
     With [nonneg:true] every variable is additionally constrained to be
     [>= 0] (and the free-variable split is skipped — cheaper; callers
     must not also add explicit [x >= 0] rows).
     @raise Invalid_argument on objective length mismatch. *)
-val minimize : ?nonneg:bool -> Poly.Polyhedron.t -> Linalg.Vec.t -> result
+val minimize :
+  ?rule:pivot_rule -> ?nonneg:bool -> Poly.Polyhedron.t -> Linalg.Vec.t -> result
 
 (** [maximize p obj] likewise (implemented by negation). *)
-val maximize : ?nonneg:bool -> Poly.Polyhedron.t -> Linalg.Vec.t -> result
+val maximize :
+  ?rule:pivot_rule -> ?nonneg:bool -> Poly.Polyhedron.t -> Linalg.Vec.t -> result
 
 (** [feasible_point p] returns a rational point of [p] if one exists
     (phase-1 only). *)
-val feasible_point : ?nonneg:bool -> Poly.Polyhedron.t -> Linalg.Vec.t option
+val feasible_point :
+  ?rule:pivot_rule -> ?nonneg:bool -> Poly.Polyhedron.t -> Linalg.Vec.t option
 
-(** Number of LP solves since process start (diagnostics). *)
+(** Number of LP solves since process start (alias of
+    {!Linalg.Counters.lp_solves}). *)
 val solve_count : unit -> int
 
-(** Number of simplex pivots since process start (diagnostics). *)
+(** Number of simplex pivots since process start (alias of
+    {!Linalg.Counters.lp_pivots}). *)
 val pivot_count : unit -> int

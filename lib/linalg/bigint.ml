@@ -1,30 +1,79 @@
-(* Sign + magnitude bignums in base 2^30.
+(* Arbitrary-precision signed integers with an immediate fast path.
 
-   Magnitudes are little-endian int arrays with no zero digit at the top.
-   All digit-level products fit in a native int: 2^30 * 2^30 = 2^60 < 2^62.
-   Division uses Knuth's Algorithm D (TAOCP vol. 2, 4.3.1). *)
+   Values that fit a native OCaml int (63 bits) are carried unboxed as
+   [Small of int]; everything else falls back to [Big], a sign +
+   magnitude bignum in base 2^30 (little-endian int array, no zero
+   digit at the top, division by Knuth's Algorithm D, TAOCP 4.3.1).
+
+   Canonicality invariant: a [Big] never represents a value that fits a
+   native int. Every operation that could shrink a value re-checks and
+   demotes, so [Small]/[Small] fast paths (native +, *, /, gcd with an
+   overflow check) cover the overwhelming share of polyhedral-pipeline
+   arithmetic, and structural forms of [compare]/[equal]/[hash] stay
+   cheap and correct.
+
+   All digit-level products fit a native int: 2^30 * 2^30 = 2^60 < 2^62. *)
 
 let base_bits = 30
 let base = 1 lsl base_bits (* 2^30 *)
 let digit_mask = base - 1
 
-type t = { sign : int; mag : int array }
+type big = { sign : int; mag : int array }
 (* invariants: sign = 0 iff mag = [||]; otherwise sign is 1 or -1 and the
    highest digit of mag is non-zero; every digit is in [0, base). *)
 
-let zero = { sign = 0; mag = [||] }
+type t = Small of int | Big of big
+
+let zero = Small 0
+let one = Small 1
+let two = Small 2
+let minus_one = Small (-1)
+
+let of_int n = Small n
 
 let mag_norm (m : int array) : int array =
   let n = ref (Array.length m) in
   while !n > 0 && m.(!n - 1) = 0 do decr n done;
   if !n = Array.length m then m else Array.sub m 0 !n
 
-let make sign mag =
-  let mag = mag_norm mag in
-  if Array.length mag = 0 then zero else { sign; mag }
+(* value of a magnitude as a non-negative native int, if < 2^62 *)
+let mag_to_int_opt (m : int array) =
+  match Array.length m with
+  | 0 -> Some 0
+  | 1 -> Some m.(0)
+  | 2 -> Some ((m.(1) lsl base_bits) lor m.(0))
+  | 3 when m.(2) < 4 ->
+    Some ((m.(2) lsl (2 * base_bits)) lor (m.(1) lsl base_bits) lor m.(0))
+  | _ -> None
 
-let of_int n =
-  if n = 0 then zero
+(* magnitude of min_int (2^62) — the one value whose magnitude does not
+   fit a non-negative native int yet whose negation is a Small *)
+let is_min_int_mag (m : int array) =
+  Array.length m = 3 && m.(2) = 4 && m.(1) = 0 && m.(0) = 0
+
+(* canonicalizing constructor: normalize the magnitude and demote to
+   [Small] whenever the value fits a native int *)
+let of_big sign (mag : int array) =
+  let mag = mag_norm mag in
+  if Array.length mag = 0 then Small 0
+  else begin
+    match mag_to_int_opt mag with
+    | Some v ->
+      incr Counters.demotions;
+      Small (if sign < 0 then -v else v)
+    | None ->
+      if sign < 0 && is_min_int_mag mag then begin
+        incr Counters.demotions;
+        Small Stdlib.min_int
+      end
+      else Big { sign; mag }
+  end
+
+(* promote a native int to the big representation (records a promotion:
+   callers reach this only when a fast path overflowed or an operand was
+   already Big) *)
+let big_of_small n : big =
+  if n = 0 then { sign = 0; mag = [||] }
   else begin
     let sign = if n > 0 then 1 else -1 in
     (* min_int's absolute value overflows; peel digits off using mod that
@@ -36,12 +85,18 @@ let of_int n =
     { sign; mag = Array.of_list (digits n []) }
   end
 
-let one = of_int 1
-let two = of_int 2
-let minus_one = of_int (-1)
+let to_big = function
+  | Small n ->
+    incr Counters.promotions;
+    big_of_small n
+  | Big b -> b
 
-let sign x = x.sign
-let is_zero x = x.sign = 0
+let sign = function
+  | Small n -> Stdlib.compare n 0
+  | Big b -> b.sign
+
+let is_zero = function Small 0 -> true | _ -> false
+let is_one = function Small 1 -> true | _ -> false
 
 let mag_cmp a b =
   let la = Array.length a and lb = Array.length b in
@@ -54,16 +109,26 @@ let mag_cmp a b =
     go (la - 1)
   end
 
+(* canonicality makes the mixed cases trivial: a Big is always outside
+   the native range, so its sign decides *)
 let compare x y =
-  if x.sign <> y.sign then compare x.sign y.sign
-  else if x.sign = 0 then 0
-  else x.sign * mag_cmp x.mag y.mag
+  match (x, y) with
+  | Small a, Small b -> Stdlib.compare a b
+  | Big a, Big b ->
+    if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+    else a.sign * mag_cmp a.mag b.mag
+  | Small _, Big b -> -b.sign
+  | Big a, Small _ -> a.sign
 
-let equal x y = compare x y = 0
-let is_one x = equal x one
+let equal x y =
+  match (x, y) with
+  | Small a, Small b -> a = b
+  | Big a, Big b -> a.sign = b.sign && mag_cmp a.mag b.mag = 0
+  | Small _, Big _ | Big _, Small _ -> false
 
-let hash x =
-  Array.fold_left (fun h d -> (h * 131) + d) x.sign x.mag
+let hash = function
+  | Small n -> n
+  | Big b -> Array.fold_left (fun h d -> (h * 131) + d) b.sign b.mag
 
 (* --- magnitude arithmetic ------------------------------------------- *)
 
@@ -238,57 +303,137 @@ let mag_divmod a b =
 
 (* --- signed operations ---------------------------------------------- *)
 
-let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
-let abs x = if x.sign < 0 then neg x else x
+let neg = function
+  | Small n ->
+    if n = Stdlib.min_int then begin
+      (* |min_int| = 2^62 does not fit a native int: promote *)
+      incr Counters.promotions;
+      Big { sign = 1; mag = (big_of_small n).mag }
+    end
+    else Small (-n)
+  | Big b -> of_big (-b.sign) b.mag (* -2^62 demotes back to min_int *)
 
-let add x y =
-  if x.sign = 0 then y
-  else if y.sign = 0 then x
-  else if x.sign = y.sign then { sign = x.sign; mag = mag_add x.mag y.mag }
+let abs x = if sign x < 0 then neg x else x
+
+(* big-path add; both operands in big form, result canonicalized *)
+let big_add (x : big) (y : big) =
+  if x.sign = 0 then of_big y.sign y.mag
+  else if y.sign = 0 then of_big x.sign x.mag
+  else if x.sign = y.sign then of_big x.sign (mag_add x.mag y.mag)
   else begin
     let c = mag_cmp x.mag y.mag in
-    if c = 0 then zero
-    else if c > 0 then make x.sign (mag_sub x.mag y.mag)
-    else make y.sign (mag_sub y.mag x.mag)
+    if c = 0 then Small 0
+    else if c > 0 then of_big x.sign (mag_sub x.mag y.mag)
+    else of_big y.sign (mag_sub y.mag x.mag)
   end
 
-let sub x y = add x (neg y)
+let add x y =
+  match (x, y) with
+  | Small 0, _ -> y
+  | _, Small 0 -> x
+  | Small a, Small b ->
+    let s = a + b in
+    (* two's-complement overflow: operands agree in sign, sum does not *)
+    if (a lxor s) land (b lxor s) < 0 then big_add (to_big x) (to_big y)
+    else Small s
+  | _ -> big_add (to_big x) (to_big y)
+
+let sub x y =
+  match (x, y) with
+  | Small a, Small b ->
+    let s = a - b in
+    (* overflow: operands differ in sign and the result left a's sign *)
+    if (a lxor b) land (a lxor s) < 0 then big_add (to_big x) (to_big (neg y))
+    else Small s
+  | _ -> add x (neg y)
+
 let succ x = add x one
 let pred x = sub x one
 
-let mul x y =
-  if x.sign = 0 || y.sign = 0 then zero
-  else { sign = x.sign * y.sign; mag = mag_mul x.mag y.mag }
+(* |a|, |b| <= 2^31 - 1 guarantees the native product fits (< 2^62) *)
+let small_mul_fits a = -0x8000_0000 < a && a < 0x8000_0000
 
-let divmod a b =
+let big_mul (x : big) (y : big) =
+  if x.sign = 0 || y.sign = 0 then Small 0
+  else of_big (x.sign * y.sign) (mag_mul x.mag y.mag)
+
+let mul x y =
+  match (x, y) with
+  | Small 0, _ | _, Small 0 -> Small 0
+  | Small 1, _ -> y
+  | _, Small 1 -> x
+  | Small (-1), _ -> neg y
+  | _, Small (-1) -> neg x
+  | Small a, Small b ->
+    if small_mul_fits a && small_mul_fits b then Small (a * b)
+    else begin
+      (* checked multiply: with |b| >= 2 the division below cannot trap
+         and detects wrap-around exactly *)
+      let p = a * b in
+      if p / b = a then Small p else big_mul (to_big x) (to_big y)
+    end
+  | _ -> big_mul (to_big x) (to_big y)
+
+let big_divmod (a : big) (b : big) =
   if b.sign = 0 then raise Division_by_zero
-  else if a.sign = 0 then (zero, zero)
+  else if a.sign = 0 then (Small 0, Small 0)
   else begin
     let qm, rm = mag_divmod a.mag b.mag in
-    (make (a.sign * b.sign) qm, make a.sign rm)
+    (of_big (a.sign * b.sign) qm, of_big a.sign rm)
   end
+
+let divmod a b =
+  match (a, b) with
+  | _, Small 0 -> raise Division_by_zero
+  | Small x, Small y ->
+    if y = -1 then (neg a, Small 0) (* min_int / -1 would trap *)
+    else (Small (x / y), Small (x mod y))
+  | Big _, Small y when y = -1 -> (neg a, Small 0)
+  | _ -> big_divmod (to_big a) (to_big b)
 
 let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
 
 let fdiv a b =
   let q, r = divmod a b in
-  if r.sign <> 0 && r.sign <> b.sign then sub q one else q
+  if (not (is_zero r)) && sign r <> sign b then sub q one else q
 
 let cdiv a b =
   let q, r = divmod a b in
-  if r.sign <> 0 && r.sign = b.sign then add q one else q
+  if (not (is_zero r)) && sign r = sign b then add q one else q
 
-let rec gcd_mag a b =
-  if b.sign = 0 then a else gcd_mag b (rem a b)
+(* native Euclid on non-negative ints *)
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
 
-let gcd a b = gcd_mag (abs a) (abs b)
+(* gcd over magnitudes; finishes with native Euclid once the remainder
+   fits an int *)
+let rec big_gcd (a : big) (b : big) =
+  if b.sign = 0 then of_big 1 a.mag
+  else begin
+    let _, r = mag_divmod a.mag b.mag in
+    match mag_to_int_opt b.mag with
+    | Some bv ->
+      (match mag_to_int_opt r with
+      | Some rv -> Small (gcd_int bv rv)
+      | None -> assert false (* |r| < |b| fits a native int *))
+    | None ->
+      big_gcd { sign = 1; mag = b.mag }
+        { sign = (if Array.length r = 0 then 0 else 1); mag = r }
+  end
+
+let gcd a b =
+  match (a, b) with
+  | Small x, Small y ->
+    if x = Stdlib.min_int || y = Stdlib.min_int then
+      big_gcd (to_big (abs a)) (to_big (abs b))
+    else Small (gcd_int (Stdlib.abs x) (Stdlib.abs y))
+  | _ -> big_gcd (to_big (abs a)) (to_big (abs b))
 
 let lcm a b =
-  if a.sign = 0 || b.sign = 0 then zero
+  if is_zero a || is_zero b then Small 0
   else abs (div (mul a b) (gcd a b))
 
-let mul_int x n = mul x (of_int n)
+let mul_int x n = mul x (Small n)
 
 let pow x n =
   if Stdlib.(n < 0) then invalid_arg "Bigint.pow: negative exponent";
@@ -303,33 +448,28 @@ let max a b = if compare a b >= 0 then a else b
 
 (* --- conversions ----------------------------------------------------- *)
 
-let fits_int x =
-  (* max_int has 62 bits; accept up to 3 digits when the top digit is small *)
-  match Array.length x.mag with
-  | 0 | 1 | 2 -> true
-  | 3 -> x.mag.(2) < 4 (* 3 digits => < 2^62; top digit < 4 keeps it < 2^62 *)
-  | _ -> false
+(* canonicality: a Big never fits a native int *)
+let fits_int = function Small _ -> true | Big _ -> false
 
-let to_int_opt x =
-  if not (fits_int x) then None
-  else begin
-    let v = Array.fold_right (fun d acc -> (acc lsl base_bits) lor d) x.mag 0 in
-    if Stdlib.(v < 0) then None (* overflowed into the sign bit *)
-    else Some (x.sign * v)
-  end
+let to_int_opt = function Small n -> Some n | Big _ -> None
 
-let to_int x =
-  match to_int_opt x with
-  | Some v -> v
-  | None -> failwith "Bigint.to_int: does not fit"
+let to_int = function
+  | Small n -> n
+  | Big _ -> failwith "Bigint.to_int: does not fit"
 
-let to_float x =
-  let m = Array.fold_right (fun d acc -> (acc *. 1073741824.0) +. float_of_int d) x.mag 0.0 in
-  float_of_int x.sign *. m
+let to_float = function
+  | Small n -> float_of_int n
+  | Big b ->
+    let m =
+      Array.fold_right
+        (fun d acc -> (acc *. 1073741824.0) +. float_of_int d)
+        b.mag 0.0
+    in
+    float_of_int b.sign *. m
 
-let to_string x =
-  if x.sign = 0 then "0"
-  else begin
+let to_string = function
+  | Small n -> string_of_int n
+  | Big b ->
     let buf = Buffer.create 16 in
     let rec chunks m acc =
       if Array.length m = 0 then acc
@@ -338,14 +478,13 @@ let to_string x =
         chunks q (r :: acc)
       end
     in
-    match chunks x.mag [] with
+    (match chunks b.mag [] with
     | [] -> "0"
     | first :: rest ->
-      if Stdlib.(x.sign < 0) then Buffer.add_char buf '-';
+      if Stdlib.(b.sign < 0) then Buffer.add_char buf '-';
       Buffer.add_string buf (string_of_int first);
       List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest;
-      Buffer.contents buf
-  end
+      Buffer.contents buf)
 
 let of_string s =
   let n = String.length s in
@@ -358,13 +497,22 @@ let of_string s =
   in
   if start >= n then invalid_arg "Bigint.of_string: no digits";
   let acc = ref zero in
-  let ten = of_int 10 in
+  let ten = Small 10 in
   for i = start to n - 1 do
     let c = s.[i] in
     if Stdlib.(c < '0' || c > '9') then invalid_arg "Bigint.of_string: bad digit";
-    acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+    acc := add (mul !acc ten) (Small (Char.code c - Char.code '0'))
   done;
   if sign = -1 then neg !acc else !acc
+
+(* --- representation introspection (tests and diagnostics) ------------ *)
+
+let is_small = function Small _ -> true | Big _ -> false
+
+let force_big x =
+  match x with
+  | Small _ -> Big (to_big x)
+  | Big _ -> x
 
 (* --- operators & printing ------------------------------------------- *)
 

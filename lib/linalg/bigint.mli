@@ -1,11 +1,16 @@
-(** Arbitrary-precision signed integers.
+(** Arbitrary-precision signed integers with an immediate fast path.
 
     This module replaces GMP for the exact arithmetic needed by the
     polyhedral substrate (Fourier-Motzkin elimination and exact simplex
     pivoting produce coefficients that overflow native integers).
 
-    The representation is sign + magnitude, where the magnitude is a
-    little-endian array of base-2{^30} digits with no leading zeros. *)
+    The representation is two-variant: values that fit a native OCaml
+    [int] are carried unboxed ([Small]), with overflow-checked add, sub
+    and mul that promote lazily to the [Big] fallback — sign +
+    magnitude, where the magnitude is a little-endian array of
+    base-2{^30} digits with no leading zeros. A [Big] never holds a
+    value that fits a native [int] (operations demote on the way out),
+    so almost all pipeline arithmetic runs on unboxed integers. *)
 
 type t
 
@@ -95,6 +100,23 @@ val pow : t -> int -> t
 
 val min : t -> t -> t
 val max : t -> t -> t
+
+(** {1 Representation introspection}
+
+    For tests and diagnostics. {!Counters.promotions} and
+    {!Counters.demotions} track how often values cross the
+    [Small]/[Big] boundary. *)
+
+(** [is_small x] is [true] iff [x] is carried in the immediate
+    (native-int) representation. Canonically equal to [fits_int]. *)
+val is_small : t -> bool
+
+(** [force_big x] is [x] re-encoded in the [Big] (boxed) representation
+    even when it fits a native int. The result is {e non-canonical}:
+    arithmetic on it is exact and re-canonicalizes, but order
+    comparisons between a non-canonical value and a [Small] are
+    unspecified. Only for differential testing of the two code paths. *)
+val force_big : t -> t
 
 (** {1 Infix operators and printing} *)
 

@@ -1,0 +1,59 @@
+(* Process-wide performance counters for the exact-arithmetic pipeline.
+
+   Everything here is deliberately cheap: the hot paths (simplex pivots,
+   bignum promotions) bump a plain int ref; the stage timers accumulate
+   wall-clock seconds into a small hashtable keyed by stage name. *)
+
+let promotions = ref 0
+let demotions = ref 0
+let lp_pivots = ref 0
+let lp_solves = ref 0
+let ilp_solves = ref 0
+let bb_nodes = ref 0
+
+let all_counters () =
+  [ ("lp_solves", !lp_solves);
+    ("lp_pivots", !lp_pivots);
+    ("ilp_solves", !ilp_solves);
+    ("bb_nodes", !bb_nodes);
+    ("big_promotions", !promotions);
+    ("big_demotions", !demotions) ]
+
+(* --- stage wall-clock timers ----------------------------------------- *)
+
+let stages : (string, float) Hashtbl.t = Hashtbl.create 8
+let stage_order : string list ref = ref []
+
+let add_stage name dt =
+  match Hashtbl.find_opt stages name with
+  | Some acc -> Hashtbl.replace stages name (acc +. dt)
+  | None ->
+    stage_order := name :: !stage_order;
+    Hashtbl.add stages name dt
+
+let time name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> add_stage name (Unix.gettimeofday () -. t0)) f
+
+let stage_times () =
+  List.rev_map (fun n -> (n, Hashtbl.find stages n)) !stage_order
+
+let reset () =
+  promotions := 0;
+  demotions := 0;
+  lp_pivots := 0;
+  lp_solves := 0;
+  ilp_solves := 0;
+  bb_nodes := 0;
+  Hashtbl.reset stages;
+  stage_order := []
+
+let pp fmt () =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (n, v) -> if v <> 0 then Format.fprintf fmt "%-16s %d@," n v)
+    (all_counters ());
+  List.iter
+    (fun (n, s) -> Format.fprintf fmt "%-16s %.3f ms@," n (s *. 1e3))
+    (stage_times ());
+  Format.fprintf fmt "@]"

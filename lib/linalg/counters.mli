@@ -1,0 +1,38 @@
+(** Process-wide performance counters for the exact-arithmetic pipeline.
+
+    The refs are bumped directly on the hot paths (a single [incr]); the
+    stage timers accumulate wall-clock time per named pipeline stage.
+    The bench harness and the CLI read these to report where the
+    optimization time goes, and the CI benchmark job serializes them
+    into [BENCH_pipeline.json]. *)
+
+(** Count of {!Bigint} results that did not fit the immediate [Small]
+    representation and had to allocate a [Big] magnitude. *)
+val promotions : int ref
+
+(** Count of [Big] results that folded back into [Small]. *)
+val demotions : int ref
+
+val lp_pivots : int ref
+val lp_solves : int ref
+
+(** Branch-and-bound entries (one per ILP problem). *)
+val ilp_solves : int ref
+
+(** Branch-and-bound tree nodes (one LP relaxation each). *)
+val bb_nodes : int ref
+
+(** [time stage f] runs [f ()] and adds its wall-clock duration to the
+    accumulator for [stage] (even if [f] raises). *)
+val time : string -> (unit -> 'a) -> 'a
+
+(** Accumulated (stage, seconds) pairs, in first-use order. *)
+val stage_times : unit -> (string * float) list
+
+(** All counters as (name, value) pairs, including zeros. *)
+val all_counters : unit -> (string * int) list
+
+(** Reset every counter and timer to zero. *)
+val reset : unit -> unit
+
+val pp : Format.formatter -> unit -> unit

@@ -1,4 +1,10 @@
-(* Canonical rationals: den > 0, gcd (num, den) = 1, zero = 0/1. *)
+(* Canonical rationals: den > 0, gcd (num, den) = 1, zero = 0/1.
+
+   The arithmetic below leans on canonicality to keep intermediates
+   small (Knuth 4.5.1): multiplication cross-reduces before
+   multiplying, addition folds out gcd (den1, den2), and the inverse
+   needs no gcd at all. Combined with Bigint's immediate small-int
+   representation this keeps the simplex hot path on native ints. *)
 
 type t = { num : Bigint.t; den : Bigint.t }
 
@@ -34,33 +40,82 @@ let is_integer q = Bigint.is_one q.den
 let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
 
 let compare a b =
-  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den (dens > 0) *)
-  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+  (* cheap discriminations first: sign, then shared denominators *)
+  let sa = Bigint.sign a.num and sb = Bigint.sign b.num in
+  if sa <> sb then Stdlib.compare sa sb
+  else if Bigint.equal a.den b.den then Bigint.compare a.num b.num
+  else
+    (* a.num/a.den ? b.num/b.den <=> a.num*b.den ? b.num*a.den (dens > 0) *)
+    Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
 
-let neg q = { q with num = Bigint.neg q.num }
-let abs q = { q with num = Bigint.abs q.num }
+let neg q = if is_zero q then q else { q with num = Bigint.neg q.num }
+let abs q = if Bigint.sign q.num < 0 then { q with num = Bigint.neg q.num } else q
+
+(* shared addition core; [bnum] is the (possibly negated) numerator of b *)
+let add_core a bnum bden =
+  if Bigint.is_one a.den && Bigint.is_one bden then
+    { num = Bigint.add a.num bnum; den = Bigint.one }
+  else begin
+    (* Knuth 4.5.1: with g = gcd (d1, d2), the candidate numerator
+       t = n1*(d2/g) + n2*(d1/g) over d1*(d2/g) only needs reducing by
+       gcd (t, g) — much smaller gcds than reducing the naive cross
+       product, and no reduction at all in the common coprime case. *)
+    let g = Bigint.gcd a.den bden in
+    if Bigint.is_one g then
+      { num = Bigint.add (Bigint.mul a.num bden) (Bigint.mul bnum a.den);
+        den = Bigint.mul a.den bden }
+    else begin
+      let d2' = Bigint.div bden g in
+      let t =
+        Bigint.add (Bigint.mul a.num d2') (Bigint.mul bnum (Bigint.div a.den g))
+      in
+      if Bigint.is_zero t then { num = Bigint.zero; den = Bigint.one }
+      else begin
+        let g2 = Bigint.gcd t g in
+        if Bigint.is_one g2 then { num = t; den = Bigint.mul a.den d2' }
+        else
+          { num = Bigint.div t g2;
+            den = Bigint.mul (Bigint.div a.den g2) d2' }
+      end
+    end
+  end
 
 let add a b =
   if Bigint.is_zero a.num then b
   else if Bigint.is_zero b.num then a
-  else if Bigint.is_one a.den && Bigint.is_one b.den then
-    (* integer fast path: no gcd needed *)
-    { num = Bigint.add a.num b.num; den = Bigint.one }
-  else
-    make
-      (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
-      (Bigint.mul a.den b.den)
+  else add_core a b.num b.den
 
-let sub a b = add a (neg b)
+let sub a b =
+  if Bigint.is_zero b.num then a
+  else if Bigint.is_zero a.num then neg b
+  else add_core a (Bigint.neg b.num) b.den
 
 let mul a b =
-  if Bigint.is_zero a.num || Bigint.is_zero b.num then
-    { num = Bigint.zero; den = Bigint.one }
+  if Bigint.is_zero a.num || Bigint.is_zero b.num then zero
   else if Bigint.is_one a.den && Bigint.is_one b.den then
     { num = Bigint.mul a.num b.num; den = Bigint.one }
-  else make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
-let div a b = make (Bigint.mul a.num b.den) (Bigint.mul a.den b.num)
-let inv q = make q.den q.num
+  else begin
+    (* cross-reduce: gcd (n1, d2) and gcd (n2, d1) strip all common
+       factors up front, so the products below are already canonical *)
+    let g1 = Bigint.gcd a.num b.den and g2 = Bigint.gcd b.num a.den in
+    let n1 = if Bigint.is_one g1 then a.num else Bigint.div a.num g1 in
+    let d2 = if Bigint.is_one g1 then b.den else Bigint.div b.den g1 in
+    let n2 = if Bigint.is_one g2 then b.num else Bigint.div b.num g2 in
+    let d1 = if Bigint.is_one g2 then a.den else Bigint.div a.den g2 in
+    { num = Bigint.mul n1 n2; den = Bigint.mul d1 d2 }
+  end
+
+(* canonical input means no gcd is needed: just swap and fix the sign *)
+let inv q =
+  let s = Bigint.sign q.num in
+  if s = 0 then raise Division_by_zero
+  else if s > 0 then { num = q.den; den = q.num }
+  else { num = Bigint.neg q.den; den = Bigint.neg q.num }
+
+let div a b =
+  if Bigint.is_zero b.num then raise Division_by_zero
+  else if Bigint.is_zero a.num then zero
+  else mul a (inv b)
 
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b

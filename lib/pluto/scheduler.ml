@@ -597,8 +597,10 @@ let run_with_deps cfg (prog : Scop.Program.t) all_deps =
   }
 
 let run ?param_floor cfg prog =
-  let all_deps = Dep.analyze ?param_floor prog in
-  run_with_deps cfg prog all_deps
+  let all_deps =
+    Counters.time "dep-analysis" (fun () -> Dep.analyze ?param_floor prog)
+  in
+  Counters.time "scheduling" (fun () -> run_with_deps cfg prog all_deps)
 
 let partitions (result : result) =
   let n = Array.length result.prog.stmts in

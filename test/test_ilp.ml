@@ -91,6 +91,45 @@ let test_lp_feasible_point () =
   let e = Polyhedron.make 1 [ Constr.ge [ 1; 0 ]; Constr.ge [ -1; -1 ] ] in
   Alcotest.(check bool) "none" true (Lp.feasible_point e = None)
 
+(* Dantzig (default) and Bland pivoting must agree on the optimum value
+   and on feasibility/boundedness status for every seed LP above.
+   Optimal points may legitimately differ, so only values are compared. *)
+let test_lp_pivot_rules_agree () =
+  let seed_lps =
+    [ ("basic", Polyhedron.make 2 [ Constr.ge [ 1; 0; -1 ]; Constr.ge [ 0; 1; -2 ] ],
+       vec [ 1; 1; 0 ]);
+      ("max-as-min",
+       Polyhedron.make 2
+         [ Constr.ge [ -1; -1; 4 ]; Constr.ge [ -1; 0; 2 ]; Constr.ge [ 1; 0; 0 ];
+           Constr.ge [ 0; 1; 0 ] ],
+       vec [ -1; -2; 0 ]);
+      ("fractional",
+       Polyhedron.make 1 [ Constr.unsafe_make Constr.Ge (vec [ 2; -1 ]) ],
+       vec [ 1; 0 ]);
+      ("infeasible", Polyhedron.make 1 [ Constr.ge [ 1; -3 ]; Constr.ge [ -1; 1 ] ],
+       vec [ 1; 0 ]);
+      ("unbounded", Polyhedron.make 1 [ Constr.ge [ -1; 0 ] ], vec [ 1; 0 ]);
+      ("equalities",
+       Polyhedron.make 2 [ Constr.eq [ 1; 1; -5 ]; Constr.eq [ 1; -1; -1 ] ],
+       vec [ 1; 1; 0 ]);
+      ("negative vars", Polyhedron.make 1 [ Constr.ge [ 1; 7 ] ], vec [ 1; 0 ]);
+      ("affine constant", Polyhedron.make 1 [ Constr.ge [ 1; -1 ] ], vec [ 1; 10 ]);
+      ("degenerate",
+       Polyhedron.make 2
+         [ Constr.ge [ 1; 0; 0 ]; Constr.ge [ 0; 1; 0 ]; Constr.ge [ 1; 1; 0 ];
+           Constr.ge [ 1; 2; 0 ]; Constr.ge [ 2; 1; 0 ]; Constr.ge [ -1; -1; 2 ] ],
+       vec [ 1; 1; 0 ]) ]
+  in
+  List.iter
+    (fun (name, p, obj) ->
+      match
+        (Lp.minimize ~rule:Lp.Dantzig p obj, Lp.minimize ~rule:Lp.Bland p obj)
+      with
+      | Lp.Optimal (vd, _), Lp.Optimal (vb, _) -> check_q name vd vb
+      | Lp.Infeasible, Lp.Infeasible | Lp.Unbounded, Lp.Unbounded -> ()
+      | _ -> Alcotest.fail (name ^ ": pivot rules disagree on status"))
+    seed_lps
+
 (* --- Ilp ----------------------------------------------------------------- *)
 
 let test_ilp_rounds_up () =
@@ -197,6 +236,17 @@ let prop_feasible_matches_brute_force =
       Bb.feasible p
       = (Polyhedron.integer_points ~lo:[| 0; 0 |] ~hi:[| 6; 6 |] p <> []))
 
+let prop_pivot_rules_same_optimum =
+  QCheck.Test.make ~name:"Dantzig and Bland reach the same optimum" ~count:100
+    (QCheck.pair arb_bounded_poly2
+       (QCheck.pair (QCheck.int_range (-3) 3) (QCheck.int_range (-3) 3)))
+    (fun (p, (c0, c1)) ->
+      let obj = vec [ c0; c1; 0 ] in
+      match (Lp.minimize ~rule:Lp.Dantzig p obj, Lp.minimize ~rule:Lp.Bland p obj) with
+      | Lp.Optimal (vd, _), Lp.Optimal (vb, _) -> Q.equal vd vb
+      | Lp.Infeasible, Lp.Infeasible | Lp.Unbounded, Lp.Unbounded -> true
+      | _ -> false)
+
 let prop_lp_lower_bounds_ilp =
   QCheck.Test.make ~name:"LP relaxation lower-bounds ILP" ~count:100
     (QCheck.pair arb_bounded_poly2
@@ -272,7 +322,9 @@ let () =
           Alcotest.test_case "negative vars" `Quick test_lp_negative_vars;
           Alcotest.test_case "affine constant" `Quick test_lp_affine_constant;
           Alcotest.test_case "degenerate vertex" `Quick test_lp_degenerate;
-          Alcotest.test_case "feasible point" `Quick test_lp_feasible_point ] );
+          Alcotest.test_case "feasible point" `Quick test_lp_feasible_point;
+          Alcotest.test_case "pivot rules agree" `Quick
+            test_lp_pivot_rules_agree ] );
       ( "ilp",
         [ Alcotest.test_case "rounding up" `Quick test_ilp_rounds_up;
           Alcotest.test_case "knapsack-like" `Quick test_ilp_knapsack_like;
@@ -285,5 +337,6 @@ let () =
       ( "ilp-props",
         qt
           [ prop_ilp_matches_brute_force; prop_feasible_matches_brute_force;
-            prop_lp_lower_bounds_ilp; prop_remove_redundant_preserves_set;
+            prop_pivot_rules_same_optimum; prop_lp_lower_bounds_ilp;
+            prop_remove_redundant_preserves_set;
             prop_fm_projection_rationally_exact ] ) ]

@@ -101,6 +101,144 @@ let test_bigint_knuth_stress () =
         Bigint.(Stdlib.( >= ) (sign r) 0 && r < b))
     cases
 
+(* --- representation boundary: of_int/to_int round-trips ----------------- *)
+
+let test_bigint_boundary_roundtrip () =
+  (* every native int must round-trip unboxed, including the extremes
+     and the base-2^30 digit boundaries *)
+  List.iter
+    (fun n ->
+      let x = bi n in
+      Alcotest.(check int) (Printf.sprintf "roundtrip %d" n) n (Bigint.to_int x);
+      Alcotest.(check bool) (Printf.sprintf "small %d" n) true (Bigint.is_small x);
+      Alcotest.(check bool) (Printf.sprintf "fits %d" n) true (Bigint.fits_int x);
+      Alcotest.(check string) (Printf.sprintf "string %d" n) (string_of_int n)
+        (Bigint.to_string x))
+    [ 0; 1; -1; max_int; min_int; max_int - 1; min_int + 1;
+      1 lsl 30; -(1 lsl 30); (1 lsl 30) - 1; (1 lsl 30) + 1;
+      1 lsl 60; -(1 lsl 60) ]
+
+let test_bigint_boundary_promotion () =
+  (* 2^62 = |min_int| + 1 values: first magnitudes that need Big *)
+  let p62 = Bigint.pow Bigint.two 62 in
+  Alcotest.(check bool) "2^62 is big" false (Bigint.is_small p62);
+  Alcotest.(check bool) "2^62 does not fit" false (Bigint.fits_int p62);
+  Alcotest.(check bool) "to_int_opt 2^62" true (Bigint.to_int_opt p62 = None);
+  Alcotest.check_raises "to_int 2^62" (Failure "Bigint.to_int: does not fit")
+    (fun () -> ignore (Bigint.to_int p62));
+  (* -2^62 = min_int demotes back to Small *)
+  let m62 = Bigint.neg p62 in
+  Alcotest.(check bool) "-2^62 is small" true (Bigint.is_small m62);
+  Alcotest.(check int) "-2^62 = min_int" min_int (Bigint.to_int m62);
+  (* crossing the boundary by one in both directions *)
+  Alcotest.(check bool) "max_int + 1 is big" false
+    (Bigint.is_small (Bigint.succ (bi max_int)));
+  Alcotest.(check bool) "min_int - 1 is big" false
+    (Bigint.is_small (Bigint.pred (bi min_int)));
+  Alcotest.(check int) "(max_int + 1) - 1 demotes" max_int
+    (Bigint.to_int (Bigint.pred (Bigint.succ (bi max_int))));
+  Alcotest.(check int) "(min_int - 1) + 1 demotes" min_int
+    (Bigint.to_int (Bigint.succ (Bigint.pred (bi min_int))));
+  (* |min_int| overflows native negation: must promote *)
+  Alcotest.(check string) "neg min_int" "4611686018427387904"
+    (Bigint.to_string (Bigint.neg (bi min_int)));
+  Alcotest.(check string) "abs min_int" "4611686018427387904"
+    (Bigint.to_string (Bigint.abs (bi min_int)))
+
+(* --- Small/Big differential suite ----------------------------------------
+   The two representations must be observationally identical. Operands are
+   generated to straddle the promotion boundary (native products of large
+   ints), and each operation is evaluated with canonical operands and with
+   operands forced into the boxed Big representation; results must agree
+   and be canonical (Small iff the value fits a native int). *)
+
+let canonical x =
+  (* a value is canonical iff it is Small exactly when it parses as int *)
+  match int_of_string_opt (Bigint.to_string x) with
+  | Some _ -> Bigint.is_small x
+  | None -> not (Bigint.is_small x)
+
+(* ints biased toward the 2^30 digit and 2^62 promotion boundaries *)
+let boundary_int =
+  QCheck.Gen.(
+    oneof
+      [ int_range (-1000) 1000;
+        oneofl
+          [ min_int; max_int; min_int + 1; max_int - 1;
+            1 lsl 30; -(1 lsl 30); (1 lsl 30) - 1; (1 lsl 30) + 1;
+            1 lsl 31; -(1 lsl 31); 1 lsl 60; -(1 lsl 60); 0; 1; -1 ];
+        int_range (-(1 lsl 40)) (1 lsl 40);
+        int ])
+
+(* an operand is a * b + c: products of boundary ints straddle Small/Big *)
+let arb_operand =
+  QCheck.make
+    ~print:(fun (a, b, c) ->
+      Printf.sprintf "%d * %d + %d" a b c)
+    QCheck.Gen.(triple boundary_int boundary_int boundary_int)
+
+let operand (a, b, c) = Bigint.add (Bigint.mul (bi a) (bi b)) (bi c)
+
+let differential_binop name f =
+  QCheck.Test.make ~name:(Printf.sprintf "differential %s" name) ~count:2000
+    (QCheck.pair arb_operand arb_operand)
+    (fun (ta, tb) ->
+      let x = operand ta and y = operand tb in
+      let r = f x y in
+      let variants =
+        [ f (Bigint.force_big x) (Bigint.force_big y);
+          f (Bigint.force_big x) y;
+          f x (Bigint.force_big y) ]
+      in
+      canonical r
+      && List.for_all
+           (fun v -> String.equal (Bigint.to_string r) (Bigint.to_string v))
+           variants)
+
+let diff_add = differential_binop "add" Bigint.add
+let diff_sub = differential_binop "sub" Bigint.sub
+let diff_mul = differential_binop "mul" Bigint.mul
+
+let diff_divmod =
+  QCheck.Test.make ~name:"differential divmod" ~count:2000
+    (QCheck.pair arb_operand arb_operand)
+    (fun (ta, tb) ->
+      let x = operand ta and y = operand tb in
+      QCheck.assume (not (Bigint.is_zero y));
+      let q1, r1 = Bigint.divmod x y in
+      let q2, r2 = Bigint.divmod (Bigint.force_big x) (Bigint.force_big y) in
+      canonical q1 && canonical r1
+      && Bigint.equal q1 q2 && Bigint.equal r1 r2
+      (* truncated division invariants *)
+      && Bigint.equal x (Bigint.add (Bigint.mul q1 y) r1)
+      && Stdlib.( < )
+           (Bigint.compare (Bigint.abs r1) (Bigint.abs y)) 0)
+
+let diff_gcd =
+  QCheck.Test.make ~name:"differential gcd" ~count:2000
+    (QCheck.pair arb_operand arb_operand)
+    (fun (ta, tb) ->
+      let x = operand ta and y = operand tb in
+      let g1 = Bigint.gcd x y in
+      let g2 = Bigint.gcd (Bigint.force_big x) (Bigint.force_big y) in
+      canonical g1
+      && Bigint.equal g1 g2
+      && Stdlib.( >= ) (Bigint.sign g1) 0
+      && (Bigint.is_zero g1
+          || (Bigint.is_zero (Bigint.rem x g1) && Bigint.is_zero (Bigint.rem y g1))))
+
+let diff_compare =
+  (* mixed canonical/forced comparison is unspecified (see the mli), so
+     compare forced against forced and canonical against canonical *)
+  QCheck.Test.make ~name:"differential compare" ~count:2000
+    (QCheck.pair arb_operand arb_operand)
+    (fun (ta, tb) ->
+      let x = operand ta and y = operand tb in
+      Bigint.compare x y
+      = Bigint.compare (Bigint.force_big x) (Bigint.force_big y)
+      && Bigint.equal x y
+         = Bigint.equal (Bigint.force_big x) (Bigint.force_big y))
+
 (* --- Bigint properties -------------------------------------------------- *)
 
 let med_int = QCheck.int_range (-100000) 100000
@@ -346,12 +484,19 @@ let () =
           Alcotest.test_case "gcd/lcm" `Quick test_bigint_gcd;
           Alcotest.test_case "pow" `Quick test_bigint_pow;
           Alcotest.test_case "div by zero" `Quick test_bigint_div_by_zero;
-          Alcotest.test_case "knuth stress" `Quick test_bigint_knuth_stress ] );
+          Alcotest.test_case "knuth stress" `Quick test_bigint_knuth_stress;
+          Alcotest.test_case "boundary roundtrip" `Quick
+            test_bigint_boundary_roundtrip;
+          Alcotest.test_case "boundary promotion" `Quick
+            test_bigint_boundary_promotion ] );
       ( "bigint-props",
         qt
           [ prop_roundtrip; prop_add_matches; prop_mul_matches;
             prop_divmod_invariant; prop_gcd_divides; prop_compare_total_order;
             prop_string_roundtrip ] );
+      ( "bigint-differential",
+        qt
+          [ diff_add; diff_sub; diff_mul; diff_divmod; diff_gcd; diff_compare ] );
       ( "q",
         [ Alcotest.test_case "normalization" `Quick test_q_normalization;
           Alcotest.test_case "arithmetic" `Quick test_q_arith;
