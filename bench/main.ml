@@ -3,8 +3,12 @@
    optimization pipeline itself with Bechamel (one Test.make per
    table/figure).
 
-     dune exec bench/main.exe            - everything
-     dune exec bench/main.exe -- fig7    - a single experiment
+     dune exec bench/main.exe                      - everything
+     dune exec bench/main.exe -- fig7              - a single experiment
+     dune exec bench/main.exe -- pipeline --check  - regression gate:
+       fresh pipeline timings vs the last committed non-smoke record in
+       BENCH_pipeline.json; exits non-zero on a >25% per-kernel
+       wall-time regression
    Experiments: table1 table2 fig1 fig3 fig5 fig4_6 fig7 fig8 scaling
                 ablation extras tiling locality space vector bechamel *)
 
@@ -470,33 +474,49 @@ let pipeline_kernels =
 type pipeline_row = {
   kernel : string;
   wall_ms : float; (* best-of-reps wall time of one full scheduler run *)
-  counters : (string * int) list; (* per-run counter averages *)
-  stages : (string * float) list; (* per-run stage seconds *)
+  counters : (string * int) list; (* counters of the best repetition *)
+  stages : (string * float) list; (* stage seconds of the best repetition *)
 }
 
 let time_pipeline_kernel (name, mk) =
   let cfg = scheduler_config Wisefuse in
   let prog = mk () in
+  Pluto.Farkas.reset_cache ();
   ignore (Pluto.Scheduler.run cfg prog) (* warm-up *);
   let reps = if smoke then 1 else 3 in
-  Linalg.Counters.reset ();
   let best = ref infinity in
+  let best_counters = ref [] and best_stages = ref [] in
   for _ = 1 to reps do
+    (* each repetition pays its own Farkas eliminations and reports its
+       own counters; wall time, counters and stages all describe the
+       same (fastest) run instead of mixing best-of with averages *)
+    Pluto.Farkas.reset_cache ();
+    Linalg.Counters.reset ();
     let t0 = Unix.gettimeofday () in
     ignore (Pluto.Scheduler.run cfg prog);
     let dt = Unix.gettimeofday () -. t0 in
-    if dt < !best then best := dt
+    let stages = Linalg.Counters.stage_times () in
+    (* stage timers are exclusive (self-time), so their sum is bounded
+       by the wall time of the run that produced them; a violation
+       means the accounting regressed to overlapping timers *)
+    let stage_sum = List.fold_left (fun a (_, s) -> a +. s) 0.0 stages in
+    if stage_sum > (dt *. 1.02) +. 1e-4 then
+      failwith
+        (Printf.sprintf
+           "%s: stage times sum to %.2f ms > %.2f ms wall (overlapping timers?)"
+           name (stage_sum *. 1e3) (dt *. 1e3));
+    if dt < !best then begin
+      best := dt;
+      best_counters := Linalg.Counters.all_counters ();
+      best_stages := stages
+    end
   done;
-  let per_run v = v / reps in
-  let counters =
-    List.map (fun (n, v) -> (n, per_run v)) (Linalg.Counters.all_counters ())
-  in
-  let stages =
-    List.map
-      (fun (n, s) -> (n, s /. float_of_int reps))
-      (Linalg.Counters.stage_times ())
-  in
-  { kernel = name; wall_ms = !best *. 1e3; counters; stages }
+  {
+    kernel = name;
+    wall_ms = !best *. 1e3;
+    counters = !best_counters;
+    stages = !best_stages;
+  }
 
 let bench_json_file = "BENCH_pipeline.json"
 
@@ -535,52 +555,176 @@ let json_header =
 
 let json_footer = "\n  ]\n}\n"
 
-(* Append the new run to the existing file when its shape matches, so the
-   file accumulates the perf trajectory across PRs; otherwise start over. *)
+(* --- minimal parsing of the self-generated JSON ------------------------ *)
+
+(* Split the "runs" array into balanced-brace record strings. Labels
+   never contain braces, so brace counting is exact on this file. *)
+let split_records s =
+  match String.index_opt s '[' with
+  | None -> []
+  | Some start ->
+    let n = String.length s in
+    let recs = ref [] and depth = ref 0 and rstart = ref (-1) in
+    (try
+       for i = start + 1 to n - 1 do
+         match s.[i] with
+         | '{' ->
+           if !depth = 0 then rstart := i;
+           incr depth
+         | '}' ->
+           decr depth;
+           if !depth = 0 then
+             recs := String.sub s !rstart (i - !rstart + 1) :: !recs
+         | ']' -> if !depth = 0 then raise Exit
+         | _ -> ()
+       done
+     with Exit -> ());
+    List.rev !recs
+
+let find_sub s pat from =
+  let n = String.length s and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = pat then Some i
+    else go (i + 1)
+  in
+  go from
+
+(* value of ["key": <scalar>] starting at [from], as a raw token *)
+let raw_field ?(from = 0) record key =
+  match find_sub record (Printf.sprintf "%S:" key) from with
+  | None -> None
+  | Some i ->
+    let j = ref (i + String.length key + 3) in
+    let n = String.length record in
+    while !j < n && (record.[!j] = ' ' || record.[!j] = '\n') do
+      incr j
+    done;
+    let k = ref !j in
+    (* quoted strings may contain commas (labels do); scan to the
+       closing quote, otherwise stop at the first delimiter *)
+    if !k < n && record.[!k] = '"' then begin
+      incr k;
+      while !k < n && record.[!k] <> '"' do
+        incr k
+      done;
+      if !k < n then incr k
+    end
+    else
+      while
+        !k < n && record.[!k] <> ',' && record.[!k] <> '\n' && record.[!k] <> '}'
+      do
+        incr k
+      done;
+    Some (String.trim (String.sub record !j (!k - !j)))
+
+let string_field record key =
+  match raw_field record key with
+  | Some v when String.length v >= 2 && v.[0] = '"' ->
+    Some (String.sub v 1 (String.length v - 2))
+  | _ -> None
+
+let float_field ?from record key =
+  Option.bind (raw_field ?from record key) float_of_string_opt
+
+(* wall_ms of one kernel inside a record (wall_ms is the first field of
+   each kernel object) *)
+let kernel_wall record kernel =
+  Option.bind
+    (find_sub record (Printf.sprintf "%S: {" kernel) 0)
+    (fun i -> float_field ~from:i record "wall_ms")
+
+let read_bench_file () =
+  if Sys.file_exists bench_json_file then begin
+    let ic = open_in_bin bench_json_file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    split_records s
+  end
+  else []
+
+(* Append the new run, replacing any earlier record with the same label
+   (so re-runs — e.g. a restarted CI job — update their record in place
+   instead of accumulating duplicates). *)
 let write_pipeline_json rows =
   let run = pipeline_json rows in
-  let existing =
-    if Sys.file_exists bench_json_file then begin
-      let ic = open_in_bin bench_json_file in
-      let n = in_channel_length ic in
-      let s = really_input_string ic n in
-      close_in ic;
-      Some s
-    end
-    else None
+  let label =
+    Option.value (string_field run "label") ~default:"dev"
+  in
+  let kept =
+    List.filter
+      (fun r -> string_field r "label" <> Some label)
+      (read_bench_file ())
   in
   let content =
-    match existing with
-    | Some s
-      when String.length s > String.length json_footer
-           && String.sub s
-                (String.length s - String.length json_footer)
-                (String.length json_footer)
-              = json_footer ->
-      String.sub s 0 (String.length s - String.length json_footer)
-      ^ ",\n" ^ run ^ json_footer
-    | _ -> json_header ^ run ^ json_footer
+    json_header ^ String.concat ",\n" (kept @ [ run ]) ^ json_footer
   in
   let oc = open_out_bin bench_json_file in
   output_string oc content;
   close_out oc;
-  Printf.printf "  wrote %s\n%!" bench_json_file
+  Printf.printf "  wrote %s (label %S)\n%!" bench_json_file label
+
+let pipeline_table rows =
+  Printf.printf "  %-10s %10s %9s %9s %9s %8s %8s %9s\n" "kernel" "wall ms"
+    "lp solves" "pivots" "dual piv" "warm" "fallback" "farkas h/m";
+  List.iter
+    (fun r ->
+      let c n = try List.assoc n r.counters with Not_found -> 0 in
+      Printf.printf "  %-10s %10.2f %9d %9d %9d %8d %8d %5d/%d\n%!" r.kernel
+        r.wall_ms (c "lp_solves") (c "lp_pivots") (c "dual_pivots")
+        (c "warm_starts") (c "warm_fallbacks") (c "farkas_cache_hits")
+        (c "farkas_cache_misses"))
+    rows;
+  let total = List.fold_left (fun a r -> a +. r.wall_ms) 0.0 rows in
+  Printf.printf "  %-10s %10.2f\n" "total" total
 
 let pipeline () =
   section
     "Pipeline: end-to-end wisefuse scheduling time (exact-arithmetic hot path)";
   let rows = List.map time_pipeline_kernel pipeline_kernels in
-  Printf.printf "  %-10s %10s %10s %10s %10s %12s\n" "kernel" "wall ms"
-    "lp solves" "pivots" "bb nodes" "promotions";
-  List.iter
-    (fun r ->
-      let c n = try List.assoc n r.counters with Not_found -> 0 in
-      Printf.printf "  %-10s %10.2f %10d %10d %10d %12d\n%!" r.kernel r.wall_ms
-        (c "lp_solves") (c "lp_pivots") (c "bb_nodes") (c "big_promotions"))
-    rows;
-  let total = List.fold_left (fun a r -> a +. r.wall_ms) 0.0 rows in
-  Printf.printf "  %-10s %10.2f\n" "total" total;
+  pipeline_table rows;
   write_pipeline_json rows
+
+(* Regression gate (CI, non-blocking): time a fresh run and compare each
+   kernel against the last committed non-smoke record. Exits non-zero on
+   a >25% wall-time regression for any kernel. Absolute times are only
+   meaningful on the machine that produced the baseline, which is why
+   the CI step that runs this is advisory. *)
+let check_threshold = 1.25
+
+let pipeline_check () =
+  section "Pipeline check: fresh run vs last committed BENCH record";
+  let baseline =
+    List.rev (read_bench_file ())
+    |> List.find_opt (fun r -> raw_field r "smoke" = Some "false")
+  in
+  match baseline with
+  | None ->
+    Printf.printf "  no non-smoke baseline record in %s; nothing to check\n"
+      bench_json_file
+  | Some base ->
+    let blabel = Option.value (string_field base "label") ~default:"?" in
+    Printf.printf "  baseline: %S\n%!" blabel;
+    let rows = List.map time_pipeline_kernel pipeline_kernels in
+    pipeline_table rows;
+    let failed = ref false in
+    List.iter
+      (fun r ->
+        match kernel_wall base r.kernel with
+        | None -> Printf.printf "  %-10s not in baseline; skipped\n" r.kernel
+        | Some bw ->
+          let ratio = r.wall_ms /. bw in
+          Printf.printf "  %-10s %10.2f ms vs %10.2f ms  (x%.2f)%s\n" r.kernel
+            r.wall_ms bw ratio
+            (if ratio > check_threshold then "  REGRESSION" else "");
+          if ratio > check_threshold then failed := true)
+      rows;
+    if !failed then begin
+      Printf.printf "  FAIL: wall-time regression above x%.2f\n" check_threshold;
+      exit 1
+    end
+    else Printf.printf "  OK: all kernels within x%.2f of baseline\n" check_threshold
 
 (* --- Bechamel: time the compiler itself -------------------------------------- *)
 
@@ -649,6 +793,7 @@ let experiments =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
+  | [ "pipeline"; "--check" ] | [ "--check" ] -> pipeline_check ()
   | [] -> List.iter (fun (_, f) -> f ()) experiments
   | names ->
     List.iter

@@ -7,8 +7,6 @@ type answer =
   | Unbounded
   | Gave_up
 
-
-
 let to_int_point (x : Vec.t) = Array.map (fun q -> Bigint.to_int (Q.to_bigint q)) x
 
 let first_fractional (x : Vec.t) =
@@ -30,24 +28,57 @@ let ge_branch dim i v =
   c.(dim) <- Q.neg (Q.of_bigint (Q.ceil v));
   Constr.make Constr.Ge c
 
+(* How a node obtains its LP solution: a cold two-phase solve, or a
+   dual-simplex re-solve of a snapshot basis (the parent node's, or the
+   previous lexmin stage's root) with some constraints appended. *)
+type src = Cold | Warm of Lp.warm * Constr.t list
+
 type search_state = {
   nonneg : bool;
+  use_warm : bool; (* thread warm snapshots into child nodes *)
   mutable incumbent : (Q.t * int array) option;
   mutable nodes : int;
   mutable saw_unbounded : bool;
   mutable gave_up : bool;
+  mutable root_warm : Lp.warm option; (* snapshot of the root relaxation *)
   max_nodes : int;
   stop_at_first : bool; (* feasibility search: stop on the first point *)
 }
 
 exception Found_first
 
-let rec branch st p obj =
+let self_check = ref false
+
+(* Differential check (tests): a warm re-solve must agree with a cold
+   solve of the same node — same status, same optimal value, and a
+   feasible point. *)
+let check_against_cold st p obj result =
+  let ok =
+    match (result, Lp.minimize ~nonneg:st.nonneg p obj) with
+    | Lp.Optimal (v, x), Lp.Optimal (v', _) ->
+      Q.equal v v'
+      && Polyhedron.contains p x
+      && ((not st.nonneg) || Array.for_all (fun q -> Q.sign q >= 0) x)
+    | Lp.Infeasible, Lp.Infeasible | Lp.Unbounded, Lp.Unbounded -> true
+    | _ -> false
+  in
+  if not ok then failwith "Ilp.Bb.self_check: warm and cold solves disagree"
+
+let rec branch st p obj ~src =
   if st.nodes >= st.max_nodes then st.gave_up <- true
   else begin
     st.nodes <- st.nodes + 1;
     incr Counters.bb_nodes;
-    match Lp.minimize ~nonneg:st.nonneg p obj with
+    let result, warm =
+      match src with
+      | Cold -> Lp.minimize_warm ~nonneg:st.nonneg p obj
+      | Warm (w, cs) ->
+        let r, w' = Lp.reoptimize w ~add:cs ~obj in
+        if !self_check then check_against_cold st p obj r;
+        (r, w')
+    in
+    if st.nodes = 1 then st.root_warm <- warm;
+    match result with
     | Lp.Infeasible -> ()
     | Lp.Unbounded -> st.saw_unbounded <- true
     | Lp.Optimal (v, x) ->
@@ -63,31 +94,42 @@ let rec branch st p obj =
           if st.stop_at_first then raise Found_first
         | Some i ->
           let dim = Polyhedron.dim p in
-          branch st (Polyhedron.add p (le_branch dim i x.(i))) obj;
-          branch st (Polyhedron.add p (ge_branch dim i x.(i))) obj
+          let child c =
+            match warm with
+            | Some w when st.use_warm -> Warm (w, [ c ])
+            | _ -> Cold
+          in
+          let le = le_branch dim i x.(i) and ge = ge_branch dim i x.(i) in
+          branch st (Polyhedron.add p le) obj ~src:(child le);
+          branch st (Polyhedron.add p ge) obj ~src:(child ge)
       end
   end
 
-let run ?(max_nodes = 20000) ?(stop_at_first = false) ?(nonneg = false) p obj =
+let run ?(max_nodes = 20000) ?(stop_at_first = false) ?(nonneg = false)
+    ?(use_warm = true) ?root_src p obj =
   incr Counters.ilp_solves;
   let st =
     {
       nonneg;
+      use_warm;
       incumbent = None;
       nodes = 0;
       saw_unbounded = false;
       gave_up = false;
+      root_warm = None;
       max_nodes;
       stop_at_first;
     }
   in
-  (try branch st p obj with Found_first -> ());
+  let src =
+    match root_src with
+    | Some (w, cs) when use_warm -> Warm (w, cs)
+    | _ -> Cold
+  in
+  (try branch st p obj ~src with Found_first -> ());
   st
 
-let minimize ?max_nodes ?nonneg p obj =
-  if Vec.dim obj <> Polyhedron.dim p + 1 then
-    invalid_arg "Ilp.minimize: objective length";
-  let st = run ?max_nodes ?nonneg p obj in
+let answer_of st =
   match st.incumbent with
   | Some (v, x) -> if st.saw_unbounded then Unbounded else Optimal (v, x)
   | None ->
@@ -95,9 +137,20 @@ let minimize ?max_nodes ?nonneg p obj =
     else if st.gave_up then Gave_up
     else Infeasible
 
+let minimize ?max_nodes ?nonneg p obj =
+  if Vec.dim obj <> Polyhedron.dim p + 1 then
+    invalid_arg "Ilp.minimize: objective length";
+  answer_of (run ?max_nodes ?nonneg p obj)
+
+(* [integer_point] deliberately searches cold: warm re-solves can land
+   on a different optimal vertex of a degenerate LP, which would change
+   the branching path and therefore *which* integer point is found
+   first. Keeping this search cold makes the returned point — the one
+   the scheduler embeds into schedules — independent of the warm-start
+   machinery. *)
 let integer_point ?max_nodes ?nonneg p =
   let obj = Vec.zero (Polyhedron.dim p + 1) in
-  let st = run ?max_nodes ~stop_at_first:true ?nonneg p obj in
+  let st = run ?max_nodes ~stop_at_first:true ?nonneg ~use_warm:false p obj in
   Option.map snd st.incumbent
 
 let feasible p =
@@ -115,22 +168,30 @@ let feasible p =
 
 let lexmin ?max_nodes ?nonneg p objs =
   let dim = Polyhedron.dim p in
-  let rec go p acc = function
-    | [] ->
+  (* [from] carries the previous stage's root-relaxation snapshot plus
+     the pending objective-fixing equality, so each stage's root LP is a
+     dual-simplex re-solve instead of a fresh two-phase solve. Only the
+     stage *values* flow into the fixing constraints (warm-safe: optimal
+     values are unique); the final witness point is found cold. *)
+  let rec go p from acc = function
+    | [] -> (
       (* recover a point optimal for all fixed objectives *)
-      (match integer_point ?max_nodes ?nonneg p with
+      match integer_point ?max_nodes ?nonneg p with
       | Some x -> Some (List.rev acc, x)
       | None -> None)
     | obj :: rest -> (
-      match minimize ?max_nodes ?nonneg p obj with
+      let st = run ?max_nodes ?nonneg ?root_src:from p obj in
+      match answer_of st with
       | Optimal (v, _) ->
         (* fix this objective: obj . x + c = v *)
         let fix = Vec.copy obj in
         fix.(dim) <- Q.sub fix.(dim) v;
-        go (Polyhedron.add p (Constr.make Constr.Eq fix)) (v :: acc) rest
+        let fixc = Constr.make Constr.Eq fix in
+        let from' = Option.map (fun w -> (w, [ fixc ])) st.root_warm in
+        go (Polyhedron.add p fixc) from' (v :: acc) rest
       | Infeasible | Unbounded | Gave_up -> None)
   in
-  go p [] objs
+  go p None [] objs
 
 let remove_redundant p =
   let dim = Polyhedron.dim p in

@@ -3,7 +3,15 @@
 
     Used for: the per-level hyperplane ILP of the Pluto-style scheduler
     (bounded coefficient boxes, so termination is structural) and exact
-    integer emptiness of dependence polyhedra. *)
+    integer emptiness of dependence polyhedra.
+
+    The search is incremental: each node's LP re-solves its parent's
+    final basis with one added bound constraint ({!Lp.reoptimize}, dual
+    simplex), and {!lexmin} chains each stage's root relaxation from
+    the previous stage's. Only optimal {e values} — which warm and cold
+    solves always agree on — feed decisions that affect results;
+    witness {e points} ({!integer_point}) are searched cold so they do
+    not depend on the warm-start machinery. *)
 
 type answer =
   | Optimal of Linalg.Q.t * int array
@@ -44,6 +52,13 @@ val lexmin :
   Poly.Polyhedron.t ->
   Linalg.Vec.t list ->
   (Linalg.Q.t list * int array) option
+
+(** Differential-testing hook: when set, every warm-started
+    branch-and-bound node re-solves its LP cold and fails
+    ([Failure _]) unless both solves agree on status and optimal value
+    and the warm point is feasible. Expensive — meant for the test
+    suite, not production runs. *)
+val self_check : bool ref
 
 (** [remove_redundant p] drops every inequality that is implied by the
     remaining constraints (exact rational LP test per row; equalities

@@ -1,4 +1,5 @@
-(* Two-phase dense simplex over exact rationals.
+(* Two-phase dense simplex over exact rationals, with an incremental
+   re-solve layer.
 
    Conversion to standard form (min c.y, A y = rhs, y >= 0, rhs >= 0):
      - every free variable x_i becomes x_i^+ - x_i^- (skipped in
@@ -17,7 +18,16 @@
    rhs_i/a_i ratios by cross-multiplication instead of exact division
    (no gcd normalization per candidate row), and pivot updates skip
    zero entries of the pivot row. Everything is exact, so no tolerance
-   anywhere. *)
+   anywhere.
+
+   Incremental layer: an optimal solve can return a [warm] snapshot of
+   its final tableau. [reoptimize] re-solves after (a) adding
+   constraints — the snapshot basis is dual-feasible, so the added rows
+   are priced into the basis and dual simplex runs back to primal
+   feasibility — and/or (b) swapping the objective — the basis is
+   primal-feasible, so the new reduced costs are priced out and primal
+   phase 2 resumes. Both skip phase 1 entirely; a cold two-phase solve
+   is the fallback on basis incompatibility or a dual cycling guard. *)
 
 open Linalg
 open Poly
@@ -36,13 +46,28 @@ type tableau = {
   nstruct : int; (* structural (split) + slack columns *)
 }
 
+(* A resumable snapshot of an optimal solve: the final tableau and
+   reduced-cost row, plus enough of the problem statement to rebuild a
+   cold solve on fallback. *)
+type warm = {
+  w_t : tableau;
+  w_obj_row : Q.t array; (* reduced costs, length ncols + 1 *)
+  w_allowed : bool array; (* length ncols: may the column enter phase 2 *)
+  w_nonneg : bool;
+  w_n : int; (* original variable count *)
+  w_obj_aff : Vec.t; (* the affine objective [w_obj_row] prices *)
+  w_poly : Polyhedron.t; (* the solved polyhedron (for cold fallback) *)
+  w_rule : pivot_rule;
+}
+
 let rhs_col t = t.ncols
 
 let pivots_internal = Linalg.Counters.lp_pivots
 
-(* Pivot on (row, col): make column [col] the basis column of [row]. *)
-let pivot t row col =
-  incr pivots_internal;
+(* Pivot on (row, col): make column [col] the basis column of [row].
+   Counter-free so the warm path can charge its pivots to
+   [Counters.dual_pivots] instead. *)
+let pivot_raw t row col =
   let arow = t.a.(row) in
   let p = arow.(col) in
   assert (not (Q.is_zero p));
@@ -66,6 +91,21 @@ let pivot t row col =
     end
   done;
   t.basis.(row) <- col
+
+let pivot t row col =
+  incr pivots_internal;
+  pivot_raw t row col
+
+(* Subtract [f * a.(row)] from the objective row (prices the entering
+   column out of the reduced costs). *)
+let price_out t obj row =
+  let f = obj.(t.basis.(row)) in
+  if not (Q.is_zero f) then begin
+    let arow = t.a.(row) in
+    for j = 0 to t.ncols do
+      if not (Q.is_zero arow.(j)) then obj.(j) <- Q.sub obj.(j) (Q.mul f arow.(j))
+    done
+  end
 
 (* One simplex phase: minimize obj (a row of reduced costs, length
    ncols + 1 with the objective value negated in the rhs slot).
@@ -146,8 +186,8 @@ let run_phase ~rule t obj allowed =
       end
       else begin
         let row = !best in
-        pivot t row col;
         let f = obj.(col) in
+        pivot t row col;
         if not (Q.is_zero f) then begin
           let arow = t.a.(row) in
           for j = 0 to t.ncols do
@@ -162,7 +202,37 @@ let run_phase ~rule t obj allowed =
 
 exception Found_infeasible
 
-let minimize_exn ~rule ~nonneg p obj_aff =
+(* Read the optimal point and value out of a final tableau. *)
+let extract ~nonneg ~n t obj_row obj_aff =
+  let y = Array.make (t.ncols + 1) Q.zero in
+  for i = 0 to Array.length t.a - 1 do
+    y.(t.basis.(i)) <- t.a.(i).(t.ncols)
+  done;
+  let x =
+    if nonneg then Array.init n (fun v -> y.(v))
+    else Array.init n (fun v -> Q.sub y.(2 * v) y.((2 * v) + 1))
+  in
+  let value = Q.add (Q.neg obj_row.(t.ncols)) obj_aff.(n) in
+  Optimal (value, x)
+
+(* Build the phase-2 reduced-cost row for [obj_aff] against the current
+   basis of [t]: map the affine objective onto the structural columns,
+   then price out every basic column. *)
+let priced_obj_row ~nonneg ~n t obj_aff =
+  let obj = Array.make (t.ncols + 1) Q.zero in
+  for v = 0 to n - 1 do
+    if nonneg then obj.(v) <- obj_aff.(v)
+    else begin
+      obj.(2 * v) <- obj_aff.(v);
+      obj.((2 * v) + 1) <- Q.neg obj_aff.(v)
+    end
+  done;
+  for i = 0 to Array.length t.a - 1 do
+    price_out t obj i
+  done;
+  obj
+
+let solve_cold_exn ~rule ~nonneg p obj_aff =
   let n = Polyhedron.dim p in
   if Vec.dim obj_aff <> n + 1 then invalid_arg "Lp.minimize: objective length";
   let cons = Polyhedron.constraints p in
@@ -264,44 +334,244 @@ let minimize_exn ~rule ~nonneg p obj_aff =
     done
   end;
   (* phase 2 *)
-  let obj2 = Array.make (ncols + 1) Q.zero in
-  for v = 0 to n - 1 do
-    if nonneg then obj2.(v) <- obj_aff.(v)
-    else begin
-      obj2.(2 * v) <- obj_aff.(v);
-      obj2.((2 * v) + 1) <- Q.neg obj_aff.(v)
-    end
-  done;
-  for i = 0 to m - 1 do
-    let b = t.basis.(i) in
-    let f = obj2.(b) in
-    if not (Q.is_zero f) then
-      for j = 0 to ncols do
-        obj2.(j) <- Q.sub obj2.(j) (Q.mul f t.a.(i).(j))
-      done
-  done;
+  let obj2 = priced_obj_row ~nonneg ~n t obj_aff in
   let allowed j = j < t.nstruct in
   match run_phase ~rule t obj2 allowed with
-  | `Unbounded -> Unbounded
+  | `Unbounded -> (Unbounded, None)
   | `Optimal ->
-    let y = Array.make (ncols + 1) Q.zero in
-    for i = 0 to m - 1 do
-      y.(t.basis.(i)) <- t.a.(i).(ncols)
-    done;
-    let x =
-      if nonneg then Array.init n (fun v -> y.(v))
-      else Array.init n (fun v -> Q.sub y.(2 * v) y.((2 * v) + 1))
+    let res = extract ~nonneg ~n t obj2 obj_aff in
+    let w =
+      {
+        w_t = t;
+        w_obj_row = obj2;
+        w_allowed = Array.init ncols (fun j -> j < t.nstruct);
+        w_nonneg = nonneg;
+        w_n = n;
+        w_obj_aff = obj_aff;
+        w_poly = p;
+        w_rule = rule;
+      }
     in
-    let value = Q.add (Q.neg obj2.(ncols)) obj_aff.(n) in
-    Optimal (value, x)
+    (res, Some w)
+
+let solve_cold ~rule ~nonneg p obj_aff =
+  try solve_cold_exn ~rule ~nonneg p obj_aff
+  with Found_infeasible -> (Infeasible, None)
+
+(* --- warm re-solve ----------------------------------------------------- *)
+
+(* Restore primal feasibility by dual simplex: the reduced costs in
+   [obj] are non-negative on allowed columns (dual feasible); repeatedly
+   drive the most negative rhs out of the basis. The entering column is
+   chosen by the dual ratio test (min obj_j / -a_rj over a_rj < 0, by
+   cross multiplication). Bounded by [cap] pivots as a cycling guard. *)
+let dual_simplex t obj allowed cap =
+  let m = Array.length t.a in
+  let iters = ref 0 in
+  let status = ref `Optimal in
+  let continue_ = ref true in
+  while !continue_ do
+    if !iters > cap then begin
+      status := `Fallback;
+      continue_ := false
+    end
+    else begin
+      let r = ref (-1) in
+      let worst = ref Q.zero in
+      for i = 0 to m - 1 do
+        let rhs = t.a.(i).(t.ncols) in
+        if Q.sign rhs < 0 then begin
+          let c = if !r < 0 then -1 else Q.compare rhs !worst in
+          if c < 0 || (c = 0 && t.basis.(i) < t.basis.(!r)) then begin
+            r := i;
+            worst := rhs
+          end
+        end
+      done;
+      if !r < 0 then continue_ := false (* primal feasible: optimal *)
+      else begin
+        let row = t.a.(!r) in
+        let e = ref (-1) in
+        let e_obj = ref Q.zero and e_coeff = ref Q.one in
+        for j = 0 to t.ncols - 1 do
+          if allowed.(j) && Q.sign row.(j) < 0 then begin
+            let oj = obj.(j) and cj = Q.neg row.(j) in
+            if !e < 0 then begin
+              e := j;
+              e_obj := oj;
+              e_coeff := cj
+            end
+            else begin
+              (* oj/cj < e_obj/e_coeff iff oj*e_coeff < e_obj*cj *)
+              let c = Q.compare (Q.mul oj !e_coeff) (Q.mul !e_obj cj) in
+              if c < 0 then begin
+                e := j;
+                e_obj := oj;
+                e_coeff := cj
+              end
+            end
+          end
+        done;
+        if !e < 0 then begin
+          (* the row reads: basic = rhs < 0 with only non-negative
+             contributions available — infeasible *)
+          status := `Infeasible;
+          continue_ := false
+        end
+        else begin
+          incr Counters.dual_pivots;
+          incr iters;
+          let f = obj.(!e) in
+          pivot_raw t !r !e;
+          if not (Q.is_zero f) then begin
+            let arow = t.a.(!r) in
+            for j = 0 to t.ncols do
+              if not (Q.is_zero arow.(j)) then
+                obj.(j) <- Q.sub obj.(j) (Q.mul f arow.(j))
+            done
+          end
+        end
+      end
+    end
+  done;
+  !status
+
+(* [reoptimize w ~add ~obj] re-solves [w]'s program with the
+   constraints [add] appended and objective [obj], starting from [w]'s
+   final basis. Two stages: dual simplex absorbs the added rows under
+   the old objective (skipping phase 1), then — if the objective
+   changed — the new reduced costs are priced out and primal phase 2
+   resumes from the feasible basis. Falls back to a cold solve when
+   the snapshot is incompatible or the dual iteration cap trips. *)
+let reoptimize w ~add ~obj:obj_aff =
+  incr Counters.lp_solves;
+  let n = w.w_n in
+  let cold () =
+    incr Counters.warm_fallbacks;
+    solve_cold ~rule:w.w_rule ~nonneg:w.w_nonneg
+      (Polyhedron.add_list w.w_poly add)
+      obj_aff
+  in
+  if Vec.dim obj_aff <> n + 1 || List.exists (fun c -> Constr.dim c <> n) add
+  then cold ()
+  else begin
+    (* every added constraint becomes one or two Ge rows
+       (an equality is its two opposite inequalities) *)
+    let rows_to_add =
+      List.concat_map
+        (fun c ->
+          match Constr.kind c with
+          | Constr.Ge -> [ Constr.coeffs c ]
+          | Constr.Eq -> [ Constr.coeffs c; Vec.neg (Constr.coeffs c) ])
+        add
+    in
+    let old = w.w_t in
+    let m = Array.length old.a in
+    let extra = List.length rows_to_add in
+    let ncols = old.ncols + extra in
+    (* widen a row: columns 0..old.ncols-1 keep their place, the new
+       slack columns are zero, the rhs moves to the end *)
+    let grow row =
+      let r = Array.make (ncols + 1) Q.zero in
+      Array.blit row 0 r 0 old.ncols;
+      r.(ncols) <- row.(old.ncols);
+      r
+    in
+    let a = Array.make (m + extra) [||] in
+    for i = 0 to m - 1 do
+      a.(i) <- grow old.a.(i)
+    done;
+    let obj_row = grow w.w_obj_row in
+    let basis = Array.make (m + extra) (-1) in
+    Array.blit old.basis 0 basis 0 m;
+    let allowed = Array.make ncols false in
+    Array.blit w.w_allowed 0 allowed 0 old.ncols;
+    for j = old.ncols to ncols - 1 do
+      allowed.(j) <- true
+    done;
+    (* append each constraint a.x + k >= 0 as  -a.x + s = k  with its
+       slack basic, then substitute the current basis out of the row so
+       the tableau stays in canonical form; a negative resulting rhs is
+       exactly what dual simplex repairs *)
+    List.iteri
+      (fun idx cv ->
+        let r = Array.make (ncols + 1) Q.zero in
+        for v = 0 to n - 1 do
+          let av = cv.(v) in
+          if not (Q.is_zero av) then
+            if w.w_nonneg then r.(v) <- Q.neg av
+            else begin
+              r.(2 * v) <- Q.neg av;
+              r.((2 * v) + 1) <- av
+            end
+        done;
+        let scol = old.ncols + idx in
+        r.(scol) <- Q.one;
+        r.(ncols) <- cv.(n);
+        for i = 0 to m - 1 do
+          let f = r.(basis.(i)) in
+          if not (Q.is_zero f) then begin
+            let arow = a.(i) in
+            for j = 0 to ncols do
+              if not (Q.is_zero arow.(j)) then
+                r.(j) <- Q.sub r.(j) (Q.mul f arow.(j))
+            done
+          end
+        done;
+        a.(m + idx) <- r;
+        basis.(m + idx) <- scol)
+      rows_to_add;
+    let t = { a; basis; ncols; nstruct = ncols } in
+    let cap = 200 + (10 * (m + extra)) in
+    match dual_simplex t obj_row allowed cap with
+    | `Fallback -> cold ()
+    | `Infeasible ->
+      incr Counters.warm_starts;
+      (Infeasible, None)
+    | `Optimal -> (
+      let same_obj = Vec.equal obj_aff w.w_obj_aff in
+      let obj_row =
+        if same_obj then obj_row
+        else priced_obj_row ~nonneg:w.w_nonneg ~n t obj_aff
+      in
+      let status =
+        if same_obj then `Optimal
+        else run_phase ~rule:w.w_rule t obj_row (fun j -> allowed.(j))
+      in
+      match status with
+      | `Unbounded ->
+        incr Counters.warm_starts;
+        (Unbounded, None)
+      | `Optimal ->
+        incr Counters.warm_starts;
+        let res = extract ~nonneg:w.w_nonneg ~n t obj_row obj_aff in
+        let w' =
+          {
+            w with
+            w_t = t;
+            w_obj_row = obj_row;
+            w_allowed = allowed;
+            w_obj_aff = obj_aff;
+            w_poly = Polyhedron.add_list w.w_poly add;
+          }
+        in
+        (res, Some w'))
+  end
+
+let warm_poly w = w.w_poly
+
+(* --- public entry points ------------------------------------------------ *)
 
 let solves = Linalg.Counters.lp_solves
 let solve_count () = !solves
 let pivot_count () = !pivots_internal
 
-let minimize ?(rule = Dantzig) ?(nonneg = false) p obj_aff =
+let minimize_warm ?(rule = Dantzig) ?(nonneg = false) p obj_aff =
   incr solves;
-  try minimize_exn ~rule ~nonneg p obj_aff with Found_infeasible -> Infeasible
+  solve_cold ~rule ~nonneg p obj_aff
+
+let minimize ?rule ?nonneg p obj_aff =
+  fst (minimize_warm ?rule ?nonneg p obj_aff)
 
 let maximize ?rule ?nonneg p obj_aff =
   match minimize ?rule ?nonneg p (Vec.neg obj_aff) with

@@ -33,6 +33,57 @@ val minimize :
 val maximize :
   ?rule:pivot_rule -> ?nonneg:bool -> Poly.Polyhedron.t -> Linalg.Vec.t -> result
 
+(** {1 Incremental re-solving}
+
+    An optimal solve can capture a [warm] snapshot of its final simplex
+    tableau. Because that basis is both primal- and dual-feasible,
+    closely related programs can be re-solved without the phase-1
+    feasibility search:
+
+    - adding constraints keeps the basis dual-feasible, so
+      {!reoptimize} prices the new rows into the basis and runs {e dual
+      simplex} back to primal feasibility (the classic branch-and-bound
+      warm start);
+    - changing the objective keeps the basis primal-feasible, so the
+      new reduced costs are priced out and primal phase 2 resumes.
+
+    Warm re-solves reach the same {e optimal value} as a cold solve but
+    may return a {e different optimal point} when the optimum is
+    degenerate; callers that consume the point (rather than the value)
+    and need reproducibility should solve cold. On basis
+    incompatibility or when the dual iteration guard trips, [reoptimize]
+    transparently falls back to a cold solve
+    ({!Linalg.Counters.warm_fallbacks}). Warm solves that complete on
+    the warm path bump {!Linalg.Counters.warm_starts}; their pivots are
+    counted in {!Linalg.Counters.dual_pivots} (dual phase) and
+    {!Linalg.Counters.lp_pivots} (primal phase), so total simplex
+    effort is the sum of the two pivot counters. *)
+
+(** A resumable snapshot of an optimal solve. Immutable from the
+    caller's point of view: [reoptimize] copies before pivoting, so one
+    snapshot can seed many re-solves (e.g. both children of a
+    branch-and-bound node). *)
+type warm
+
+(** Like {!minimize}, additionally returning a warm snapshot when the
+    program is bounded and feasible. *)
+val minimize_warm :
+  ?rule:pivot_rule ->
+  ?nonneg:bool ->
+  Poly.Polyhedron.t ->
+  Linalg.Vec.t ->
+  result * warm option
+
+(** [reoptimize w ~add ~obj] solves [w]'s program with the constraints
+    [add] appended and (affine) objective [obj] — either or both may
+    differ from the snapshot — starting from [w]'s final basis. *)
+val reoptimize :
+  warm -> add:Poly.Constr.t list -> obj:Linalg.Vec.t -> result * warm option
+
+(** The polyhedron a snapshot solves (with all constraints added so
+    far); for differential testing against cold solves. *)
+val warm_poly : warm -> Poly.Polyhedron.t
+
 (** [feasible_point p] returns a rational point of [p] if one exists
     (phase-1 only). *)
 val feasible_point :

@@ -11,18 +11,40 @@ let lp_solves = ref 0
 let ilp_solves = ref 0
 let bb_nodes = ref 0
 
+(* incremental-engine counters (warm-started dual simplex + Farkas
+   memoization) *)
+let warm_starts = ref 0
+let warm_fallbacks = ref 0
+let dual_pivots = ref 0
+let farkas_cache_hits = ref 0
+let farkas_cache_misses = ref 0
+
 let all_counters () =
   [ ("lp_solves", !lp_solves);
     ("lp_pivots", !lp_pivots);
     ("ilp_solves", !ilp_solves);
     ("bb_nodes", !bb_nodes);
+    ("warm_starts", !warm_starts);
+    ("warm_fallbacks", !warm_fallbacks);
+    ("dual_pivots", !dual_pivots);
+    ("farkas_cache_hits", !farkas_cache_hits);
+    ("farkas_cache_misses", !farkas_cache_misses);
     ("big_promotions", !promotions);
     ("big_demotions", !demotions) ]
 
 (* --- stage wall-clock timers ----------------------------------------- *)
 
+(* Timers are exclusive (self-time): when stages nest, the inner stage's
+   elapsed time is subtracted from the enclosing stage, so the per-stage
+   accumulators are disjoint and sum to at most the outermost wall
+   time. *)
+
 let stages : (string, float) Hashtbl.t = Hashtbl.create 8
 let stage_order : string list ref = ref []
+
+(* child-time accumulators of the currently active (nested) timers,
+   innermost first *)
+let active : float ref list ref = ref []
 
 let add_stage name dt =
   match Hashtbl.find_opt stages name with
@@ -33,7 +55,19 @@ let add_stage name dt =
 
 let time name f =
   let t0 = Unix.gettimeofday () in
-  Fun.protect ~finally:(fun () -> add_stage name (Unix.gettimeofday () -. t0)) f
+  let children = ref 0.0 in
+  active := children :: !active;
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Unix.gettimeofday () -. t0 in
+      (match !active with
+      | c :: rest when c == children ->
+        active := rest;
+        (* charge the whole span to the parent, keep only self time *)
+        (match rest with parent :: _ -> parent := !parent +. dt | [] -> ())
+      | _ -> () (* unbalanced via an exotic exception path; be lenient *));
+      add_stage name (dt -. !children))
+    f
 
 let stage_times () =
   List.rev_map (fun n -> (n, Hashtbl.find stages n)) !stage_order
@@ -45,15 +79,20 @@ let reset () =
   lp_solves := 0;
   ilp_solves := 0;
   bb_nodes := 0;
+  warm_starts := 0;
+  warm_fallbacks := 0;
+  dual_pivots := 0;
+  farkas_cache_hits := 0;
+  farkas_cache_misses := 0;
   Hashtbl.reset stages;
   stage_order := []
 
 let pp fmt () =
   Format.fprintf fmt "@[<v>";
   List.iter
-    (fun (n, v) -> if v <> 0 then Format.fprintf fmt "%-16s %d@," n v)
+    (fun (n, v) -> if v <> 0 then Format.fprintf fmt "%-20s %d@," n v)
     (all_counters ());
   List.iter
-    (fun (n, s) -> Format.fprintf fmt "%-16s %.3f ms@," n (s *. 1e3))
+    (fun (n, s) -> Format.fprintf fmt "%-20s %.3f ms@," n (s *. 1e3))
     (stage_times ());
   Format.fprintf fmt "@]"

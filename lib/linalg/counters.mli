@@ -22,8 +22,32 @@ val ilp_solves : int ref
 (** Branch-and-bound tree nodes (one LP relaxation each). *)
 val bb_nodes : int ref
 
+(** {2 Incremental-engine counters} *)
+
+(** LP re-solves that started from a saved basis (dual-simplex
+    constraint additions and primal objective swaps) and completed
+    without falling back to a cold solve. *)
+val warm_starts : int ref
+
+(** Warm re-solves that had to fall back to a cold two-phase solve
+    (basis incompatibility or a dual-simplex iteration cap). *)
+val warm_fallbacks : int ref
+
+(** Dual-simplex pivots performed by warm re-solves. The total simplex
+    effort of a run is [lp_pivots + dual_pivots]. *)
+val dual_pivots : int ref
+
+(** Farkas-system memoization: structurally identical dependence
+    polyhedra share one multiplier elimination ({!Pluto.Farkas}). *)
+val farkas_cache_hits : int ref
+
+val farkas_cache_misses : int ref
+
 (** [time stage f] runs [f ()] and adds its wall-clock duration to the
-    accumulator for [stage] (even if [f] raises). *)
+    accumulator for [stage] (even if [f] raises). Timers are
+    {e exclusive}: when stages nest, the inner stage's time is
+    subtracted from the enclosing stage, so stage times are disjoint
+    and sum to at most the outermost wall time. *)
 val time : string -> (unit -> 'a) -> 'a
 
 (** Accumulated (stage, seconds) pairs, in first-use order. *)

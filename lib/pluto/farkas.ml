@@ -91,6 +91,34 @@ let space_for ~form ~nloc poly =
   done;
   Ilp.Bb.remove_redundant !p
 
+(* --- structural memoization -------------------------------------------
+
+   [legality_space] and [bounding_space] are pure functions of
+   (d1, d2, np) and the dependence polyhedron's constraint system.
+   Kernels routinely carry many dependence edges with structurally
+   identical polyhedra — uniform stencil accesses over the same domain
+   differ only in which array they touch — so the (expensive)
+   multiplier elimination is keyed on {!Polyhedron.structural_key} and
+   run once per equivalence class. *)
+
+let cache : (string, Polyhedron.t) Hashtbl.t = Hashtbl.create 64
+let reset_cache () = Hashtbl.reset cache
+
+let memo ~tag ~d1 ~d2 ~np poly compute =
+  let key =
+    Printf.sprintf "%s:%d:%d:%d:%s" tag d1 d2 np
+      (Polyhedron.structural_key poly)
+  in
+  match Hashtbl.find_opt cache key with
+  | Some r ->
+    incr Counters.farkas_cache_hits;
+    r
+  | None ->
+    incr Counters.farkas_cache_misses;
+    let r = compute () in
+    Hashtbl.add cache key r;
+    r
+
 (* legality: phi_dst(t) - phi_src(s) >= 0
    coefficient of s_i: -c_src_i; of t_j: +c_dst_j; of p: 0;
    constant: c_dst0 - c_src0 *)
@@ -98,24 +126,26 @@ let legality_space ~d1 ~d2 ~np poly =
   let nloc = local_dim ~d1 ~d2 ~np in
   let dz = d1 + d2 + np in
   if Polyhedron.dim poly <> dz then invalid_arg "Farkas.legality_space: dims";
-  let form k =
-    if k < d1 then [ (src_coeff k, -1) ]
-    else if k < d1 + d2 then [ (dst_coeff ~d1 (k - d1), 1) ]
-    else if k < dz then [] (* parameters do not appear in phi *)
-    else [ (dst_const ~d1 ~d2, 1); (src_const ~d1, -1) ]
-  in
-  space_for ~form ~nloc poly
+  memo ~tag:"L" ~d1 ~d2 ~np poly (fun () ->
+      let form k =
+        if k < d1 then [ (src_coeff k, -1) ]
+        else if k < d1 + d2 then [ (dst_coeff ~d1 (k - d1), 1) ]
+        else if k < dz then [] (* parameters do not appear in phi *)
+        else [ (dst_const ~d1 ~d2, 1); (src_const ~d1, -1) ]
+      in
+      space_for ~form ~nloc poly)
 
 (* bounding: u.p + w - (phi_dst(t) - phi_src(s)) >= 0 *)
 let bounding_space ~d1 ~d2 ~np poly =
   let nloc = local_dim ~d1 ~d2 ~np in
   let dz = d1 + d2 + np in
   if Polyhedron.dim poly <> dz then invalid_arg "Farkas.bounding_space: dims";
-  let form k =
-    if k < d1 then [ (src_coeff k, 1) ]
-    else if k < d1 + d2 then [ (dst_coeff ~d1 (k - d1), -1) ]
-    else if k < dz then [ (u_col ~d1 ~d2 (k - d1 - d2), 1) ]
-    else
-      [ (w_col ~d1 ~d2 ~np, 1); (src_const ~d1, 1); (dst_const ~d1 ~d2, -1) ]
-  in
-  space_for ~form ~nloc poly
+  memo ~tag:"B" ~d1 ~d2 ~np poly (fun () ->
+      let form k =
+        if k < d1 then [ (src_coeff k, 1) ]
+        else if k < d1 + d2 then [ (dst_coeff ~d1 (k - d1), -1) ]
+        else if k < dz then [ (u_col ~d1 ~d2 (k - d1 - d2), 1) ]
+        else
+          [ (w_col ~d1 ~d2 ~np, 1); (src_const ~d1, 1); (dst_const ~d1 ~d2, -1) ]
+      in
+      space_for ~form ~nloc poly)

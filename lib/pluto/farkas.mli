@@ -38,7 +38,14 @@ val u_col : d1:int -> d2:int -> int -> int
 val w_col : d1:int -> d2:int -> np:int -> int
 
 (** [legality_space ~d1 ~d2 ~np poly]: all local coefficient vectors
-    whose hyperplanes weakly preserve the dependence. *)
+    whose hyperplanes weakly preserve the dependence.
+
+    Both this and {!bounding_space} are memoized on
+    [(d1, d2, np, {!Poly.Polyhedron.structural_key} poly)]: dependence
+    edges whose polyhedra are structurally identical (common for
+    uniform stencil accesses) share one multiplier elimination. Cache
+    traffic is counted in {!Linalg.Counters.farkas_cache_hits} /
+    [farkas_cache_misses]. *)
 val legality_space :
   d1:int -> d2:int -> np:int -> Poly.Polyhedron.t -> Poly.Polyhedron.t
 
@@ -54,3 +61,8 @@ val bounding_space :
     [poly]. *)
 val space_for :
   form:(int -> (int * int) list) -> nloc:int -> Poly.Polyhedron.t -> Poly.Polyhedron.t
+
+(** Drop all memoized Farkas systems (process-wide cache). Benchmarks
+    call this between repetitions so each measured run pays its own
+    eliminations. *)
+val reset_cache : unit -> unit

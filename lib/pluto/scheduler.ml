@@ -27,8 +27,42 @@ type result = {
   outer_partition : int array;
 }
 
-let dfs_order _prog _ddg scc_of =
+(* SCC ids are already a topological numbering of the condensation
+   (Kosaraju's DFS); the identity permutation is therefore a valid
+   pre-fusion order and is what the stock configurations use. *)
+let topological_order _prog _ddg scc_of =
   List.init (Ddg.scc_count scc_of) Fun.id
+
+(* A genuine depth-first traversal of the SCC condensation: roots and
+   successors are taken in increasing SCC id and SCCs are emitted in
+   reverse postorder. Also a topological order, but it keeps each DFS
+   subtree contiguous — unlike {!topological_order}, two independent
+   chains come out one after the other rather than interleaved. *)
+let dfs_order _prog (ddg : Ddg.t) scc_of =
+  let nscc = Ddg.scc_count scc_of in
+  let succ = Array.make nscc [] in
+  Array.iteri
+    (fun src dsts ->
+      List.iter
+        (fun dst ->
+          let a = scc_of.(src) and b = scc_of.(dst) in
+          if a <> b && not (List.mem b succ.(a)) then succ.(a) <- b :: succ.(a))
+        dsts)
+    ddg.Ddg.succ;
+  Array.iteri (fun i l -> succ.(i) <- List.sort compare l) succ;
+  let visited = Array.make nscc false in
+  let post = ref [] in
+  let rec dfs v =
+    if not visited.(v) then begin
+      visited.(v) <- true;
+      List.iter dfs succ.(v);
+      post := v :: !post
+    end
+  in
+  for v = 0 to nscc - 1 do
+    dfs v
+  done;
+  !post
 
 let scc_dim (prog : Scop.Program.t) members =
   List.fold_left
@@ -63,6 +97,14 @@ type state = {
   hyp_rows : int array list array; (* found iterator parts per stmt, for rank *)
   rank : int array; (* per stmt *)
   mutable accepted_hyp_rows : int;
+  (* incremental constraint store: the per-level ILP is assembled from
+     cached segments instead of being rebuilt from scratch on every
+     level and cut retry *)
+  bounds : Poly.Constr.t list; (* coefficient box: level-invariant *)
+  stmt_seg : Poly.Constr.t list array; (* per-stmt rows, valid at [stmt_seg_rank] *)
+  stmt_seg_rank : int array; (* rank when [stmt_seg] was built; -1 = never *)
+  mutable dep_seg : (int * Poly.Constr.t list) option;
+      (* active legality+bounding rows, keyed by #satisfied deps *)
 }
 
 let stmt_depth (prog : Scop.Program.t) id = Scop.Statement.depth prog.stmts.(id)
@@ -79,6 +121,32 @@ let rename_local_to_global ~np ~var_offset ~nv (dep : Dep.t) ~d1 ~d2 cons_poly =
     else np (* w *)
   in
   Poly.Polyhedron.constraints (Poly.Polyhedron.rename cons_poly ~dim_to:nv f)
+
+(* Coefficient box: 0 <= u_p <= u_max, 0 <= w <= w_max, iterator
+   coefficients <= c_iter_max, constants <= c_const_max (lower bounds
+   come from the scheduler's nonneg ILP mode). Independent of the
+   scheduling level, so built once per state. *)
+let upper_bound_cons ~np ~nv ~var_offset (prog : Scop.Program.t) =
+  let bound v ub =
+    let row = Array.make (nv + 1) 0 in
+    row.(v) <- -1;
+    row.(nv) <- ub;
+    Poly.Constr.ge (Array.to_list row)
+  in
+  let cons = ref [] in
+  for p = 0 to np - 1 do
+    cons := bound p u_max :: !cons
+  done;
+  cons := bound np w_max :: !cons;
+  Array.iteri
+    (fun id _ ->
+      let d = stmt_depth prog id in
+      for i = 0 to d - 1 do
+        cons := bound (var_offset.(id) + i) c_iter_max :: !cons
+      done;
+      cons := bound (var_offset.(id) + d) c_const_max :: !cons)
+    prog.stmts;
+  !cons
 
 let make_state cfg (prog : Scop.Program.t) all_deps =
   let np = Scop.Program.nparams prog in
@@ -142,6 +210,10 @@ let make_state cfg (prog : Scop.Program.t) all_deps =
       hyp_rows = Array.make n [];
       rank = Array.make n 0;
       accepted_hyp_rows = 0;
+      bounds = upper_bound_cons ~np ~nv ~var_offset prog;
+      stmt_seg = Array.make n [];
+      stmt_seg_rank = Array.make n (-1);
+      dep_seg = None;
     },
     ddg,
     scc_order )
@@ -230,94 +302,98 @@ let is_refinement st beta = beta <> st.part
 
 (* --- the per-level ILP --------------------------------------------------- *)
 
-let upper_bound_cons st =
-  let bound v ub =
-    let row = Array.make (st.nv + 1) 0 in
-    row.(v) <- -1;
-    row.(st.nv) <- ub;
-    Poly.Constr.ge (Array.to_list row)
-  in
+(* Rows constraining one statement's coefficient block at its current
+   rank. Recomputed only when the rank changes (see [stmt_cons]). *)
+let stmt_seg_for st id =
+  let d = stmt_depth st.prog id in
+  let o = st.var_offset.(id) in
   let cons = ref [] in
-  for p = 0 to st.np - 1 do
-    cons := bound p u_max :: !cons
-  done;
-  cons := bound st.np w_max :: !cons;
-  Array.iteri
-    (fun id _ ->
-      let d = stmt_depth st.prog id in
-      for i = 0 to d - 1 do
-        cons := bound (st.var_offset.(id) + i) c_iter_max :: !cons
-      done;
-      cons := bound (st.var_offset.(id) + d) c_const_max :: !cons)
-    st.prog.stmts;
+  if st.rank.(id) >= d then begin
+    (* finished: force the whole block to zero *)
+    for i = 0 to d do
+      let row = Array.make (st.nv + 1) 0 in
+      row.(o + i) <- 1;
+      cons := Poly.Constr.eq (Array.to_list row) :: !cons
+    done
+  end
+  else begin
+    (* non-trivial: sum of iterator coefficients >= 1 *)
+    let row = Array.make (st.nv + 1) 0 in
+    for i = 0 to d - 1 do
+      row.(o + i) <- 1
+    done;
+    row.(st.nv) <- -1;
+    cons := Poly.Constr.ge (Array.to_list row) :: !cons;
+    (* linear independence from the rows already found: every basis
+       vector of the orthogonal complement must have a non-negative
+       projection, and their sum a positive one (Pluto heuristic) *)
+    if st.hyp_rows.(id) <> [] then begin
+      let h = Mat.of_ints (Array.of_list (List.rev st.hyp_rows.(id))) in
+      let comp = Mat.orthogonal_complement h in
+      (* orient each basis vector so its entry sum is >= 0 *)
+      let comp =
+        List.map
+          (fun v ->
+            let s = Array.fold_left Q.add Q.zero v in
+            if Q.sign s < 0 then Vec.neg v else v)
+          comp
+      in
+      let sum_row = Array.make (st.nv + 1) 0 in
+      List.iter
+        (fun v ->
+          let row = Array.make (st.nv + 1) 0 in
+          Array.iteri
+            (fun i q ->
+              let c = Bigint.to_int (Q.num q) in
+              row.(o + i) <- c;
+              sum_row.(o + i) <- sum_row.(o + i) + c)
+            v;
+          cons := Poly.Constr.ge (Array.to_list row) :: !cons)
+        comp;
+      sum_row.(st.nv) <- -1;
+      cons := Poly.Constr.ge (Array.to_list sum_row) :: !cons
+    end
+  end;
   !cons
 
+(* Per-statement rows depend only on the statement's rank (the
+   orthogonal-complement rows are a function of [hyp_rows], which grows
+   exactly when the rank does), so each segment — including its
+   orthogonal-complement computation — is reused across cut retries at
+   the same level, and the "block forced to zero" segment of finished
+   statements is reused for the rest of the run. *)
 let stmt_cons st =
   let cons = ref [] in
   Array.iteri
     (fun id _ ->
-      let d = stmt_depth st.prog id in
-      let o = st.var_offset.(id) in
-      if st.rank.(id) >= d then begin
-        (* finished: force the whole block to zero *)
-        for i = 0 to d do
-          let row = Array.make (st.nv + 1) 0 in
-          row.(o + i) <- 1;
-          cons := Poly.Constr.eq (Array.to_list row) :: !cons
-        done
-      end
-      else begin
-        (* non-trivial: sum of iterator coefficients >= 1 *)
-        let row = Array.make (st.nv + 1) 0 in
-        for i = 0 to d - 1 do
-          row.(o + i) <- 1
-        done;
-        row.(st.nv) <- -1;
-        cons := Poly.Constr.ge (Array.to_list row) :: !cons;
-        (* linear independence from the rows already found: every basis
-           vector of the orthogonal complement must have a non-negative
-           projection, and their sum a positive one (Pluto heuristic) *)
-        if st.hyp_rows.(id) <> [] then begin
-          let h = Mat.of_ints (Array.of_list (List.rev st.hyp_rows.(id))) in
-          let comp = Mat.orthogonal_complement h in
-          (* orient each basis vector so its entry sum is >= 0 *)
-          let comp =
-            List.map
-              (fun v ->
-                let s = Array.fold_left Q.add Q.zero v in
-                if Q.sign s < 0 then Vec.neg v else v)
-              comp
-          in
-          let sum_row = Array.make (st.nv + 1) 0 in
-          List.iter
-            (fun v ->
-              let row = Array.make (st.nv + 1) 0 in
-              Array.iteri
-                (fun i q ->
-                  let c = Bigint.to_int (Q.num q) in
-                  row.(o + i) <- c;
-                  sum_row.(o + i) <- sum_row.(o + i) + c)
-                v;
-              cons := Poly.Constr.ge (Array.to_list row) :: !cons)
-            comp;
-          sum_row.(st.nv) <- -1;
-          cons := Poly.Constr.ge (Array.to_list sum_row) :: !cons
-        end
-      end)
+      if st.stmt_seg_rank.(id) <> st.rank.(id) then begin
+        st.stmt_seg.(id) <- stmt_seg_for st id;
+        st.stmt_seg_rank.(id) <- st.rank.(id)
+      end;
+      cons := st.stmt_seg.(id) @ !cons)
     st.prog.stmts;
   !cons
 
+(* Legality + bounding rows of the still-active dependences. Satisfied
+   flags only ever flip to [true], so the concatenation is keyed by how
+   many dependences are satisfied: levels and cut retries that satisfy
+   nothing new reuse the previous row list unchanged. *)
 let dep_cons st =
-  let cons = ref [] in
-  Array.iteri
-    (fun i _ ->
-      if not st.satisfied.(i) then
-        cons := st.legality.(i) @ st.bounding.(i) @ !cons)
-    st.true_deps;
-  !cons
+  let nsat = Array.fold_left (fun n s -> if s then n + 1 else n) 0 st.satisfied in
+  match st.dep_seg with
+  | Some (k, cached) when k = nsat -> cached
+  | _ ->
+    let cons = ref [] in
+    Array.iteri
+      (fun i _ ->
+        if not st.satisfied.(i) then
+          cons := st.legality.(i) @ st.bounding.(i) @ !cons)
+      st.true_deps;
+    st.dep_seg <- Some (nsat, !cons);
+    !cons
 
 let solve_level st =
-  let cons = upper_bound_cons st @ stmt_cons st @ dep_cons st in
+  let cons = st.bounds @ stmt_cons st @ dep_cons st in
   let p = Poly.Polyhedron.make st.nv cons in
   let obj mask =
     let v = Vec.zero (st.nv + 1) in
@@ -387,19 +463,33 @@ let row_of_solution st x id =
   row.(d + st.np) <- x.(o + d);
   row
 
-(* delta range of dependence [d] for candidate rows *)
+(* delta range of dependence [d] for candidate rows. The max re-solves
+   the min's final basis with the negated objective (primal-feasible
+   warm restart): only the optimal values are consumed, so a warm
+   re-solve is safe here. *)
 let dep_range st (d : Dep.t) src_row dst_row =
   let d1 = stmt_depth st.prog d.src and d2 = stmt_depth st.prog d.dst in
   let objv = Sched.phi_diff ~d1 ~d2 ~np:st.np src_row dst_row in
+  let min_res, warm = Ilp.Lp.minimize_warm d.poly objv in
   let dmin =
-    match Ilp.Lp.minimize d.poly objv with
+    match min_res with
     | Ilp.Lp.Optimal (v, _) -> Some v
     | Ilp.Lp.Unbounded -> None
     | Ilp.Lp.Infeasible -> Some Q.zero (* empty dependence: vacuous *)
   in
+  let max_res =
+    match warm with
+    | Some w -> fst (Ilp.Lp.reoptimize w ~add:[] ~obj:(Vec.neg objv))
+    | None -> (
+      (* min was infeasible or unbounded; only the infeasible case can
+         still answer, mirroring [Lp.maximize] *)
+      match Ilp.Lp.maximize d.poly objv with
+      | Ilp.Lp.Optimal (v, _) -> Ilp.Lp.Optimal (Q.neg v, [||])
+      | r -> r)
+  in
   let dmax =
-    match Ilp.Lp.maximize d.poly objv with
-    | Ilp.Lp.Optimal (v, _) -> Some v
+    match max_res with
+    | Ilp.Lp.Optimal (v, _) -> Some (Q.neg v) (* min of -objv *)
     | Ilp.Lp.Unbounded -> None
     | Ilp.Lp.Infeasible -> Some Q.zero
   in
@@ -618,7 +708,7 @@ let partitions (result : result) =
 let nofuse =
   {
     name = "nofuse";
-    order_sccs = dfs_order;
+    order_sccs = topological_order;
     initial_cut = Some Cut_all_sccs;
     fallback_cut = Cut_all_sccs;
     outer_parallel = false;
@@ -627,7 +717,7 @@ let nofuse =
 let maxfuse =
   {
     name = "maxfuse";
-    order_sccs = dfs_order;
+    order_sccs = topological_order;
     initial_cut = None;
     fallback_cut = Cut_minimal;
     outer_parallel = false;
@@ -636,7 +726,7 @@ let maxfuse =
 let smartfuse =
   {
     name = "smartfuse";
-    order_sccs = dfs_order;
+    order_sccs = topological_order;
     initial_cut = Some Cut_between_dims;
     fallback_cut = Cut_minimal;
     outer_parallel = false;

@@ -58,8 +58,17 @@ type result = {
 
 (** Default orderings / strategies. *)
 
-(** PLuTo's pre-fusion schedule: SCC ids from the DFS-based Kosaraju
-    numbering, i.e. plain topological order (Section 2.3). *)
+(** PLuTo's pre-fusion schedule (Section 2.3): plain topological order
+    of the condensation, realized as the identity permutation because
+    SCC ids are already topologically numbered by Kosaraju's DFS. This
+    is what the stock configurations use. *)
+val topological_order : Scop.Program.t -> Deps.Ddg.t -> int array -> int list
+
+(** A genuine depth-first traversal of the SCC condensation (roots and
+    successors in increasing SCC id, reverse postorder out). Also a
+    valid topological order, but keeps each DFS subtree contiguous:
+    independent chains are emitted one after the other instead of
+    interleaved by id. *)
 val dfs_order : Scop.Program.t -> Deps.Ddg.t -> int array -> int list
 
 val nofuse : config

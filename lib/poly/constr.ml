@@ -99,6 +99,16 @@ let tighten_int c =
       unsafe_make Ge v
     end
 
+let structural_key c =
+  let buf = Buffer.create 32 in
+  Buffer.add_char buf (match c.kind with Eq -> 'e' | Ge -> 'g');
+  Array.iter
+    (fun q ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (Q.to_string q))
+    c.coeffs;
+  Buffer.contents buf
+
 let equal a b = a.kind = b.kind && Vec.equal a.coeffs b.coeffs
 
 let compare a b =

@@ -65,6 +65,12 @@ val rename : dim_to:int -> (int -> int) -> t -> t
     detected by {!Polyhedron.is_empty}). *)
 val tighten_int : t -> t
 
+(** Canonical textual form of the constraint (kind + normalized
+    coefficients): two constraints have equal keys iff they are
+    {!equal}. Used to build structural hashes of whole systems for
+    memoization (see {!Polyhedron.structural_key}). *)
+val structural_key : t -> string
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 

@@ -260,6 +260,17 @@ let lower_upper_bounds p k =
     p.cons;
   (List.rev !lower, List.rev !upper, List.rev !rest)
 
+let structural_key p =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (string_of_int p.dim);
+  if p.known_empty then Buffer.add_string buf "!empty";
+  List.iter
+    (fun c ->
+      Buffer.add_char buf ';';
+      Buffer.add_string buf (Constr.structural_key c))
+    (List.sort Constr.compare p.cons);
+  Buffer.contents buf
+
 let equal a b =
   a.dim = b.dim && a.known_empty = b.known_empty
   && List.equal Constr.equal

@@ -77,5 +77,13 @@ val integer_points : lo:int array -> hi:int array -> t -> int array list
     in both lists (as the pair of induced inequalities). *)
 val lower_upper_bounds : t -> int -> Constr.t list * Constr.t list * Constr.t list
 
+(** Canonical structural hash key of the constraint system: dimension
+    plus the sorted, normalized constraints. Two polyhedra have equal
+    keys iff they are {!equal} — in particular, dependence polyhedra
+    that are identical up to statement renaming (same dimensions, same
+    constraint systems) collide, which is what the Farkas memoization
+    in [lib/pluto] keys on. *)
+val structural_key : t -> string
+
 val equal : t -> t -> bool
 val pp : ?names:string array -> Format.formatter -> t -> unit

@@ -309,6 +309,75 @@ let test_remove_redundant_drops_rows () =
   let q = Bb.remove_redundant p in
   Alcotest.(check int) "two rows left" 2 (List.length (Polyhedron.constraints q))
 
+(* --- properties: warm-started re-solves vs cold solves ------------------- *)
+
+let arb_constr2 =
+  QCheck.make
+    QCheck.Gen.(
+      map
+        (fun (a, b, k) -> Constr.ge [ a; b; k ])
+        (triple (int_range (-3) 3) (int_range (-3) 3) (int_range (-2) 8)))
+
+(* warm and cold solves must agree on status and value; the optimal
+   point may legitimately differ (alternative optima), so it is not
+   compared *)
+let same_value a b =
+  match (a, b) with
+  | Lp.Optimal (va, _), Lp.Optimal (vb, _) -> Q.equal va vb
+  | Lp.Infeasible, Lp.Infeasible | Lp.Unbounded, Lp.Unbounded -> true
+  | _ -> false
+
+let prop_warm_add_matches_cold =
+  QCheck.Test.make ~name:"warm re-solve with extra row matches cold" ~count:100
+    (QCheck.pair arb_bounded_poly2
+       (QCheck.pair arb_constr2
+          (QCheck.pair (QCheck.int_range (-3) 3) (QCheck.int_range (-3) 3))))
+    (fun (p, (c, (c0, c1))) ->
+      let obj = vec [ c0; c1; 0 ] in
+      match Lp.minimize_warm p obj with
+      | Lp.Optimal _, Some w ->
+        same_value
+          (fst (Lp.reoptimize w ~add:[ c ] ~obj))
+          (Lp.minimize (Polyhedron.add_list p [ c ]) obj)
+      | _, None -> true (* no optimal basis to warm-start from *)
+      | _, Some _ -> false)
+
+let prop_warm_newobj_matches_cold =
+  QCheck.Test.make ~name:"warm re-solve with new objective matches cold"
+    ~count:100
+    (QCheck.pair arb_bounded_poly2
+       (QCheck.pair (QCheck.int_range (-3) 3) (QCheck.int_range (-3) 3)))
+    (fun (p, (c0, c1)) ->
+      let obj = vec [ c0; c1; 0 ] in
+      match Lp.minimize_warm p obj with
+      | Lp.Optimal _, Some w ->
+        let obj' = Vec.neg obj in
+        same_value (fst (Lp.reoptimize w ~add:[] ~obj:obj')) (Lp.minimize p obj')
+      | _, None -> true
+      | _, Some _ -> false)
+
+let prop_warm_chain_matches_cold =
+  QCheck.Test.make ~name:"chained warm re-solves match cold" ~count:60
+    (QCheck.pair arb_bounded_poly2
+       (QCheck.pair (QCheck.pair arb_constr2 arb_constr2)
+          (QCheck.pair (QCheck.int_range (-3) 3) (QCheck.int_range (-3) 3))))
+    (fun (p, ((ca, cb), (c0, c1))) ->
+      let obj = vec [ c0; c1; 0 ] in
+      match Lp.minimize_warm p obj with
+      | Lp.Optimal _, Some w -> (
+        let r1, w1 = Lp.reoptimize w ~add:[ ca ] ~obj in
+        same_value r1 (Lp.minimize (Polyhedron.add_list p [ ca ]) obj)
+        &&
+        match w1 with
+        | None -> true
+        | Some w1 ->
+          let obj' = Vec.neg obj in
+          same_value
+            (fst (Lp.reoptimize w1 ~add:[ cb ] ~obj:obj'))
+            (Lp.minimize (Polyhedron.add_list p [ ca; cb ]) obj'))
+      | _, None -> true
+      | _, Some _ -> false)
+
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "ilp"
@@ -339,4 +408,8 @@ let () =
           [ prop_ilp_matches_brute_force; prop_feasible_matches_brute_force;
             prop_pivot_rules_same_optimum; prop_lp_lower_bounds_ilp;
             prop_remove_redundant_preserves_set;
-            prop_fm_projection_rationally_exact ] ) ]
+            prop_fm_projection_rationally_exact ] );
+      ( "warm-props",
+        qt
+          [ prop_warm_add_matches_cold; prop_warm_newobj_matches_cold;
+            prop_warm_chain_matches_cold ] ) ]

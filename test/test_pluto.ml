@@ -231,6 +231,80 @@ let test_satisfaction_levels () =
       | None -> Alcotest.fail (Format.asprintf "unsatisfied: %a" Dep.pp d))
     res.true_deps
 
+(* --- incremental engine --------------------------------------------------- *)
+
+let check_legal_or_fail (res : Scheduler.result) =
+  match Satisfy.check_legal res.prog res.true_deps res.sched with
+  | Ok () -> ()
+  | Error d -> Alcotest.fail (Format.asprintf "illegal: %a" Dep.pp d)
+
+(* With [Ilp.Bb.self_check] on, every warm-started LP relaxation in the
+   branch-and-bound search is re-solved cold and compared (status and
+   value); a disagreement raises. Exercises the full scheduler on both
+   running examples. *)
+let test_warm_selfcheck () =
+  Ilp.Bb.self_check := true;
+  Fun.protect
+    ~finally:(fun () -> Ilp.Bb.self_check := false)
+    (fun () ->
+      List.iter
+        (fun prog ->
+          List.iter
+            (fun cfg -> check_legal_or_fail (Scheduler.run cfg prog))
+            [ Scheduler.nofuse; Scheduler.smartfuse; Scheduler.maxfuse ])
+        [ gemver (); advect () ])
+
+(* Memoized Farkas systems must be indistinguishable from fresh ones:
+   a second pass served from the cache and a third pass recomputed
+   after [reset_cache] both yield equal polyhedra. *)
+let test_farkas_cache_identity () =
+  let prog = gemver () in
+  let deps = Dep.analyze prog in
+  let spaces () =
+    List.concat_map
+      (fun (d : Dep.t) ->
+        let d1 = Statement.depth prog.stmts.(d.src)
+        and d2 = Statement.depth prog.stmts.(d.dst) in
+        let np = Poly.Polyhedron.dim d.poly - d1 - d2 in
+        [ Farkas.legality_space ~d1 ~d2 ~np d.poly;
+          Farkas.bounding_space ~d1 ~d2 ~np d.poly ])
+      deps
+  in
+  Farkas.reset_cache ();
+  let cold = spaces () in
+  let hits0 = !Linalg.Counters.farkas_cache_hits in
+  let cached = spaces () in
+  Alcotest.(check bool) "second pass hits the cache" true
+    (!Linalg.Counters.farkas_cache_hits > hits0);
+  Farkas.reset_cache ();
+  let fresh = spaces () in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "cached = cold" true (Poly.Polyhedron.equal a b))
+    cold cached;
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "recomputed = cold" true (Poly.Polyhedron.equal a b))
+    cold fresh
+
+(* dfs_order must produce a permutation of the SCC ids that still
+   yields a legal schedule *)
+let test_dfs_order_schedules () =
+  let cfg =
+    { Scheduler.smartfuse with
+      Scheduler.name = "smartfuse-dfs";
+      order_sccs = Scheduler.dfs_order }
+  in
+  List.iter
+    (fun prog ->
+      let res = Scheduler.run cfg prog in
+      check_legal_or_fail res;
+      let n = List.length res.scc_order in
+      Alcotest.(check (list int)) "permutation of SCC ids"
+        (List.init n Fun.id)
+        (List.sort compare res.scc_order))
+    [ gemver (); advect () ]
+
 let () =
   Alcotest.run "pluto"
     [ ( "farkas",
@@ -246,4 +320,11 @@ let () =
           Alcotest.test_case "nofuse parallel" `Quick test_advect_nofuse_parallel ] );
       ( "structure",
         [ Alcotest.test_case "shape invariants" `Quick test_schedule_shape;
-          Alcotest.test_case "all satisfied" `Quick test_satisfaction_levels ] ) ]
+          Alcotest.test_case "all satisfied" `Quick test_satisfaction_levels ] );
+      ( "incremental",
+        [ Alcotest.test_case "warm B&B nodes match cold" `Quick
+            test_warm_selfcheck;
+          Alcotest.test_case "farkas cache identity" `Quick
+            test_farkas_cache_identity;
+          Alcotest.test_case "dfs_order schedules" `Quick
+            test_dfs_order_schedules ] ) ]
