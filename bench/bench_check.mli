@@ -1,0 +1,24 @@
+(** Pure comparator for the bench regression gate.
+
+    Separated from the bench driver so the verdict logic (including the
+    zero/non-finite baseline guard) can be unit-tested without running
+    any benchmark. *)
+
+type verdict =
+  | Within of float  (** ratio; at or under the threshold *)
+  | Regression of float  (** ratio; above the threshold *)
+  | Bad_baseline
+      (** baseline wall time not a positive finite number — no ratio
+          can be formed (guards the division) *)
+  | Missing  (** kernel absent from the baseline record *)
+
+(** [compare_wall ~threshold ~baseline_ms ~current_ms] classifies one
+    kernel's fresh measurement against its baseline. *)
+val compare_wall :
+  threshold:float -> baseline_ms:float option -> current_ms:float -> verdict
+
+(** Does this verdict fail the gate? Only a confirmed regression does;
+    unusable or missing baselines are advisory. *)
+val is_failure : verdict -> bool
+
+val describe : verdict -> string

@@ -711,20 +711,62 @@ let pipeline_check () =
     let failed = ref false in
     List.iter
       (fun r ->
-        match kernel_wall base r.kernel with
-        | None -> Printf.printf "  %-10s not in baseline; skipped\n" r.kernel
-        | Some bw ->
-          let ratio = r.wall_ms /. bw in
-          Printf.printf "  %-10s %10.2f ms vs %10.2f ms  (x%.2f)%s\n" r.kernel
-            r.wall_ms bw ratio
-            (if ratio > check_threshold then "  REGRESSION" else "");
-          if ratio > check_threshold then failed := true)
+        let baseline_ms = kernel_wall base r.kernel in
+        let v =
+          Bench_check.compare_wall ~threshold:check_threshold ~baseline_ms
+            ~current_ms:r.wall_ms
+        in
+        (match (v, baseline_ms) with
+        | (Bench_check.Within _ | Bench_check.Regression _), Some bw ->
+          Printf.printf "  %-10s %10.2f ms vs %10.2f ms  %s\n" r.kernel
+            r.wall_ms bw (Bench_check.describe v)
+        | _ -> Printf.printf "  %-10s %s\n" r.kernel (Bench_check.describe v));
+        if Bench_check.is_failure v then failed := true)
       rows;
     if !failed then begin
       Printf.printf "  FAIL: wall-time regression above x%.2f\n" check_threshold;
       exit 1
     end
     else Printf.printf "  OK: all kernels within x%.2f of baseline\n" check_threshold
+
+(* --- budget accounting overhead ----------------------------------------------- *)
+
+(* Times the wisefuse scheduler with no budget against a generous one
+   that never trips, so the difference is pure accounting cost (one
+   latch check per simplex pivot and branch-and-bound node). Feeds the
+   "Robustness" entry in EXPERIMENTS.md; expected well under 2%. *)
+let budget_overhead () =
+  section "Budget accounting overhead (generous budget vs none)";
+  let cfg = scheduler_config Wisefuse in
+  List.iter
+    (fun (name, mk) ->
+      let prog = mk () in
+      Pluto.Farkas.reset_cache ();
+      ignore (Pluto.Scheduler.run cfg prog) (* warm-up *);
+      let reps = if smoke then 1 else 5 in
+      let time budget =
+        let best = ref infinity in
+        for _ = 1 to reps do
+          Pluto.Farkas.reset_cache ();
+          let t0 = Unix.gettimeofday () in
+          ignore (Pluto.Scheduler.run ?budget cfg prog);
+          let dt = Unix.gettimeofday () -. t0 in
+          if dt < !best then best := dt
+        done;
+        !best *. 1e3
+      in
+      let base = time None in
+      let budgeted =
+        time
+          (Some
+             (Linalg.Budget.make ~ms:600_000 ~pivots:1_000_000_000
+                ~nodes:1_000_000_000 ()))
+      in
+      Printf.printf
+        "  %-10s %8.2f ms unbudgeted  %8.2f ms budgeted  (%+5.2f%%)\n%!" name
+        base budgeted
+        ((budgeted -. base) /. base *. 100.0))
+    pipeline_kernels
 
 (* --- Bechamel: time the compiler itself -------------------------------------- *)
 
@@ -788,7 +830,8 @@ let experiments =
     ("fig5", fig5); ("fig4_6", fig4_6); ("fig7", fig7); ("fig8", fig8);
     ("scaling", scaling); ("ablation", ablation); ("extras", extras);
     ("tiling", tiling); ("locality", locality); ("space", space);
-    ("vector", vector); ("pipeline", pipeline); ("bechamel", bechamel) ]
+    ("vector", vector); ("pipeline", pipeline); ("budget", budget_overhead);
+    ("bechamel", bechamel) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

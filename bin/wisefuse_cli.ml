@@ -44,9 +44,21 @@ let stats_arg =
   in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+(* set per-command from --verbose; read by the top-level diagnostic
+   handler when a pipeline error escapes *)
+let verbose = ref false
+
+let verbose_arg =
+  let doc = "Render full diagnostic context (phase, code, details) on errors." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
 let report_stats stats =
   if stats then
     Format.printf "=== pipeline counters ===@.%a@." Linalg.Counters.pp ()
+
+(* usage errors (unknown kernel / unknown model) exit 2, matching
+   Diagnostics.exit_code for the Usage phase *)
+let usage_exit = 2
 
 let load name size =
   match Kernels.Registry.find name with
@@ -54,13 +66,22 @@ let load name size =
     let n = Option.value size ~default:entry.Kernels.Registry.model_size in
     entry.Kernels.Registry.program ~n ()
   | exception Not_found ->
-    Printf.eprintf "unknown kernel %s; try `wisefuse list'\n" name;
-    exit 1
+    Printf.eprintf "unknown kernel %s; available kernels:\n" name;
+    List.iter
+      (fun (e : Kernels.Registry.entry) ->
+        Printf.eprintf "  %-10s %s\n" e.Kernels.Registry.name
+          e.Kernels.Registry.category)
+      Kernels.Registry.all;
+    exit usage_exit
 
 let ast_of_model ?tile prog mname =
   match Fusion.Model.of_name mname with
   | m ->
     let opt = Fusion.Model.optimize m prog in
+    (match opt.Fusion.Model.resilience with
+    | Some o when Fusion.Resilient.degraded o ->
+      Format.eprintf "note: %a@." Fusion.Report.pp_resilience o
+    | _ -> ());
     let ast =
       match (tile, opt.Fusion.Model.scheduler) with
       | Some size, Some res -> Codegen.Tile.of_result ~size res
@@ -73,22 +94,25 @@ let ast_of_model ?tile prog mname =
   | exception Not_found ->
     Printf.eprintf "unknown model %s (expected one of %s)\n" mname
       (String.concat ", " model_names);
-    exit 1
+    exit usage_exit
 
 (* --- list ------------------------------------------------------------- *)
 
 let list_cmd =
-  let run () =
+  let run stats =
     Printf.printf "%-10s %-10s %-34s %-28s %s\n" "name" "suite" "category"
       "paper size" "model N";
     List.iter
       (fun (e : Kernels.Registry.entry) ->
         Printf.printf "%-10s %-10s %-34s %-28s %d\n" e.name e.suite e.category
           e.paper_size e.model_size)
-      Kernels.Registry.all
+      Kernels.Registry.all;
+    (* no pipeline ran: the counters are empty, and printing them must
+       still work *)
+    report_stats stats
   in
   Cmd.v (Cmd.info "list" ~doc:"List the benchmarks (Table 2)")
-    Term.(const run $ const ())
+    Term.(const run $ stats_arg)
 
 (* --- show ------------------------------------------------------------- *)
 
@@ -131,7 +155,8 @@ let deps_cmd =
 (* --- opt -------------------------------------------------------------- *)
 
 let opt_cmd =
-  let run name size model tile stats =
+  let run name size model tile stats vflag =
+    verbose := vflag;
     let prog = load name size in
     let ast, res = ast_of_model ?tile prog model in
     (match res with
@@ -156,12 +181,14 @@ let opt_cmd =
     report_stats stats
   in
   Cmd.v (Cmd.info "opt" ~doc:"Optimize and print the transformed code")
-    Term.(const run $ kernel_arg $ size_arg $ model_arg $ tile_arg $ stats_arg)
+    Term.(const run $ kernel_arg $ size_arg $ model_arg $ tile_arg $ stats_arg
+          $ verbose_arg)
 
 (* --- emit ------------------------------------------------------------- *)
 
 let emit_cmd =
-  let run name size model =
+  let run name size model vflag =
+    verbose := vflag;
     let prog = load name size in
     let ast, _ = ast_of_model prog model in
     print_string
@@ -169,12 +196,13 @@ let emit_cmd =
   in
   Cmd.v
     (Cmd.info "emit" ~doc:"Emit a complete C program for the transformed code")
-    Term.(const run $ kernel_arg $ size_arg $ model_arg)
+    Term.(const run $ kernel_arg $ size_arg $ model_arg $ verbose_arg)
 
 (* --- sim -------------------------------------------------------------- *)
 
 let sim_cmd =
-  let run name size model cores tile simd stats =
+  let run name size model cores tile simd stats vflag =
+    verbose := vflag;
     let prog = load name size in
     let params = prog.Scop.Program.default_params in
     let ast, _ = ast_of_model ?tile prog model in
@@ -197,9 +225,20 @@ let sim_cmd =
   in
   Cmd.v (Cmd.info "sim" ~doc:"Simulate on the machine model")
     Term.(const run $ kernel_arg $ size_arg $ model_arg $ cores_arg $ tile_arg
-          $ simd_arg $ stats_arg)
+          $ simd_arg $ stats_arg $ verbose_arg)
 
 let () =
   let doc = "loop fusion in the polyhedral framework (PPoPP'14 reproduction)" in
   let info = Cmd.info "wisefuse" ~version:"1.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; show_cmd; deps_cmd; opt_cmd; emit_cmd; sim_cmd ]))
+  let cmds = [ list_cmd; show_cmd; deps_cmd; opt_cmd; emit_cmd; sim_cmd ] in
+  (* a diagnostic escaping the pipeline exits with its phase's code
+     (usage 2, budget 3, scheduling 4, verification 5, codegen 6) —
+     never a bare exception, never exit 1 *)
+  match Cmd.eval (Cmd.group info cmds) with
+  | code -> exit code
+  | exception Pluto.Diagnostics.Error d ->
+    if !verbose then Format.eprintf "wisefuse: %a@." Pluto.Diagnostics.pp_verbose d
+    else
+      Format.eprintf "wisefuse: %a (re-run with --verbose for details)@."
+        Pluto.Diagnostics.pp d;
+    exit (Pluto.Diagnostics.exit_code d)

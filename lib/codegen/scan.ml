@@ -106,7 +106,13 @@ let make_instance (prog : Scop.Program.t) (sched : Pluto.Sched.t) id =
     List.partition (fun (_, h) -> Array.exists (fun c -> c <> 0) (iter_part h)) indexed
   in
   if List.length nonzero <> d then
-    failwith
+    Pluto.Diagnostics.fail ~phase:Codegen ~code:"codegen.rank"
+      ~context:
+        [
+          ("statement", st.name);
+          ("depth", string_of_int d);
+          ("non-constant-rows", string_of_int (List.length nonzero));
+        ]
       (Printf.sprintf "Scan: statement %s has %d non-constant rows for depth %d"
          st.name (List.length nonzero) d);
   let sel_levels = Array.of_list (List.map fst nonzero) in
@@ -114,7 +120,10 @@ let make_instance (prog : Scop.Program.t) (sched : Pluto.Sched.t) id =
   let hinv =
     match Mat.inverse hsel with
     | Some m -> m
-    | None -> failwith (Printf.sprintf "Scan: singular transform for %s" st.name)
+    | None ->
+      Pluto.Diagnostics.fail ~phase:Codegen ~code:"codegen.singular"
+        ~context:[ ("statement", st.name) ]
+        (Printf.sprintf "Scan: singular transform for %s" st.name)
   in
   (* write hinv as integer matrix / det *)
   let det =

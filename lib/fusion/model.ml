@@ -34,16 +34,28 @@ type optimized = {
   ast : Codegen.Ast.node;
   scheduler : Pluto.Scheduler.result option;
   icc : Icc.Icc_model.result option;
+  resilience : Resilient.outcome option;
+      (* which degradation rung produced the schedule (polyhedral
+         models only; [None] for icc) *)
 }
 
-let optimize m prog =
+let optimize ?budget m prog =
   match m with
   | Icc ->
     let r = Icc.Icc_model.run prog in
-    { ast = r.Icc.Icc_model.ast; scheduler = None; icc = Some r }
+    { ast = r.Icc.Icc_model.ast; scheduler = None; icc = Some r; resilience = None }
   | _ ->
-    let res = Pluto.Scheduler.run (scheduler_config m) prog in
-    { ast = Codegen.Scan.of_result res; scheduler = Some res; icc = None }
+    (* through the degradation ladder: on the happy path (rung 1) the
+       result is identical to running the scheduler directly; on solver
+       budget exhaustion or a scheduling dead end the pipeline falls
+       back instead of raising *)
+    let o = Resilient.optimize ?budget ~config:(scheduler_config m) prog in
+    {
+      ast = o.Resilient.ast;
+      scheduler = Some o.Resilient.result;
+      icc = None;
+      resilience = Some o;
+    }
 
 let simulate ?config m (prog : Scop.Program.t) =
   let { ast; _ } = optimize m prog in

@@ -22,10 +22,16 @@ type optimized = {
   ast : Codegen.Ast.node;
   scheduler : Pluto.Scheduler.result option;  (** [None] for [Icc] *)
   icc : Icc.Icc_model.result option;  (** [Some] for [Icc] *)
+  resilience : Resilient.outcome option;
+      (** which degradation rung produced the schedule ([None] for
+          [Icc], which does not go through the ladder) *)
 }
 
-(** Run the model's whole pipeline on a program. *)
-val optimize : t -> Scop.Program.t -> optimized
+(** Run the model's whole pipeline on a program. Polyhedral models run
+    through the {!Resilient} degradation ladder, so a solver budget
+    ([budget], defaulting to {!Linalg.Budget.of_env}) degrades the
+    schedule instead of failing the run. *)
+val optimize : ?budget:Linalg.Budget.t -> t -> Scop.Program.t -> optimized
 
 (** [simulate ?config m prog] optimizes and runs the machine model (at
     the program's default parameters). *)

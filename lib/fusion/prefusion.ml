@@ -46,7 +46,24 @@ let run (prog : Scop.Program.t) (ddg : Ddg.t) scc_of =
          end
        done
      with Exit -> ());
-    if !seed < 0 then failwith "Prefusion: no ready SCC (cyclic condensation?)";
+    if !seed < 0 then begin
+      (* Precedence can never unblock: the condensation must be cyclic
+         (or scc_of is inconsistent with the DDG). Report exactly which
+         SCCs are stuck so the caller can see the cycle. *)
+      let stuck =
+        List.filter (fun scc -> not visited.(scc)) (List.init nscc Fun.id)
+      in
+      Pluto.Diagnostics.fail ~phase:Scheduling ~code:"prefuse.no-ready-scc"
+        ~context:
+          [
+            ( "stuck-sccs",
+              String.concat "," (List.map string_of_int stuck) );
+            ("total-sccs", string_of_int nscc);
+          ]
+        (Printf.sprintf
+           "Prefusion: no ready SCC among %d remaining (cyclic condensation?)"
+           (List.length stuck))
+    end;
     let s = !seed in
     let seed_scc = scc_of.(s) in
     visited.(seed_scc) <- true;

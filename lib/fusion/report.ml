@@ -31,6 +31,17 @@ let score_deps pred (res : Pluto.Scheduler.result) =
 let reuse_score res = score_deps (fun _ -> true) res
 let rar_reuse_score res = score_deps (fun (d : Dep.t) -> d.kind = Dep.Input) res
 
+(* Which degradation rung produced the schedule, and why any earlier
+   rung failed. One line on the happy path. *)
+let pp_resilience fmt (o : Resilient.outcome) =
+  Format.fprintf fmt "@[<v>schedule source: %s rung (config %s)"
+    (Resilient.rung_name o.Resilient.rung)
+    o.Resilient.result.Pluto.Scheduler.config_name;
+  List.iter
+    (fun d -> Format.fprintf fmt "@,degraded past: %a" Pluto.Diagnostics.pp d)
+    o.Resilient.notes;
+  Format.fprintf fmt "@]"
+
 let pp_table fmt (res : Pluto.Scheduler.result) =
   Format.fprintf fmt "@[<v>SCC | dim | partition (%s)@," res.config_name;
   List.iter

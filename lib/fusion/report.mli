@@ -23,3 +23,7 @@ val reuse_score : Pluto.Scheduler.result -> int
 val rar_reuse_score : Pluto.Scheduler.result -> int
 
 val pp_table : Format.formatter -> Pluto.Scheduler.result -> unit
+
+(** Which degradation rung produced a schedule and why earlier rungs
+    failed; a single line on the happy path. *)
+val pp_resilience : Format.formatter -> Resilient.outcome -> unit

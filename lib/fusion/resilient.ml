@@ -1,0 +1,152 @@
+(* Graceful degradation for the scheduling pipeline.
+
+   The optimizing schedule search can fail: the solver budget may run
+   out, a fusion configuration may paint itself into a corner (no
+   hyperplane and no further cut), or code generation may reject the
+   transform. None of those should take the pipeline down — a legal
+   schedule always exists (the original program order is one). This
+   module walks a fallback ladder:
+
+     1. Primary      — the requested configuration (wisefuse by default);
+     2. Distributed  — maximal distribution: every SCC in its own nest,
+                       the cheapest search the full scheduler can run;
+     3. Identity     — the original program order, built directly (no
+                       solver at all) and always legal by construction.
+
+   Each rung gets a fresh copy of the budget ([Budget.refresh]) rather
+   than inheriting an already-tripped one. Every outcome — including a
+   degraded one — has passed the scheduler's always-on verification
+   ([Satisfy.check_complete] + [Satisfy.check_legal]); the identity
+   rung is verified here explicitly. The diagnostics of the rungs that
+   failed ride along in [notes] so reports can say *why* the pipeline
+   degraded. *)
+
+open Deps
+
+type rung = Primary | Distributed | Identity
+
+let rung_name = function
+  | Primary -> "primary"
+  | Distributed -> "distributed"
+  | Identity -> "identity"
+
+type outcome = {
+  result : Pluto.Scheduler.result;
+  ast : Codegen.Ast.node;
+  rung : rung;
+  notes : Pluto.Diagnostics.t list; (* failures of earlier rungs, in order *)
+}
+
+let degraded o = o.rung <> Primary
+
+(* Maximal distribution under the same engine: one partition per SCC up
+   front, so the per-level ILPs decompose into single-SCC problems. *)
+let distributed_config (cfg : Pluto.Scheduler.config) =
+  {
+    Pluto.Scheduler.name = cfg.name ^ "+distribute";
+    order_sccs = Pluto.Scheduler.topological_order;
+    initial_cut = Some Pluto.Scheduler.Cut_all_sccs;
+    fallback_cut = Pluto.Scheduler.Cut_all_sccs;
+    outer_parallel = false;
+  }
+
+(* A Scheduler.result for the identity (original program order)
+   schedule, assembled without any solving. *)
+let identity_result (prog : Scop.Program.t) all_deps =
+  let ddg = Ddg.build prog all_deps in
+  let scc_of = Ddg.scc_kosaraju ddg in
+  let scc_order = List.init (Ddg.scc_count scc_of) Fun.id in
+  let sched = Codegen.Scan.identity_schedule prog in
+  let outer_partition =
+    (* statements sharing the leading scalar row share the outermost
+       nest, exactly as the scheduler computes it *)
+    let prefix id =
+      let rec go acc = function
+        | Pluto.Sched.Beta b :: rest -> go (b :: acc) rest
+        | Pluto.Sched.Hyp _ :: _ | [] -> List.rev acc
+      in
+      go [] sched.(id)
+    in
+    let tbl = Hashtbl.create 8 in
+    let next = ref 0 in
+    Array.map
+      (fun k ->
+        match Hashtbl.find_opt tbl k with
+        | Some id -> id
+        | None ->
+          let id = !next in
+          incr next;
+          Hashtbl.add tbl k id;
+          id)
+      (Array.init (Array.length prog.stmts) prefix)
+  in
+  {
+    Pluto.Scheduler.prog;
+    config_name = "identity";
+    all_deps;
+    true_deps = List.filter Dep.is_true all_deps;
+    ddg;
+    scc_of;
+    scc_order;
+    sched;
+    outer_partition;
+  }
+
+let verify_identity (res : Pluto.Scheduler.result) =
+  (match Pluto.Satisfy.check_complete res.prog res.sched with
+  | Ok () -> ()
+  | Error d -> raise (Pluto.Diagnostics.Error d));
+  match Pluto.Satisfy.check_legal res.prog res.true_deps res.sched with
+  | Ok () -> ()
+  | Error (d : Dep.t) ->
+    (* The identity schedule is the original execution order; the
+       dependences were derived from that very order, so this can only
+       fire on an internally inconsistent dependence analysis. *)
+    Pluto.Diagnostics.fail ~phase:Verification ~code:"verify.identity-illegal"
+      ~context:
+        [
+          ("src", Printf.sprintf "S%d" d.src);
+          ("dst", Printf.sprintf "S%d" d.dst);
+        ]
+      (Printf.sprintf
+         "identity schedule violates dependence S%d->S%d (dependence \
+          analysis is inconsistent)"
+         d.src d.dst)
+
+let with_deps ?budget ~config (prog : Scop.Program.t) all_deps =
+  (* One attempt = schedule search + code generation; a failure
+     anywhere in the pair degrades to the next rung. *)
+  let attempt cfg b =
+    match Pluto.Scheduler.schedule_with_deps ?budget:b cfg prog all_deps with
+    | Error d -> Error d
+    | Ok result -> (
+      match
+        Pluto.Diagnostics.protect (fun () -> Codegen.Scan.of_result result)
+      with
+      | Ok ast -> Ok (result, ast)
+      | Error d -> Error d)
+  in
+  let refreshed = Option.map Linalg.Budget.refresh budget in
+  match attempt config budget with
+  | Ok (result, ast) -> { result; ast; rung = Primary; notes = [] }
+  | Error d1 -> (
+    match attempt (distributed_config config) refreshed with
+    | Ok (result, ast) -> { result; ast; rung = Distributed; notes = [ d1 ] }
+    | Error d2 ->
+      (* Last rung: no solver involved, so no budget applies. Verified
+         like every other schedule; a failure here raises — there is
+         nothing further to degrade to. *)
+      let result = identity_result prog all_deps in
+      verify_identity result;
+      let ast = Codegen.Scan.of_result result in
+      { result; ast; rung = Identity; notes = [ d1; d2 ] })
+
+let optimize ?param_floor ?budget ?(config = Wisefuse.config) prog =
+  let budget =
+    match budget with Some _ -> budget | None -> Linalg.Budget.of_env ()
+  in
+  let all_deps =
+    Linalg.Counters.time "dep-analysis" (fun () ->
+        Dep.analyze ?param_floor prog)
+  in
+  with_deps ?budget ~config prog all_deps

@@ -1,0 +1,61 @@
+(** Graceful degradation: always leave with a legal schedule.
+
+    The optimizing search can fail — budget exhaustion, a fusion
+    configuration with no legal hyperplane and no further cut, a
+    transform codegen rejects. This module walks a fallback ladder
+    until something succeeds:
+
+    + {e Primary} — the requested configuration;
+    + {e Distributed} — maximal distribution (every SCC its own nest);
+    + {e Identity} — the original program order, solver-free and legal
+      by construction.
+
+    Each rung gets a fresh copy of the budget ({!Linalg.Budget.refresh}).
+    Every outcome, degraded or not, has passed
+    {!Pluto.Satisfy.check_complete} and {!Pluto.Satisfy.check_legal}. *)
+
+type rung = Primary | Distributed | Identity
+
+val rung_name : rung -> string
+
+type outcome = {
+  result : Pluto.Scheduler.result;
+  ast : Codegen.Ast.node;
+  rung : rung;  (** which ladder rung produced the schedule *)
+  notes : Pluto.Diagnostics.t list;
+      (** why earlier rungs failed (empty on the happy path) *)
+}
+
+(** [degraded o] — did the pipeline fall past the primary rung? *)
+val degraded : outcome -> bool
+
+(** The distributed-fallback configuration derived from a primary one
+    (exposed for tests). *)
+val distributed_config : Pluto.Scheduler.config -> Pluto.Scheduler.config
+
+(** [optimize ?param_floor ?budget ?config prog] — run the ladder.
+    [config] defaults to the wisefuse model; [budget] defaults to
+    {!Linalg.Budget.of_env} (so [WISEFUSE_BUDGET_MS] and friends apply
+    to every pipeline entry point), and [None] there means unlimited.
+    On the happy path this is byte-identical to
+    [Pluto.Scheduler.run config prog] followed by
+    [Codegen.Scan.of_result].
+    @raise Pluto.Diagnostics.Error only if even the identity rung fails
+    verification, which indicates an internally inconsistent dependence
+    analysis. *)
+val optimize :
+  ?param_floor:int ->
+  ?budget:Linalg.Budget.t ->
+  ?config:Pluto.Scheduler.config ->
+  Scop.Program.t ->
+  outcome
+
+(** {!optimize} with dependences already computed (must include input
+    dependences if downstream wants them). No [Budget.of_env] default
+    here — the caller decides. *)
+val with_deps :
+  ?budget:Linalg.Budget.t ->
+  config:Pluto.Scheduler.config ->
+  Scop.Program.t ->
+  Deps.Dep.t list ->
+  outcome

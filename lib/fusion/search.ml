@@ -89,14 +89,24 @@ let best ?(config = Machine.Perf.default) ?(limit = 512) (prog : Scop.Program.t)
                  outer_parallel = false;
                }
              in
-             match Pluto.Scheduler.run_with_deps cfg prog deps with
-             | result ->
-               let ast = Codegen.Scan.of_result result in
-               let stats = Machine.Perf.simulate ~config prog ast ~params in
-               candidates :=
-                 { order; groups; result; cycles = stats.Machine.Perf.cycles }
-                 :: !candidates
-             | exception Failure _ ->
+             match Pluto.Scheduler.schedule_with_deps cfg prog deps with
+             | Ok result ->
+               let stats =
+                 match
+                   Pluto.Diagnostics.protect (fun () ->
+                       let ast = Codegen.Scan.of_result result in
+                       Machine.Perf.simulate ~config prog ast ~params)
+                 with
+                 | Ok s -> Some s
+                 | Error _ -> None (* codegen rejected the transform *)
+               in
+               Option.iter
+                 (fun (stats : Machine.Perf.stats) ->
+                   candidates :=
+                     { order; groups; result; cycles = stats.Machine.Perf.cycles }
+                     :: !candidates)
+                 stats
+             | Error _ ->
                (* the scheduler may reject an enumerated candidate (no
                   further cut possible); skip it *)
                ())

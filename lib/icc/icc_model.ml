@@ -209,7 +209,14 @@ let run ?param_floor (prog : Scop.Program.t) =
   (match Pluto.Satisfy.check_legal prog (List.filter Dep.is_true deps) sched with
   | Ok () -> ()
   | Error d ->
-    failwith (Format.asprintf "Icc_model: illegal schedule over %a" Dep.pp d));
+    Pluto.Diagnostics.fail ~phase:Verification ~code:"icc.illegal"
+      ~context:
+        [
+          ("src", Printf.sprintf "S%d" d.src);
+          ("dst", Printf.sprintf "S%d" d.dst);
+          ("kind", Dep.kind_to_string d.kind);
+        ]
+      (Format.asprintf "Icc_model: illegal schedule over %a" Dep.pp d));
   let nest_infos =
     List.map
       (fun ids ->
@@ -250,5 +257,8 @@ let run ?param_floor (prog : Scop.Program.t) =
   in
   let ast = demote ~inside:false ast in
   { prog; deps; nests = nest_infos; sched; ast }
+
+let run_checked ?param_floor prog =
+  Pluto.Diagnostics.protect (fun () -> run ?param_floor prog)
 
 let nest_count r = List.length r.nests

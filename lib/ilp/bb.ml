@@ -43,6 +43,7 @@ type search_state = {
   mutable root_warm : Lp.warm option; (* snapshot of the root relaxation *)
   max_nodes : int;
   stop_at_first : bool; (* feasibility search: stop on the first point *)
+  budget : Budget.t option; (* shared resource budget, None = unlimited *)
 }
 
 exception Found_first
@@ -53,6 +54,9 @@ let self_check = ref false
    solve of the same node — same status, same optimal value, and a
    feasible point. *)
 let check_against_cold st p obj result =
+  (* an Exhausted warm solve is budget-dependent, not a disagreement *)
+  if result = Lp.Exhausted then ()
+  else
   let ok =
     match (result, Lp.minimize ~nonneg:st.nonneg p obj) with
     | Lp.Optimal (v, x), Lp.Optimal (v', _) ->
@@ -64,16 +68,28 @@ let check_against_cold st p obj result =
   in
   if not ok then failwith "Ilp.Bb.self_check: warm and cold solves disagree"
 
+(* Charge one branch-and-bound node; [false] latches [gave_up] so the
+   whole tree unwinds without raising. *)
+let charge_node st =
+  match st.budget with
+  | None -> true
+  | Some b ->
+    let ok = Budget.spend_node b in
+    if not ok then st.gave_up <- true;
+    ok
+
 let rec branch st p obj ~src =
-  if st.nodes >= st.max_nodes then st.gave_up <- true
+  if st.gave_up then ()
+  else if st.nodes >= st.max_nodes then st.gave_up <- true
+  else if not (charge_node st) then ()
   else begin
     st.nodes <- st.nodes + 1;
     incr Counters.bb_nodes;
     let result, warm =
       match src with
-      | Cold -> Lp.minimize_warm ~nonneg:st.nonneg p obj
+      | Cold -> Lp.minimize_warm ~nonneg:st.nonneg ?budget:st.budget p obj
       | Warm (w, cs) ->
-        let r, w' = Lp.reoptimize w ~add:cs ~obj in
+        let r, w' = Lp.reoptimize ?budget:st.budget w ~add:cs ~obj in
         if !self_check then check_against_cold st p obj r;
         (r, w')
     in
@@ -81,6 +97,7 @@ let rec branch st p obj ~src =
     match result with
     | Lp.Infeasible -> ()
     | Lp.Unbounded -> st.saw_unbounded <- true
+    | Lp.Exhausted -> st.gave_up <- true
     | Lp.Optimal (v, x) ->
       let dominated =
         match st.incumbent with
@@ -106,7 +123,7 @@ let rec branch st p obj ~src =
   end
 
 let run ?(max_nodes = 20000) ?(stop_at_first = false) ?(nonneg = false)
-    ?(use_warm = true) ?root_src p obj =
+    ?(use_warm = true) ?budget ?root_src p obj =
   incr Counters.ilp_solves;
   let st =
     {
@@ -119,6 +136,7 @@ let run ?(max_nodes = 20000) ?(stop_at_first = false) ?(nonneg = false)
       root_warm = None;
       max_nodes;
       stop_at_first;
+      budget;
     }
   in
   let src =
@@ -137,10 +155,10 @@ let answer_of st =
     else if st.gave_up then Gave_up
     else Infeasible
 
-let minimize ?max_nodes ?nonneg p obj =
+let minimize ?max_nodes ?nonneg ?budget p obj =
   if Vec.dim obj <> Polyhedron.dim p + 1 then
     invalid_arg "Ilp.minimize: objective length";
-  answer_of (run ?max_nodes ?nonneg p obj)
+  answer_of (run ?max_nodes ?nonneg ?budget p obj)
 
 (* [integer_point] deliberately searches cold: warm re-solves can land
    on a different optimal vertex of a degenerate LP, which would change
@@ -148,16 +166,18 @@ let minimize ?max_nodes ?nonneg p obj =
    first. Keeping this search cold makes the returned point — the one
    the scheduler embeds into schedules — independent of the warm-start
    machinery. *)
-let integer_point ?max_nodes ?nonneg p =
+let integer_point ?max_nodes ?nonneg ?budget p =
   let obj = Vec.zero (Polyhedron.dim p + 1) in
-  let st = run ?max_nodes ~stop_at_first:true ?nonneg ~use_warm:false p obj in
+  let st =
+    run ?max_nodes ~stop_at_first:true ?nonneg ~use_warm:false ?budget p obj
+  in
   Option.map snd st.incumbent
 
-let feasible p =
+let feasible ?budget p =
   if Polyhedron.is_empty p then false
   else begin
     let obj = Vec.zero (Polyhedron.dim p + 1) in
-    let st = run ~stop_at_first:true p obj in
+    let st = run ~stop_at_first:true ?budget p obj in
     match st.incumbent with
     | Some _ -> true
     | None ->
@@ -166,7 +186,7 @@ let feasible p =
       st.gave_up
   end
 
-let lexmin ?max_nodes ?nonneg p objs =
+let lexmin ?max_nodes ?nonneg ?budget p objs =
   let dim = Polyhedron.dim p in
   (* [from] carries the previous stage's root-relaxation snapshot plus
      the pending objective-fixing equality, so each stage's root LP is a
@@ -176,11 +196,11 @@ let lexmin ?max_nodes ?nonneg p objs =
   let rec go p from acc = function
     | [] -> (
       (* recover a point optimal for all fixed objectives *)
-      match integer_point ?max_nodes ?nonneg p with
+      match integer_point ?max_nodes ?nonneg ?budget p with
       | Some x -> Some (List.rev acc, x)
       | None -> None)
     | obj :: rest -> (
-      let st = run ?max_nodes ?nonneg ?root_src:from p obj in
+      let st = run ?max_nodes ?nonneg ?budget ?root_src:from p obj in
       match answer_of st with
       | Optimal (v, _) ->
         (* fix this objective: obj . x + c = v *)
@@ -215,6 +235,7 @@ let remove_redundant p =
         | Lp.Optimal (v, _) -> Q.sign v >= 0
         | Lp.Infeasible -> true (* empty set: anything is implied *)
         | Lp.Unbounded -> false
+        | Lp.Exhausted -> false (* unknown: conservatively keep the row *)
       in
       if redundant then filter kept rest else filter (c :: kept) rest
   in

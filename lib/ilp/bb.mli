@@ -19,36 +19,52 @@ type answer =
           coefficients) and an optimal integer point *)
   | Infeasible
   | Unbounded  (** the LP relaxation is unbounded in the objective *)
-  | Gave_up  (** node budget exhausted without a conclusion *)
+  | Gave_up
+      (** node budget / {!Linalg.Budget} exhausted without a
+          conclusion — the typed "ran out of resources" outcome *)
 
-(** [minimize ?max_nodes p obj] minimizes the affine objective [obj]
-    (length [dim p + 1]) over the integer points of [p]. *)
+(** [minimize ?max_nodes ?budget p obj] minimizes the affine objective
+    [obj] (length [dim p + 1]) over the integer points of [p]. When
+    [budget] is given, every node charges {!Linalg.Budget.spend_node}
+    and the underlying LPs charge pivots; exhaustion yields [Gave_up],
+    never an exception. *)
 val minimize :
-  ?max_nodes:int -> ?nonneg:bool -> Poly.Polyhedron.t -> Linalg.Vec.t -> answer
+  ?max_nodes:int ->
+  ?nonneg:bool ->
+  ?budget:Linalg.Budget.t ->
+  Poly.Polyhedron.t ->
+  Linalg.Vec.t ->
+  answer
 
 (** [integer_point ?max_nodes p] finds any integer point, if one
     exists. [None] means "none exists" when the search completed,
     and "unknown" when the node budget ran out (see {!feasible} for a
     sound wrapper). *)
 val integer_point :
-  ?max_nodes:int -> ?nonneg:bool -> Poly.Polyhedron.t -> int array option
+  ?max_nodes:int ->
+  ?nonneg:bool ->
+  ?budget:Linalg.Budget.t ->
+  Poly.Polyhedron.t ->
+  int array option
 
 (** [feasible p]: does [p] contain an integer point?
 
     Exact when the branch-and-bound concludes within budget. If the
-    budget runs out, the answer falls back to rational feasibility,
-    which errs on the side of reporting a dependence — conservative
-    (never unsound) for the legality analyses built on top. *)
-val feasible : Poly.Polyhedron.t -> bool
+    budget (node cap or {!Linalg.Budget}) runs out, the answer falls
+    back to rational feasibility, which errs on the side of reporting a
+    dependence — conservative (never unsound) for the legality analyses
+    built on top. *)
+val feasible : ?budget:Linalg.Budget.t -> Poly.Polyhedron.t -> bool
 
 (** [lexmin ?max_nodes p objs] sequentially minimizes the affine
     objectives in [objs], fixing each to its optimum before the next
     (lexicographic minimization). Returns the objective values and a
     final optimal point, or [None] if infeasible / unbounded /
-    inconclusive. *)
+    inconclusive (including budget exhaustion). *)
 val lexmin :
   ?max_nodes:int ->
   ?nonneg:bool ->
+  ?budget:Linalg.Budget.t ->
   Poly.Polyhedron.t ->
   Linalg.Vec.t list ->
   (Linalg.Q.t list * int array) option

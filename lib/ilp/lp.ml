@@ -38,6 +38,31 @@ type result =
   | Infeasible
   | Unbounded
   | Optimal of Q.t * Vec.t
+  | Exhausted
+
+(* Chaos hooks (fault injection for the test suite): [exhaust] makes
+   every solve report [Exhausted] without pivoting — the
+   forced-pivot-exhaustion fault; [warm_fallback] makes [reoptimize]
+   skip the warm path and re-solve cold every time — the
+   forced-warm-start-fallback fault. Production code never sets them. *)
+module Chaos = struct
+  let exhaust = ref false
+  let warm_fallback = ref false
+
+  let reset () =
+    exhaust := false;
+    warm_fallback := false
+end
+
+(* Internal only: budget exhaustion unwinds the solve in progress and
+   is converted to the typed [Exhausted] result at every public entry
+   point — it never escapes this module. *)
+exception Out_of_budget
+
+let charge budget =
+  match budget with
+  | None -> ()
+  | Some b -> if not (Linalg.Budget.spend_pivot b) then raise Out_of_budget
 
 type tableau = {
   a : Q.t array array; (* m rows, each of length ncols + 1 (rhs last) *)
@@ -110,7 +135,7 @@ let price_out t obj row =
 (* One simplex phase: minimize obj (a row of reduced costs, length
    ncols + 1 with the objective value negated in the rhs slot).
    [allowed col] filters columns that may enter. Mutates [t], [obj]. *)
-let run_phase ~rule t obj allowed =
+let run_phase ~rule ~budget t obj allowed =
   let m = Array.length t.a in
   let continue_ = ref true in
   let status = ref `Optimal in
@@ -187,6 +212,7 @@ let run_phase ~rule t obj allowed =
       else begin
         let row = !best in
         let f = obj.(col) in
+        charge budget;
         pivot t row col;
         if not (Q.is_zero f) then begin
           let arow = t.a.(row) in
@@ -232,7 +258,7 @@ let priced_obj_row ~nonneg ~n t obj_aff =
   done;
   obj
 
-let solve_cold_exn ~rule ~nonneg p obj_aff =
+let solve_cold_exn ~rule ~nonneg ~budget p obj_aff =
   let n = Polyhedron.dim p in
   if Vec.dim obj_aff <> n + 1 then invalid_arg "Lp.minimize: objective length";
   let cons = Polyhedron.constraints p in
@@ -312,7 +338,7 @@ let solve_cold_exn ~rule ~nonneg p obj_aff =
           obj1.(j) <- Q.sub obj1.(j) t.a.(i).(j)
         done
     done;
-    (match run_phase ~rule t obj1 (fun _ -> true) with
+    (match run_phase ~rule ~budget t obj1 (fun _ -> true) with
     | `Unbounded -> assert false (* bounded below by 0 *)
     | `Optimal -> ());
     if Q.sign obj1.(ncols) <> 0 then raise Found_infeasible;
@@ -336,7 +362,7 @@ let solve_cold_exn ~rule ~nonneg p obj_aff =
   (* phase 2 *)
   let obj2 = priced_obj_row ~nonneg ~n t obj_aff in
   let allowed j = j < t.nstruct in
-  match run_phase ~rule t obj2 allowed with
+  match run_phase ~rule ~budget t obj2 allowed with
   | `Unbounded -> (Unbounded, None)
   | `Optimal ->
     let res = extract ~nonneg ~n t obj2 obj_aff in
@@ -354,8 +380,8 @@ let solve_cold_exn ~rule ~nonneg p obj_aff =
     in
     (res, Some w)
 
-let solve_cold ~rule ~nonneg p obj_aff =
-  try solve_cold_exn ~rule ~nonneg p obj_aff
+let solve_cold ~rule ~nonneg ~budget p obj_aff =
+  try solve_cold_exn ~rule ~nonneg ~budget p obj_aff
   with Found_infeasible -> (Infeasible, None)
 
 (* --- warm re-solve ----------------------------------------------------- *)
@@ -365,7 +391,7 @@ let solve_cold ~rule ~nonneg p obj_aff =
    drive the most negative rhs out of the basis. The entering column is
    chosen by the dual ratio test (min obj_j / -a_rj over a_rj < 0, by
    cross multiplication). Bounded by [cap] pivots as a cycling guard. *)
-let dual_simplex t obj allowed cap =
+let dual_simplex ~budget t obj allowed cap =
   let m = Array.length t.a in
   let iters = ref 0 in
   let status = ref `Optimal in
@@ -419,6 +445,7 @@ let dual_simplex t obj allowed cap =
           continue_ := false
         end
         else begin
+          charge budget;
           incr Counters.dual_pivots;
           incr iters;
           let f = obj.(!e) in
@@ -443,16 +470,18 @@ let dual_simplex t obj allowed cap =
    changed — the new reduced costs are priced out and primal phase 2
    resumes from the feasible basis. Falls back to a cold solve when
    the snapshot is incompatible or the dual iteration cap trips. *)
-let reoptimize w ~add ~obj:obj_aff =
+let reoptimize_exn ?budget w ~add ~obj:obj_aff =
   incr Counters.lp_solves;
   let n = w.w_n in
   let cold () =
     incr Counters.warm_fallbacks;
-    solve_cold ~rule:w.w_rule ~nonneg:w.w_nonneg
+    solve_cold ~rule:w.w_rule ~nonneg:w.w_nonneg ~budget
       (Polyhedron.add_list w.w_poly add)
       obj_aff
   in
-  if Vec.dim obj_aff <> n + 1 || List.exists (fun c -> Constr.dim c <> n) add
+  if !Chaos.warm_fallback then cold ()
+  else if
+    Vec.dim obj_aff <> n + 1 || List.exists (fun c -> Constr.dim c <> n) add
   then cold ()
   else begin
     (* every added constraint becomes one or two Ge rows
@@ -523,7 +552,7 @@ let reoptimize w ~add ~obj:obj_aff =
       rows_to_add;
     let t = { a; basis; ncols; nstruct = ncols } in
     let cap = 200 + (10 * (m + extra)) in
-    match dual_simplex t obj_row allowed cap with
+    match dual_simplex ~budget t obj_row allowed cap with
     | `Fallback -> cold ()
     | `Infeasible ->
       incr Counters.warm_starts;
@@ -536,7 +565,7 @@ let reoptimize w ~add ~obj:obj_aff =
       in
       let status =
         if same_obj then `Optimal
-        else run_phase ~rule:w.w_rule t obj_row (fun j -> allowed.(j))
+        else run_phase ~rule:w.w_rule ~budget t obj_row (fun j -> allowed.(j))
       in
       match status with
       | `Unbounded ->
@@ -558,6 +587,12 @@ let reoptimize w ~add ~obj:obj_aff =
         (res, Some w'))
   end
 
+let reoptimize ?budget w ~add ~obj =
+  if !Chaos.exhaust then (Exhausted, None)
+  else
+    try reoptimize_exn ?budget w ~add ~obj
+    with Out_of_budget -> (Exhausted, None)
+
 let warm_poly w = w.w_poly
 
 (* --- public entry points ------------------------------------------------ *)
@@ -566,22 +601,27 @@ let solves = Linalg.Counters.lp_solves
 let solve_count () = !solves
 let pivot_count () = !pivots_internal
 
-let minimize_warm ?(rule = Dantzig) ?(nonneg = false) p obj_aff =
+let minimize_warm ?(rule = Dantzig) ?(nonneg = false) ?budget p obj_aff =
   incr solves;
-  solve_cold ~rule ~nonneg p obj_aff
+  if !Chaos.exhaust then (Exhausted, None)
+  else
+    try solve_cold ~rule ~nonneg ~budget p obj_aff
+    with Out_of_budget -> (Exhausted, None)
 
-let minimize ?rule ?nonneg p obj_aff =
-  fst (minimize_warm ?rule ?nonneg p obj_aff)
+let minimize ?rule ?nonneg ?budget p obj_aff =
+  fst (minimize_warm ?rule ?nonneg ?budget p obj_aff)
 
-let maximize ?rule ?nonneg p obj_aff =
-  match minimize ?rule ?nonneg p (Vec.neg obj_aff) with
+let maximize ?rule ?nonneg ?budget p obj_aff =
+  match minimize ?rule ?nonneg ?budget p (Vec.neg obj_aff) with
   | Infeasible -> Infeasible
   | Unbounded -> Unbounded
   | Optimal (v, x) -> Optimal (Q.neg v, x)
+  | Exhausted -> Exhausted
 
-let feasible_point ?rule ?nonneg p =
+let feasible_point ?rule ?nonneg ?budget p =
   let n = Polyhedron.dim p in
-  match minimize ?rule ?nonneg p (Vec.zero (n + 1)) with
+  match minimize ?rule ?nonneg ?budget p (Vec.zero (n + 1)) with
   | Infeasible -> None
   | Unbounded -> None (* cannot happen with zero objective *)
+  | Exhausted -> None (* caller opted into a budget: treat as unknown *)
   | Optimal (_, x) -> Some x

@@ -19,19 +19,35 @@ type result =
   | Unbounded
   | Optimal of Linalg.Q.t * Linalg.Vec.t
       (** optimal objective value and one optimal point *)
+  | Exhausted
+      (** the solve hit its {!Linalg.Budget} (or a chaos fault) before
+          reaching a verdict — neither feasibility nor optimality is
+          known. Never produced on an unbudgeted call. *)
 
-(** [minimize ?rule ?nonneg p obj] minimizes the affine objective [obj]
-    (length [dim p + 1], trailing constant) over polyhedron [p].
-    With [nonneg:true] every variable is additionally constrained to be
-    [>= 0] (and the free-variable split is skipped — cheaper; callers
-    must not also add explicit [x >= 0] rows).
+(** [minimize ?rule ?nonneg ?budget p obj] minimizes the affine
+    objective [obj] (length [dim p + 1], trailing constant) over
+    polyhedron [p]. With [nonneg:true] every variable is additionally
+    constrained to be [>= 0] (and the free-variable split is skipped —
+    cheaper; callers must not also add explicit [x >= 0] rows). With
+    [budget], every simplex pivot is charged to it and exhaustion
+    yields [Exhausted] rather than an exception.
     @raise Invalid_argument on objective length mismatch. *)
 val minimize :
-  ?rule:pivot_rule -> ?nonneg:bool -> Poly.Polyhedron.t -> Linalg.Vec.t -> result
+  ?rule:pivot_rule ->
+  ?nonneg:bool ->
+  ?budget:Linalg.Budget.t ->
+  Poly.Polyhedron.t ->
+  Linalg.Vec.t ->
+  result
 
 (** [maximize p obj] likewise (implemented by negation). *)
 val maximize :
-  ?rule:pivot_rule -> ?nonneg:bool -> Poly.Polyhedron.t -> Linalg.Vec.t -> result
+  ?rule:pivot_rule ->
+  ?nonneg:bool ->
+  ?budget:Linalg.Budget.t ->
+  Poly.Polyhedron.t ->
+  Linalg.Vec.t ->
+  result
 
 (** {1 Incremental re-solving}
 
@@ -70,6 +86,7 @@ type warm
 val minimize_warm :
   ?rule:pivot_rule ->
   ?nonneg:bool ->
+  ?budget:Linalg.Budget.t ->
   Poly.Polyhedron.t ->
   Linalg.Vec.t ->
   result * warm option
@@ -78,16 +95,24 @@ val minimize_warm :
     [add] appended and (affine) objective [obj] — either or both may
     differ from the snapshot — starting from [w]'s final basis. *)
 val reoptimize :
-  warm -> add:Poly.Constr.t list -> obj:Linalg.Vec.t -> result * warm option
+  ?budget:Linalg.Budget.t ->
+  warm ->
+  add:Poly.Constr.t list ->
+  obj:Linalg.Vec.t ->
+  result * warm option
 
 (** The polyhedron a snapshot solves (with all constraints added so
     far); for differential testing against cold solves. *)
 val warm_poly : warm -> Poly.Polyhedron.t
 
 (** [feasible_point p] returns a rational point of [p] if one exists
-    (phase-1 only). *)
+    (phase-1 only). [None] on budget exhaustion. *)
 val feasible_point :
-  ?rule:pivot_rule -> ?nonneg:bool -> Poly.Polyhedron.t -> Linalg.Vec.t option
+  ?rule:pivot_rule ->
+  ?nonneg:bool ->
+  ?budget:Linalg.Budget.t ->
+  Poly.Polyhedron.t ->
+  Linalg.Vec.t option
 
 (** Number of LP solves since process start (alias of
     {!Linalg.Counters.lp_solves}). *)
@@ -96,3 +121,21 @@ val solve_count : unit -> int
 (** Number of simplex pivots since process start (alias of
     {!Linalg.Counters.lp_pivots}). *)
 val pivot_count : unit -> int
+
+(** {1 Fault injection}
+
+    Test-suite hooks for the chaos harness. Production code never sets
+    them; both default to [false]. *)
+module Chaos : sig
+  (** Every solve returns [Exhausted] without pivoting (forced pivot
+      exhaustion). *)
+  val exhaust : bool ref
+
+  (** {!reoptimize} skips the warm path and re-solves cold every time
+      (forced warm-start fallback). Results must be observably
+      identical — this hook exercises the fallback's equivalence. *)
+  val warm_fallback : bool ref
+
+  (** Clear both flags. *)
+  val reset : unit -> unit
+end

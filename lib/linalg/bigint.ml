@@ -29,6 +29,13 @@ let one = Small 1
 let two = Small 2
 let minus_one = Small (-1)
 
+(* Chaos hook (fault injection for the test suite): when set, the
+   Small/Small fast paths of add/sub/mul/divmod/gcd are disabled and
+   every operation runs the Big (promotion) route. Results are still
+   canonical — [of_big] demotes them — so values, comparisons and
+   hashes are unchanged; only the computation path differs. *)
+let chaos_big_path = ref false
+
 let of_int n = Small n
 
 let mag_norm (m : int array) : int array =
@@ -331,7 +338,7 @@ let add x y =
   match (x, y) with
   | Small 0, _ -> y
   | _, Small 0 -> x
-  | Small a, Small b ->
+  | Small a, Small b when not !chaos_big_path ->
     let s = a + b in
     (* two's-complement overflow: operands agree in sign, sum does not *)
     if (a lxor s) land (b lxor s) < 0 then big_add (to_big x) (to_big y)
@@ -340,7 +347,7 @@ let add x y =
 
 let sub x y =
   match (x, y) with
-  | Small a, Small b ->
+  | Small a, Small b when not !chaos_big_path ->
     let s = a - b in
     (* overflow: operands differ in sign and the result left a's sign *)
     if (a lxor b) land (a lxor s) < 0 then big_add (to_big x) (to_big (neg y))
@@ -364,7 +371,7 @@ let mul x y =
   | _, Small 1 -> x
   | Small (-1), _ -> neg y
   | _, Small (-1) -> neg x
-  | Small a, Small b ->
+  | Small a, Small b when not !chaos_big_path ->
     if small_mul_fits a && small_mul_fits b then Small (a * b)
     else begin
       (* checked multiply: with |b| >= 2 the division below cannot trap
@@ -385,7 +392,7 @@ let big_divmod (a : big) (b : big) =
 let divmod a b =
   match (a, b) with
   | _, Small 0 -> raise Division_by_zero
-  | Small x, Small y ->
+  | Small x, Small y when not !chaos_big_path ->
     if y = -1 then (neg a, Small 0) (* min_int / -1 would trap *)
     else (Small (x / y), Small (x mod y))
   | Big _, Small y when y = -1 -> (neg a, Small 0)
@@ -423,7 +430,7 @@ let rec big_gcd (a : big) (b : big) =
 
 let gcd a b =
   match (a, b) with
-  | Small x, Small y ->
+  | Small x, Small y when not !chaos_big_path ->
     if x = Stdlib.min_int || y = Stdlib.min_int then
       big_gcd (to_big (abs a)) (to_big (abs b))
     else Small (gcd_int (Stdlib.abs x) (Stdlib.abs y))

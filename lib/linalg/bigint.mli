@@ -118,6 +118,13 @@ val is_small : t -> bool
     unspecified. Only for differential testing of the two code paths. *)
 val force_big : t -> t
 
+(** Chaos hook (fault injection, test suite only): when set, the
+    Small/Small fast paths of [add]/[sub]/[mul]/[divmod]/[gcd] are
+    disabled and every operation runs the Big (promotion) route.
+    Values stay canonical — results demote — so outputs are identical;
+    only the computation path (and {!Counters.promotions}) changes. *)
+val chaos_big_path : bool ref
+
 (** {1 Infix operators and printing} *)
 
 val ( + ) : t -> t -> t

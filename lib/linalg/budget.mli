@@ -1,0 +1,46 @@
+(** Solver resource budgets: wall-clock time, simplex pivots,
+    branch-and-bound nodes.
+
+    A budget is charged by the exact solvers from their hot loops
+    ({!Ilp.Lp}, {!Ilp.Bb}) and threaded through the scheduler.
+    Exhaustion is {e latched}: once any limit trips, every further
+    charge fails immediately, so nested solves unwind quickly. Across
+    the public solver APIs exhaustion never raises — it surfaces as a
+    typed outcome ([Lp.Exhausted], [Bb.Gave_up]) on which callers run
+    their graceful-degradation ladder. *)
+
+type t
+
+(** [make ?ms ?pivots ?nodes ()] — any subset of limits; omitted
+    dimensions are unlimited. [ms] is wall-clock from now. *)
+val make : ?ms:int -> ?pivots:int -> ?nodes:int -> unit -> t
+
+(** A fresh budget with the same limits, zero consumption and a
+    restarted wall clock — one allowance per degradation rung. *)
+val refresh : t -> t
+
+(** Latched exhaustion state. *)
+val exhausted : t -> bool
+
+(** Force exhaustion (used by the degradation ladder to abandon a
+    stage, and by the chaos harness). *)
+val trip : t -> unit
+
+(** Charge one simplex pivot / one branch-and-bound node. [false]
+    means the budget is exhausted and the caller must stop. *)
+val spend_pivot : t -> bool
+
+val spend_node : t -> bool
+
+val pivots_spent : t -> int
+val nodes_spent : t -> int
+
+(** Read [WISEFUSE_BUDGET_MS] / [WISEFUSE_BUDGET_PIVOTS] /
+    [WISEFUSE_BUDGET_NODES]; [None] when none is set (the unbudgeted
+    fast path). Non-positive or malformed values are ignored. *)
+val of_env : unit -> t option
+
+(** Short human-readable limit summary, e.g. ["pivots<=100"]. *)
+val describe : t -> string
+
+val pp : Format.formatter -> t -> unit

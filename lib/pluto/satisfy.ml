@@ -11,11 +11,16 @@ let diff_vec (prog : Scop.Program.t) (dep : Dep.t) (sched : Sched.t) ~level =
   let dst_row = Sched.row_as_hyp ~depth:d2 ~np (List.nth sched.(dep.dst) level) in
   Sched.phi_diff ~d1 ~d2 ~np src_row dst_row
 
+(* Verification LPs run unbudgeted — a degraded schedule must still be
+   checkable — so [Exhausted] only arises under the chaos harness's
+   forced-exhaustion fault. Treat it like "unbounded" (unknown): for
+   legality that errs toward reporting a violation, never toward
+   accepting an illegal schedule. *)
 let diff_min prog dep sched ~level =
   let obj = diff_vec prog dep sched ~level in
   match Ilp.Lp.minimize dep.poly obj with
   | Ilp.Lp.Optimal (v, _) -> Some v
-  | Ilp.Lp.Unbounded -> None
+  | Ilp.Lp.Unbounded | Ilp.Lp.Exhausted -> None
   | Ilp.Lp.Infeasible -> invalid_arg "Satisfy.diff_min: empty dependence"
 
 let diff_range prog dep sched ~level =
@@ -23,13 +28,13 @@ let diff_range prog dep sched ~level =
   let dmin =
     match Ilp.Lp.minimize dep.poly obj with
     | Ilp.Lp.Optimal (v, _) -> Some v
-    | Ilp.Lp.Unbounded -> None
+    | Ilp.Lp.Unbounded | Ilp.Lp.Exhausted -> None
     | Ilp.Lp.Infeasible -> invalid_arg "Satisfy.diff_range: empty dependence"
   in
   let dmax =
     match Ilp.Lp.maximize dep.poly obj with
     | Ilp.Lp.Optimal (v, _) -> Some v
-    | Ilp.Lp.Unbounded -> None
+    | Ilp.Lp.Unbounded | Ilp.Lp.Exhausted -> None
     | Ilp.Lp.Infeasible -> invalid_arg "Satisfy.diff_range: empty dependence"
   in
   { dmin; dmax }
@@ -69,6 +74,86 @@ let check_legal prog deps sched =
     | d :: rest -> if check_dep d then first_bad rest else Error d
   in
   first_bad deps
+
+(* Structural completeness: does the schedule actually define a full
+   transform for every statement? Exactly the preconditions code
+   generation ([Codegen.Scan.make_instance]) needs — checked here so a
+   bad schedule surfaces as a typed diagnostic at the pipeline boundary
+   instead of a [failwith] deep inside codegen:
+
+   - every statement has the same number of rows;
+   - per statement, the rows with a nonzero iterator part number
+     exactly the statement's depth;
+   - those rows' iterator parts form a non-singular (full-rank)
+     transform. *)
+let check_complete (prog : Scop.Program.t) (sched : Sched.t) =
+  let n = Array.length prog.stmts in
+  if n = 0 || Array.length sched <> n then
+    if n = 0 then Ok ()
+    else
+      Error
+        (Diagnostics.make ~phase:Verification ~code:"verify.stmt-count"
+           ~context:
+             [
+               ("statements", string_of_int n);
+               ("schedule-entries", string_of_int (Array.length sched));
+             ]
+           "schedule does not cover every statement")
+  else begin
+    let nrows = List.length sched.(0) in
+    let rec go id =
+      if id >= n then Ok ()
+      else begin
+        let st = prog.stmts.(id) in
+        let d = Scop.Statement.depth st in
+        let ctx extra =
+          (("statement", st.name) :: ("depth", string_of_int d) :: extra)
+        in
+        if List.length sched.(id) <> nrows then
+          Error
+            (Diagnostics.make ~phase:Verification ~code:"verify.ragged-rows"
+               ~context:
+                 (ctx
+                    [
+                      ("rows", string_of_int (List.length sched.(id)));
+                      ("expected", string_of_int nrows);
+                    ])
+               (Printf.sprintf "statement %s has %d schedule rows, expected %d"
+                  st.name
+                  (List.length sched.(id))
+                  nrows))
+        else begin
+          let iter_parts =
+            List.filter_map
+              (function
+                | Sched.Hyp h ->
+                  let ip = Array.sub h 0 d in
+                  if Array.exists (fun c -> c <> 0) ip then Some ip else None
+                | Sched.Beta _ -> None)
+              sched.(id)
+          in
+          let k = List.length iter_parts in
+          if k <> d then
+            Error
+              (Diagnostics.make ~phase:Verification ~code:"verify.rank"
+                 ~context:(ctx [ ("non-constant-rows", string_of_int k) ])
+                 (Printf.sprintf
+                    "statement %s has %d non-constant schedule rows for depth %d"
+                    st.name k d))
+          else if
+            d > 0 && Mat.rank (Mat.of_ints (Array.of_list iter_parts)) <> d
+          then
+            Error
+              (Diagnostics.make ~phase:Verification ~code:"verify.singular"
+                 ~context:(ctx [])
+                 (Printf.sprintf "statement %s: singular schedule transform"
+                    st.name))
+          else go (id + 1)
+        end
+      end
+    in
+    go 0
+  end
 
 type loop_class = Parallel | Forward
 

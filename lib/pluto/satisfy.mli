@@ -35,6 +35,14 @@ val satisfaction_level : Scop.Program.t -> Deps.Dep.t -> Sched.t -> int option
     a negative δ. Returns the offending dependence if any. *)
 val check_legal : Scop.Program.t -> Deps.Dep.t list -> Sched.t -> (unit, Deps.Dep.t) result
 
+(** [check_complete prog sched]: structural completeness — every
+    statement is covered, all statements have the same number of rows,
+    each statement has exactly [depth] rows with a nonzero iterator
+    part, and those rows form a non-singular transform. Exactly the
+    preconditions code generation relies on; violations surface as
+    typed diagnostics instead of failures inside codegen. *)
+val check_complete : Scop.Program.t -> Sched.t -> (unit, Diagnostics.t) result
+
 type loop_class =
   | Parallel  (** communication-free: every live dependence has δ = 0 *)
   | Forward  (** carries or may carry a dependence forward: pipelined *)

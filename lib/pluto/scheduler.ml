@@ -82,6 +82,10 @@ type state = {
   prog : Scop.Program.t;
   np : int;
   cfg : config;
+  budget : Budget.t option;
+      (* caps the hyperplane search (per-level ILP + δ-range LPs); dep
+         analysis and verification run unbudgeted so a degraded run can
+         still be checked *)
   true_deps : Dep.t array;
   scc_of : int array;
   scc_pos : int array; (* scc id -> position in pre-fusion order *)
@@ -148,7 +152,7 @@ let upper_bound_cons ~np ~nv ~var_offset (prog : Scop.Program.t) =
     prog.stmts;
   !cons
 
-let make_state cfg (prog : Scop.Program.t) all_deps =
+let make_state ?budget cfg (prog : Scop.Program.t) all_deps =
   let np = Scop.Program.nparams prog in
   let n = Array.length prog.stmts in
   let ddg = Ddg.build prog all_deps in
@@ -196,6 +200,7 @@ let make_state cfg (prog : Scop.Program.t) all_deps =
       prog;
       np;
       cfg;
+      budget;
       true_deps;
       scc_of;
       scc_pos;
@@ -284,8 +289,15 @@ let mark_beta_satisfaction st beta =
         let bs = beta.(d.src) and bd = beta.(d.dst) in
         if bd > bs then st.satisfied.(i) <- true
         else if bd < bs then
-          failwith
-            (Printf.sprintf "Scheduler(%s): backward cut over dependence S%d->S%d"
+          Diagnostics.fail ~phase:Scheduling ~code:"sched.backward-cut"
+            ~context:
+              [
+                ("config", st.cfg.name);
+                ("src", Printf.sprintf "S%d" d.src);
+                ("dst", Printf.sprintf "S%d" d.dst);
+              ]
+            (Printf.sprintf
+               "Scheduler(%s): backward cut over dependence S%d->S%d"
                st.cfg.name d.src d.dst)
       end)
     st.true_deps
@@ -447,7 +459,7 @@ let solve_level st =
     v
   in
   match
-    Ilp.Bb.lexmin ~nonneg:true p
+    Ilp.Bb.lexmin ~nonneg:true ?budget:st.budget p
       [ sum_u; just_w; sum_c_iter; stride; iter_order; sum_c0 ]
   with
   | None -> None
@@ -470,27 +482,32 @@ let row_of_solution st x id =
 let dep_range st (d : Dep.t) src_row dst_row =
   let d1 = stmt_depth st.prog d.src and d2 = stmt_depth st.prog d.dst in
   let objv = Sched.phi_diff ~d1 ~d2 ~np:st.np src_row dst_row in
-  let min_res, warm = Ilp.Lp.minimize_warm d.poly objv in
+  let min_res, warm = Ilp.Lp.minimize_warm ?budget:st.budget d.poly objv in
+  (* [Exhausted] (budget ran out mid-range) maps to [None] = unknown:
+     satisfaction marking and outer-violation detection both treat
+     unknown conservatively (dep stays unsatisfied / counts as a
+     violation), so exhaustion can only delay fusion, never unsoundly
+     enable it. *)
   let dmin =
     match min_res with
     | Ilp.Lp.Optimal (v, _) -> Some v
-    | Ilp.Lp.Unbounded -> None
+    | Ilp.Lp.Unbounded | Ilp.Lp.Exhausted -> None
     | Ilp.Lp.Infeasible -> Some Q.zero (* empty dependence: vacuous *)
   in
   let max_res =
     match warm with
-    | Some w -> fst (Ilp.Lp.reoptimize w ~add:[] ~obj:(Vec.neg objv))
+    | Some w -> fst (Ilp.Lp.reoptimize ?budget:st.budget w ~add:[] ~obj:(Vec.neg objv))
     | None -> (
       (* min was infeasible or unbounded; only the infeasible case can
          still answer, mirroring [Lp.maximize] *)
-      match Ilp.Lp.maximize d.poly objv with
+      match Ilp.Lp.maximize ?budget:st.budget d.poly objv with
       | Ilp.Lp.Optimal (v, _) -> Ilp.Lp.Optimal (Q.neg v, [||])
       | r -> r)
   in
   let dmax =
     match max_res with
     | Ilp.Lp.Optimal (v, _) -> Some (Q.neg v) (* min of -objv *)
-    | Ilp.Lp.Unbounded -> None
+    | Ilp.Lp.Unbounded | Ilp.Lp.Exhausted -> None
     | Ilp.Lp.Infeasible -> Some Q.zero
   in
   (dmin, dmax)
@@ -600,8 +617,56 @@ let final_beta st =
     st.stmt_order;
   beta
 
-let run_with_deps cfg (prog : Scop.Program.t) all_deps =
-  let st, ddg, scc_order = make_state cfg prog all_deps in
+(* Did the caller's budget trip? Decides whether a failed search is a
+   [Budget] diagnostic (degradable: retry with a cheaper strategy) or a
+   genuine [Scheduling] one. *)
+let budget_tripped st =
+  match st.budget with None -> false | Some b -> Budget.exhausted b
+
+let fail_search st code msg =
+  if budget_tripped st then
+    Diagnostics.fail ~phase:Budget ~code:"sched.budget-exhausted"
+      ~context:
+        [
+          ("config", st.cfg.name);
+          ( "budget",
+            match st.budget with
+            | Some b -> Format.asprintf "%a" Budget.pp b
+            | None -> "none" );
+        ]
+      (Printf.sprintf "Scheduler(%s): solver budget exhausted" st.cfg.name)
+  else
+    Diagnostics.fail ~phase:Scheduling ~code
+      ~context:[ ("config", st.cfg.name) ]
+      msg
+
+(* Always-on exit verification: structural completeness plus exact
+   legality of every schedule leaving the scheduler, on any path.
+   Unbudgeted on purpose — a schedule found under a 1-pivot budget must
+   still be checkable. *)
+let verify_result (res : result) =
+  Counters.time "verification" (fun () ->
+      (match Satisfy.check_complete res.prog res.sched with
+      | Ok () -> ()
+      | Error d -> raise (Diagnostics.Error d));
+      match Satisfy.check_legal res.prog res.true_deps res.sched with
+      | Ok () -> ()
+      | Error (d : Dep.t) ->
+        Diagnostics.fail ~phase:Verification ~code:"verify.illegal"
+          ~context:
+            [
+              ("config", res.config_name);
+              ("src", Printf.sprintf "S%d" d.src);
+              ("dst", Printf.sprintf "S%d" d.dst);
+              ("kind", Dep.kind_to_string d.kind);
+            ]
+          (Printf.sprintf
+             "Scheduler(%s): schedule violates dependence S%d->S%d"
+             res.config_name d.src d.dst));
+  res
+
+let run_with_deps_budgeted ?budget cfg (prog : Scop.Program.t) all_deps =
+  let st, ddg, scc_order = make_state ?budget cfg prog all_deps in
   (* initial cut *)
   (match cfg.initial_cut with
   | None -> ()
@@ -637,13 +702,15 @@ let run_with_deps cfg (prog : Scop.Program.t) all_deps =
       if not cut_done then accept_row st x
     | None ->
       if not (try_cut st cfg.fallback_cut) then
-        failwith
+        fail_search st "sched.no-hyperplane"
           (Printf.sprintf
              "Scheduler(%s): no hyperplane and no further cut possible" cfg.name)
   done;
   if Array.exists (fun id -> st.rank.(id) < stmt_depth prog id)
        (Array.init (Array.length prog.stmts) Fun.id)
-  then failwith (Printf.sprintf "Scheduler(%s): did not converge" cfg.name);
+  then
+    fail_search st "sched.no-convergence"
+      (Printf.sprintf "Scheduler(%s): did not converge" cfg.name);
   (* final textual order *)
   let fb = final_beta st in
   Array.iteri (fun id rows -> st.rows_rev.(id) <- Sched.Beta fb.(id) :: rows) st.rows_rev;
@@ -674,23 +741,38 @@ let run_with_deps cfg (prog : Scop.Program.t) all_deps =
           id)
       keys
   in
-  {
-    prog;
-    config_name = cfg.name;
-    all_deps;
-    true_deps = Array.to_list st.true_deps;
-    ddg;
-    scc_of = st.scc_of;
-    scc_order;
-    sched;
-    outer_partition;
-  }
+  verify_result
+    {
+      prog;
+      config_name = cfg.name;
+      all_deps;
+      true_deps = Array.to_list st.true_deps;
+      ddg;
+      scc_of = st.scc_of;
+      scc_order;
+      sched;
+      outer_partition;
+    }
 
-let run ?param_floor cfg prog =
+let run_with_deps cfg prog all_deps = run_with_deps_budgeted cfg prog all_deps
+
+let run ?param_floor ?budget cfg prog =
   let all_deps =
     Counters.time "dep-analysis" (fun () -> Dep.analyze ?param_floor prog)
   in
-  Counters.time "scheduling" (fun () -> run_with_deps cfg prog all_deps)
+  Counters.time "scheduling" (fun () ->
+      run_with_deps_budgeted ?budget cfg prog all_deps)
+
+let schedule_with_deps ?budget cfg prog all_deps =
+  Diagnostics.protect (fun () ->
+      Counters.time "scheduling" (fun () ->
+          run_with_deps_budgeted ?budget cfg prog all_deps))
+
+let schedule ?param_floor ?budget cfg prog =
+  let all_deps =
+    Counters.time "dep-analysis" (fun () -> Dep.analyze ?param_floor prog)
+  in
+  schedule_with_deps ?budget cfg prog all_deps
 
 let partitions (result : result) =
   let n = Array.length result.prog.stmts in

@@ -76,15 +76,39 @@ val maxfuse : config
 val smartfuse : config
 
 (** Run the scheduler. Dependences are computed internally (with input
-    dependences, so downstream reuse analyses can use them).
-    @raise Failure if no legal schedule can be found (which would
-    indicate a bug: distribution into single-SCC nests always
-    succeeds for the supported programs). *)
-val run : ?param_floor:int -> config -> Scop.Program.t -> result
+    dependences, so downstream reuse analyses can use them). Every
+    returned result has passed {!Satisfy.check_complete} and
+    {!Satisfy.check_legal} (always-on exit verification). With
+    [budget], the hyperplane search (per-level ILP and δ-range LPs) is
+    capped; dependence analysis and verification stay unbudgeted.
+    @raise Diagnostics.Error if no legal schedule can be found within
+    budget — use {!schedule} for the non-raising variant. *)
+val run :
+  ?param_floor:int -> ?budget:Linalg.Budget.t -> config -> Scop.Program.t -> result
 
 (** Run with dependences already computed (they must include input
-    dependences if downstream wants them). *)
+    dependences if downstream wants them).
+    @raise Diagnostics.Error like {!run}. *)
 val run_with_deps : config -> Scop.Program.t -> Deps.Dep.t list -> result
+
+(** {!run} with the failure path reified: a schedule that failed
+    verification or a search that died (budget exhaustion included)
+    comes back as [Error d] instead of raising. This is the entry point
+    the degradation ladder ({!Fusion.Resilient}) builds on. *)
+val schedule :
+  ?param_floor:int ->
+  ?budget:Linalg.Budget.t ->
+  config ->
+  Scop.Program.t ->
+  (result, Diagnostics.t) Stdlib.result
+
+(** {!schedule} with dependences already computed. *)
+val schedule_with_deps :
+  ?budget:Linalg.Budget.t ->
+  config ->
+  Scop.Program.t ->
+  Deps.Dep.t list ->
+  (result, Diagnostics.t) Stdlib.result
 
 (** Fusion partitions as lists of statement ids, in execution order. *)
 val partitions : result -> int list list

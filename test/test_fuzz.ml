@@ -1,0 +1,182 @@
+(* Random-SCoP fuzzing of the whole pipeline:
+   build -> dependence analysis -> schedule (through the degradation
+   ladder) -> verification -> codegen. Two properties, checked on every
+   generated program:
+
+   - crash-freedom: no uncaught exception anywhere in the pipeline;
+   - legality: the schedule that comes out — degraded or not — passes
+     check_complete and check_legal.
+
+   The generator also flips the chaos hooks (forced warm-start
+   fallback, forced bignum promotion) and varies the solver budget
+   (unlimited / 1 pivot / 50 pivots), so solver-stress paths get the
+   same coverage as the happy path.
+
+   Case count defaults to 50; the CI fuzz smoke job raises it with
+   FUZZ_SCOPS=200. *)
+
+let count =
+  match Sys.getenv_opt "FUZZ_SCOPS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 50)
+  | None -> 50
+
+(* --- program specs -------------------------------------------------------- *)
+
+(* All arrays are N x N; loops run over [1, N-2] and every access
+   offsets an iterator by -1/0/+1, so accesses are in bounds by
+   construction. A depth-1 nest indexes arrays as [i+o1][i+o2]. *)
+
+type stmt_spec = {
+  target : int;  (* array id, 0..2 *)
+  write_off : int * int;
+  reads : (int * (int * int)) list;  (* (array id, offsets) *)
+}
+
+type nest_spec = { depth : int (* 1 or 2 *); stmts : stmt_spec list }
+
+type case_spec = {
+  nests : nest_spec list;
+  model : int;  (* 0..3 -> Nofuse/Smartfuse/Maxfuse/Wisefuse *)
+  budget_kind : int;  (* 0 unlimited, 1 one pivot, 2 fifty pivots *)
+  chaos_warm : bool;
+  chaos_big : bool;
+}
+
+let model_of = function
+  | 0 -> Fusion.Model.Nofuse
+  | 1 -> Fusion.Model.Smartfuse
+  | 2 -> Fusion.Model.Maxfuse
+  | _ -> Fusion.Model.Wisefuse
+
+let budget_of = function
+  | 1 -> Linalg.Budget.make ~pivots:1 ()
+  | 2 -> Linalg.Budget.make ~pivots:50 ()
+  | _ -> Linalg.Budget.make ()
+
+let build_program spec =
+  let open Scop.Build in
+  let ctx = create ~name:"fuzz" ~params:[ ("N", 10) ] in
+  let n = param ctx "N" in
+  let arrs =
+    [| array ctx "A" [ n; n ]; array ctx "B" [ n; n ]; array ctx "C" [ n; n ] |]
+  in
+  let sid = ref 0 in
+  let index i j (o1, o2) = [ i +~ ci o1; j +~ ci o2 ] in
+  let emit st i j =
+    let rhs =
+      List.fold_left
+        (fun acc (a, off) -> acc +: arrs.(a).%(index i j off))
+        (f 1.0) st.reads
+    in
+    let name = Printf.sprintf "S%d" !sid in
+    incr sid;
+    assign ctx name arrs.(st.target) (index i j st.write_off) rhs
+  in
+  List.iter
+    (fun nest ->
+      let lb = ci 1 and ub = n -~ ci 2 in
+      if nest.depth = 1 then
+        loop ctx "i" ~lb ~ub (fun i ->
+            List.iter (fun st -> emit st i i) nest.stmts)
+      else
+        loop ctx "i" ~lb ~ub (fun i ->
+            loop ctx "j" ~lb ~ub (fun j ->
+                List.iter (fun st -> emit st i j) nest.stmts)))
+    spec.nests;
+  finish ctx
+
+(* --- generator ------------------------------------------------------------ *)
+
+let gen_spec =
+  QCheck.Gen.(
+    let off = int_range (-1) 1 in
+    let offs = pair off off in
+    let stmt =
+      map3
+        (fun target write_off reads -> { target; write_off; reads })
+        (int_range 0 2) offs
+        (list_size (int_range 0 3) (pair (int_range 0 2) offs))
+    in
+    let nest =
+      map2
+        (fun depth stmts -> { depth; stmts })
+        (int_range 1 2)
+        (list_size (int_range 1 2) stmt)
+    in
+    map
+      (fun ((nests, model), (budget_kind, (chaos_warm, chaos_big))) ->
+        { nests; model; budget_kind; chaos_warm; chaos_big })
+      (pair
+         (pair (list_size (int_range 1 3) nest) (int_range 0 3))
+         (pair (int_range 0 2) (pair bool bool))))
+
+let print_spec spec =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "model=%s budget=%d warm=%b big=%b\n"
+       (Fusion.Model.name (model_of spec.model))
+       spec.budget_kind spec.chaos_warm spec.chaos_big);
+  List.iter
+    (fun nest ->
+      Buffer.add_string b (Printf.sprintf "  nest depth=%d\n" nest.depth);
+      List.iter
+        (fun st ->
+          Buffer.add_string b
+            (Printf.sprintf "    arr%d[%d,%d] = 1.0%s\n" st.target
+               (fst st.write_off) (snd st.write_off)
+               (String.concat ""
+                  (List.map
+                     (fun (a, (o1, o2)) ->
+                       Printf.sprintf " + arr%d[%d,%d]" a o1 o2)
+                     st.reads))))
+        nest.stmts)
+    spec.nests;
+  Buffer.contents b
+
+let arb_spec = QCheck.make ~print:print_spec gen_spec
+
+(* --- the property --------------------------------------------------------- *)
+
+let run_case spec =
+  Ilp.Lp.Chaos.warm_fallback := spec.chaos_warm;
+  Linalg.Bigint.chaos_big_path := spec.chaos_big;
+  Fun.protect
+    ~finally:(fun () ->
+      Ilp.Lp.Chaos.reset ();
+      Linalg.Bigint.chaos_big_path := false)
+    (fun () ->
+      let prog = build_program spec in
+      let config = Fusion.Model.scheduler_config (model_of spec.model) in
+      let budget = budget_of spec.budget_kind in
+      let o = Fusion.Resilient.optimize ~budget ~config prog in
+      let r = o.Fusion.Resilient.result in
+      (match
+         Pluto.Satisfy.check_complete r.Pluto.Scheduler.prog
+           r.Pluto.Scheduler.sched
+       with
+      | Ok () -> ()
+      | Error d ->
+        QCheck.Test.fail_reportf "incomplete schedule: %s (%s rung)"
+          d.Pluto.Diagnostics.code
+          (Fusion.Resilient.rung_name o.Fusion.Resilient.rung));
+      (match
+         Pluto.Satisfy.check_legal r.Pluto.Scheduler.prog
+           r.Pluto.Scheduler.true_deps r.Pluto.Scheduler.sched
+       with
+      | Ok () -> ()
+      | Error d ->
+        QCheck.Test.fail_reportf "illegal schedule: dep %d->%d (%s rung)"
+          d.Deps.Dep.src d.Deps.Dep.dst
+          (Fusion.Resilient.rung_name o.Fusion.Resilient.rung));
+      (* codegen crash-freedom: emit a complete C program and drop it *)
+      ignore
+        (Codegen.Cprint.program ~name:"fuzz" prog o.Fusion.Resilient.ast);
+      true)
+
+let fuzz_pipeline =
+  QCheck.Test.make ~name:"random SCoPs: pipeline crash-free and legal" ~count
+    arb_spec run_case
+
+let () =
+  Alcotest.run "fuzz"
+    [ ("pipeline", [ QCheck_alcotest.to_alcotest fuzz_pipeline ]) ]

@@ -1,0 +1,444 @@
+(* Robustness tests: solver budgets, the graceful-degradation ladder,
+   typed diagnostics, always-on schedule verification, the chaos hooks,
+   and the bench regression comparator. *)
+
+open Linalg
+open Poly
+open Ilp
+
+let vec = Vec.of_int_list
+
+(* --- fixtures ------------------------------------------------------------ *)
+
+let swim () = Kernels.Swim.program ~n:12 ()
+let advect () = Kernels.Advect.program ~n:12 ()
+let gemsfdtd () = Kernels.Gemsfdtd.program ~n:6 ()
+
+(* a 1-d producer/consumer pair with exactly one true (flow)
+   dependence, S0 -> S1 on A[i] *)
+let producer_consumer () =
+  let open Scop.Build in
+  let ctx = create ~name:"pc" ~params:[ ("N", 16) ] in
+  let n = param ctx "N" in
+  let a = array ctx "A" [ n ] in
+  let b = array ctx "B" [ n ] in
+  loop ctx "i" ~lb:(ci 0) ~ub:(n -~ ci 1) (fun i ->
+      assign ctx "S0" a [ i ] (f 1.0));
+  loop ctx "i" ~lb:(ci 0) ~ub:(n -~ ci 1) (fun i ->
+      assign ctx "S1" b [ i ] (a.%([ i ]) +: f 1.0));
+  finish ctx
+
+(* a depth-2 stencil, for rank/singularity corruption *)
+let stencil2d () =
+  let open Scop.Build in
+  let ctx = create ~name:"st2" ~params:[ ("N", 12) ] in
+  let n = param ctx "N" in
+  let a = array ctx "A" [ n; n ] in
+  let b = array ctx "B" [ n; n ] in
+  loop ctx "i" ~lb:(ci 1) ~ub:(n -~ ci 2) (fun i ->
+      loop ctx "j" ~lb:(ci 1) ~ub:(n -~ ci 2) (fun j ->
+          assign ctx "S0" b [ i; j ]
+            (a.%([ i -~ ci 1; j ]) +: a.%([ i; j -~ ci 1 ]))));
+  finish ctx
+
+let schedule_of prog =
+  Pluto.Scheduler.run Fusion.Wisefuse.config prog
+
+let unlimited () = Budget.make ()
+
+(* --- budgets ------------------------------------------------------------- *)
+
+let test_budget_latch () =
+  let b = Budget.make ~pivots:2 () in
+  Alcotest.(check bool) "1st pivot" true (Budget.spend_pivot b);
+  Alcotest.(check bool) "2nd pivot" true (Budget.spend_pivot b);
+  Alcotest.(check bool) "3rd pivot trips" false (Budget.spend_pivot b);
+  Alcotest.(check bool) "tripped" true (Budget.exhausted b);
+  (* latched across dimensions: nodes are unlimited but the budget is
+     already dead *)
+  Alcotest.(check bool) "node after trip" false (Budget.spend_node b);
+  let b' = Budget.refresh b in
+  Alcotest.(check bool) "refresh clears" false (Budget.exhausted b');
+  Alcotest.(check bool) "refresh spends again" true (Budget.spend_pivot b')
+
+let test_budget_trip () =
+  let b = Budget.make () in
+  Alcotest.(check bool) "fresh" false (Budget.exhausted b);
+  Budget.trip b;
+  Alcotest.(check bool) "tripped" true (Budget.exhausted b);
+  Alcotest.(check bool) "spend after trip" false (Budget.spend_pivot b)
+
+(* whatever the environment says, every pipeline entry point must come
+   back with a verified schedule (this is what the tiny-budget CI job
+   leans on: it reruns this binary under WISEFUSE_BUDGET_MS=1) *)
+let test_model_optimize_env_budget_legal () =
+  let prog = swim () in
+  let opt = Fusion.Model.optimize Fusion.Model.Wisefuse prog in
+  match opt.Fusion.Model.resilience with
+  | None -> Alcotest.fail "polyhedral model must report resilience"
+  | Some o ->
+    let r = o.Fusion.Resilient.result in
+    (match
+       Pluto.Satisfy.check_legal r.Pluto.Scheduler.prog
+         r.Pluto.Scheduler.true_deps r.Pluto.Scheduler.sched
+     with
+    | Ok () -> ()
+    | Error d ->
+      Alcotest.failf "illegal schedule under env budget (dep %d->%d)"
+        d.Deps.Dep.src d.Deps.Dep.dst)
+
+(* note: mutates the WISEFUSE_BUDGET_* environment; runs after the
+   env-integration test above and every other test passes its budget
+   explicitly, so the order in the suite list matters only for that
+   one *)
+let test_budget_of_env () =
+  let clear () =
+    List.iter
+      (fun v -> Unix.putenv v "")
+      [ "WISEFUSE_BUDGET_MS"; "WISEFUSE_BUDGET_PIVOTS"; "WISEFUSE_BUDGET_NODES" ]
+  in
+  clear ();
+  Alcotest.(check bool) "unset -> None" true (Budget.of_env () = None);
+  Unix.putenv "WISEFUSE_BUDGET_PIVOTS" "100";
+  (match Budget.of_env () with
+  | Some _ -> ()
+  | None -> Alcotest.fail "pivots=100 must produce a budget");
+  Unix.putenv "WISEFUSE_BUDGET_PIVOTS" "abc";
+  Alcotest.(check bool) "malformed ignored" true (Budget.of_env () = None);
+  Unix.putenv "WISEFUSE_BUDGET_PIVOTS" "-5";
+  Alcotest.(check bool) "non-positive ignored" true (Budget.of_env () = None);
+  clear ()
+
+(* --- budget threading through the solvers -------------------------------- *)
+
+let test_lp_budget_exhausted () =
+  let p =
+    Polyhedron.make 2 [ Constr.ge [ 1; 0; -1 ]; Constr.ge [ 0; 1; -2 ] ]
+  in
+  let b = Budget.make ~pivots:0 () in
+  Alcotest.(check bool) "0-pivot budget" true
+    (Lp.minimize ~budget:b p (vec [ 1; 1; 0 ]) = Lp.Exhausted);
+  (* and without a budget the same problem still solves *)
+  match Lp.minimize p (vec [ 1; 1; 0 ]) with
+  | Lp.Optimal _ -> ()
+  | _ -> Alcotest.fail "unbudgeted solve must stay optimal"
+
+(* --- graceful degradation ------------------------------------------------- *)
+
+(* acceptance bar from the issue: with a 1-pivot budget every registry
+   kernel still yields a schedule that passes check_legal *)
+let test_one_pivot_all_kernels_legal () =
+  List.iter
+    (fun (e : Kernels.Registry.entry) ->
+      let prog = e.Kernels.Registry.program () in
+      let budget = Budget.make ~pivots:1 () in
+      let o = Fusion.Resilient.optimize ~budget prog in
+      let r = o.Fusion.Resilient.result in
+      (match Pluto.Satisfy.check_complete r.Pluto.Scheduler.prog r.Pluto.Scheduler.sched with
+      | Ok () -> ()
+      | Error d ->
+        Alcotest.failf "%s: incomplete degraded schedule (%s)"
+          e.Kernels.Registry.name d.Pluto.Diagnostics.code);
+      match
+        Pluto.Satisfy.check_legal r.Pluto.Scheduler.prog
+          r.Pluto.Scheduler.true_deps r.Pluto.Scheduler.sched
+      with
+      | Ok () -> ()
+      | Error d ->
+        Alcotest.failf "%s: illegal degraded schedule (dep %d->%d)"
+          e.Kernels.Registry.name d.Deps.Dep.src d.Deps.Dep.dst)
+    Kernels.Registry.all
+
+let test_one_pivot_degrades_with_notes () =
+  let prog = swim () in
+  let o = Fusion.Resilient.optimize ~budget:(Budget.make ~pivots:1 ()) prog in
+  Alcotest.(check bool) "degraded" true (Fusion.Resilient.degraded o);
+  Alcotest.(check bool) "notes recorded" true
+    (o.Fusion.Resilient.notes <> [])
+
+(* the happy path must be byte-identical to the raw scheduler: the
+   ladder may not perturb PR 2 results *)
+let test_happy_path_identical () =
+  List.iter
+    (fun prog ->
+      let base = schedule_of prog in
+      let o = Fusion.Resilient.optimize ~budget:(unlimited ()) prog in
+      Alcotest.(check bool) "primary rung" true
+        (o.Fusion.Resilient.rung = Fusion.Resilient.Primary);
+      Alcotest.(check bool) "identical schedule" true
+        (o.Fusion.Resilient.result.Pluto.Scheduler.sched
+        = base.Pluto.Scheduler.sched);
+      Alcotest.(check bool) "identical partitions" true
+        (o.Fusion.Resilient.result.Pluto.Scheduler.outer_partition
+        = base.Pluto.Scheduler.outer_partition))
+    [ swim (); advect (); gemsfdtd () ]
+
+let test_schedule_result_matches_run () =
+  let prog = advect () in
+  let base = schedule_of prog in
+  match Pluto.Scheduler.schedule Fusion.Wisefuse.config prog with
+  | Ok r ->
+    Alcotest.(check bool) "schedule = run" true
+      (r.Pluto.Scheduler.sched = base.Pluto.Scheduler.sched)
+  | Error d -> Alcotest.failf "unexpected diagnostic %s" d.Pluto.Diagnostics.code
+
+(* --- typed diagnostics ---------------------------------------------------- *)
+
+let test_exit_codes () =
+  let open Pluto.Diagnostics in
+  let code phase = exit_code (make ~phase ~code:"t" "t") in
+  Alcotest.(check int) "usage" 2 (code Usage);
+  Alcotest.(check int) "budget" 3 (code Budget);
+  Alcotest.(check int) "scheduling" 4 (code Scheduling);
+  Alcotest.(check int) "verification" 5 (code Verification);
+  Alcotest.(check int) "codegen" 6 (code Codegen)
+
+let test_protect () =
+  let open Pluto.Diagnostics in
+  (match protect (fun () -> 42) with
+  | Ok v -> Alcotest.(check int) "pass-through" 42 v
+  | Error _ -> Alcotest.fail "no error expected");
+  match protect (fun () -> fail ~phase:Scheduling ~code:"t.boom" "boom") with
+  | Ok _ -> Alcotest.fail "must surface the diagnostic"
+  | Error d -> Alcotest.(check string) "code" "t.boom" d.code
+
+(* the satellite regression: a cyclic condensation (an scc_of map
+   inconsistent with the DDG) must produce a typed diagnostic naming
+   the stuck SCCs, not a bare failwith *)
+let test_prefusion_cyclic_condensation () =
+  let prog = producer_consumer () in
+  let ddg =
+    { Deps.Ddg.n = 2; succ = [| [ 1 ]; [ 0 ] |]; pred = [| [ 1 ]; [ 0 ] |];
+      deps = [] }
+  in
+  let scc_of = [| 0; 1 |] in
+  match Fusion.Prefusion.order prog ddg scc_of with
+  | _ -> Alcotest.fail "cyclic condensation must not produce an order"
+  | exception Pluto.Diagnostics.Error d ->
+    Alcotest.(check string) "code" "prefuse.no-ready-scc"
+      d.Pluto.Diagnostics.code;
+    Alcotest.(check bool) "phase" true
+      (d.Pluto.Diagnostics.phase = Pluto.Diagnostics.Scheduling);
+    (match List.assoc_opt "stuck-sccs" d.Pluto.Diagnostics.context with
+    | Some stuck -> Alcotest.(check string) "stuck sccs" "0,1" stuck
+    | None -> Alcotest.fail "diagnostic must carry the stuck SCC ids")
+
+(* --- always-on verification on corrupted schedules ------------------------ *)
+
+let test_corrupt_negated_row () =
+  let prog = producer_consumer () in
+  let res = schedule_of prog in
+  let corrupt = Array.copy res.Pluto.Scheduler.sched in
+  corrupt.(1) <-
+    List.map
+      (function
+        | Pluto.Sched.Hyp h -> Pluto.Sched.Hyp (Array.map (fun c -> -c) h)
+        | r -> r)
+      corrupt.(1);
+  match
+    Pluto.Satisfy.check_legal prog res.Pluto.Scheduler.true_deps corrupt
+  with
+  | Ok () -> Alcotest.fail "negated row must be caught"
+  | Error d ->
+    (* exactly the S0 -> S1 flow dependence must be reported *)
+    Alcotest.(check (pair int int)) "offending dependence" (0, 1)
+      (d.Deps.Dep.src, d.Deps.Dep.dst)
+
+let test_corrupt_dropped_level () =
+  let prog = producer_consumer () in
+  let res = schedule_of prog in
+  (* drop the last schedule row of every statement: the level that
+     separated S1 from S0 disappears, so the flow dependence is never
+     satisfied *)
+  let drop_last l = List.filteri (fun i _ -> i < List.length l - 1) l in
+  let corrupt = Array.map drop_last res.Pluto.Scheduler.sched in
+  match
+    Pluto.Satisfy.check_legal prog res.Pluto.Scheduler.true_deps corrupt
+  with
+  | Ok () -> Alcotest.fail "dropped satisfaction level must be caught"
+  | Error d ->
+    Alcotest.(check (pair int int)) "offending dependence" (0, 1)
+      (d.Deps.Dep.src, d.Deps.Dep.dst)
+
+let test_corrupt_rank_deficient () =
+  let prog = stencil2d () in
+  let res = schedule_of prog in
+  (* duplicate the first iterator row into every hyperplane row: the
+     statement's transform collapses to rank 1 *)
+  let first_hyp =
+    List.find_map
+      (function Pluto.Sched.Hyp h -> Some h | _ -> None)
+      res.Pluto.Scheduler.sched.(0)
+  in
+  let h0 = Option.get first_hyp in
+  let corrupt = Array.copy res.Pluto.Scheduler.sched in
+  corrupt.(0) <-
+    List.map
+      (function
+        | Pluto.Sched.Hyp _ -> Pluto.Sched.Hyp (Array.copy h0)
+        | r -> r)
+      corrupt.(0);
+  match Pluto.Satisfy.check_complete prog corrupt with
+  | Ok () -> Alcotest.fail "rank-deficient statement must be caught"
+  | Error d ->
+    Alcotest.(check string) "code" "verify.singular" d.Pluto.Diagnostics.code;
+    (match List.assoc_opt "statement" d.Pluto.Diagnostics.context with
+    | Some s -> Alcotest.(check string) "statement named" "S0" s
+    | None -> Alcotest.fail "diagnostic must name the statement")
+
+let test_corrupt_zero_row () =
+  let prog = producer_consumer () in
+  let res = schedule_of prog in
+  let corrupt = Array.copy res.Pluto.Scheduler.sched in
+  corrupt.(0) <-
+    List.map
+      (function
+        | Pluto.Sched.Hyp h -> Pluto.Sched.Hyp (Array.map (fun _ -> 0) h)
+        | r -> r)
+      corrupt.(0);
+  match Pluto.Satisfy.check_complete prog corrupt with
+  | Ok () -> Alcotest.fail "zeroed iterator rows must be caught"
+  | Error d ->
+    Alcotest.(check string) "code" "verify.rank" d.Pluto.Diagnostics.code
+
+(* --- chaos hooks ---------------------------------------------------------- *)
+
+let test_chaos_exhaust_lp () =
+  Lp.Chaos.exhaust := true;
+  Fun.protect ~finally:Lp.Chaos.reset (fun () ->
+      let p = Polyhedron.make 1 [ Constr.ge [ 1; -1 ] ] in
+      Alcotest.(check bool) "forced exhaustion" true
+        (Lp.minimize p (vec [ 1; 0 ]) = Lp.Exhausted))
+
+let test_chaos_exhaust_scheduler_typed () =
+  Lp.Chaos.exhaust := true;
+  Fun.protect ~finally:Lp.Chaos.reset (fun () ->
+      match Pluto.Scheduler.schedule Fusion.Wisefuse.config (producer_consumer ()) with
+      | Ok _ -> Alcotest.fail "all-exhausted solves cannot schedule"
+      | Error d ->
+        Alcotest.(check bool) "phase is scheduling" true
+          (d.Pluto.Diagnostics.phase = Pluto.Diagnostics.Scheduling))
+
+let test_chaos_warm_fallback_equiv () =
+  let prog = swim () in
+  let base = (schedule_of prog).Pluto.Scheduler.sched in
+  Lp.Chaos.warm_fallback := true;
+  Fun.protect ~finally:Lp.Chaos.reset (fun () ->
+      let got = (schedule_of prog).Pluto.Scheduler.sched in
+      Alcotest.(check bool) "cold-only resolve, same schedule" true
+        (got = base))
+
+let test_chaos_big_path_equiv () =
+  let prog = advect () in
+  let base = (schedule_of prog).Pluto.Scheduler.sched in
+  Bigint.chaos_big_path := true;
+  Fun.protect
+    ~finally:(fun () -> Bigint.chaos_big_path := false)
+    (fun () ->
+      (* arithmetic stays canonical on the forced Big path *)
+      let i x = Bigint.of_int x in
+      Alcotest.(check int) "add" 7 (Bigint.to_int (Bigint.add (i 3) (i 4)));
+      Alcotest.(check int) "mul" (-12) (Bigint.to_int (Bigint.mul (i 3) (i (-4))));
+      Alcotest.(check int) "gcd" 6 (Bigint.to_int (Bigint.gcd (i 12) (i 18)));
+      let q, r = Bigint.divmod (i 17) (i 5) in
+      Alcotest.(check int) "div" 3 (Bigint.to_int q);
+      Alcotest.(check int) "mod" 2 (Bigint.to_int r);
+      (* and the whole pipeline is unchanged *)
+      let got = (schedule_of prog).Pluto.Scheduler.sched in
+      Alcotest.(check bool) "forced Big promotion, same schedule" true
+        (got = base))
+
+(* --- bench regression comparator ------------------------------------------ *)
+
+let test_bench_comparator () =
+  let open Bench_check in
+  let cmp b c = compare_wall ~threshold:1.25 ~baseline_ms:b ~current_ms:c in
+  Alcotest.(check bool) "missing" true (cmp None 10.0 = Missing);
+  Alcotest.(check bool) "zero baseline guarded" true
+    (cmp (Some 0.0) 10.0 = Bad_baseline);
+  Alcotest.(check bool) "negative baseline guarded" true
+    (cmp (Some (-3.0)) 10.0 = Bad_baseline);
+  Alcotest.(check bool) "nan baseline guarded" true
+    (cmp (Some Float.nan) 10.0 = Bad_baseline);
+  Alcotest.(check bool) "nan current guarded" true
+    (cmp (Some 10.0) Float.nan = Bad_baseline);
+  (match cmp (Some 10.0) 12.0 with
+  | Within r -> Alcotest.(check (float 1e-9)) "ratio" 1.2 r
+  | _ -> Alcotest.fail "1.2x is within a 1.25 threshold");
+  (match cmp (Some 10.0) 13.0 with
+  | Regression r -> Alcotest.(check (float 1e-9)) "ratio" 1.3 r
+  | _ -> Alcotest.fail "1.3x must regress a 1.25 threshold");
+  Alcotest.(check bool) "only regressions fail" true
+    (is_failure (cmp (Some 10.0) 13.0)
+    && (not (is_failure (cmp (Some 10.0) 12.0)))
+    && (not (is_failure (cmp (Some 0.0) 10.0)))
+    && not (is_failure (cmp None 10.0)))
+
+(* --- counters on an empty run ---------------------------------------------- *)
+
+let test_counters_pp_empty () =
+  Counters.reset ();
+  let s = Format.asprintf "%a" Counters.pp () in
+  ignore s
+
+(* -------------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "budget",
+        [
+          Alcotest.test_case "latch" `Quick test_budget_latch;
+          Alcotest.test_case "trip" `Quick test_budget_trip;
+          Alcotest.test_case "env budget stays legal" `Quick
+            test_model_optimize_env_budget_legal;
+          Alcotest.test_case "of_env parsing" `Quick test_budget_of_env;
+          Alcotest.test_case "lp threading" `Quick test_lp_budget_exhausted;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "1-pivot budget: all kernels legal" `Slow
+            test_one_pivot_all_kernels_legal;
+          Alcotest.test_case "1-pivot budget: degrades with notes" `Quick
+            test_one_pivot_degrades_with_notes;
+          Alcotest.test_case "happy path byte-identical" `Quick
+            test_happy_path_identical;
+          Alcotest.test_case "schedule matches run" `Quick
+            test_schedule_result_matches_run;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "exit codes" `Quick test_exit_codes;
+          Alcotest.test_case "protect" `Quick test_protect;
+          Alcotest.test_case "cyclic condensation" `Quick
+            test_prefusion_cyclic_condensation;
+        ] );
+      ( "verification",
+        [
+          Alcotest.test_case "negated row" `Quick test_corrupt_negated_row;
+          Alcotest.test_case "dropped satisfaction level" `Quick
+            test_corrupt_dropped_level;
+          Alcotest.test_case "rank-deficient statement" `Quick
+            test_corrupt_rank_deficient;
+          Alcotest.test_case "zeroed iterator rows" `Quick
+            test_corrupt_zero_row;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "forced LP exhaustion" `Quick
+            test_chaos_exhaust_lp;
+          Alcotest.test_case "exhaustion is typed at the scheduler" `Quick
+            test_chaos_exhaust_scheduler_typed;
+          Alcotest.test_case "warm-start fallback equivalence" `Quick
+            test_chaos_warm_fallback_equiv;
+          Alcotest.test_case "forced Big promotion equivalence" `Quick
+            test_chaos_big_path_equiv;
+        ] );
+      ( "bench",
+        [
+          Alcotest.test_case "regression comparator" `Quick
+            test_bench_comparator;
+          Alcotest.test_case "counters pp on empty run" `Quick
+            test_counters_pp_empty;
+        ] );
+    ]
