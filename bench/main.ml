@@ -520,9 +520,9 @@ let time_pipeline_kernel (name, mk) =
 
 let bench_json_file = "BENCH_pipeline.json"
 
-let pipeline_json rows =
+let pipeline_json ?(tag = "") rows =
   let label =
-    Option.value (Sys.getenv_opt "BENCH_LABEL") ~default:"dev"
+    Option.value (Sys.getenv_opt "BENCH_LABEL") ~default:"dev" ^ tag
   in
   let buf = Buffer.create 2048 in
   let total = List.fold_left (fun a r -> a +. r.wall_ms) 0.0 rows in
@@ -647,8 +647,19 @@ let read_bench_file () =
 (* Append the new run, replacing any earlier record with the same label
    (so re-runs — e.g. a restarted CI job — update their record in place
    instead of accumulating duplicates). *)
-let write_pipeline_json rows =
-  let run = pipeline_json rows in
+(* Analyze records share the file but time wisecheck certification, not
+   the scheduler; the regression gate must never compare against one. *)
+let analyze_tag = "-analyze"
+
+let is_analyze_record r =
+  match string_field r "label" with
+  | Some l ->
+    let n = String.length l and m = String.length analyze_tag in
+    n >= m && String.sub l (n - m) m = analyze_tag
+  | None -> false
+
+let write_pipeline_json ?tag rows =
+  let run = pipeline_json ?tag rows in
   let label =
     Option.value (string_field run "label") ~default:"dev"
   in
@@ -697,7 +708,8 @@ let pipeline_check () =
   section "Pipeline check: fresh run vs last committed BENCH record";
   let baseline =
     List.rev (read_bench_file ())
-    |> List.find_opt (fun r -> raw_field r "smoke" = Some "false")
+    |> List.find_opt (fun r ->
+           raw_field r "smoke" = Some "false" && not (is_analyze_record r))
   in
   match baseline with
   | None ->
@@ -728,6 +740,72 @@ let pipeline_check () =
       exit 1
     end
     else Printf.printf "  OK: all kernels within x%.2f of baseline\n" check_threshold
+
+(* --- wisecheck static-analysis overhead ---------------------------------------- *)
+
+(* Times Analysis.Wisecheck.certify (race + scan + lint certification)
+   over the final wisefuse schedule and AST of each pipeline kernel.
+   Scheduling happens once, untimed, so the measured wall time is pure
+   analysis cost; the row's counters therefore describe the certify run
+   alone (LP solves spent on conflict systems, finding tallies). Rows
+   land in BENCH_pipeline.json under the "<label>-analyze" record,
+   which the regression gate skips. Feeds the "Static analysis" entry
+   in EXPERIMENTS.md. Exits non-zero if any kernel fails to certify —
+   a certified-clean registry is part of the pipeline contract. *)
+let analyze_overhead () =
+  section "Analyze: wisecheck certification time (race + scan + lints)";
+  let rows =
+    List.map
+      (fun (name, mk) ->
+        let prog = mk () in
+        Pluto.Farkas.reset_cache ();
+        let o = Fusion.Model.optimize Fusion.Model.Wisefuse prog in
+        let r =
+          match o.Fusion.Model.scheduler with
+          | Some r -> r
+          | None -> failwith "wisefuse model returned no scheduler result"
+        in
+        let certify () =
+          Analysis.Wisecheck.certify r.Pluto.Scheduler.prog
+            r.Pluto.Scheduler.all_deps r.Pluto.Scheduler.sched
+            o.Fusion.Model.ast
+        in
+        ignore (certify ()) (* warm-up *);
+        let reps = if smoke then 1 else 3 in
+        let best = ref infinity in
+        let best_counters = ref [] and best_stages = ref [] in
+        let report = ref None in
+        for _ = 1 to reps do
+          Linalg.Counters.reset ();
+          let t0 = Unix.gettimeofday () in
+          let rep = certify () in
+          let dt = Unix.gettimeofday () -. t0 in
+          if dt < !best then begin
+            best := dt;
+            best_counters := Linalg.Counters.all_counters ();
+            best_stages := Linalg.Counters.stage_times ();
+            report := Some rep
+          end
+        done;
+        let rep = Option.get !report in
+        Printf.printf "  %-10s %8.2f ms   %d errors, %d warnings, %d info\n%!"
+          name (!best *. 1e3) rep.Analysis.Wisecheck.errors
+          rep.Analysis.Wisecheck.warnings rep.Analysis.Wisecheck.infos;
+        if not (Analysis.Wisecheck.certified rep) then begin
+          Printf.printf "  FAIL: wisecheck reported errors on %s\n" name;
+          exit 1
+        end;
+        {
+          kernel = name;
+          wall_ms = !best *. 1e3;
+          counters = !best_counters;
+          stages = !best_stages;
+        })
+      pipeline_kernels
+  in
+  let total = List.fold_left (fun a r -> a +. r.wall_ms) 0.0 rows in
+  Printf.printf "  %-10s %8.2f ms\n" "total" total;
+  write_pipeline_json ~tag:analyze_tag rows
 
 (* --- budget accounting overhead ----------------------------------------------- *)
 
@@ -830,8 +908,8 @@ let experiments =
     ("fig5", fig5); ("fig4_6", fig4_6); ("fig7", fig7); ("fig8", fig8);
     ("scaling", scaling); ("ablation", ablation); ("extras", extras);
     ("tiling", tiling); ("locality", locality); ("space", space);
-    ("vector", vector); ("pipeline", pipeline); ("budget", budget_overhead);
-    ("bechamel", bechamel) ]
+    ("vector", vector); ("pipeline", pipeline); ("analyze", analyze_overhead);
+    ("budget", budget_overhead); ("bechamel", bechamel) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -198,6 +198,98 @@ let emit_cmd =
     (Cmd.info "emit" ~doc:"Emit a complete C program for the transformed code")
     Term.(const run $ kernel_arg $ size_arg $ model_arg $ verbose_arg)
 
+(* --- analyze ---------------------------------------------------------- *)
+
+(* error-severity wisecheck findings exit with their own status,
+   distinct from the pipeline phases (usage 2 .. codegen 6) *)
+let analysis_exit = 7
+
+let analyze_one prog mname =
+  let opt = Fusion.Model.optimize (Fusion.Model.of_name mname) prog in
+  let prog, deps, sched =
+    match (opt.Fusion.Model.scheduler, opt.Fusion.Model.icc) with
+    | Some res, _ ->
+      ( res.Pluto.Scheduler.prog,
+        res.Pluto.Scheduler.all_deps,
+        res.Pluto.Scheduler.sched )
+    | None, Some r ->
+      (r.Icc.Icc_model.prog, r.Icc.Icc_model.deps, r.Icc.Icc_model.sched)
+    | None, None -> assert false
+  in
+  (prog, Analysis.Wisecheck.certify prog deps sched opt.Fusion.Model.ast)
+
+let json_arg =
+  let doc = "Emit findings as JSON (one object per line of \"findings\")." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let all_arg =
+  let doc = "Analyze every registry kernel under every fusion model." in
+  Arg.(value & flag & info [ "all" ] ~doc)
+
+let opt_kernel_arg =
+  let doc = "Benchmark name (see `wisefuse list'); omit with --all." in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc)
+
+let print_report_text prog label (r : Analysis.Wisecheck.report) =
+  Format.printf "=== wisecheck %s ===@." label;
+  Format.printf "%a@." (Analysis.Wisecheck.pp_report prog) r
+
+let print_report_json prog ~kernel ~model (r : Analysis.Wisecheck.report) =
+  let findings =
+    String.concat ",\n    "
+      (List.map (Analysis.Finding.to_json prog) r.Analysis.Wisecheck.findings)
+  in
+  Printf.printf
+    "{\"kernel\": \"%s\", \"model\": \"%s\", \"errors\": %d, \"warnings\": \
+     %d, \"infos\": %d,\n  \"findings\": [%s%s%s]}\n"
+    kernel model r.Analysis.Wisecheck.errors r.Analysis.Wisecheck.warnings
+    r.Analysis.Wisecheck.infos
+    (if findings = "" then "" else "\n    ")
+    findings
+    (if findings = "" then "" else "\n  ")
+
+let analyze_cmd =
+  let run kernel size model all json stats vflag =
+    verbose := vflag;
+    let targets =
+      if all then
+        List.concat_map
+          (fun (e : Kernels.Registry.entry) ->
+            List.map (fun m -> (e.Kernels.Registry.name, m)) model_names)
+          Kernels.Registry.all
+      else begin
+        match kernel with
+        | Some k -> [ (k, model) ]
+        | None ->
+          Printf.eprintf "analyze: KERNEL required (or pass --all)\n";
+          exit usage_exit
+      end
+    in
+    let any_errors = ref false in
+    List.iter
+      (fun (kname, mname) ->
+        let prog = load kname size in
+        if not (List.mem mname model_names) then begin
+          Printf.eprintf "unknown model %s (expected one of %s)\n" mname
+            (String.concat ", " model_names);
+          exit usage_exit
+        end;
+        let prog, report = analyze_one prog mname in
+        if report.Analysis.Wisecheck.errors > 0 then any_errors := true;
+        if json then print_report_json prog ~kernel:kname ~model:mname report
+        else print_report_text prog (kname ^ " / " ^ mname) report)
+      targets;
+    report_stats stats;
+    if !any_errors then exit analysis_exit
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Independently certify the generated code (race freedom, scan \
+          soundness, DDG lints); exit 7 on error-severity findings")
+    Term.(const run $ opt_kernel_arg $ size_arg $ model_arg $ all_arg
+          $ json_arg $ stats_arg $ verbose_arg)
+
 (* --- sim -------------------------------------------------------------- *)
 
 let sim_cmd =
@@ -230,7 +322,9 @@ let sim_cmd =
 let () =
   let doc = "loop fusion in the polyhedral framework (PPoPP'14 reproduction)" in
   let info = Cmd.info "wisefuse" ~version:"1.0" ~doc in
-  let cmds = [ list_cmd; show_cmd; deps_cmd; opt_cmd; emit_cmd; sim_cmd ] in
+  let cmds =
+    [ list_cmd; show_cmd; deps_cmd; opt_cmd; emit_cmd; sim_cmd; analyze_cmd ]
+  in
   (* a diagnostic escaping the pipeline exits with its phase's code
      (usage 2, budget 3, scheduling 4, verification 5, codegen 6) —
      never a bare exception, never exit 1 *)

@@ -1,0 +1,149 @@
+type severity = Error | Warning | Info
+
+type kind =
+  | Racy_parallel
+  | Lost_parallelism
+  | Dropped_point
+  | Loose_bounds
+  | Guard_mismatch
+  | Dead_scan
+  | Redundant_dependence
+  | Dead_write
+  | Unreachable_statement
+
+type t = {
+  kind : kind;
+  severity : severity;
+  stmts : int list;
+  level : int option;
+  dep : Deps.Dep.t option;
+  message : string;
+  context : (string * string) list;
+}
+
+let code = function
+  | Racy_parallel -> "race.parallel"
+  | Lost_parallelism -> "race.lost-parallelism"
+  | Dropped_point -> "scan.dropped-point"
+  | Loose_bounds -> "scan.loose-bounds"
+  | Guard_mismatch -> "scan.guard-mismatch"
+  | Dead_scan -> "scan.dead"
+  | Redundant_dependence -> "ddg.redundant-dependence"
+  | Dead_write -> "ddg.dead-write"
+  | Unreachable_statement -> "ddg.unreachable"
+
+let severity_of_kind = function
+  | Racy_parallel | Dropped_point | Guard_mismatch -> Error
+  | Lost_parallelism | Loose_bounds | Dead_scan | Dead_write -> Warning
+  | Redundant_dependence | Unreachable_statement -> Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let make ?(stmts = []) ?level ?dep ?(context = []) kind message =
+  { kind; severity = severity_of_kind kind; stmts; level; dep; message; context }
+
+let count fs =
+  List.fold_left
+    (fun (e, w, i) f ->
+      match f.severity with
+      | Error -> (e + 1, w, i)
+      | Warning -> (e, w + 1, i)
+      | Info -> (e, w, i + 1))
+    (0, 0, 0) fs
+
+let has_errors fs = List.exists (fun f -> f.severity = Error) fs
+
+let rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let by_severity fs =
+  List.stable_sort
+    (fun a b ->
+      match compare (rank a.severity) (rank b.severity) with
+      | 0 -> compare a.stmts b.stmts
+      | c -> c)
+    fs
+
+let stmt_names (prog : Scop.Program.t) ids =
+  String.concat ", "
+    (List.map (fun id -> prog.stmts.(id).Scop.Statement.name) ids)
+
+let shared_context prog f =
+  (("severity", severity_name f.severity)
+  ::
+  (match f.stmts with
+  | [] -> []
+  | ids -> [ ("statements", stmt_names prog ids) ]))
+  @ (match f.level with
+    | Some l -> [ ("loop", Printf.sprintf "t%d" l) ]
+    | None -> [])
+  @ (match f.dep with
+    | Some d -> [ ("dependence", Format.asprintf "%a" Deps.Dep.pp d) ]
+    | None -> [])
+  @ f.context
+
+let to_diagnostic prog f =
+  Pluto.Diagnostics.make
+    ~context:(shared_context prog f)
+    ~phase:Pluto.Diagnostics.Verification ~code:(code f.kind) f.message
+
+let pp prog fmt f =
+  Format.fprintf fmt "%-7s [%s] %s" (severity_name f.severity) (code f.kind)
+    f.message;
+  let extras =
+    (match f.stmts with [] -> [] | ids -> [ stmt_names prog ids ])
+    @ match f.level with Some l -> [ Printf.sprintf "t%d" l ] | None -> []
+  in
+  if extras <> [] then
+    Format.fprintf fmt "  (%s)" (String.concat "; " extras)
+
+(* --- JSON ----------------------------------------------------------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json prog f =
+  let fields =
+    [
+      Printf.sprintf "\"code\": \"%s\"" (code f.kind);
+      Printf.sprintf "\"severity\": \"%s\"" (severity_name f.severity);
+      Printf.sprintf "\"stmts\": [%s]"
+        (String.concat ", " (List.map string_of_int f.stmts));
+      Printf.sprintf "\"stmt_names\": [%s]"
+        (String.concat ", "
+           (List.map
+              (fun id ->
+                Printf.sprintf "\"%s\""
+                  (escape prog.Scop.Program.stmts.(id).Scop.Statement.name))
+              f.stmts));
+    ]
+    @ (match f.level with
+      | Some l -> [ Printf.sprintf "\"level\": %d" l ]
+      | None -> [])
+    @ (match f.dep with
+      | Some d ->
+        [
+          Printf.sprintf "\"dep\": \"%s\""
+            (escape (Format.asprintf "%a" Deps.Dep.pp d));
+        ]
+      | None -> [])
+    @ [ Printf.sprintf "\"message\": \"%s\"" (escape f.message) ]
+    @ List.map
+        (fun (k, v) ->
+          Printf.sprintf "\"%s\": \"%s\"" (escape ("ctx_" ^ k)) (escape v))
+        f.context
+  in
+  "{" ^ String.concat ", " fields ^ "}"

@@ -1,0 +1,152 @@
+open Deps
+
+(* does [dst] stay reachable from [src] when the direct edge is
+   removed? (paths of length >= 2 through the true-dependence DDG) *)
+let reachable_without_direct (ddg : Ddg.t) src dst =
+  let visited = Array.make ddg.n false in
+  let rec go v =
+    if v = dst then true
+    else if visited.(v) then false
+    else begin
+      visited.(v) <- true;
+      List.exists go ddg.succ.(v)
+    end
+  in
+  List.exists (fun s -> s <> dst && go s) ddg.succ.(src)
+
+(* [domain(src) ⊆ projection of dep.poly onto (src iters, params)]:
+   every source instance of [dep] exists. FM projection may
+   over-approximate the integer projection, so a [true] answer is
+   "covered up to FM" — callers must keep severities soft. *)
+let covers ~param_floor (prog : Scop.Program.t) (dep : Dep.t) =
+  let np = Scop.Program.nparams prog in
+  let st = prog.stmts.(dep.src) in
+  let d1 = Scop.Statement.depth st in
+  let d2 = Scop.Statement.depth prog.stmts.(dep.dst) in
+  let proj =
+    Poly.Polyhedron.eliminate dep.poly (List.init d2 (fun i -> d1 + i))
+  in
+  let dim = d1 + np in
+  let floor_cs =
+    List.init np (fun p ->
+        let c = Array.make (dim + 1) 0 in
+        c.(d1 + p) <- 1;
+        c.(dim) <- -param_floor;
+        Poly.Constr.ge (Array.to_list c))
+  in
+  let base = Poly.Polyhedron.add_list st.domain floor_cs in
+  let escapes c =
+    (* a domain point violating constraint [c] of the projection *)
+    match Poly.Constr.kind c with
+    | Poly.Constr.Ge ->
+      Ilp.Bb.feasible (Poly.Polyhedron.add base (Poly.Constr.negate_int c))
+    | Poly.Constr.Eq ->
+      let v = Poly.Constr.coeffs c in
+      let plus = Linalg.Vec.copy v in
+      plus.(dim) <- Linalg.Q.sub plus.(dim) Linalg.Q.one;
+      let minus = Linalg.Vec.neg v in
+      minus.(dim) <- Linalg.Q.sub minus.(dim) Linalg.Q.one;
+      Ilp.Bb.feasible
+        (Poly.Polyhedron.add base (Poly.Constr.make Poly.Constr.Ge plus))
+      || Ilp.Bb.feasible
+           (Poly.Polyhedron.add base (Poly.Constr.make Poly.Constr.Ge minus))
+  in
+  not (List.exists escapes (Poly.Polyhedron.constraints proj))
+
+let check ?(param_floor = 2) (prog : Scop.Program.t) deps =
+  let ddg = Ddg.build prog deps in
+  let true_deps = Ddg.true_deps ddg in
+  let findings = ref [] in
+  let emit f = findings := f :: !findings in
+  (* --- transitively redundant edges ----------------------------------- *)
+  let pairs =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (d : Dep.t) -> if d.src <> d.dst then Some (d.src, d.dst) else None)
+         true_deps)
+  in
+  List.iter
+    (fun (src, dst) ->
+      if reachable_without_direct ddg src dst then begin
+        let kinds =
+          List.sort_uniq compare
+            (List.filter_map
+               (fun (d : Dep.t) ->
+                 if d.src = src && d.dst = dst then
+                   Some (Dep.kind_to_string d.kind)
+                 else None)
+               true_deps)
+        in
+        emit
+          (Finding.make ~stmts:[ src; dst ]
+             ~context:[ ("kinds", String.concat ", " kinds) ]
+             Finding.Redundant_dependence
+             (Printf.sprintf
+                "dependence %s -> %s is implied by a longer path of true \
+                 dependences"
+                prog.stmts.(src).Scop.Statement.name
+                prog.stmts.(dst).Scop.Statement.name))
+      end)
+    pairs;
+  (* --- dead writes and live-out reachability --------------------------- *)
+  let n = Array.length prog.stmts in
+  (* covered.(s): some output dependence overwrites every instance of s *)
+  let covered = Array.make n false in
+  Array.iteri
+    (fun s _ ->
+      covered.(s) <-
+        List.exists
+          (fun (d : Dep.t) ->
+            d.kind = Dep.Output && d.src = s && d.dst <> s
+            && covers ~param_floor prog d)
+          true_deps)
+    prog.stmts;
+  let has_out_flow = Array.make n false in
+  List.iter
+    (fun (d : Dep.t) -> if d.kind = Dep.Flow then has_out_flow.(d.src) <- true)
+    true_deps;
+  let dead = Array.make n false in
+  for s = 0 to n - 1 do
+    if (not has_out_flow.(s)) && covered.(s) then begin
+      dead.(s) <- true;
+      emit
+        (Finding.make ~stmts:[ s ] Finding.Dead_write
+           (Printf.sprintf
+              "statement %s: no read sees its value and a later write \
+               overwrites every instance"
+              prog.stmts.(s).Scop.Statement.name))
+    end
+  done;
+  (* flow-edge adjacency for reachability to live-out writes *)
+  let flow_succ = Array.make n [] in
+  List.iter
+    (fun (d : Dep.t) ->
+      if d.kind = Dep.Flow && not (List.mem d.dst flow_succ.(d.src)) then
+        flow_succ.(d.src) <- d.dst :: flow_succ.(d.src))
+    true_deps;
+  let reaches_live_out = Array.make n false in
+  (* n is small: forward DFS per vertex *)
+  let mark v =
+    let visited = Array.make n false in
+    let rec go u =
+      if visited.(u) then false
+      else begin
+        visited.(u) <- true;
+        (not covered.(u)) || List.exists go flow_succ.(u)
+      end
+    in
+    reaches_live_out.(v) <- go v
+  in
+  for v = 0 to n - 1 do
+    mark v
+  done;
+  for v = 0 to n - 1 do
+    if (not reaches_live_out.(v)) && not dead.(v) then
+      emit
+        (Finding.make ~stmts:[ v ] Finding.Unreachable_statement
+           (Printf.sprintf
+              "statement %s: no chain of flow dependences reaches a live-out \
+               write"
+              prog.stmts.(v).Scop.Statement.name))
+  done;
+  List.rev !findings

@@ -1,0 +1,19 @@
+(** Dependence-graph lints: facts about the program's DDG that do not
+    make generated code wrong but point at wasted work or slack in the
+    dependence structure.
+
+    - {b redundant dependence} (info): a true-dependence edge whose
+      endpoints are also connected by a longer path of true edges — the
+      direct edge adds no scheduling constraint beyond transitivity.
+    - {b dead write} (warning): a statement whose value no read ever
+      sees (no outgoing flow dependence) and whose every instance is
+      later overwritten (an output dependence whose source projection
+      covers the whole domain). The coverage test uses Fourier–Motzkin
+      projection, which over-approximates — hence warning, not error.
+    - {b unreachable statement} (info): a statement from which no chain
+      of flow dependences reaches any live-out write (a write not fully
+      overwritten). Its results cannot influence the program's
+      observable output. *)
+
+val check :
+  ?param_floor:int -> Scop.Program.t -> Deps.Dep.t list -> Finding.t list

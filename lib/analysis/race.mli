@@ -1,0 +1,40 @@
+(** Independent race certification of generated loop ASTs.
+
+    For every [Loop] node, the checker rebuilds — from the dependence
+    polyhedra and the schedule rows alone, without consulting
+    [Pluto.Satisfy.row_class] — the cross-iteration conflict system of
+    each true dependence between the loop's statements: the dependence
+    polyhedron intersected with [δ_k = 0] for every schedule row [k]
+    outside (above) the loop's row, then asked whether two {e distinct}
+    iterations of the loop can be dependent ([δ_r ≥ 1] or [δ_r ≤ −1],
+    exact integer emptiness via branch-and-bound).
+
+    A loop marked [Parallel] with a feasible conflict system is racy
+    generated code (error). A loop marked [Forward] or [Sequential]
+    whose every live dependence has an {e infeasible} conflict system is
+    provably race-free — parallelism the pipeline left on the table
+    (warning). *)
+
+(** [carried_witness ?param_floor prog sched dep ~row_idx] decides
+    whether the dependence can connect two distinct iterations of the
+    loop at schedule row [row_idx], with all outer schedule rows (Hyp
+    and Beta alike) forced equal. Returns a witness point of the
+    dependence polyhedron ([src iters; dst iters; params]) when one was
+    recovered, [Some [||]] when the system is feasible but no witness
+    was extracted within budget, [None] when provably conflict-free. *)
+val carried_witness :
+  ?param_floor:int ->
+  Scop.Program.t ->
+  Pluto.Sched.t ->
+  Deps.Dep.t ->
+  row_idx:int ->
+  int array option
+
+(** Check every loop of the AST; findings in AST pre-order. *)
+val check :
+  ?param_floor:int ->
+  Scop.Program.t ->
+  Deps.Dep.t list ->
+  Pluto.Sched.t ->
+  Codegen.Ast.node ->
+  Finding.t list

@@ -1,0 +1,394 @@
+open Codegen
+
+let hyp_rows (sched : Pluto.Sched.t) id =
+  List.filter_map
+    (function Pluto.Sched.Hyp h -> Some h | Pluto.Sched.Beta _ -> None)
+    sched.(id)
+
+let param_floor_constrs ~dim ~first_param ~np floor =
+  List.init np (fun p ->
+      let c = Array.make (dim + 1) 0 in
+      c.(first_param + p) <- 1;
+      c.(dim) <- -floor;
+      Poly.Constr.ge (Array.to_list c))
+
+(* --- guard consistency ----------------------------------------------------- *)
+
+(* Re-derive the inversion data of one instance from the schedule and
+   diff it against what the AST carries. The inverse itself is checked
+   by the identity hinv · H_sel = det · I rather than re-inverted, so a
+   mutated hinv, det, or guard row is caught even when the re-derivation
+   would make the same mistake. *)
+let instance_problems (prog : Scop.Program.t) sched (inst : Ast.instance) =
+  let np = Scop.Program.nparams prog in
+  let st = prog.stmts.(inst.stmt_id) in
+  let d = Scop.Statement.depth st in
+  let rows = hyp_rows sched inst.stmt_id in
+  let iter_part (h : int array) = Array.sub h 0 d in
+  let param_part (h : int array) = Array.sub h d (np + 1) in
+  let indexed = List.mapi (fun k h -> (k, h)) rows in
+  let nonzero, zero =
+    List.partition
+      (fun (_, h) -> Array.exists (fun c -> c <> 0) (iter_part h))
+      indexed
+  in
+  let problems = ref [] in
+  let bad what = problems := what :: !problems in
+  let expect_sel = Array.of_list (List.map fst nonzero) in
+  if inst.sel_levels <> expect_sel then bad "selected loop levels";
+  let expect_const =
+    Array.of_list (List.map (fun (k, h) -> (k, param_part h)) zero)
+  in
+  if inst.const_rows <> expect_const then bad "constant-row guards";
+  let expect_g = Array.of_list (List.map (fun (_, h) -> param_part h) nonzero) in
+  if inst.g <> expect_g then bad "parametric shifts";
+  if inst.det = 0 then bad "zero determinant"
+  else if
+    Array.length inst.hinv_num <> d
+    || Array.exists (fun r -> Array.length r <> d) inst.hinv_num
+    || List.length nonzero <> d
+  then bad "inversion shape"
+  else begin
+    (* hinv · H_sel = det · I over the schedule's iterator parts *)
+    let hs = Array.of_list (List.map (fun (_, h) -> iter_part h) nonzero) in
+    let ok = ref true in
+    for i = 0 to d - 1 do
+      for j = 0 to d - 1 do
+        let acc = ref 0 in
+        for k = 0 to d - 1 do
+          acc := !acc + (inst.hinv_num.(i).(k) * hs.(k).(j))
+        done;
+        if !acc <> if i = j then inst.det else 0 then ok := false
+      done
+    done;
+    if not !ok then bad "integer inverse (hinv . H != det . I)"
+  end;
+  List.rev !problems
+
+(* --- coverage -------------------------------------------------------------- *)
+
+(* den·y_level − num(y_<level, p, 1) composed through statement [rows]
+   into an affine form over [x (d); p (np); 1] *)
+let compose_bound rows ~d ~np ~level ~den (num : int array) =
+  let acc = Array.make (d + np + 1) 0 in
+  let add scale (h : int array) =
+    Array.iteri (fun i c -> acc.(i) <- acc.(i) + (scale * c)) h
+  in
+  add den (List.nth rows level);
+  List.iteri (fun k h -> if k < level then add (-num.(k)) h) rows;
+  for p = 0 to np - 1 do
+    acc.(d + p) <- acc.(d + p) - num.(level + p)
+  done;
+  acc.(d + np) <- acc.(d + np) - num.(level + np);
+  acc
+
+(* one violated bound per group suffices to push y_level outside the
+   loop's effective range on that side; DFS over the choices with
+   rational pruning, exact emptiness at the leaves *)
+let dropped_witness ~budget base violations_per_group =
+  let rec dfs poly = function
+    | [] ->
+      if !budget <= 0 then None
+      else begin
+        decr budget;
+        if Ilp.Bb.feasible poly then
+          Some (Option.value (Ilp.Bb.integer_point poly) ~default:[||])
+        else None
+      end
+    | g :: rest ->
+      if Poly.Polyhedron.is_empty poly then None
+      else
+        List.fold_left
+          (fun found c ->
+            match found with
+            | Some _ -> found
+            | None -> dfs (Poly.Polyhedron.add poly c) rest)
+          None g
+  in
+  dfs base violations_per_group
+
+let pp_point (prog : Scop.Program.t) st (w : int array) =
+  if Array.length w = 0 then "(within budget, no witness extracted)"
+  else begin
+    let d = Scop.Statement.depth st in
+    let iters =
+      String.concat ", "
+        (List.init d (fun i ->
+             Printf.sprintf "%s=%d" st.Scop.Statement.iters.(i) w.(i)))
+    in
+    let params =
+      String.concat ", "
+        (List.init (Scop.Program.nparams prog) (fun p ->
+             Printf.sprintf "%s=%d" prog.params.(p) w.(d + p)))
+    in
+    iters ^ " | " ^ params
+  end
+
+(* --- the walk -------------------------------------------------------------- *)
+
+let check ?(param_floor = 2) (prog : Scop.Program.t) sched ast =
+  let np = Scop.Program.nparams prog in
+  let findings = ref [] in
+  let emit f = findings := f :: !findings in
+  (* structural checks: every loop's bound groups line up with its
+     statements, every instance's guard data matches the schedule *)
+  Ast.iter_loops
+    (fun (l : Ast.loop) ->
+      let mem = List.sort_uniq compare (Ast.members l.body) in
+      let owners = List.sort_uniq compare l.group_stmts in
+      if
+        owners <> mem
+        || List.length l.lb_groups <> List.length l.group_stmts
+        || List.length l.ub_groups <> List.length l.group_stmts
+      then
+        emit
+          (Finding.make ~stmts:mem ~level:l.level
+             ~context:
+               [
+                 ( "groups",
+                   Printf.sprintf "%d lb / %d ub for %d statements"
+                     (List.length l.lb_groups) (List.length l.ub_groups)
+                     (List.length l.group_stmts) );
+               ]
+             Finding.Guard_mismatch
+             (Printf.sprintf
+                "loop t%d: bound groups do not line up with its statements"
+                l.level)))
+    ast;
+  if Array.length sched > 0 then begin
+    List.iter
+      (fun (inst : Ast.instance) ->
+        match instance_problems prog sched inst with
+        | [] -> ()
+        | ps ->
+          emit
+            (Finding.make ~stmts:[ inst.stmt_id ]
+               ~context:[ ("fields", String.concat "; " ps) ]
+               Finding.Guard_mismatch
+               (Printf.sprintf
+                  "statement %s: instance guard data inconsistent with the \
+                   schedule (%s)"
+                  prog.stmts.(inst.stmt_id).Scop.Statement.name
+                  (String.concat "; " ps))))
+      (Ast.instances ast)
+  end;
+  (* dead scanning: a statement whose domain is integer-empty under the
+     parameter floor never executes *)
+  Array.iter
+    (fun (st : Scop.Statement.t) ->
+      let d = Scop.Statement.depth st in
+      let dim = d + np in
+      let sys =
+        Poly.Polyhedron.add_list st.domain
+          (param_floor_constrs ~dim ~first_param:d ~np param_floor)
+      in
+      if not (Ilp.Bb.feasible sys) then
+        emit
+          (Finding.make ~stmts:[ st.id ] Finding.Dead_scan
+             (Printf.sprintf
+                "statement %s has an empty iteration domain (params >= %d): \
+                 its guard never passes"
+                st.Scop.Statement.name param_floor)))
+    prog.stmts;
+  (* semantic per-instance checks along the loop nest *)
+  let coverage_budget = ref 256 in
+  let rec walk enclosing node =
+    match node with
+    | Ast.Seq nodes -> List.iter (walk enclosing) nodes
+    | Ast.Loop l -> walk (l :: enclosing) l.body
+    | Ast.Exec inst ->
+      let st = prog.stmts.(inst.stmt_id) in
+      let d = Scop.Statement.depth st in
+      let rows = hyp_rows sched inst.stmt_id in
+      let loops = List.rev enclosing in
+      (* coverage: for each enclosing loop and side, is some domain
+         point outside the loop's scanned range? *)
+      let base =
+        Poly.Polyhedron.add_list st.domain
+          (param_floor_constrs ~dim:(d + np) ~first_param:d ~np param_floor)
+      in
+      List.iter
+        (fun (l : Ast.loop) ->
+          let own_idx =
+            let rec idx i = function
+              | [] -> None
+              | s :: _ when s = inst.stmt_id -> Some i
+              | _ :: rest -> idx (i + 1) rest
+            in
+            idx 0 l.group_stmts
+          in
+          match own_idx with
+          | None -> () (* flagged as Guard_mismatch above *)
+          | Some own when List.nth_opt rows l.level <> None ->
+            let own_first groups =
+              let own_g = List.nth groups own in
+              own_g :: List.filteri (fun i _ -> i <> own) groups
+            in
+            let side ~lower groups kindname =
+              (* every group needs at least one bound on this side,
+                 otherwise the scanned range is unbounded there and
+                 nothing can be dropped *)
+              if List.for_all (fun g -> g <> []) groups then begin
+                let violations =
+                  List.map
+                    (List.map (fun (b : Ast.bound) ->
+                         let acc =
+                           compose_bound rows ~d ~np ~level:l.level ~den:b.den
+                             b.num
+                         in
+                         (* lower violated: num − den·y − 1 >= 0;
+                            upper violated: den·y − num − 1 >= 0 *)
+                         let a = if lower then Array.map (fun c -> -c) acc else Array.copy acc in
+                         a.(d + np) <- a.(d + np) - 1;
+                         Poly.Constr.ge (Array.to_list a)))
+                    groups
+                in
+                match
+                  dropped_witness ~budget:coverage_budget base violations
+                with
+                | Some w ->
+                  emit
+                    (Finding.make ~stmts:[ inst.stmt_id ] ~level:l.level
+                       ~context:
+                         [
+                           ("side", kindname);
+                           ("point", pp_point prog st w);
+                         ]
+                       Finding.Dropped_point
+                       (Printf.sprintf
+                          "statement %s: domain point falls %s the emitted \
+                           bounds of loop t%d"
+                          st.Scop.Statement.name
+                          (if lower then "below" else "above")
+                          l.level))
+                | None -> ()
+              end
+            in
+            side ~lower:true (own_first l.lb_groups) "lower";
+            side ~lower:false (own_first l.ub_groups) "upper"
+          | Some _ -> ())
+        loops;
+      (* loose bounds: scanned, integrally inverting, constant rows
+         satisfied — yet outside the domain *)
+      loose_check prog ~param_floor inst st loops emit
+  and loose_check prog ~param_floor (inst : Ast.instance)
+      (st : Scop.Statement.t) loops emit =
+    let np = Scop.Program.nparams prog in
+    let d = Scop.Statement.depth st in
+    let ylen =
+      List.fold_left
+        (fun m (l : Ast.loop) -> max m (l.level + 1))
+        (Array.fold_left
+           (fun m (lvl, _) -> max m (lvl + 1))
+           (Array.fold_left (fun m lvl -> max m (lvl + 1)) 0 inst.sel_levels)
+           inst.const_rows)
+        loops
+    in
+    let dim = ylen + np + d in
+    let cs = ref [] in
+    let addc c = cs := c :: !cs in
+    (* own bound groups of every enclosing loop *)
+    List.iter
+      (fun (l : Ast.loop) ->
+        let rec idx i = function
+          | [] -> None
+          | s :: _ when s = inst.stmt_id -> Some i
+          | _ :: rest -> idx (i + 1) rest
+        in
+        match idx 0 l.group_stmts with
+        | None -> ()
+        | Some own ->
+          let bound_constr ~lower (b : Ast.bound) =
+            (* num over [y_0..y_(level-1); p; 1] *)
+            let a = Array.make (dim + 1) 0 in
+            let s = if lower then -1 else 1 in
+            for k = 0 to l.level - 1 do
+              a.(k) <- s * b.num.(k)
+            done;
+            for p = 0 to np - 1 do
+              a.(ylen + p) <- s * b.num.(l.level + p)
+            done;
+            a.(dim) <- s * b.num.(l.level + np);
+            a.(l.level) <- -s * b.den;
+            Poly.Constr.ge (Array.to_list a)
+          in
+          List.iter (fun b -> addc (bound_constr ~lower:true b))
+            (List.nth l.lb_groups own);
+          List.iter (fun b -> addc (bound_constr ~lower:false b))
+            (List.nth l.ub_groups own))
+      loops;
+    (* constant-row guards: y_level = row · (p, 1) *)
+    Array.iter
+      (fun (level, (row : int array)) ->
+        let a = Array.make (dim + 1) 0 in
+        a.(level) <- 1;
+        for p = 0 to np - 1 do
+          a.(ylen + p) <- -row.(p)
+        done;
+        a.(dim) <- -row.(np);
+        addc (Poly.Constr.eq (Array.to_list a)))
+      inst.const_rows;
+    (* inversion: det·x_i = Σ_k hinv[i][k]·(y_sel_k − g_k·(p,1)) *)
+    if inst.det <> 0 && Array.length inst.hinv_num = d then
+      for i = 0 to d - 1 do
+        if Array.length inst.hinv_num.(i) = d && Array.length inst.sel_levels = d
+        then begin
+          let a = Array.make (dim + 1) 0 in
+          a.(ylen + np + i) <- inst.det;
+          Array.iteri
+            (fun k level ->
+              let c = inst.hinv_num.(i).(k) in
+              a.(level) <- a.(level) - c;
+              for p = 0 to np - 1 do
+                a.(ylen + p) <- a.(ylen + p) + (c * inst.g.(k).(p))
+              done;
+              a.(dim) <- a.(dim) + (c * inst.g.(k).(np)))
+            inst.sel_levels;
+          addc (Poly.Constr.eq (Array.to_list a))
+        end
+      done;
+    let base =
+      Poly.Polyhedron.add_list
+        (Poly.Polyhedron.make dim (List.rev !cs))
+        (param_floor_constrs ~dim ~first_param:ylen ~np param_floor)
+    in
+    (* negate the domain one constraint at a time *)
+    let renamed =
+      Poly.Polyhedron.rename st.domain ~dim_to:dim (fun i ->
+          if i < d then ylen + np + i else ylen + (i - d))
+    in
+    let branches =
+      List.concat_map
+        (fun c ->
+          match Poly.Constr.kind c with
+          | Poly.Constr.Ge -> [ Poly.Constr.negate_int c ]
+          | Poly.Constr.Eq ->
+            let v = Poly.Constr.coeffs c in
+            let plus = Linalg.Vec.copy v in
+            plus.(dim) <- Linalg.Q.sub plus.(dim) Linalg.Q.one;
+            let minus = Linalg.Vec.neg v in
+            minus.(dim) <- Linalg.Q.sub minus.(dim) Linalg.Q.one;
+            [ Poly.Constr.make Poly.Constr.Ge plus;
+              Poly.Constr.make Poly.Constr.Ge minus ])
+        (Poly.Polyhedron.constraints renamed)
+    in
+    let rec first = function
+      | [] -> ()
+      | b :: rest ->
+        let sys = Poly.Polyhedron.add base b in
+        if Ilp.Bb.feasible sys then
+          emit
+            (Finding.make ~stmts:[ inst.stmt_id ]
+               ~context:
+                 [ ("violated", Format.asprintf "%a" (Poly.Constr.pp ?names:None) b) ]
+               Finding.Loose_bounds
+               (Printf.sprintf
+                  "statement %s: emitted bounds scan time points that invert \
+                   outside its domain"
+                  st.Scop.Statement.name))
+        else first rest
+    in
+    first branches
+  in
+  if Array.length sched > 0 then walk [] ast;
+  List.rev !findings

@@ -1,0 +1,32 @@
+(** Scan soundness: does the generated AST execute exactly the integer
+    points of every statement's iteration domain?
+
+    Three certified checks per statement instance:
+
+    - {b guard consistency} (error): the instance's inversion data —
+      selected levels, integer inverse, parametric shifts,
+      constant-row guards — is re-derived from the schedule and
+      compared field by field, and the inverse is verified by the
+      matrix identity [hinv · H_sel = det · I]. A dropped or altered
+      guard row makes the runtime guard accept wrong time points.
+    - {b coverage} (error): no domain point falls outside the emitted
+      loop bounds. For each enclosing loop the emitted range is the
+      min/max over per-statement bound groups, so a point is dropped
+      only when it violates {e some} bound of {e every} group — the
+      checker enumerates one violated bound per group (pruned DFS,
+      exact integer emptiness at the leaves).
+    - {b loose bounds} (warning): the statement's own bound slice
+      admits time points that invert to integer iterators {e outside}
+      the domain — wasted guard evaluations. Legitimate under partial
+      fusion and Fourier–Motzkin integer over-approximation, hence a
+      warning.
+
+    Plus a per-statement {b dead scan} check (warning): a domain that
+    is integer-empty for all parameter values above the floor. *)
+
+val check :
+  ?param_floor:int ->
+  Scop.Program.t ->
+  Pluto.Sched.t ->
+  Codegen.Ast.node ->
+  Finding.t list

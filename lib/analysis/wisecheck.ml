@@ -1,0 +1,36 @@
+type report = {
+  findings : Finding.t list;
+  errors : int;
+  warnings : int;
+  infos : int;
+}
+
+let certify ?param_floor (prog : Scop.Program.t) deps sched ast =
+  Linalg.Counters.time "analysis" (fun () ->
+      let findings =
+        Race.check ?param_floor prog deps sched ast
+        @ Scan_check.check ?param_floor prog sched ast
+        @ Lints.check ?param_floor prog deps
+      in
+      let findings = Finding.by_severity findings in
+      List.iter
+        (fun (f : Finding.t) ->
+          incr
+            (match f.Finding.severity with
+            | Finding.Error -> Linalg.Counters.findings_error
+            | Finding.Warning -> Linalg.Counters.findings_warning
+            | Finding.Info -> Linalg.Counters.findings_info))
+        findings;
+      let errors, warnings, infos = Finding.count findings in
+      { findings; errors; warnings; infos })
+
+let certified r = r.errors = 0
+
+let pp_report prog fmt r =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun f -> Format.fprintf fmt "%a@," (Finding.pp prog) f) r.findings;
+  Format.fprintf fmt "%d error%s, %d warning%s, %d info@]" r.errors
+    (if r.errors = 1 then "" else "s")
+    r.warnings
+    (if r.warnings = 1 then "" else "s")
+    r.infos

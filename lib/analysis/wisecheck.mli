@@ -1,0 +1,33 @@
+(** The wisecheck driver: independent certification of a scheduling
+    pipeline's output.
+
+    [certify prog deps sched ast] runs the three analysis passes —
+    {!Race} (parallel-mark certification), {!Scan_check} (guard
+    consistency, bound coverage, loose bounds, dead scanning) and
+    {!Lints} (DDG hygiene) — over the {e final} artifacts of a pipeline
+    run, deliberately not reusing the pipeline's own satisfaction
+    classification, and returns the findings sorted errors-first.
+
+    The whole pass is timed under the ["analysis"] stage of
+    [Linalg.Counters] and bumps the per-severity finding counters. *)
+
+type report = {
+  findings : Finding.t list;  (** errors first *)
+  errors : int;
+  warnings : int;
+  infos : int;
+}
+
+val certify :
+  ?param_floor:int ->
+  Scop.Program.t ->
+  Deps.Dep.t list ->
+  Pluto.Sched.t ->
+  Codegen.Ast.node ->
+  report
+
+(** [true] when the AST carries no error-severity finding. *)
+val certified : report -> bool
+
+(** Render every finding one per line, plus a summary line. *)
+val pp_report : Scop.Program.t -> Format.formatter -> report -> unit

@@ -20,9 +20,60 @@ and loop = {
   level : int;
   lb_groups : bound list list;
   ub_groups : bound list list;
+  group_stmts : int list;
+      (* statement id owning each bound group, positionally *)
   par : parallelism;
   body : node;
 }
+
+(* --- parallelism vocabulary ---------------------------------------------- *)
+
+(* [Pluto.Satisfy.loop_class] is the source of truth; [parallelism] is
+   its mirror on generated loops. The two conversions are total inverse
+   bijections (round-trip tested in test_analysis.ml). *)
+
+let of_loop_class = function
+  | Pluto.Satisfy.Parallel -> Parallel
+  | Pluto.Satisfy.Forward -> Forward
+  | Pluto.Satisfy.Sequential -> Sequential
+
+let to_loop_class = function
+  | Parallel -> Pluto.Satisfy.Parallel
+  | Forward -> Pluto.Satisfy.Forward
+  | Sequential -> Pluto.Satisfy.Sequential
+
+let parallelism_name p = Pluto.Satisfy.loop_class_name (to_loop_class p)
+
+(* --- walks ---------------------------------------------------------------- *)
+
+let rec iter_loops f = function
+  | Exec _ -> ()
+  | Seq nodes -> List.iter (iter_loops f) nodes
+  | Loop l ->
+    f l;
+    iter_loops f l.body
+
+let rec map_loops f = function
+  | Exec _ as n -> n
+  | Seq nodes -> Seq (List.map (map_loops f) nodes)
+  | Loop l -> Loop (f { l with body = map_loops f l.body })
+
+let rec map_instances f = function
+  | Exec inst -> Exec (f inst)
+  | Seq nodes -> Seq (List.map (map_instances f) nodes)
+  | Loop l -> Loop { l with body = map_instances f l.body }
+
+let instances node =
+  let acc = ref [] in
+  let rec go = function
+    | Exec inst -> acc := inst :: !acc
+    | Seq nodes -> List.iter go nodes
+    | Loop l -> go l.body
+  in
+  go node;
+  List.rev !acc
+
+let members node = List.map (fun i -> i.stmt_id) (instances node)
 
 (* floor/ceil division for possibly-negative numerators *)
 let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)

@@ -45,9 +45,46 @@ and loop = {
      each statement additionally guards itself *)
   lb_groups : bound list list;
   ub_groups : bound list list;
+  group_stmts : int list;
+      (** statement id owning each bound group, positionally: group [i]
+          of [lb_groups]/[ub_groups] is the projection of statement
+          [List.nth group_stmts i]'s transformed domain. The analysis
+          passes use this to tell a statement's own bounds apart from
+          its fusion partners'. *)
   par : parallelism;
   body : node;
 }
+
+(** {1 Parallelism vocabulary}
+
+    [parallelism] mirrors {!Pluto.Satisfy.loop_class} (the single
+    source of truth); the conversions are total inverse bijections. *)
+
+val of_loop_class : Pluto.Satisfy.loop_class -> parallelism
+val to_loop_class : parallelism -> Pluto.Satisfy.loop_class
+val parallelism_name : parallelism -> string
+
+(** {1 Walks}
+
+    Traversal hooks shared by the analysis passes ([lib/analysis]), the
+    machine model and the test suite's AST mutators. *)
+
+(** Pre-order over every loop (outermost first). *)
+val iter_loops : (loop -> unit) -> node -> unit
+
+(** Rebuild the tree, transforming every loop bottom-up (the function
+    sees the loop with its body already mapped). *)
+val map_loops : (loop -> loop) -> node -> node
+
+(** Rebuild the tree, transforming every statement instance. *)
+val map_instances : (instance -> instance) -> node -> node
+
+(** All statement instances, in textual (execution) order. *)
+val instances : node -> instance list
+
+(** Statement ids of {!instances}, in textual order. Each statement
+    occurs exactly once in a generated AST. *)
+val members : node -> int list
 
 (** [eval_bound b ~outer ~params ~lower] computes the concrete value
     (ceil division when [lower], floor otherwise). *)

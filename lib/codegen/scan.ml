@@ -196,18 +196,16 @@ let generate ~(prog : Scop.Program.t) ~(sched : Pluto.Sched.t) ~deps =
               (List.map (fun id -> bounds_at td.(id) ~np ~nloops level) stmts)
           in
           let par =
-            match
-              Pluto.Satisfy.row_class prog true_deps sched ~level:row_idx
-                ~members:stmts
-            with
-            | Pluto.Satisfy.Parallel -> Ast.Parallel
-            | Pluto.Satisfy.Forward -> Ast.Forward
+            Ast.of_loop_class
+              (Pluto.Satisfy.row_class prog true_deps sched ~level:row_idx
+                 ~members:stmts)
           in
           Ast.Loop
             {
               level;
               lb_groups;
               ub_groups;
+              group_stmts = stmts;
               par;
               body = build stmts (row_idx + 1);
             }

@@ -128,7 +128,7 @@ let nest_outer_parallel prog deps sched ids =
       ~members:ids
   with
   | Pluto.Satisfy.Parallel -> true
-  | Pluto.Satisfy.Forward -> false
+  | Pluto.Satisfy.Forward | Pluto.Satisfy.Sequential -> false
 
 (* legality restricted to the dependences a candidate fusion could
    affect: only statements of the two merged nests change schedule *)
@@ -250,7 +250,7 @@ let run ?param_floor (prog : Scop.Program.t) =
         let members = stmts_of (Codegen.Ast.Loop l) in
         let par =
           if List.for_all (fun id -> parallel_of_stmt.(id)) members then l.par
-          else Codegen.Ast.Sequential
+          else Codegen.Ast.of_loop_class Pluto.Satisfy.Sequential
         in
         Codegen.Ast.Loop { l with par; body }
       end

@@ -19,6 +19,13 @@ let dual_pivots = ref 0
 let farkas_cache_hits = ref 0
 let farkas_cache_misses = ref 0
 
+(* wisecheck (lib/analysis) finding counters, bumped once per emitted
+   finding so the bench harness can report analysis verdict volumes
+   alongside the timing of the "analysis" stage *)
+let findings_error = ref 0
+let findings_warning = ref 0
+let findings_info = ref 0
+
 let all_counters () =
   [ ("lp_solves", !lp_solves);
     ("lp_pivots", !lp_pivots);
@@ -29,6 +36,9 @@ let all_counters () =
     ("dual_pivots", !dual_pivots);
     ("farkas_cache_hits", !farkas_cache_hits);
     ("farkas_cache_misses", !farkas_cache_misses);
+    ("findings_error", !findings_error);
+    ("findings_warning", !findings_warning);
+    ("findings_info", !findings_info);
     ("big_promotions", !promotions);
     ("big_demotions", !demotions) ]
 
@@ -84,6 +94,9 @@ let reset () =
   dual_pivots := 0;
   farkas_cache_hits := 0;
   farkas_cache_misses := 0;
+  findings_error := 0;
+  findings_warning := 0;
+  findings_info := 0;
   Hashtbl.reset stages;
   stage_order := []
 

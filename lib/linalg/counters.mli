@@ -43,6 +43,15 @@ val farkas_cache_hits : int ref
 
 val farkas_cache_misses : int ref
 
+(** {2 Static-analysis (wisecheck) counters}
+
+    One bump per finding emitted by [Analysis.Wisecheck.certify],
+    keyed by severity. *)
+
+val findings_error : int ref
+val findings_warning : int ref
+val findings_info : int ref
+
 (** [time stage f] runs [f ()] and adds its wall-clock duration to the
     accumulator for [stage] (even if [f] raises). Timers are
     {e exclusive}: when stages nest, the inner stage's time is

@@ -112,7 +112,7 @@ let simulate ?(config = default) (prog : Scop.Program.t) ast ~params =
   in
   let vectorizable (l : Codegen.Ast.loop) =
     config.simd_width > 1
-    && l.Codegen.Ast.par = Codegen.Ast.Parallel
+    && Codegen.Ast.to_loop_class l.Codegen.Ast.par = Pluto.Satisfy.Parallel
     && List.length (List.sort_uniq compare l.Codegen.Ast.lb_groups) = 1
     && List.length (List.sort_uniq compare l.Codegen.Ast.ub_groups) = 1
     && guard_free l.Codegen.Ast.body
@@ -147,7 +147,9 @@ let simulate ?(config = default) (prog : Scop.Program.t) ast ~params =
       let lb, ub = Codegen.Ast.loop_range l ~outer ~params in
       let total = ub - lb + 1 in
       if total <= 0 then ()
-      else if config.sequential || l.par = Codegen.Ast.Sequential || ncores = 1
+      else if
+        config.sequential || ncores = 1
+        || Codegen.Ast.to_loop_class l.par = Pluto.Satisfy.Sequential
       then begin
         current := 0;
         let before = cores.(0).busy in
@@ -175,9 +177,9 @@ let simulate ?(config = default) (prog : Scop.Program.t) ast ~params =
           (fun i c -> elapsed := max !elapsed (c.busy - before.(i)))
           cores;
         let sync =
-          match l.par with
-          | Codegen.Ast.Parallel -> config.barrier_cost
-          | Codegen.Ast.Forward | Codegen.Ast.Sequential ->
+          match Codegen.Ast.to_loop_class l.par with
+          | Pluto.Satisfy.Parallel -> config.barrier_cost
+          | Pluto.Satisfy.Forward | Pluto.Satisfy.Sequential ->
             (* pipelined wavefronts: one synchronization per outer
                iteration *)
             total * config.barrier_cost

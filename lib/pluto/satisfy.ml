@@ -155,7 +155,12 @@ let check_complete (prog : Scop.Program.t) (sched : Sched.t) =
     go 0
   end
 
-type loop_class = Parallel | Forward
+type loop_class = Parallel | Forward | Sequential
+
+let loop_class_name = function
+  | Parallel -> "parallel"
+  | Forward -> "forward"
+  | Sequential -> "sequential"
 
 let row_class prog deps sched ~level ~members =
   let live (d : Dep.t) =

@@ -43,14 +43,26 @@ val check_legal : Scop.Program.t -> Deps.Dep.t list -> Sched.t -> (unit, Deps.De
     typed diagnostics instead of failures inside codegen. *)
 val check_complete : Scop.Program.t -> Sched.t -> (unit, Diagnostics.t) result
 
+(** The single source of truth for loop parallelism vocabulary.
+    [Codegen.Ast.parallelism] mirrors this type on generated loops;
+    total conversions in both directions live in [Codegen.Ast]
+    ({!Codegen.Ast.of_loop_class} / {!Codegen.Ast.to_loop_class}). *)
 type loop_class =
   | Parallel  (** communication-free: every live dependence has δ = 0 *)
   | Forward  (** carries or may carry a dependence forward: pipelined *)
+  | Sequential
+      (** demoted to serial execution (e.g. by the icc model's
+          parallelization heuristics); never produced by
+          {!row_class}, which only classifies the dependence
+          structure *)
+
+val loop_class_name : loop_class -> string
 
 (** [row_class prog deps sched ~level ~members] classifies the loop at
     row [level] for the set of statements [members] (a fusion
     partition), considering only dependences with both endpoints in
-    [members] that are not satisfied before [level]. *)
+    [members] that are not satisfied before [level]. Returns
+    [Parallel] or [Forward], never [Sequential]. *)
 val row_class :
   Scop.Program.t -> Deps.Dep.t list -> Sched.t -> level:int -> members:int list ->
   loop_class

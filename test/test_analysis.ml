@@ -1,0 +1,307 @@
+(* Tests for lib/analysis (wisecheck).
+
+   Three kinds of evidence:
+   - the parallelism vocabulary round-trips with its source of truth,
+     Pluto.Satisfy.loop_class;
+   - legitimate pipelines certify with zero error-severity findings;
+   - seeded bugs — a flipped parallel mark, a widened / narrowed loop
+     bound, a dropped guard row — are each reported with the exact
+     finding kind, severity and location. *)
+
+open Codegen
+
+(* --- tiny programs --------------------------------------------------------- *)
+
+(* a[i] = a[i-1] + b[i]: the outer loop carries a flow dependence *)
+let recurrence () =
+  let open Scop.Build in
+  let ctx = create ~name:"rec" ~params:[ ("N", 12) ] in
+  let n = param ctx "N" in
+  let a = array ctx "A" [ n ] in
+  let b = array ctx "B" [ n ] in
+  loop ctx "i" ~lb:(ci 1)
+    ~ub:(n -~ ci 1)
+    (fun i -> assign ctx "S0" a [ i ] (a.%([ i -~ ci 1 ]) +: b.%([ i ])));
+  finish ctx
+
+(* c[i] = b[i]: fully parallel *)
+let copy () =
+  let open Scop.Build in
+  let ctx = create ~name:"copy" ~params:[ ("N", 12) ] in
+  let n = param ctx "N" in
+  let b = array ctx "B" [ n ] in
+  let c = array ctx "C" [ n ] in
+  loop ctx "i" ~lb:(ci 0)
+    ~ub:(n -~ ci 1)
+    (fun i -> assign ctx "S0" c [ i ] (b.%([ i ])));
+  finish ctx
+
+(* an imperfect nest: S1 sits one level shallower than S0, so its
+   instance carries a constant-row guard at loop level 1 *)
+let imperfect () =
+  let open Scop.Build in
+  let ctx = create ~name:"imp" ~params:[ ("N", 10) ] in
+  let n = param ctx "N" in
+  let a = array ctx "A" [ n; n ] in
+  let c = array ctx "C" [ n ] in
+  loop ctx "i" ~lb:(ci 0)
+    ~ub:(n -~ ci 1)
+    (fun i ->
+      loop ctx "j" ~lb:(ci 0)
+        ~ub:(n -~ ci 1)
+        (fun j -> assign ctx "S0" a [ i; j ] (a.%([ i; j ]) +: f 1.0)));
+  loop ctx "i" ~lb:(ci 0)
+    ~ub:(n -~ ci 1)
+    (fun i -> assign ctx "S1" c [ i ] (f 2.0));
+  finish ctx
+
+(* t overwritten before any read: S0 is a dead write; S0 -> S2 is
+   transitively implied via S1 *)
+let chain () =
+  let open Scop.Build in
+  let ctx = create ~name:"chain" ~params:[ ("N", 10) ] in
+  let n = param ctx "N" in
+  let b = array ctx "B" [ n ] in
+  let t = array ctx "T" [ n ] in
+  let u = array ctx "U" [ n ] in
+  let v = array ctx "V" [ n ] in
+  let full body = loop ctx "i" ~lb:(ci 0) ~ub:(n -~ ci 1) body in
+  full (fun i -> assign ctx "S0" t [ i ] (b.%([ i ])));
+  full (fun i -> assign ctx "S1" u [ i ] (t.%([ i ])));
+  full (fun i -> assign ctx "S2" v [ i ] (t.%([ i ]) +: u.%([ i ])));
+  finish ctx
+
+let dead_write () =
+  let open Scop.Build in
+  let ctx = create ~name:"dead" ~params:[ ("N", 10) ] in
+  let n = param ctx "N" in
+  let b = array ctx "B" [ n ] in
+  let c = array ctx "C" [ n ] in
+  let t = array ctx "T" [ n ] in
+  let full body = loop ctx "i" ~lb:(ci 0) ~ub:(n -~ ci 1) body in
+  full (fun i -> assign ctx "S0" t [ i ] (b.%([ i ])));
+  full (fun i -> assign ctx "S1" t [ i ] (c.%([ i ])));
+  finish ctx
+
+(* --- helpers --------------------------------------------------------------- *)
+
+let identity_pipeline prog =
+  let deps = Deps.Dep.analyze prog in
+  let sched = Scan.identity_schedule prog in
+  let ast = Scan.generate ~prog ~sched ~deps in
+  (deps, sched, ast)
+
+let certify prog (deps, sched, ast) =
+  Analysis.Wisecheck.certify prog deps sched ast
+
+let find_kind kind (r : Analysis.Wisecheck.report) =
+  List.filter
+    (fun (f : Analysis.Finding.t) -> f.Analysis.Finding.kind = kind)
+    r.Analysis.Wisecheck.findings
+
+let check_no_errors what (r : Analysis.Wisecheck.report) =
+  Alcotest.(check int) (what ^ ": no error findings") 0 r.Analysis.Wisecheck.errors
+
+(* --- vocabulary round-trips ------------------------------------------------- *)
+
+let test_round_trip () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        "loop_class -> parallelism -> loop_class" true
+        (Ast.to_loop_class (Ast.of_loop_class c) = c))
+    [ Pluto.Satisfy.Parallel; Pluto.Satisfy.Forward; Pluto.Satisfy.Sequential ];
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        "parallelism -> loop_class -> parallelism" true
+        (Ast.of_loop_class (Ast.to_loop_class p) = p);
+      Alcotest.(check string)
+        "one naming"
+        (Pluto.Satisfy.loop_class_name (Ast.to_loop_class p))
+        (Ast.parallelism_name p))
+    [ Ast.Parallel; Ast.Forward; Ast.Sequential ]
+
+(* --- clean pipelines certify ------------------------------------------------ *)
+
+let test_clean_identity () =
+  List.iter
+    (fun prog ->
+      let r = certify prog (identity_pipeline prog) in
+      check_no_errors prog.Scop.Program.name r)
+    [ recurrence (); copy (); imperfect (); chain (); dead_write () ]
+
+let test_clean_scheduled () =
+  let prog = Kernels.Gemver.program ~n:10 () in
+  let res = Pluto.Scheduler.run Fusion.Wisefuse.config prog in
+  let ast = Scan.of_result res in
+  let r =
+    certify prog
+      (res.Pluto.Scheduler.all_deps, res.Pluto.Scheduler.sched, ast)
+  in
+  check_no_errors "gemver/wisefuse" r
+
+(* --- seeded bugs ------------------------------------------------------------ *)
+
+(* flip the carried outer loop of the recurrence to Parallel *)
+let test_seeded_parallel_flip () =
+  let prog = recurrence () in
+  let deps, sched, ast = identity_pipeline prog in
+  (* baseline: not parallel, and no racy finding *)
+  let base = certify prog (deps, sched, ast) in
+  Alcotest.(check int)
+    "baseline has no racy finding" 0
+    (List.length (find_kind Analysis.Finding.Racy_parallel base));
+  let flipped =
+    Ast.map_loops
+      (fun l -> if l.Ast.level = 0 then { l with Ast.par = Ast.Parallel } else l)
+      ast
+  in
+  let r = certify prog (deps, sched, flipped) in
+  match find_kind Analysis.Finding.Racy_parallel r with
+  | [ f ] ->
+    Alcotest.(check bool)
+      "error severity" true
+      (f.Analysis.Finding.severity = Analysis.Finding.Error);
+    Alcotest.(check (option int)) "at loop level 0" (Some 0) f.Analysis.Finding.level;
+    Alcotest.(check (list int)) "on S0" [ 0 ] f.Analysis.Finding.stmts;
+    Alcotest.(check bool)
+      "carries the offending dependence" true
+      (f.Analysis.Finding.dep <> None)
+  | fs ->
+    Alcotest.failf "expected exactly one racy-parallel finding, got %d"
+      (List.length fs)
+
+(* shift every upper bound of the outermost loop by +1 iteration *)
+let widen_ub delta ast =
+  Ast.map_loops
+    (fun l ->
+      if l.Ast.level <> 0 then l
+      else
+        {
+          l with
+          Ast.ub_groups =
+            List.map
+              (List.map (fun (b : Ast.bound) ->
+                   let num = Array.copy b.num in
+                   let k = Array.length num - 1 in
+                   num.(k) <- num.(k) + (delta * b.den);
+                   { b with Ast.num }))
+              l.Ast.ub_groups;
+        })
+    ast
+
+let test_seeded_widened_bound () =
+  let prog = copy () in
+  let deps, sched, ast = identity_pipeline prog in
+  let base = certify prog (deps, sched, ast) in
+  Alcotest.(check int)
+    "baseline scans tightly" 0
+    (List.length (find_kind Analysis.Finding.Loose_bounds base));
+  let r = certify prog (deps, sched, widen_ub 1 ast) in
+  match find_kind Analysis.Finding.Loose_bounds r with
+  | f :: _ ->
+    Alcotest.(check bool)
+      "warning severity" true
+      (f.Analysis.Finding.severity = Analysis.Finding.Warning);
+    Alcotest.(check (list int)) "on S0" [ 0 ] f.Analysis.Finding.stmts
+  | [] -> Alcotest.fail "widened bound not reported as loose-bounds"
+
+let test_seeded_narrowed_bound () =
+  let prog = copy () in
+  let deps, sched, ast = identity_pipeline prog in
+  let r = certify prog (deps, sched, widen_ub (-1) ast) in
+  match find_kind Analysis.Finding.Dropped_point r with
+  | f :: _ ->
+    Alcotest.(check bool)
+      "error severity" true
+      (f.Analysis.Finding.severity = Analysis.Finding.Error);
+    Alcotest.(check (option int)) "at loop level 0" (Some 0) f.Analysis.Finding.level;
+    Alcotest.(check (list int)) "on S0" [ 0 ] f.Analysis.Finding.stmts
+  | [] -> Alcotest.fail "narrowed bound not reported as dropped-point"
+
+(* drop S1's constant-row guard in the imperfect nest *)
+let test_seeded_dropped_guard () =
+  let prog = imperfect () in
+  let deps, sched, ast = identity_pipeline prog in
+  let base = certify prog (deps, sched, ast) in
+  Alcotest.(check int)
+    "baseline guards consistent" 0
+    (List.length (find_kind Analysis.Finding.Guard_mismatch base));
+  (* sanity: the seeded mutation actually removes something *)
+  let dropped = ref false in
+  let mutated =
+    Ast.map_instances
+      (fun inst ->
+        if inst.Ast.stmt_id = 1 && Array.length inst.Ast.const_rows > 0 then begin
+          dropped := true;
+          { inst with Ast.const_rows = [||] }
+        end
+        else inst)
+      ast
+  in
+  Alcotest.(check bool) "S1 had a guard row to drop" true !dropped;
+  let r = certify prog (deps, sched, mutated) in
+  match find_kind Analysis.Finding.Guard_mismatch r with
+  | f :: _ ->
+    Alcotest.(check bool)
+      "error severity" true
+      (f.Analysis.Finding.severity = Analysis.Finding.Error);
+    Alcotest.(check (list int)) "on S1" [ 1 ] f.Analysis.Finding.stmts
+  | [] -> Alcotest.fail "dropped guard row not reported as guard-mismatch"
+
+(* --- DDG lints -------------------------------------------------------------- *)
+
+let test_lints () =
+  let prog = chain () in
+  let r = certify prog (identity_pipeline prog) in
+  (match find_kind Analysis.Finding.Redundant_dependence r with
+  | f :: _ ->
+    Alcotest.(check (list int)) "S0 -> S2 redundant" [ 0; 2 ]
+      f.Analysis.Finding.stmts
+  | [] -> Alcotest.fail "transitive edge not reported");
+  let prog = dead_write () in
+  let r = certify prog (identity_pipeline prog) in
+  match find_kind Analysis.Finding.Dead_write r with
+  | f :: _ ->
+    Alcotest.(check (list int)) "S0 is dead" [ 0 ] f.Analysis.Finding.stmts
+  | [] -> Alcotest.fail "overwritten unread write not reported"
+
+(* lost parallelism: a parallel loop demoted to sequential is flagged *)
+let test_lost_parallelism () =
+  let prog = copy () in
+  let deps, sched, ast = identity_pipeline prog in
+  let demoted =
+    Ast.map_loops (fun l -> { l with Ast.par = Ast.Sequential }) ast
+  in
+  let r = certify prog (deps, sched, demoted) in
+  match find_kind Analysis.Finding.Lost_parallelism r with
+  | f :: _ ->
+    Alcotest.(check bool)
+      "warning severity" true
+      (f.Analysis.Finding.severity = Analysis.Finding.Warning)
+  | [] -> Alcotest.fail "sequential race-free loop not reported"
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "vocabulary",
+        [ Alcotest.test_case "round trips" `Quick test_round_trip ] );
+      ( "certification",
+        [
+          Alcotest.test_case "identity pipelines" `Quick test_clean_identity;
+          Alcotest.test_case "scheduled gemver" `Quick test_clean_scheduled;
+        ] );
+      ( "seeded bugs",
+        [
+          Alcotest.test_case "parallel flip" `Quick test_seeded_parallel_flip;
+          Alcotest.test_case "widened bound" `Quick test_seeded_widened_bound;
+          Alcotest.test_case "narrowed bound" `Quick test_seeded_narrowed_bound;
+          Alcotest.test_case "dropped guard" `Quick test_seeded_dropped_guard;
+        ] );
+      ( "lints",
+        [
+          Alcotest.test_case "redundant + dead write" `Quick test_lints;
+          Alcotest.test_case "lost parallelism" `Quick test_lost_parallelism;
+        ] );
+    ]

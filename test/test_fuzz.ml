@@ -5,7 +5,9 @@
 
    - crash-freedom: no uncaught exception anywhere in the pipeline;
    - legality: the schedule that comes out — degraded or not — passes
-     check_complete and check_legal.
+     check_complete and check_legal;
+   - race freedom: wisecheck's independent conflict-system analysis
+     certifies every Parallel mark of the generated AST.
 
    The generator also flips the chaos hooks (forced warm-start
    fallback, forced bignum promotion) and varies the solver budget
@@ -171,6 +173,23 @@ let run_case spec =
       (* codegen crash-freedom: emit a complete C program and drop it *)
       ignore
         (Codegen.Cprint.program ~name:"fuzz" prog o.Fusion.Resilient.ast);
+      (* wisecheck race certification: every Parallel mark of the
+         generated AST must be conflict-free under the final schedule *)
+      let races =
+        Analysis.Race.check r.Pluto.Scheduler.prog r.Pluto.Scheduler.all_deps
+          r.Pluto.Scheduler.sched o.Fusion.Resilient.ast
+      in
+      (match
+         List.find_opt
+           (fun (f : Analysis.Finding.t) ->
+             f.Analysis.Finding.kind = Analysis.Finding.Racy_parallel)
+           races
+       with
+      | Some f ->
+        QCheck.Test.fail_reportf "racy parallel mark: %s (%s rung)"
+          f.Analysis.Finding.message
+          (Fusion.Resilient.rung_name o.Fusion.Resilient.rung)
+      | None -> ());
       true)
 
 let fuzz_pipeline =
