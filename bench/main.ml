@@ -520,119 +520,51 @@ let time_pipeline_kernel (name, mk) =
 
 let bench_json_file = "BENCH_pipeline.json"
 
-let pipeline_json ?(tag = "") rows =
+(* BENCH_TRACE=1 embeds per-stage span self/total times ("spans") into
+   each kernel record, from one extra traced run per kernel that never
+   touches the timed repetitions. *)
+let embed_spans =
+  match Sys.getenv_opt "BENCH_TRACE" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+(* One run record as a JSON value; [spans] maps kernel name to a spans
+   object when BENCH_TRACE asked for one. *)
+let pipeline_record ?(tag = "") ?(spans = []) rows =
+  let open Obs.Json in
   let label =
     Option.value (Sys.getenv_opt "BENCH_LABEL") ~default:"dev" ^ tag
   in
-  let buf = Buffer.create 2048 in
   let total = List.fold_left (fun a r -> a +. r.wall_ms) 0.0 rows in
-  Buffer.add_string buf
-    (Printf.sprintf "    {\n      \"label\": %S,\n      \"smoke\": %b,\n      \"kernels\": {\n"
-       label smoke);
-  List.iteri
-    (fun i r ->
-      Buffer.add_string buf (Printf.sprintf "        %S: {\n" r.kernel);
-      Buffer.add_string buf
-        (Printf.sprintf "          \"wall_ms\": %.2f" r.wall_ms);
-      List.iter
-        (fun (n, v) ->
-          Buffer.add_string buf (Printf.sprintf ",\n          %S: %d" n v))
-        r.counters;
-      List.iter
-        (fun (n, s) ->
-          Buffer.add_string buf
-            (Printf.sprintf ",\n          \"%s_ms\": %.2f" n (s *. 1e3)))
-        r.stages;
-      Buffer.add_string buf
-        (if i = List.length rows - 1 then "\n        }\n" else "\n        },\n"))
-    rows;
-  Buffer.add_string buf
-    (Printf.sprintf "      },\n      \"total_wall_ms\": %.2f\n    }" total);
-  Buffer.contents buf
-
-let json_header =
-  "{\n  \"schema\": 1,\n  \"unit\": \"wall milliseconds per wisefuse scheduler run (best of N)\",\n  \"runs\": [\n"
-
-let json_footer = "\n  ]\n}\n"
-
-(* --- minimal parsing of the self-generated JSON ------------------------ *)
-
-(* Split the "runs" array into balanced-brace record strings. Labels
-   never contain braces, so brace counting is exact on this file. *)
-let split_records s =
-  match String.index_opt s '[' with
-  | None -> []
-  | Some start ->
-    let n = String.length s in
-    let recs = ref [] and depth = ref 0 and rstart = ref (-1) in
-    (try
-       for i = start + 1 to n - 1 do
-         match s.[i] with
-         | '{' ->
-           if !depth = 0 then rstart := i;
-           incr depth
-         | '}' ->
-           decr depth;
-           if !depth = 0 then
-             recs := String.sub s !rstart (i - !rstart + 1) :: !recs
-         | ']' -> if !depth = 0 then raise Exit
-         | _ -> ()
-       done
-     with Exit -> ());
-    List.rev !recs
-
-let find_sub s pat from =
-  let n = String.length s and m = String.length pat in
-  let rec go i =
-    if i + m > n then None
-    else if String.sub s i m = pat then Some i
-    else go (i + 1)
+  let kernel_obj r =
+    let fields =
+      (("wall_ms", Float (round2 r.wall_ms))
+       :: List.map (fun (n, v) -> (n, Int v)) r.counters)
+      @ List.map (fun (n, s) -> (n ^ "_ms", Float (round2 (s *. 1e3)))) r.stages
+    in
+    let fields =
+      match List.assoc_opt r.kernel spans with
+      | Some sp -> fields @ [ ("spans", sp) ]
+      | None -> fields
+    in
+    (r.kernel, Obj fields)
   in
-  go from
+  Obj
+    [ ("label", Str label); ("smoke", Bool smoke);
+      ("kernels", Obj (List.map kernel_obj rows));
+      ("total_wall_ms", Float (round2 total)) ]
 
-(* value of ["key": <scalar>] starting at [from], as a raw token *)
-let raw_field ?(from = 0) record key =
-  match find_sub record (Printf.sprintf "%S:" key) from with
-  | None -> None
-  | Some i ->
-    let j = ref (i + String.length key + 3) in
-    let n = String.length record in
-    while !j < n && (record.[!j] = ' ' || record.[!j] = '\n') do
-      incr j
-    done;
-    let k = ref !j in
-    (* quoted strings may contain commas (labels do); scan to the
-       closing quote, otherwise stop at the first delimiter *)
-    if !k < n && record.[!k] = '"' then begin
-      incr k;
-      while !k < n && record.[!k] <> '"' do
-        incr k
-      done;
-      if !k < n then incr k
-    end
-    else
-      while
-        !k < n && record.[!k] <> ',' && record.[!k] <> '\n' && record.[!k] <> '}'
-      do
-        incr k
-      done;
-    Some (String.trim (String.sub record !j (!k - !j)))
+(* --- reading the record file back (for dedup and the gate) -------------- *)
 
-let string_field record key =
-  match raw_field record key with
-  | Some v when String.length v >= 2 && v.[0] = '"' ->
-    Some (String.sub v 1 (String.length v - 2))
-  | _ -> None
+let record_label r = Option.bind (Obs.Json.member "label" r) Obs.Json.to_string_opt
+let record_smoke r = Option.bind (Obs.Json.member "smoke" r) Obs.Json.to_bool_opt
 
-let float_field ?from record key =
-  Option.bind (raw_field ?from record key) float_of_string_opt
-
-(* wall_ms of one kernel inside a record (wall_ms is the first field of
-   each kernel object) *)
+(* wall_ms of one kernel inside a record *)
 let kernel_wall record kernel =
-  Option.bind
-    (find_sub record (Printf.sprintf "%S: {" kernel) 0)
-    (fun i -> float_field ~from:i record "wall_ms")
+  let open Obs.Json in
+  Option.bind (member "kernels" record) (fun ks ->
+      Option.bind (member kernel ks) (fun k ->
+          Option.bind (member "wall_ms" k) to_float_opt))
 
 let read_bench_file () =
   if Sys.file_exists bench_json_file then begin
@@ -640,7 +572,12 @@ let read_bench_file () =
     let n = in_channel_length ic in
     let s = really_input_string ic n in
     close_in ic;
-    split_records s
+    match Obs.Json.parse s with
+    | Error msg -> failwith (Printf.sprintf "%s: %s" bench_json_file msg)
+    | Ok doc ->
+      (match Option.bind (Obs.Json.member "runs" doc) Obs.Json.to_list_opt with
+      | Some runs -> runs
+      | None -> failwith (bench_json_file ^ {|: no "runs" array|}))
   end
   else []
 
@@ -652,27 +589,28 @@ let read_bench_file () =
 let analyze_tag = "-analyze"
 
 let is_analyze_record r =
-  match string_field r "label" with
+  match record_label r with
   | Some l ->
     let n = String.length l and m = String.length analyze_tag in
     n >= m && String.sub l (n - m) m = analyze_tag
   | None -> false
 
-let write_pipeline_json ?tag rows =
-  let run = pipeline_json ?tag rows in
-  let label =
-    Option.value (string_field run "label") ~default:"dev"
-  in
+let write_pipeline_json ?tag ?spans rows =
+  let run = pipeline_record ?tag ?spans rows in
+  let label = Option.value (record_label run) ~default:"dev" in
   let kept =
-    List.filter
-      (fun r -> string_field r "label" <> Some label)
-      (read_bench_file ())
+    List.filter (fun r -> record_label r <> Some label) (read_bench_file ())
   in
-  let content =
-    json_header ^ String.concat ",\n" (kept @ [ run ]) ^ json_footer
+  let doc =
+    Obs.Json.Obj
+      [ ("schema", Obs.Json.Int 1);
+        ( "unit",
+          Obs.Json.Str
+            "wall milliseconds per wisefuse scheduler run (best of N)" );
+        ("runs", Obs.Json.List (kept @ [ run ])) ]
   in
   let oc = open_out_bin bench_json_file in
-  output_string oc content;
+  output_string oc (Obs.Json.to_string_pretty doc);
   close_out oc;
   Printf.printf "  wrote %s (label %S)\n%!" bench_json_file label
 
@@ -690,12 +628,32 @@ let pipeline_table rows =
   let total = List.fold_left (fun a r -> a +. r.wall_ms) 0.0 rows in
   Printf.printf "  %-10s %10.2f\n" "total" total
 
+(* One traced (untimed) run of a kernel; its per-stage span summary as
+   a {"<stage>": {"self_ms", "total_ms"}} object for the bench record. *)
+let trace_spans (name, mk) =
+  let cfg = scheduler_config Wisefuse in
+  let prog = mk () in
+  Pluto.Farkas.reset_cache ();
+  Linalg.Counters.reset ();
+  ignore (Obs.Trace.with_recording (fun () -> Pluto.Scheduler.run cfg prog));
+  Obs.Trace.disable ();
+  let span (stage, self, total) =
+    ( stage,
+      Obs.Json.Obj
+        [ ("self_ms", Obs.Json.Float (Obs.Json.round2 (self *. 1e3)));
+          ("total_ms", Obs.Json.Float (Obs.Json.round2 (total *. 1e3))) ] )
+  in
+  (name, Obs.Json.Obj (List.map span (Obs.Trace.summary ~cat:"stage" ())))
+
 let pipeline () =
   section
     "Pipeline: end-to-end wisefuse scheduling time (exact-arithmetic hot path)";
   let rows = List.map time_pipeline_kernel pipeline_kernels in
   pipeline_table rows;
-  write_pipeline_json rows
+  let spans =
+    if embed_spans then Some (List.map trace_spans pipeline_kernels) else None
+  in
+  write_pipeline_json ?spans rows
 
 (* Regression gate (CI, non-blocking): time a fresh run and compare each
    kernel against the last committed non-smoke record. Exits non-zero on
@@ -709,14 +667,14 @@ let pipeline_check () =
   let baseline =
     List.rev (read_bench_file ())
     |> List.find_opt (fun r ->
-           raw_field r "smoke" = Some "false" && not (is_analyze_record r))
+           record_smoke r = Some false && not (is_analyze_record r))
   in
   match baseline with
   | None ->
     Printf.printf "  no non-smoke baseline record in %s; nothing to check\n"
       bench_json_file
   | Some base ->
-    let blabel = Option.value (string_field base "label") ~default:"?" in
+    let blabel = Option.value (record_label base) ~default:"?" in
     Printf.printf "  baseline: %S\n%!" blabel;
     let rows = List.map time_pipeline_kernel pipeline_kernels in
     pipeline_table rows;
@@ -846,6 +804,45 @@ let budget_overhead () =
         ((budgeted -. base) /. base *. 100.0))
     pipeline_kernels
 
+(* --- tracing overhead ---------------------------------------------------------- *)
+
+(* Times the wisefuse scheduler against the null sink and against a
+   recording tracer. The null-sink column is the instrumented hot path
+   paying only its `if Obs.Trace.on ()` guards (the ≤2% budget of the
+   observability layer); the traced column adds event construction and
+   buffering. Feeds the "Observability" entry in EXPERIMENTS.md. *)
+let trace_overhead () =
+  section "Tracing overhead (recording tracer vs null sink)";
+  let cfg = scheduler_config Wisefuse in
+  List.iter
+    (fun (name, mk) ->
+      let prog = mk () in
+      Obs.Trace.disable ();
+      Pluto.Farkas.reset_cache ();
+      ignore (Pluto.Scheduler.run cfg prog) (* warm-up *);
+      let reps = if smoke then 1 else 5 in
+      let time traced =
+        let best = ref infinity in
+        for _ = 1 to reps do
+          Pluto.Farkas.reset_cache ();
+          if traced then Obs.Trace.enable ();
+          let t0 = Unix.gettimeofday () in
+          ignore (Pluto.Scheduler.run cfg prog);
+          let dt = Unix.gettimeofday () -. t0 in
+          Obs.Trace.disable ();
+          if dt < !best then best := dt
+        done;
+        !best *. 1e3
+      in
+      let off = time false in
+      let on = time true in
+      Printf.printf
+        "  %-10s %8.2f ms untraced  %8.2f ms traced  (%+5.2f%%, %d events)\n%!"
+        name off on
+        ((on -. off) /. off *. 100.0)
+        (Obs.Trace.event_count ()))
+    pipeline_kernels
+
 (* --- Bechamel: time the compiler itself -------------------------------------- *)
 
 let bechamel () =
@@ -909,7 +906,8 @@ let experiments =
     ("scaling", scaling); ("ablation", ablation); ("extras", extras);
     ("tiling", tiling); ("locality", locality); ("space", space);
     ("vector", vector); ("pipeline", pipeline); ("analyze", analyze_overhead);
-    ("budget", budget_overhead); ("bechamel", bechamel) ]
+    ("budget", budget_overhead); ("trace", trace_overhead);
+    ("bechamel", bechamel) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

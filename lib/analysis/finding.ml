@@ -101,49 +101,27 @@ let pp prog fmt f =
 
 (* --- JSON ----------------------------------------------------------------- *)
 
-let escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let to_json prog f =
-  let fields =
-    [
-      Printf.sprintf "\"code\": \"%s\"" (code f.kind);
-      Printf.sprintf "\"severity\": \"%s\"" (severity_name f.severity);
-      Printf.sprintf "\"stmts\": [%s]"
-        (String.concat ", " (List.map string_of_int f.stmts));
-      Printf.sprintf "\"stmt_names\": [%s]"
-        (String.concat ", "
+let json prog f =
+  Obs.Json.Obj
+    ([
+       ("code", Obs.Json.Str (code f.kind));
+       ("severity", Obs.Json.Str (severity_name f.severity));
+       ("stmts", Obs.Json.List (List.map (fun id -> Obs.Json.Int id) f.stmts));
+       ( "stmt_names",
+         Obs.Json.List
            (List.map
               (fun id ->
-                Printf.sprintf "\"%s\""
-                  (escape prog.Scop.Program.stmts.(id).Scop.Statement.name))
-              f.stmts));
-    ]
+                Obs.Json.Str prog.Scop.Program.stmts.(id).Scop.Statement.name)
+              f.stmts) );
+     ]
     @ (match f.level with
-      | Some l -> [ Printf.sprintf "\"level\": %d" l ]
+      | Some l -> [ ("level", Obs.Json.Int l) ]
       | None -> [])
     @ (match f.dep with
       | Some d ->
-        [
-          Printf.sprintf "\"dep\": \"%s\""
-            (escape (Format.asprintf "%a" Deps.Dep.pp d));
-        ]
+        [ ("dep", Obs.Json.Str (Format.asprintf "%a" Deps.Dep.pp d)) ]
       | None -> [])
-    @ [ Printf.sprintf "\"message\": \"%s\"" (escape f.message) ]
-    @ List.map
-        (fun (k, v) ->
-          Printf.sprintf "\"%s\": \"%s\"" (escape ("ctx_" ^ k)) (escape v))
-        f.context
-  in
-  "{" ^ String.concat ", " fields ^ "}"
+    @ [ ("message", Obs.Json.Str f.message) ]
+    @ List.map (fun (k, v) -> ("ctx_" ^ k, Obs.Json.Str v)) f.context)
+
+let to_json prog f = Obs.Json.to_string (json prog f)

@@ -84,5 +84,8 @@ val to_diagnostic : Scop.Program.t -> t -> Pluto.Diagnostics.t
 (** One-line rendering: [severity [code] message (S0, S1; level 2)]. *)
 val pp : Scop.Program.t -> Format.formatter -> t -> unit
 
-(** JSON object (one line, no trailing newline). *)
+(** Structured JSON object for a finding (shared {!Obs.Json} writer). *)
+val json : Scop.Program.t -> t -> Obs.Json.t
+
+(** JSON object (one line, no trailing newline): [to_string] of {!json}. *)
 val to_json : Scop.Program.t -> t -> string

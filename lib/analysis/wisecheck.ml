@@ -22,6 +22,15 @@ let certify ?param_floor (prog : Scop.Program.t) deps sched ast =
             | Finding.Info -> Linalg.Counters.findings_info))
         findings;
       let errors, warnings, infos = Finding.count findings in
+      if Obs.Trace.on () then
+        Obs.Trace.instant ~cat:"verify" "analysis.report"
+          ~args:
+            [
+              ("errors", Obs.Json.Int errors);
+              ("warnings", Obs.Json.Int warnings);
+              ("infos", Obs.Json.Int infos);
+              ("certified", Obs.Json.Bool (errors = 0));
+            ];
       { findings; errors; warnings; infos })
 
 let certified r = r.errors = 0

@@ -150,6 +150,7 @@ let make_instance (prog : Scop.Program.t) (sched : Pluto.Sched.t) id =
 (* --- tree construction ----------------------------------------------------- *)
 
 let generate ~(prog : Scop.Program.t) ~(sched : Pluto.Sched.t) ~deps =
+  Counters.time "codegen" @@ fun () ->
   let np = Scop.Program.nparams prog in
   let n = Array.length prog.stmts in
   if n = 0 then Ast.Seq []
@@ -200,6 +201,14 @@ let generate ~(prog : Scop.Program.t) ~(sched : Pluto.Sched.t) ~deps =
               (Pluto.Satisfy.row_class prog true_deps sched ~level:row_idx
                  ~members:stmts)
           in
+          if Obs.Trace.on () then
+            Obs.Trace.instant ~cat:"codegen" "codegen.loop"
+              ~args:
+                [
+                  ("level", Obs.Json.Int level);
+                  ("class", Obs.Json.Str (Ast.parallelism_name par));
+                  ("stmts", Obs.Json.Int (List.length stmts));
+                ];
           Ast.Loop
             {
               level;

@@ -169,7 +169,21 @@ let analyze ?(param_floor = 2) ?(with_input = true) (prog : Program.t) =
             ((src.write, true) :: List.map (fun a -> (a, false)) (Statement.reads src)))
         stmts)
     stmts;
-  List.rev !deps
+  let deps = List.rev !deps in
+  if Obs.Trace.on () then begin
+    let count k = List.length (List.filter (fun d -> d.kind = k) deps) in
+    Obs.Trace.instant ~cat:"deps" "deps.analyzed"
+      ~args:
+        [
+          ("total", Obs.Json.Int (List.length deps));
+          ("flow", Obs.Json.Int (count Flow));
+          ("anti", Obs.Json.Int (count Anti));
+          ("output", Obs.Json.Int (count Output));
+          ("input", Obs.Json.Int (count Input));
+          ("param-floor", Obs.Json.Int param_floor);
+        ]
+  end;
+  deps
 
 let kind_to_string = function
   | Flow -> "flow"

@@ -71,6 +71,19 @@ let run (prog : Scop.Program.t) (ddg : Ddg.t) scc_of =
     let cluster = ref [ seed_scc ] in
     let fusable = ref comps.(seed_scc) in
     let cluster_dim = depth s in
+    let cluster_no = List.length !clusters in
+    if Obs.Trace.on () then
+      Obs.Trace.instant ~cat:"fuse" "prefuse.seed"
+        ~args:
+          [
+            ("cluster", Obs.Json.Int cluster_no);
+            ("scc", Obs.Json.Int seed_scc);
+            ("stmt", Obs.Json.Int s);
+            ("name", Obs.Json.Str prog.stmts.(s).Scop.Statement.name);
+            ("dim", Obs.Json.Int cluster_dim);
+            ( "reason",
+              Obs.Json.Str "first unvisited SCC in program order with all predecessors scheduled" );
+          ];
     (* single pass over the remaining statements in program order
        (Heuristic 2), pulling in same-dimensionality SCCs with reuse
        (Heuristic 1) whose precedence constraint is met *)
@@ -87,7 +100,19 @@ let run (prog : Scop.Program.t) (ddg : Ddg.t) scc_of =
           visited.(t_scc) <- true;
           decr remaining;
           cluster := t_scc :: !cluster;
-          fusable := !fusable @ members
+          fusable := !fusable @ members;
+          if Obs.Trace.on () then
+            Obs.Trace.instant ~cat:"fuse" "prefuse.join"
+              ~args:
+                [
+                  ("cluster", Obs.Json.Int cluster_no);
+                  ("scc", Obs.Json.Int t_scc);
+                  ("stmt", Obs.Json.Int t);
+                  ("name", Obs.Json.Str prog.stmts.(t).Scop.Statement.name);
+                  ("dim", Obs.Json.Int cluster_dim);
+                  ( "reason",
+                    Obs.Json.Str "same dimensionality, reuse with cluster, precedence satisfied" );
+                ]
         end
       end
     done;

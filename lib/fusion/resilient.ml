@@ -113,10 +113,29 @@ let verify_identity (res : Pluto.Scheduler.result) =
           analysis is inconsistent)"
          d.src d.dst)
 
+(* Ladder transitions as trace events: one [resilience.attempt] per
+   rung tried, one [resilience.degrade] per failure (carrying the
+   diagnostic that forced the step down), one [resilience.settled] for
+   the rung that produced the result. *)
+let rung_event name rung args =
+  if Obs.Trace.on () then
+    Obs.Trace.instant ~cat:"resilience" name
+      ~args:(("rung", Obs.Json.Str (rung_name rung)) :: args)
+
+let degrade_event rung (d : Pluto.Diagnostics.t) =
+  rung_event "resilience.degrade" rung
+    [
+      ("code", Obs.Json.Str d.code);
+      ("phase", Obs.Json.Str (Pluto.Diagnostics.phase_name d.phase));
+      ("message", Obs.Json.Str d.message);
+    ]
+
 let with_deps ?budget ~config (prog : Scop.Program.t) all_deps =
   (* One attempt = schedule search + code generation; a failure
      anywhere in the pair degrades to the next rung. *)
-  let attempt cfg b =
+  let attempt rung cfg b =
+    rung_event "resilience.attempt" rung
+      [ ("config", Obs.Json.Str cfg.Pluto.Scheduler.name) ];
     match Pluto.Scheduler.schedule_with_deps ?budget:b cfg prog all_deps with
     | Error d -> Error d
     | Ok result -> (
@@ -126,20 +145,29 @@ let with_deps ?budget ~config (prog : Scop.Program.t) all_deps =
       | Ok ast -> Ok (result, ast)
       | Error d -> Error d)
   in
+  let settled rung notes (result, ast) =
+    rung_event "resilience.settled" rung
+      [ ("degraded", Obs.Json.Bool (rung <> Primary)) ];
+    { result; ast; rung; notes }
+  in
   let refreshed = Option.map Linalg.Budget.refresh budget in
-  match attempt config budget with
-  | Ok (result, ast) -> { result; ast; rung = Primary; notes = [] }
+  match attempt Primary config budget with
+  | Ok ok -> settled Primary [] ok
   | Error d1 -> (
-    match attempt (distributed_config config) refreshed with
-    | Ok (result, ast) -> { result; ast; rung = Distributed; notes = [ d1 ] }
+    degrade_event Primary d1;
+    match attempt Distributed (distributed_config config) refreshed with
+    | Ok ok -> settled Distributed [ d1 ] ok
     | Error d2 ->
+      degrade_event Distributed d2;
       (* Last rung: no solver involved, so no budget applies. Verified
          like every other schedule; a failure here raises — there is
          nothing further to degrade to. *)
+      rung_event "resilience.attempt" Identity
+        [ ("config", Obs.Json.Str "identity") ];
       let result = identity_result prog all_deps in
       verify_identity result;
       let ast = Codegen.Scan.of_result result in
-      { result; ast; rung = Identity; notes = [ d1; d2 ] })
+      settled Identity [ d1; d2 ] (result, ast))
 
 let optimize ?param_floor ?budget ?(config = Wisefuse.config) prog =
   let budget =

@@ -145,6 +145,21 @@ let run ?(max_nodes = 20000) ?(stop_at_first = false) ?(nonneg = false)
     | _ -> Cold
   in
   (try branch st p obj ~src with Found_first -> ());
+  if Obs.Trace.on () then
+    Obs.Trace.instant ~cat:"ilp" "ilp.bb"
+      ~args:
+        [
+          ("nodes", Obs.Json.Int st.nodes);
+          ("warm-rooted", Obs.Json.Bool (match src with Warm _ -> true | Cold -> false));
+          ( "outcome",
+            Obs.Json.Str
+              (match st.incumbent with
+              | Some _ -> if st.saw_unbounded then "unbounded" else "optimal"
+              | None ->
+                if st.saw_unbounded then "unbounded"
+                else if st.gave_up then "gave-up"
+                else "infeasible") );
+        ];
   st
 
 let answer_of st =

@@ -475,6 +475,12 @@ let reoptimize_exn ?budget w ~add ~obj:obj_aff =
   let n = w.w_n in
   let cold () =
     incr Counters.warm_fallbacks;
+    (* cold fallbacks are rare and worth seeing individually in a trace;
+       warm successes are only counted (they would dominate the event
+       stream) *)
+    if Obs.Trace.on () then
+      Obs.Trace.instant ~cat:"ilp" "lp.warm-fallback"
+        ~args:[ ("vars", Obs.Json.Int n) ];
     solve_cold ~rule:w.w_rule ~nonneg:w.w_nonneg ~budget
       (Polyhedron.add_list w.w_poly add)
       obj_aff

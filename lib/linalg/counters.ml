@@ -64,6 +64,10 @@ let add_stage name dt =
     Hashtbl.add stages name dt
 
 let time name f =
+  (* every stage is also a trace span (category "stage"), so a recorded
+     trace can re-derive these accumulators: the span tree's exclusive
+     self-times reconcile with [stage_times] *)
+  if Obs.Trace.on () then Obs.Trace.begin_span ~cat:"stage" name;
   let t0 = Unix.gettimeofday () in
   let children = ref 0.0 in
   active := children :: !active;
@@ -76,7 +80,8 @@ let time name f =
         (* charge the whole span to the parent, keep only self time *)
         (match rest with parent :: _ -> parent := !parent +. dt | [] -> ())
       | _ -> () (* unbalanced via an exotic exception path; be lenient *));
-      add_stage name (dt -. !children))
+      add_stage name (dt -. !children);
+      Obs.Trace.end_span name)
     f
 
 let stage_times () =

@@ -56,7 +56,9 @@ val findings_info : int ref
     accumulator for [stage] (even if [f] raises). Timers are
     {e exclusive}: when stages nest, the inner stage's time is
     subtracted from the enclosing stage, so stage times are disjoint
-    and sum to at most the outermost wall time. *)
+    and sum to at most the outermost wall time. When the {!Obs.Trace}
+    sink is on, each stage additionally records a span (category
+    ["stage"]), so traces can re-derive these accumulators. *)
 val time : string -> (unit -> 'a) -> 'a
 
 (** Accumulated (stage, seconds) pairs, in first-use order. *)

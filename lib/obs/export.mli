@@ -1,0 +1,23 @@
+(** Chrome trace-event export and validation.
+
+    {!chrome_trace} renders recorded events in the Trace Event Format
+    (the ["traceEvents"] array form) that [chrome://tracing] and
+    Perfetto load directly: spans as duration events (["ph": "B"/"E"]),
+    decisions as thread-scoped instant events (["ph": "i"]) with their
+    structured arguments under ["args"].
+
+    {!validate} checks an exported document against the subset of the
+    schema this project relies on — used by the CI trace job and the
+    test suite. *)
+
+(** [chrome_trace ~process events] builds the JSON document. [process]
+    names the process in the viewer (default ["wisefuse"]). *)
+val chrome_trace : ?process:string -> Trace.event list -> Json.t
+
+(** Structural checks: the document is an object whose ["traceEvents"]
+    is a list of objects; every event has a string ["name"]/["ph"] and
+    numeric ["ts"]; timestamps are non-decreasing in list order; B/E
+    events balance like parentheses with matching names; metadata
+    ([ph = "M"]) and instant events pass through. Returns the event
+    count. *)
+val validate : Json.t -> (int, string) result

@@ -1,0 +1,128 @@
+type phase = B | E | I
+
+type event = {
+  ph : phase;
+  name : string;
+  cat : string;
+  ts : float;
+  args : (string * Json.t) list;
+}
+
+(* The sink: a reversed event list behind one enabled flag. A list (not
+   a growable array) keeps emission allocation-only; traces of the
+   registry kernels are tens of thousands of events, well within reach. *)
+let enabled = ref false
+let sink : event list ref = ref []
+let count = ref 0
+let t0 = ref 0.0
+let last_ts = ref 0.0
+
+let on () = !enabled
+
+(* Microseconds since [t0], clamped non-decreasing: Chrome's viewer
+   (and our own checker) requires monotone timestamps, and the wall
+   clock is allowed not to be. *)
+let now_us () =
+  let t = (Unix.gettimeofday () -. !t0) *. 1e6 in
+  let t = if t < !last_ts then !last_ts else t in
+  last_ts := t;
+  t
+
+let reset () =
+  sink := [];
+  count := 0;
+  t0 := Unix.gettimeofday ();
+  last_ts := 0.0
+
+let enable () =
+  reset ();
+  enabled := true
+
+let disable () = enabled := false
+
+let events () = List.rev !sink
+let event_count () = !count
+
+let emit ph ?(args = []) ~cat name =
+  if !enabled then begin
+    sink := { ph; name; cat; ts = now_us (); args } :: !sink;
+    incr count
+  end
+
+let begin_span ?args ~cat name = emit B ?args ~cat name
+let end_span name = emit E ~cat:"" name
+let instant ?args ~cat name = emit I ?args ~cat name
+
+let span ?args ~cat name f =
+  if not !enabled then f ()
+  else begin
+    begin_span ?args ~cat name;
+    Fun.protect ~finally:(fun () -> end_span name) f
+  end
+
+(* --- span-tree reconstruction ------------------------------------------- *)
+
+(* Walk the event list keeping a stack of open spans of category [cat]
+   (end events carry no category, so membership is decided by the
+   matching begin). Self time = own duration minus the summed durations
+   of direct children of the same category. Unbalanced tails (spans
+   still open when the sink was read) are ignored. *)
+let fold_spans ~cat ~f acc0 =
+  let acc = ref acc0 in
+  let stack : (string * float * float ref) list ref = ref [] in
+  List.iter
+    (fun e ->
+      match e.ph with
+      | B when e.cat = cat -> stack := (e.name, e.ts, ref 0.0) :: !stack
+      | E -> (
+        match !stack with
+        | (name, start, children) :: rest when name = e.name ->
+          stack := rest;
+          let dt = (e.ts -. start) /. 1e6 in
+          (match rest with
+          | (_, _, parent_children) :: _ ->
+            parent_children := !parent_children +. dt
+          | [] -> ());
+          acc := f !acc ~name ~total:dt ~self:(dt -. !children)
+        | _ -> () (* an end of some other category's span *))
+      | B | I -> ())
+    (events ());
+  !acc
+
+let accumulate ~cat () =
+  (* (name, self, total) in first-appearance order *)
+  let order = ref [] in
+  let tbl : (string, float ref * float ref) Hashtbl.t = Hashtbl.create 8 in
+  let _ =
+    fold_spans ~cat
+      ~f:(fun () ~name ~total ~self ->
+        let s, t =
+          match Hashtbl.find_opt tbl name with
+          | Some cell -> cell
+          | None ->
+            let cell = (ref 0.0, ref 0.0) in
+            Hashtbl.add tbl name cell;
+            order := name :: !order;
+            cell
+        in
+        s := !s +. self;
+        t := !t +. total)
+      ()
+  in
+  List.rev_map
+    (fun name ->
+      let s, t = Hashtbl.find tbl name in
+      (name, !s, !t))
+    !order
+
+let summary ~cat () = accumulate ~cat ()
+
+let self_times ~cat () =
+  List.map (fun (name, self, _) -> (name, self)) (accumulate ~cat ())
+
+let with_recording f =
+  enable ();
+  let v = f () in
+  let evs = events () in
+  disable ();
+  (v, evs)

@@ -1,0 +1,78 @@
+(** Process-wide hierarchical span tracing and decision provenance.
+
+    The tracer records two kinds of events into an in-memory sink:
+
+    - {b spans} (begin/end pairs) forming a tree — pipeline stages,
+      per-level hyperplane searches — from which exclusive self-times
+      can be recomputed and reconciled against
+      [Linalg.Counters.stage_times];
+    - {b instants} — point-in-time decision events (why an SCC pair was
+      cut, whether an ILP solve was warm or cold, which degradation
+      rung fired) with structured {!Json.t} arguments.
+
+    The default sink is {e null}: [on ()] is a single [bool ref] read
+    and every emit function returns immediately, so instrumented hot
+    paths cost one branch when tracing is off. Call sites that build
+    argument lists should guard with [if Trace.on () then ...] so the
+    allocation is skipped too.
+
+    Timestamps are wall-clock microseconds relative to the most recent
+    {!enable}/{!reset}, clamped to be non-decreasing (Chrome's trace
+    viewer requires monotone timestamps). *)
+
+type phase = B | E | I
+
+type event = {
+  ph : phase;
+  name : string;
+  cat : string;
+  ts : float;  (** microseconds since {!enable}/{!reset} *)
+  args : (string * Json.t) list;
+}
+
+(** Is the recording sink active? The only check hot paths pay. *)
+val on : unit -> bool
+
+(** Start recording into a fresh in-memory sink (drops prior events,
+    re-zeroes the clock). *)
+val enable : unit -> unit
+
+(** Stop recording. Events stay readable until the next {!enable}. *)
+val disable : unit -> unit
+
+(** Drop recorded events and re-zero the clock, keeping the sink state. *)
+val reset : unit -> unit
+
+(** Recorded events, in emission order. *)
+val events : unit -> event list
+
+val event_count : unit -> int
+
+(** {2 Emission} — all no-ops when the sink is off. *)
+
+val begin_span : ?args:(string * Json.t) list -> cat:string -> string -> unit
+val end_span : string -> unit
+
+(** [span ~cat name f] wraps [f ()] in a begin/end pair (ended on
+    exceptions too). *)
+val span : ?args:(string * Json.t) list -> cat:string -> string -> (unit -> 'a) -> 'a
+
+val instant : ?args:(string * Json.t) list -> cat:string -> string -> unit
+
+(** {2 Reconstruction} *)
+
+(** Per-name {e exclusive} (self) seconds of the recorded spans of
+    category [cat], in first-appearance order: each span's duration
+    minus the duration of its child spans {e of the same category}.
+    With [cat = "stage"] this recomputes [Counters.stage_times] from
+    the trace. *)
+val self_times : cat:string -> unit -> (string * float) list
+
+(** Per-name [(self, total)] seconds (total = inclusive duration sum)
+    for spans of category [cat], in first-appearance order. *)
+val summary : cat:string -> unit -> (string * float * float) list
+
+(** [with_recording f] runs [f] under a fresh enabled sink and returns
+    its result with the recorded events; the previous sink state
+    (on/off and events) is NOT restored — callers own the tracer. *)
+val with_recording : (unit -> 'a) -> 'a * event list

@@ -104,6 +104,18 @@ let space_for ~form ~nloc poly =
 let cache : (string, Polyhedron.t) Hashtbl.t = Hashtbl.create 64
 let reset_cache () = Hashtbl.reset cache
 
+let cache_event ~tag ~d1 ~d2 ~np ~hit =
+  if Obs.Trace.on () then
+    Obs.Trace.instant ~cat:"ilp" "farkas.cache"
+      ~args:
+        [
+          ("tag", Obs.Json.Str tag);
+          ("d1", Obs.Json.Int d1);
+          ("d2", Obs.Json.Int d2);
+          ("np", Obs.Json.Int np);
+          ("hit", Obs.Json.Bool hit);
+        ]
+
 let memo ~tag ~d1 ~d2 ~np poly compute =
   let key =
     Printf.sprintf "%s:%d:%d:%d:%s" tag d1 d2 np
@@ -112,9 +124,11 @@ let memo ~tag ~d1 ~d2 ~np poly compute =
   match Hashtbl.find_opt cache key with
   | Some r ->
     incr Counters.farkas_cache_hits;
+    cache_event ~tag ~d1 ~d2 ~np ~hit:true;
     r
   | None ->
     incr Counters.farkas_cache_misses;
+    cache_event ~tag ~d1 ~d2 ~np ~hit:false;
     let r = compute () in
     Hashtbl.add cache key r;
     r

@@ -113,6 +113,55 @@ type state = {
 
 let stmt_depth (prog : Scop.Program.t) id = Scop.Statement.depth prog.stmts.(id)
 
+(* --- decision provenance (lib/obs) -------------------------------------
+
+   Every fusion-relevant decision the engine takes — per-level ILP
+   solves, cuts and their justifications, Algorithm 2 triggers,
+   verification outcomes — is emitted as a typed instant event when the
+   trace sink is on. All emission sites are guarded by [Obs.Trace.on]
+   so the argument lists are never even allocated on the default null
+   sink. *)
+
+let strategy_name = function
+  | Cut_all_sccs -> "all-sccs"
+  | Cut_between_dims -> "between-dims"
+  | Cut_minimal -> "minimal"
+  | Cut_groups _ -> "groups"
+
+let partition_string part =
+  String.concat "," (List.map string_of_int (Array.to_list part))
+
+let ranks_string st =
+  String.concat "," (List.map string_of_int (Array.to_list st.rank))
+
+let dep_args st (d : Dep.t) =
+  [
+    ("src", Obs.Json.Str st.prog.stmts.(d.src).Scop.Statement.name);
+    ("dst", Obs.Json.Str st.prog.stmts.(d.dst).Scop.Statement.name);
+    ("src-stmt", Obs.Json.Int d.src);
+    ("dst-stmt", Obs.Json.Int d.dst);
+    ("src-scc", Obs.Json.Int st.scc_of.(d.src));
+    ("dst-scc", Obs.Json.Int st.scc_of.(d.dst));
+    ("kind", Obs.Json.Str (Dep.kind_to_string d.kind));
+  ]
+
+let cut_event st ~name ~strategy ?requested ?violating () =
+  if Obs.Trace.on () then
+    Obs.Trace.instant ~cat:"fuse" name
+      ~args:
+        ([
+           ("config", Obs.Json.Str st.cfg.name);
+           ("level", Obs.Json.Int st.accepted_hyp_rows);
+           ("strategy", Obs.Json.Str strategy);
+         ]
+        @ (match requested with
+          | Some r when r <> strategy -> [ ("requested", Obs.Json.Str r) ]
+          | _ -> [])
+        @ (match violating with
+          | Some d -> dep_args st d
+          | None -> [])
+        @ [ ("partition", Obs.Json.Str (partition_string st.part)) ])
+
 (* Rename a Farkas-local constraint system into the global ILP space.
    Global layout: [u(np); w; per stmt: c_1..c_d, c0]. *)
 let rename_local_to_global ~np ~var_offset ~nv (dep : Dep.t) ~d1 ~d2 cons_poly =
@@ -404,7 +453,7 @@ let dep_cons st =
     st.dep_seg <- Some (nsat, !cons);
     !cons
 
-let solve_level st =
+let solve_level_raw st =
   let cons = st.bounds @ stmt_cons st @ dep_cons st in
   let p = Poly.Polyhedron.make st.nv cons in
   let obj mask =
@@ -465,6 +514,49 @@ let solve_level st =
   | None -> None
   | Some (_, x) -> Some x
 
+(* Per-level solve, wrapped in a [sched.level] span carrying the ILP
+   effort deltas (pivots, branch-and-bound nodes, warm vs cold
+   re-solves) and the outcome. *)
+let solve_level st =
+  if not (Obs.Trace.on ()) then solve_level_raw st
+  else begin
+    let active =
+      Array.fold_left (fun n s -> if s then n else n + 1) 0 st.satisfied
+    in
+    Obs.Trace.begin_span ~cat:"sched" "sched.level"
+      ~args:
+        [
+          ("config", Obs.Json.Str st.cfg.name);
+          ("level", Obs.Json.Int st.accepted_hyp_rows);
+          ("ranks", Obs.Json.Str (ranks_string st));
+          ("active-deps", Obs.Json.Int active);
+        ];
+    let p0 = !Counters.lp_pivots and dp0 = !Counters.dual_pivots in
+    let n0 = !Counters.bb_nodes in
+    let w0 = !Counters.warm_starts and f0 = !Counters.warm_fallbacks in
+    Fun.protect
+      ~finally:(fun () -> Obs.Trace.end_span "sched.level")
+      (fun () ->
+        let res = solve_level_raw st in
+        Obs.Trace.instant ~cat:"sched" "ilp.level-solve"
+          ~args:
+            [
+              ("config", Obs.Json.Str st.cfg.name);
+              ("level", Obs.Json.Int st.accepted_hyp_rows);
+              ( "outcome",
+                Obs.Json.Str
+                  (match res with
+                  | Some _ -> "hyperplane"
+                  | None -> "infeasible") );
+              ("pivots", Obs.Json.Int (!Counters.lp_pivots - p0));
+              ("dual-pivots", Obs.Json.Int (!Counters.dual_pivots - dp0));
+              ("bb-nodes", Obs.Json.Int (!Counters.bb_nodes - n0));
+              ("warm-solves", Obs.Json.Int (!Counters.warm_starts - w0));
+              ("cold-fallbacks", Obs.Json.Int (!Counters.warm_fallbacks - f0));
+            ];
+        res)
+  end
+
 let row_of_solution st x id =
   let d = stmt_depth st.prog id in
   let o = st.var_offset.(id) in
@@ -512,7 +604,11 @@ let dep_range st (d : Dep.t) src_row dst_row =
   in
   (dmin, dmax)
 
+let count_satisfied st =
+  Array.fold_left (fun n s -> if s then n + 1 else n) 0 st.satisfied
+
 let accept_row st x =
+  let nsat0 = if Obs.Trace.on () then count_satisfied st else 0 in
   Array.iteri
     (fun id _ ->
       let row = row_of_solution st x id in
@@ -533,7 +629,18 @@ let accept_row st x =
         | Some v when Q.compare v Q.one >= 0 -> st.satisfied.(i) <- true
         | _ -> ()
       end)
-    st.true_deps
+    st.true_deps;
+  if Obs.Trace.on () then
+    let nsat = count_satisfied st in
+    Obs.Trace.instant ~cat:"sched" "sched.row-accepted"
+      ~args:
+        [
+          ("config", Obs.Json.Str st.cfg.name);
+          ("level", Obs.Json.Int (st.accepted_hyp_rows - 1));
+          ("newly-satisfied", Obs.Json.Int (nsat - nsat0));
+          ("satisfied", Obs.Json.Int nsat);
+          ("total-deps", Obs.Json.Int (Array.length st.true_deps));
+        ]
 
 (* Algorithm 2 helper: dependences that would make the (first) outer
    loop a forward-dependence loop, and that a cut can fix. *)
@@ -598,6 +705,10 @@ let try_cut st strategy =
       match attempt s with
       | Some beta ->
         apply_beta st beta;
+        cut_event st ~name:"cut.fallback" ~strategy:(strategy_name s)
+          ~requested:(strategy_name strategy)
+          ?violating:(if s = Cut_minimal then violating else None)
+          ();
         true
       | None -> go rest)
   in
@@ -624,6 +735,16 @@ let budget_tripped st =
   match st.budget with None -> false | Some b -> Budget.exhausted b
 
 let fail_search st code msg =
+  if Obs.Trace.on () then
+    Obs.Trace.instant ~cat:"sched" "sched.dead-end"
+      ~args:
+        [
+          ("config", Obs.Json.Str st.cfg.name);
+          ( "code",
+            Obs.Json.Str
+              (if budget_tripped st then "sched.budget-exhausted" else code) );
+          ("level", Obs.Json.Int st.accepted_hyp_rows);
+        ];
   if budget_tripped st then
     Diagnostics.fail ~phase:Budget ~code:"sched.budget-exhausted"
       ~context:
@@ -645,13 +766,29 @@ let fail_search st code msg =
    Unbudgeted on purpose — a schedule found under a 1-pivot budget must
    still be checkable. *)
 let verify_result (res : result) =
+  let verify_event name args =
+    if Obs.Trace.on () then
+      Obs.Trace.instant ~cat:"verify" name
+        ~args:(("config", Obs.Json.Str res.config_name) :: args)
+  in
   Counters.time "verification" (fun () ->
       (match Satisfy.check_complete res.prog res.sched with
       | Ok () -> ()
-      | Error d -> raise (Diagnostics.Error d));
+      | Error d ->
+        verify_event "verify.fail" [ ("code", Obs.Json.Str d.Diagnostics.code) ];
+        raise (Diagnostics.Error d));
       match Satisfy.check_legal res.prog res.true_deps res.sched with
-      | Ok () -> ()
+      | Ok () ->
+        verify_event "verify.ok"
+          [ ("deps-checked", Obs.Json.Int (List.length res.true_deps)) ]
       | Error (d : Dep.t) ->
+        verify_event "verify.fail"
+          [
+            ("code", Obs.Json.Str "verify.illegal");
+            ("src", Obs.Json.Str res.prog.stmts.(d.src).Scop.Statement.name);
+            ("dst", Obs.Json.Str res.prog.stmts.(d.dst).Scop.Statement.name);
+            ("kind", Obs.Json.Str (Dep.kind_to_string d.kind));
+          ];
         Diagnostics.fail ~phase:Verification ~code:"verify.illegal"
           ~context:
             [
@@ -673,7 +810,8 @@ let run_with_deps_budgeted ?budget cfg (prog : Scop.Program.t) all_deps =
   | Some strategy ->
     let beta = beta_of_cut st strategy ~violating:None in
     (* apply even when trivial (single partition): the row is harmless *)
-    apply_beta st beta);
+    apply_beta st beta;
+    cut_event st ~name:"cut.initial" ~strategy:(strategy_name strategy) ());
   let max_depth = Scop.Program.max_depth prog in
   let guard = ref 0 in
   while Array.exists (fun id -> st.rank.(id) < stmt_depth prog id)
@@ -693,6 +831,11 @@ let run_with_deps_budgeted ?budget cfg (prog : Scop.Program.t) all_deps =
             let beta = beta_of_cut st Cut_minimal ~violating:(Some d) in
             if is_refinement st beta then begin
               apply_beta st beta;
+              (* Algorithm 2 of the paper: the first hyperplane would
+                 carry a forward dependence across SCCs, so the outer
+                 loop could not be parallel — distribute instead *)
+              cut_event st ~name:"cut.alg2" ~strategy:"minimal" ~violating:d
+                ();
               true
             end
             else false
@@ -741,6 +884,14 @@ let run_with_deps_budgeted ?budget cfg (prog : Scop.Program.t) all_deps =
           id)
       keys
   in
+  if Obs.Trace.on () then
+    Obs.Trace.instant ~cat:"fuse" "fuse.partition"
+      ~args:
+        [
+          ("config", Obs.Json.Str cfg.name);
+          ("partition", Obs.Json.Str (partition_string outer_partition));
+          ("groups", Obs.Json.Int (1 + Array.fold_left max 0 outer_partition));
+        ];
   verify_result
     {
       prog;

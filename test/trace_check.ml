@@ -1,0 +1,39 @@
+(* CI checker for exported Chrome trace-event files.
+
+   Usage: trace_check FILE.json...
+
+   Each file must parse as JSON and pass Obs.Export.validate:
+   a {"traceEvents": [...]} object whose events have string names,
+   known phases (B/E/i/I/M), numeric non-decreasing timestamps, and
+   whose B/E span events nest like parentheses with matching names.
+   Exit 0 if every file passes, 1 otherwise. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let check path =
+  match Obs.Json.parse (read_file path) with
+  | Error msg ->
+    Printf.eprintf "%s: %s\n" path msg;
+    false
+  | Ok json -> (
+    match Obs.Export.validate json with
+    | Ok n ->
+      Printf.printf "%s: ok (%d events)\n" path n;
+      true
+    | Error msg ->
+      Printf.eprintf "%s: invalid trace: %s\n" path msg;
+      false)
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: trace_check FILE.json...";
+    exit 2
+  end;
+  let ok = List.fold_left (fun acc f -> check f && acc) true files in
+  exit (if ok then 0 else 1)
