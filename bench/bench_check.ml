@@ -36,3 +36,37 @@ let describe = function
   | Regression r -> Printf.sprintf "(x%.2f)  REGRESSION" r
   | Bad_baseline -> "baseline unusable (non-positive wall time); skipped"
   | Missing -> "not in baseline; skipped"
+
+(* --- one-sided bounds (the serve gate) ----------------------------------- *)
+
+(* The serving gate checks machine-independent ratios of one fresh run
+   (hit rate against a floor, hit-path p99 against a ceiling derived
+   from the same run's cold solves), so the verdicts are one-sided
+   bounds rather than baseline ratios. The same non-finite guard
+   applies: a NaN measurement must read as unusable, never as "within
+   bounds" (note NaN comparisons are all false, so the explicit check
+   is load-bearing). *)
+
+type bound_verdict =
+  | Met of float  (* the measured value; bound satisfied *)
+  | Violation of float  (* the measured value; bound broken *)
+  | Bad_value  (* measurement or bound not finite: no verdict *)
+
+let check_min ~floor ~value =
+  if not (Float.is_finite floor && Float.is_finite value) then Bad_value
+  else if value >= floor then Met value
+  else Violation value
+
+let check_max ~ceiling ~value =
+  if not (Float.is_finite ceiling && Float.is_finite value) then Bad_value
+  else if value <= ceiling then Met value
+  else Violation value
+
+let bound_failure = function
+  | Violation _ -> true
+  | Met _ | Bad_value -> false
+
+let describe_bound = function
+  | Met v -> Printf.sprintf "%.4g  ok" v
+  | Violation v -> Printf.sprintf "%.4g  VIOLATION" v
+  | Bad_value -> "not a finite number; skipped"

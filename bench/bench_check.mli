@@ -22,3 +22,21 @@ val compare_wall :
 val is_failure : verdict -> bool
 
 val describe : verdict -> string
+
+(** One-sided bounds for the serving gate (`bench -- serve --check`):
+    hit-rate floors and latency ceilings over a single fresh run. *)
+type bound_verdict =
+  | Met of float  (** the measured value; bound satisfied *)
+  | Violation of float  (** the measured value; bound broken *)
+  | Bad_value  (** measurement or bound not finite — no verdict *)
+
+(** [check_min ~floor ~value] — is [value >= floor]? *)
+val check_min : floor:float -> value:float -> bound_verdict
+
+(** [check_max ~ceiling ~value] — is [value <= ceiling]? *)
+val check_max : ceiling:float -> value:float -> bound_verdict
+
+(** Only a confirmed [Violation] fails the gate. *)
+val bound_failure : bound_verdict -> bool
+
+val describe_bound : bound_verdict -> string

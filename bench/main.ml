@@ -843,6 +843,352 @@ let trace_overhead () =
         (Obs.Trace.event_count ()))
     pipeline_kernels
 
+(* --- serving: heavy traffic against the wiseserve daemon ---------------------- *)
+
+(* Drives Serve.Server.handle_line in-process with thousands of
+   line-delimited JSON requests under three key-popularity skews
+   (uniform, zipf, hot) and records hit rate and per-class latency
+   percentiles in BENCH_serve.json. The cold-solve population is the
+   full registry x all five fusion models at the registry model sizes
+   (smoke: the four pipeline kernels at their pipeline sizes, so the CI
+   step stays fast). Every hit response is checked to report zero
+   solver work — the cache serving schedules without touching the ILP
+   is the entire point of the daemon. *)
+
+let serve_bench_file = "BENCH_serve.json"
+
+(* xorshift64*: deterministic request sequence, no dependence on the
+   stdlib Random state *)
+let serve_rng = ref 0x9E3779B97F4A7C15L
+
+let serve_rand () =
+  let open Int64 in
+  let x = !serve_rng in
+  let x = logxor x (shift_left x 13) in
+  let x = logxor x (shift_right_logical x 7) in
+  let x = logxor x (shift_left x 17) in
+  serve_rng := x;
+  to_int (shift_right_logical x 2)
+
+let serve_rand_float () = float_of_int (serve_rand () land 0xFFFFFF) /. 16777216.0
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(int_of_float (Float.round (p *. float_of_int (n - 1))))
+
+(* the request population: (kernel, size option) pairs crossed with the
+   five models *)
+let serve_population () =
+  let kernels =
+    if smoke then
+      List.map (fun (k, _) -> (k, None)) pipeline_kernels
+      |> List.map (fun (k, _) ->
+             ( k,
+               Some
+                 (match k with
+                 | "swim" -> 24
+                 | "gemsfdtd" -> 10
+                 | "advect" -> 16
+                 | _ -> 20) ))
+    else
+      List.map
+        (fun (e : Kernels.Registry.entry) -> (e.Kernels.Registry.name, None))
+        Kernels.Registry.all
+  in
+  List.concat_map
+    (fun (k, size) ->
+      List.map (fun m -> (k, size, model_name m)) all_models)
+    kernels
+
+let serve_request_line ~id (kernel, size, model) =
+  let open Obs.Json in
+  let fields =
+    [ ("id", Int id); ("kernel", Str kernel); ("model", Str model) ]
+    @ match size with Some n -> [ ("size", Int n) ] | None -> []
+  in
+  to_string (Obj fields)
+
+(* key index under each skew; [n] is the population size *)
+let pick_uniform n = serve_rand () mod n
+
+let pick_zipf weights total =
+  let x = serve_rand_float () *. total in
+  let rec go i acc =
+    if i >= Array.length weights - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if x < acc then i else go (i + 1) acc
+  in
+  go 0 0.0
+
+let pick_hot n =
+  (* 90% of traffic on 5 hot keys, the tail uniform over everything *)
+  if serve_rand_float () < 0.9 then serve_rand () mod min 5 n
+  else serve_rand () mod n
+
+type serve_sample = { hit : bool; us : float }
+
+let serve_field resp path =
+  let rec go j = function
+    | [] -> Some j
+    | f :: rest -> Option.bind (Obs.Json.member f j) (fun v -> go v rest)
+  in
+  go resp path
+
+let serve_run_mix t population ~skew ~count =
+  let pop = Array.of_list population in
+  let n = Array.length pop in
+  let weights =
+    Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) 1.1)
+  in
+  let wtotal = Array.fold_left ( +. ) 0.0 weights in
+  let samples = ref [] in
+  let bad_hits = ref 0 in
+  for i = 1 to count do
+    let idx =
+      match skew with
+      | `Uniform -> pick_uniform n
+      | `Zipf -> pick_zipf weights wtotal
+      | `Hot -> pick_hot n
+    in
+    let line = serve_request_line ~id:i pop.(idx) in
+    let t0 = Unix.gettimeofday () in
+    let resp = Serve.Server.handle_line t line in
+    let us = (Unix.gettimeofday () -. t0) *. 1e6 in
+    match resp with
+    | None -> failwith "serve bench: daemon returned nothing for a request"
+    | Some r -> (
+      match Obs.Json.parse r with
+      | Error msg -> failwith ("serve bench: unparseable response: " ^ msg)
+      | Ok j ->
+        (match
+           Option.bind (serve_field j [ "status" ]) Obs.Json.to_string_opt
+         with
+        | Some "ok" -> ()
+        | _ -> failwith ("serve bench: error response: " ^ r));
+        let hit =
+          Option.bind (serve_field j [ "cache" ]) Obs.Json.to_string_opt
+          = Some "hit"
+        in
+        (* a hit must report zero solver work: the counters are the
+           proof that cached schedules bypass the LP/B&B machinery *)
+        if hit then begin
+          let solver_work name =
+            Option.value ~default:0
+              (Option.bind (serve_field j [ "serve"; name ]) Obs.Json.to_int_opt)
+          in
+          if
+            List.exists
+              (fun c -> solver_work c <> 0)
+              [ "lp_solves"; "lp_pivots"; "dual_pivots"; "ilp_solves"; "bb_nodes" ]
+          then incr bad_hits
+        end;
+        samples := { hit; us } :: !samples)
+  done;
+  (List.rev !samples, !bad_hits)
+
+let serve_percentiles samples =
+  let a = Array.of_list (List.map (fun s -> s.us) samples) in
+  Array.sort compare a;
+  (percentile a 0.5, percentile a 0.99)
+
+let serve_class_stats samples =
+  let hits = List.filter (fun s -> s.hit) samples in
+  let cold = List.filter (fun s -> not s.hit) samples in
+  let h50, h99 = serve_percentiles hits in
+  let c50, c99 = serve_percentiles cold in
+  let o50, o99 = serve_percentiles samples in
+  (List.length hits, List.length cold, (h50, h99), (c50, c99), (o50, o99))
+
+type serve_stats = {
+  srequests : int;
+  shits : int;
+  scold : int;
+  hit_p50_us : float;
+  hit_p99_us : float;
+  cold_p50_us : float;
+  cold_p99_us : float;
+  all_p50_us : float;
+  all_p99_us : float;
+  per_skew : (string * int * int) list; (* skew, requests, hits *)
+  zero_solver_hits : bool;
+}
+
+let run_serve_traffic () =
+  serve_rng := 0x9E3779B97F4A7C15L;
+  let population = serve_population () in
+  let t = Serve.Server.create () in
+  let per_mix = if smoke then 50 else 800 in
+  let all_samples = ref [] in
+  let per_skew = ref [] in
+  let bad = ref 0 in
+  List.iter
+    (fun (tag, skew) ->
+      let samples, bad_hits = serve_run_mix t population ~skew ~count:per_mix in
+      bad := !bad + bad_hits;
+      let hits = List.length (List.filter (fun s -> s.hit) samples) in
+      Printf.printf "  %-8s %5d requests  %5d hits  (%.1f%% hit rate)\n%!" tag
+        per_mix hits
+        (100.0 *. float_of_int hits /. float_of_int per_mix);
+      per_skew := (tag, per_mix, hits) :: !per_skew;
+      all_samples := !all_samples @ samples)
+    [ ("uniform", `Uniform); ("zipf", `Zipf); ("hot", `Hot) ];
+  let samples = !all_samples in
+  let nhits, ncold, (h50, h99), (c50, c99), (o50, o99) =
+    serve_class_stats samples
+  in
+  if !bad > 0 then begin
+    Printf.printf
+      "  FAIL: %d cache hits reported non-zero solver counters\n" !bad;
+    exit 1
+  end;
+  {
+    srequests = List.length samples;
+    shits = nhits;
+    scold = ncold;
+    hit_p50_us = h50;
+    hit_p99_us = h99;
+    cold_p50_us = c50;
+    cold_p99_us = c99;
+    all_p50_us = o50;
+    all_p99_us = o99;
+    per_skew = List.rev !per_skew;
+    zero_solver_hits = !bad = 0;
+  }
+
+let serve_record st =
+  let open Obs.Json in
+  let label = Option.value (Sys.getenv_opt "BENCH_LABEL") ~default:"dev" in
+  let r2 v = Float (round2 v) in
+  Obj
+    [ ("label", Str label); ("smoke", Bool smoke);
+      ("requests", Int st.srequests); ("hits", Int st.shits);
+      ("misses", Int st.scold);
+      ( "hit_rate",
+        Float
+          (Float.of_string
+             (Printf.sprintf "%.4f"
+                (float_of_int st.shits /. float_of_int st.srequests))) );
+      ("hit_p50_us", r2 st.hit_p50_us); ("hit_p99_us", r2 st.hit_p99_us);
+      ("cold_p50_us", r2 st.cold_p50_us); ("cold_p99_us", r2 st.cold_p99_us);
+      ("overall_p50_us", r2 st.all_p50_us); ("overall_p99_us", r2 st.all_p99_us);
+      ("speedup_p50", r2 (st.cold_p50_us /. st.hit_p50_us));
+      ("zero_solver_hits", Bool st.zero_solver_hits);
+      ( "skews",
+        Obj
+          (List.map
+             (fun (tag, reqs, hits) ->
+               ( tag,
+                 Obj
+                   [ ("requests", Int reqs); ("hits", Int hits);
+                     ( "hit_rate",
+                       Float
+                         (Float.of_string
+                            (Printf.sprintf "%.4f"
+                               (float_of_int hits /. float_of_int reqs))) ) ] ))
+             st.per_skew) ) ]
+
+let read_serve_file () =
+  if Sys.file_exists serve_bench_file then begin
+    let ic = open_in_bin serve_bench_file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Obs.Json.parse s with
+    | Error msg -> failwith (Printf.sprintf "%s: %s" serve_bench_file msg)
+    | Ok doc ->
+      (match Option.bind (Obs.Json.member "runs" doc) Obs.Json.to_list_opt with
+      | Some runs -> runs
+      | None -> failwith (serve_bench_file ^ {|: no "runs" array|}))
+  end
+  else []
+
+let write_serve_json st =
+  let run = serve_record st in
+  let label = Option.value (record_label run) ~default:"dev" in
+  let kept =
+    List.filter (fun r -> record_label r <> Some label) (read_serve_file ())
+  in
+  let doc =
+    Obs.Json.Obj
+      [ ("schema", Obs.Json.Int 1);
+        ( "unit",
+          Obs.Json.Str
+            "request latency microseconds against the wiseserve daemon" );
+        ("runs", Obs.Json.List (kept @ [ run ])) ]
+  in
+  let oc = open_out_bin serve_bench_file in
+  output_string oc (Obs.Json.to_string_pretty doc);
+  close_out oc;
+  Printf.printf "  wrote %s (label %S)\n%!" serve_bench_file label
+
+let serve_table st =
+  Printf.printf "  %-8s %8s %12s %12s\n" "class" "count" "p50 (us)" "p99 (us)";
+  Printf.printf "  %-8s %8d %12.1f %12.1f\n" "hit" st.shits st.hit_p50_us
+    st.hit_p99_us;
+  Printf.printf "  %-8s %8d %12.1f %12.1f\n" "cold" st.scold st.cold_p50_us
+    st.cold_p99_us;
+  Printf.printf "  %-8s %8d %12.1f %12.1f\n" "overall" st.srequests
+    st.all_p50_us st.all_p99_us;
+  Printf.printf
+    "  hit rate %.1f%%; cache-hit p50 is x%.0f below a cold solve's p50\n%!"
+    (100.0 *. float_of_int st.shits /. float_of_int st.srequests)
+    (st.cold_p50_us /. st.hit_p50_us)
+
+let serve_bench () =
+  section "Serve: heavy traffic against the scheduling daemon (wiseserve)";
+  let st = run_serve_traffic () in
+  serve_table st;
+  write_serve_json st
+
+(* Serving gate (CI, advisory like the pipeline gate): machine-
+   independent bounds over one fresh traffic run. The hit-rate floor is
+   set by the workload's composition (the only cold-capable requests
+   are the first touches of each distinct key), and the latency bounds
+   are ratios against the same run's own cold solves — nothing here
+   compares absolute times across machines. *)
+let serve_check () =
+  section "Serve check: hit-rate floor and hit-latency ceilings";
+  (match
+     List.rev (read_serve_file ())
+     |> List.find_opt (fun r -> record_smoke r = Some false)
+   with
+  | Some r ->
+    Printf.printf "  committed baseline: %S\n"
+      (Option.value (record_label r) ~default:"?")
+  | None ->
+    Printf.printf "  (no committed non-smoke baseline in %s)\n" serve_bench_file);
+  let st = run_serve_traffic () in
+  serve_table st;
+  let distinct = List.length (serve_population ()) in
+  (* every request past the first touch of a key can hit; allow 10%
+     slack for eviction effects *)
+  let floor =
+    0.9 *. (1.0 -. (float_of_int distinct /. float_of_int st.srequests))
+  in
+  let checks =
+    [ ( "hit_rate",
+        Bench_check.check_min ~floor
+          ~value:(float_of_int st.shits /. float_of_int st.srequests) );
+      ( "hit_p99 <= cold_p50",
+        Bench_check.check_max ~ceiling:st.cold_p50_us ~value:st.hit_p99_us );
+      ( "cold_p50/hit_p50 >= 10",
+        Bench_check.check_min ~floor:10.0
+          ~value:(st.cold_p50_us /. st.hit_p50_us) ) ]
+  in
+  let failed = ref false in
+  List.iter
+    (fun (name, v) ->
+      Printf.printf "  %-24s %s\n" name (Bench_check.describe_bound v);
+      if Bench_check.bound_failure v then failed := true)
+    checks;
+  if !failed then begin
+    Printf.printf "  FAIL: serving bounds violated\n";
+    exit 1
+  end
+  else Printf.printf "  OK: all serving bounds hold\n"
+
 (* --- Bechamel: time the compiler itself -------------------------------------- *)
 
 let bechamel () =
@@ -907,12 +1253,13 @@ let experiments =
     ("tiling", tiling); ("locality", locality); ("space", space);
     ("vector", vector); ("pipeline", pipeline); ("analyze", analyze_overhead);
     ("budget", budget_overhead); ("trace", trace_overhead);
-    ("bechamel", bechamel) ]
+    ("serve", serve_bench); ("bechamel", bechamel) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | [ "pipeline"; "--check" ] | [ "--check" ] -> pipeline_check ()
+  | [ "serve"; "--check" ] -> serve_check ()
   | [] -> List.iter (fun (_, f) -> f ()) experiments
   | names ->
     List.iter

@@ -465,13 +465,60 @@ let sim_cmd =
     Term.(const run $ kernel_arg $ size_arg $ model_arg $ cores_arg $ tile_arg
           $ simd_arg $ stats_arg $ verbose_arg)
 
+(* --- serve ------------------------------------------------------------ *)
+
+let serve_cmd =
+  let run socket stdio domains cache_cap vflag =
+    verbose := vflag;
+    if domains < 1 then begin
+      Printf.eprintf "serve: --domains must be >= 1\n";
+      exit usage_exit
+    end;
+    if cache_cap < 1 then begin
+      Printf.eprintf "serve: --cache-cap must be >= 1\n";
+      exit usage_exit
+    end;
+    let config = { Serve.Server.domains; cache_capacity = cache_cap } in
+    let t = Serve.Server.create ~config () in
+    match (socket, stdio) with
+    | Some _, true ->
+      Printf.eprintf "serve: --socket and --stdio are mutually exclusive\n";
+      exit usage_exit
+    | Some path, false -> Serve.Server.serve_socket t ~path
+    | None, _ -> Serve.Server.serve_stdio t
+  in
+  let socket_arg =
+    let doc = "Listen on a Unix domain socket at $(docv)." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let stdio_arg =
+    let doc = "Serve stdin/stdout (the default when --socket is absent)." in
+    Arg.(value & flag & info [ "stdio" ] ~doc)
+  in
+  let domains_arg =
+    let doc = "Worker domains serving requests concurrently." in
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let cache_cap_arg =
+    let doc = "Capacity of the content-addressed response cache (entries)." in
+    Arg.(value & opt int 512 & info [ "cache-cap" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the scheduling daemon: line-delimited JSON requests over stdio \
+          or a Unix socket, answered from a content-addressed cross-request \
+          cache (see the README's Serving section for the protocol)")
+    Term.(const run $ socket_arg $ stdio_arg $ domains_arg $ cache_cap_arg
+          $ verbose_arg)
+
 let () =
   let doc = "loop fusion in the polyhedral framework (PPoPP'14 reproduction)" in
   let info = Cmd.info "wisefuse" ~version:"1.0" ~doc in
   let cmds =
     [
       list_cmd; show_cmd; deps_cmd; opt_cmd; emit_cmd; sim_cmd; analyze_cmd;
-      trace_cmd; explain_cmd;
+      trace_cmd; explain_cmd; serve_cmd;
     ]
   in
   (* a diagnostic escaping the pipeline exits with its phase's code

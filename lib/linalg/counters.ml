@@ -26,6 +26,17 @@ let findings_error = ref 0
 let findings_warning = ref 0
 let findings_info = ref 0
 
+(* wiseserve (lib/serve) counters: requests handled by the daemon and
+   the hit/miss/eviction traffic of its content-addressed cross-request
+   cache. The cache keeps its own authoritative tallies under its lock
+   and re-syncs these refs (plain [:=]) after every request, so they
+   survive the per-solve [reset] the daemon performs for deterministic
+   per-request solver counters. *)
+let serve_requests = ref 0
+let serve_cache_hits = ref 0
+let serve_cache_misses = ref 0
+let serve_cache_evictions = ref 0
+
 let all_counters () =
   [ ("lp_solves", !lp_solves);
     ("lp_pivots", !lp_pivots);
@@ -39,6 +50,10 @@ let all_counters () =
     ("findings_error", !findings_error);
     ("findings_warning", !findings_warning);
     ("findings_info", !findings_info);
+    ("serve_requests", !serve_requests);
+    ("serve_cache_hits", !serve_cache_hits);
+    ("serve_cache_misses", !serve_cache_misses);
+    ("serve_cache_evictions", !serve_cache_evictions);
     ("big_promotions", !promotions);
     ("big_demotions", !demotions) ]
 
@@ -102,6 +117,10 @@ let reset () =
   findings_error := 0;
   findings_warning := 0;
   findings_info := 0;
+  serve_requests := 0;
+  serve_cache_hits := 0;
+  serve_cache_misses := 0;
+  serve_cache_evictions := 0;
   Hashtbl.reset stages;
   stage_order := []
 

@@ -52,6 +52,19 @@ val findings_error : int ref
 val findings_warning : int ref
 val findings_info : int ref
 
+(** {2 Serving (wiseserve) counters}
+
+    Requests handled by the scheduling daemon and the traffic of its
+    content-addressed cross-request cache. The cache keeps its own
+    authoritative tallies under its lock and re-syncs these refs after
+    every request (the daemon resets the solver counters per cold solve
+    to keep per-request counter deltas deterministic). *)
+
+val serve_requests : int ref
+val serve_cache_hits : int ref
+val serve_cache_misses : int ref
+val serve_cache_evictions : int ref
+
 (** [time stage f] runs [f ()] and adds its wall-clock duration to the
     accumulator for [stage] (even if [f] raises). Timers are
     {e exclusive}: when stages nest, the inner stage's time is

@@ -17,6 +17,11 @@ let count = ref 0
 let t0 = ref 0.0
 let last_ts = ref 0.0
 
+(* Emission from concurrent domains (the serving daemon) mutates the
+   sink under this lock. The null-sink fast path stays lock-free: the
+   [on ()] check happens before the lock is ever touched. *)
+let emit_mutex = Mutex.create ()
+
 let on () = !enabled
 
 (* Microseconds since [t0], clamped non-decreasing: Chrome's viewer
@@ -45,8 +50,10 @@ let event_count () = !count
 
 let emit ph ?(args = []) ~cat name =
   if !enabled then begin
+    Mutex.lock emit_mutex;
     sink := { ph; name; cat; ts = now_us (); args } :: !sink;
-    incr count
+    incr count;
+    Mutex.unlock emit_mutex
   end
 
 let begin_span ?args ~cat name = emit B ?args ~cat name
@@ -126,3 +133,31 @@ let with_recording f =
   let evs = events () in
   disable ();
   (v, evs)
+
+(* Unlike [with_recording], [capture] saves the whole sink state and
+   puts it back, so a capture can run while an outer recording is in
+   progress (the serving daemon harvests per-request decision events
+   this way without clobbering a session-level trace). The outer
+   clock's monotonicity is preserved by restoring [last_ts]. *)
+let capture f =
+  let s_enabled = !enabled
+  and s_sink = !sink
+  and s_count = !count
+  and s_t0 = !t0
+  and s_last = !last_ts in
+  let restore () =
+    enabled := s_enabled;
+    sink := s_sink;
+    count := s_count;
+    t0 := s_t0;
+    last_ts := s_last
+  in
+  enable ();
+  match f () with
+  | v ->
+    let evs = events () in
+    restore ();
+    (v, evs)
+  | exception e ->
+    restore ();
+    raise e

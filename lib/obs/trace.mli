@@ -18,7 +18,11 @@
 
     Timestamps are wall-clock microseconds relative to the most recent
     {!enable}/{!reset}, clamped to be non-decreasing (Chrome's trace
-    viewer requires monotone timestamps). *)
+    viewer requires monotone timestamps).
+
+    When the sink is {e on}, emissions are serialized under a mutex so
+    concurrent domains (the serving daemon) can record safely; the
+    null-sink fast path never touches the lock. *)
 
 type phase = B | E | I
 
@@ -76,3 +80,11 @@ val summary : cat:string -> unit -> (string * float * float) list
     its result with the recorded events; the previous sink state
     (on/off and events) is NOT restored — callers own the tracer. *)
 val with_recording : (unit -> 'a) -> 'a * event list
+
+(** [capture f] runs [f] under a fresh recording like {!with_recording}
+    but saves the entire sink state first and restores it afterwards
+    (also on exceptions — the captured events are then lost). Captures
+    therefore nest: an outer recording resumes exactly where it left
+    off, clock monotonicity included. This is what the serving daemon
+    uses to harvest per-request decision events. *)
+val capture : (unit -> 'a) -> 'a * event list

@@ -82,7 +82,29 @@ val lower_upper_bounds : t -> int -> Constr.t list * Constr.t list * Constr.t li
     keys iff they are {!equal} — in particular, dependence polyhedra
     that are identical up to statement renaming (same dimensions, same
     constraint systems) collide, which is what the Farkas memoization
-    in [lib/pluto] keys on. *)
+    in [lib/pluto] keys on.
+
+    {b Frozen format} (v1 — do not change without versioning every
+    consumer): the key is
+
+    {[ <dim> ["!empty"] (";" <constr>)* ]}
+
+    where [<dim>] is [string_of_int (dim p)], ["!empty"] appears iff a
+    trivially-false constraint was seen at construction (the trivial
+    constraint itself is dropped from the system), and each
+    [<constr>] is {!Constr.structural_key} — the kind character ['e']
+    (equality) or ['g'] (inequality [>= 0]) followed by one
+    [" " ^ Q.to_string c] per normalized coefficient, constant last —
+    with the constraints sorted by {!Constr.compare}. Example: the 1-d
+    system [x >= 0, x = 3] renders ["1;e 1 -3;g 1 0"].
+
+    The serving layer's content-addressed cache builds request
+    fingerprints from these keys ([Serve.Fingerprint], versioned
+    ["wisefuse-fp-v1"]), and persisted cache keys outlive any single
+    process — a silent format change would turn every stored key stale
+    and corrupt cross-version hit accounting. The golden regression
+    test in [test/test_poly.ml] pins this rendering; update the version
+    tag in [Serve.Fingerprint.version] if it ever has to move. *)
 val structural_key : t -> string
 
 val equal : t -> t -> bool

@@ -1,0 +1,125 @@
+(* The content-addressed cross-request cache.
+
+   Maps a Fingerprint key to the full certified response payload (an
+   immutable Obs.Json tree — embedding the same tree into every
+   envelope guarantees hit responses are byte-identical to the miss
+   that created them). Eviction is LRU over a capacity bound: each
+   access stamps a monotonically increasing tick, and inserting past
+   capacity evicts the smallest stamp. The scan is O(capacity), paid
+   only on insertion of a new entry into a full cache — at serving
+   capacities (hundreds to thousands of entries) this is noise next to
+   the ILP solve that the insertion just performed.
+
+   All operations take the cache lock, so any number of domains can hit
+   concurrently. Tallies are kept under the same lock (authoritative)
+   and mirrored into Linalg.Counters by [sync_counters]. *)
+
+type entry = {
+  payload : Obs.Json.t;  (* the cached "result" object, served verbatim *)
+  deps_fp : string;  (* Fingerprint.deps_key of the solve's dependence set *)
+  solve_ms : float;  (* wall time of the cold solve that built this entry *)
+  mutable last_used : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+type t = {
+  capacity : int;
+  tbl : (string, entry) Hashtbl.t;
+  lock : Mutex.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  {
+    capacity;
+    tbl = Hashtbl.create (min capacity 1024);
+    lock = Mutex.create ();
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Quiet lookup: no hit/miss accounting. The server uses this for the
+   double-checked lookup under its solver lock, where a second find for
+   the same request must not double-count. *)
+let find_quiet t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e ->
+        t.tick <- t.tick + 1;
+        e.last_used <- t.tick;
+        Some e
+      | None -> None)
+
+let count_hit t = locked t (fun () -> t.hits <- t.hits + 1)
+let count_miss t = locked t (fun () -> t.misses <- t.misses + 1)
+
+let find t key =
+  match find_quiet t key with
+  | Some e ->
+    count_hit t;
+    Some e
+  | None ->
+    count_miss t;
+    None
+
+let evict_lru t =
+  (* called with the lock held *)
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, best) when best <= e.last_used -> ()
+      | _ -> victim := Some (k, e.last_used))
+    t.tbl;
+  match !victim with
+  | Some (k, _) ->
+    Hashtbl.remove t.tbl k;
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
+let add t key ~payload ~deps_fp ~solve_ms =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.tbl key) then begin
+        if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
+        t.tick <- t.tick + 1;
+        Hashtbl.add t.tbl key { payload; deps_fp; solve_ms; last_used = t.tick }
+      end)
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.tbl;
+        capacity = t.capacity;
+      })
+
+(* Mirror the authoritative tallies into the process-wide counters so
+   `--stats` and the bench records see serving traffic alongside the
+   solver counters. Plain [:=]: the daemon resets solver counters per
+   cold solve, and re-syncing after every request keeps these correct
+   regardless. *)
+let sync_counters t ~requests =
+  let s = stats t in
+  Linalg.Counters.serve_requests := requests;
+  Linalg.Counters.serve_cache_hits := s.hits;
+  Linalg.Counters.serve_cache_misses := s.misses;
+  Linalg.Counters.serve_cache_evictions := s.evictions

@@ -1,0 +1,198 @@
+(* Content-addressed structural fingerprints for whole scheduling
+   requests.
+
+   This generalizes Poly.Polyhedron.structural_key — a canonical
+   textual form of one constraint system — to everything a scheduling
+   request is a function of: the whole SCoP (domains, accesses,
+   expression structure, loop-nest shape, textual positions, parameter
+   defaults), the model configuration (which cut strategies, which
+   pre-fusion order, Algorithm 2 on/off) and the legality param floor.
+   Two requests with equal keys are guaranteed to schedule identically,
+   so the serving cache can return the stored response verbatim.
+
+   Canonicalization deliberately mirrors structural_key's philosophy:
+   names are {e not} part of the key. Statement names, iterator names,
+   parameter names and array names are all replaced by first-occurrence
+   indices, so alpha-renamed programs collide — which is exactly what a
+   content-addressed cache wants. Loop ids are likewise normalized by
+   first occurrence, preserving which statements share which loops
+   without keying on the builder's id allocation order.
+
+   The dependence set of a program is a deterministic function of
+   (program, param_floor) — the analysis is exact and has no hidden
+   state — so the request key does NOT recompute dependences: hashing
+   the program content already content-addresses the dependence set,
+   and the hit path stays free of B&B emptiness tests (zero LP pivots,
+   zero B&B nodes). [deps_key] is still provided so the cold path can
+   record the dependence-set fingerprint in the cache entry for audit,
+   and so tests can assert the derivation is stable. *)
+
+let version = "wisefuse-fp-v1"
+
+(* --- canonical writers --------------------------------------------------- *)
+
+let add_int_array buf a =
+  Buffer.add_char buf '[';
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int v))
+    a;
+  Buffer.add_char buf ']'
+
+let add_matrix buf m =
+  Buffer.add_char buf '{';
+  Array.iter (fun row -> add_int_array buf row) m;
+  Buffer.add_char buf '}'
+
+(* arrays are keyed by their declaration index, not their name *)
+let add_access buf ~array_index (a : Scop.Access.t) =
+  Buffer.add_char buf 'a';
+  Buffer.add_string buf (string_of_int (array_index a.Scop.Access.array));
+  add_matrix buf a.Scop.Access.idx
+
+let rec add_expr buf ~array_index (e : Scop.Expr.t) =
+  match e with
+  | Scop.Expr.Const f ->
+    (* %h is exact for every float, so structurally equal constants and
+       only those collide *)
+    Buffer.add_string buf (Printf.sprintf "c%h" f)
+  | Scop.Expr.Load a -> add_access buf ~array_index a
+  | Scop.Expr.Neg e1 ->
+    Buffer.add_string buf "n(";
+    add_expr buf ~array_index e1;
+    Buffer.add_char buf ')'
+  | Scop.Expr.Sqrt e1 ->
+    Buffer.add_string buf "q(";
+    add_expr buf ~array_index e1;
+    Buffer.add_char buf ')'
+  | Scop.Expr.Bin (op, l, r) ->
+    Buffer.add_char buf
+      (match op with
+      | Scop.Expr.Add -> '+'
+      | Scop.Expr.Sub -> '-'
+      | Scop.Expr.Mul -> '*'
+      | Scop.Expr.Div -> '/');
+    Buffer.add_char buf '(';
+    add_expr buf ~array_index l;
+    Buffer.add_char buf ',';
+    add_expr buf ~array_index r;
+    Buffer.add_char buf ')'
+
+(* --- the program body ---------------------------------------------------- *)
+
+let program_body (p : Scop.Program.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "P|np=";
+  Buffer.add_string buf (string_of_int (Scop.Program.nparams p));
+  Buffer.add_string buf "|defaults=";
+  add_int_array buf p.Scop.Program.default_params;
+  (* arrays by declaration order; names dropped, extents kept *)
+  let array_index =
+    let tbl = Hashtbl.create 16 in
+    List.iteri
+      (fun i (d : Scop.Program.array_decl) ->
+        if not (Hashtbl.mem tbl d.Scop.Program.array_name) then
+          Hashtbl.add tbl d.Scop.Program.array_name i)
+      p.Scop.Program.arrays;
+    fun name ->
+      match Hashtbl.find_opt tbl name with
+      | Some i -> i
+      | None -> -1 (* malformed program; still deterministic *)
+  in
+  Buffer.add_string buf "|arrays=";
+  List.iter
+    (fun (d : Scop.Program.array_decl) ->
+      Buffer.add_char buf 'A';
+      add_matrix buf d.Scop.Program.extents)
+    p.Scop.Program.arrays;
+  (* loop ids normalized by first occurrence across program order *)
+  let loop_index =
+    let tbl = Hashtbl.create 16 in
+    let next = ref 0 in
+    fun id ->
+      match Hashtbl.find_opt tbl id with
+      | Some i -> i
+      | None ->
+        let i = !next in
+        incr next;
+        Hashtbl.add tbl id i;
+        i
+  in
+  Array.iter
+    (fun (s : Scop.Statement.t) ->
+      Buffer.add_string buf "|S:d=";
+      Buffer.add_string buf (string_of_int (Scop.Statement.depth s));
+      Buffer.add_string buf ";beta=";
+      add_int_array buf s.Scop.Statement.beta;
+      Buffer.add_string buf ";loops=";
+      add_int_array buf (Array.map loop_index s.Scop.Statement.loop_ids);
+      Buffer.add_string buf ";dom=";
+      Buffer.add_string buf (Poly.Polyhedron.structural_key s.Scop.Statement.domain);
+      Buffer.add_string buf ";w=";
+      add_access buf ~array_index s.Scop.Statement.write;
+      Buffer.add_string buf ";r=";
+      add_expr buf ~array_index s.Scop.Statement.rhs)
+    p.Scop.Program.stmts;
+  Buffer.contents buf
+
+(* --- the model body ------------------------------------------------------ *)
+
+let cut_body = function
+  | Pluto.Scheduler.Cut_all_sccs -> "all"
+  | Pluto.Scheduler.Cut_between_dims -> "dims"
+  | Pluto.Scheduler.Cut_minimal -> "min"
+  | Pluto.Scheduler.Cut_groups gs ->
+    "groups(" ^ String.concat "," (List.map string_of_int gs) ^ ")"
+
+let model_body (m : Fusion.Model.t) =
+  match m with
+  | Fusion.Model.Icc -> "M|icc"
+  | _ ->
+    (* the scheduler config's name identifies its pre-fusion ordering
+       function (the one field a structural hash cannot inspect); the
+       cut strategies and the Algorithm 2 flag are serialized
+       structurally *)
+    let cfg = Fusion.Model.scheduler_config m in
+    Printf.sprintf "M|%s|cfg=%s|init=%s|fb=%s|alg2=%b"
+      (Fusion.Model.name m) cfg.Pluto.Scheduler.name
+      (match cfg.Pluto.Scheduler.initial_cut with
+      | None -> "none"
+      | Some c -> cut_body c)
+      (cut_body cfg.Pluto.Scheduler.fallback_cut)
+      cfg.Pluto.Scheduler.outer_parallel
+
+(* --- dependence sets ----------------------------------------------------- *)
+
+let dep_body (d : Deps.Dep.t) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "D|%d>%d|%s|%s" d.Deps.Dep.src d.Deps.Dep.dst
+       (Deps.Dep.kind_to_string d.Deps.Dep.kind)
+       (match d.Deps.Dep.level with
+       | Deps.Dep.Carried l -> "c" ^ string_of_int l
+       | Deps.Dep.Independent -> "i"));
+  Buffer.add_string buf "|sa=";
+  add_matrix buf d.Deps.Dep.src_access.Scop.Access.idx;
+  Buffer.add_string buf "|da=";
+  add_matrix buf d.Deps.Dep.dst_access.Scop.Access.idx;
+  Buffer.add_string buf "|p=";
+  Buffer.add_string buf (Poly.Polyhedron.structural_key d.Deps.Dep.poly);
+  Buffer.contents buf
+
+let deps_body deps =
+  (* order-independent: dependence analysis order is an implementation
+     detail, the set is not *)
+  String.concat "\n" (List.sort String.compare (List.map dep_body deps))
+
+(* --- digests ------------------------------------------------------------- *)
+
+let digest s = Digest.to_hex (Digest.string s)
+let program p = digest (program_body p)
+let deps_key ds = digest (deps_body ds)
+
+let key ?(param_floor = 2) ~model prog =
+  digest
+    (String.concat "\x00"
+       [ version; model_body model; "floor=" ^ string_of_int param_floor;
+         program_body prog ])

@@ -1,0 +1,50 @@
+(** Content-addressed structural fingerprints of scheduling requests.
+
+    Generalizes {!Poly.Polyhedron.structural_key} from one constraint
+    system to a whole request: the SCoP (domains, accesses, expression
+    structure, loop-nest shape, textual positions, parameter defaults),
+    the fusion-model configuration and the legality parameter floor.
+    Requests with equal keys schedule identically, so the serving cache
+    can answer with the stored response verbatim.
+
+    Names do not participate: statement, iterator, parameter and array
+    names are replaced by first-occurrence indices, so alpha-renamed
+    programs collide (deliberately — same philosophy as
+    [structural_key]'s rename-invariance). Loop ids are normalized by
+    first occurrence, preserving loop-sharing structure only.
+
+    The dependence set is a deterministic function of
+    [(program, param_floor)], so {!key} does not recompute it — hashing
+    the program content already content-addresses the dependences, and
+    a cache hit performs no B&B emptiness tests. {!deps_key} exists so
+    the cold path can record the derived dependence-set fingerprint in
+    the cache entry, and so tests can assert the derivation is stable.
+
+    Digests are MD5 hex (via [Digest]) — content addressing, not
+    cryptography. The serialization format is versioned ({!version});
+    any change to the canonical form must bump it. *)
+
+(** Version tag mixed into every {!key}; bump on format changes. *)
+val version : string
+
+(** Canonical serialization of a whole program (exposed for tests and
+    for auditing collisions). *)
+val program_body : Scop.Program.t -> string
+
+(** MD5 hex of {!program_body}. *)
+val program : Scop.Program.t -> string
+
+(** Canonical, order-independent serialization of a dependence set. *)
+val deps_body : Deps.Dep.t list -> string
+
+(** MD5 hex of {!deps_body}. *)
+val deps_key : Deps.Dep.t list -> string
+
+(** Canonical serialization of a model configuration (name, pre-fusion
+    order identifier, cut strategies, Algorithm 2 flag). *)
+val model_body : Fusion.Model.t -> string
+
+(** The request key: MD5 hex over version, model, param floor and
+    program content. [param_floor] defaults to 2, matching
+    {!Deps.Dep.analyze}. *)
+val key : ?param_floor:int -> model:Fusion.Model.t -> Scop.Program.t -> string

@@ -1,0 +1,114 @@
+(* The line-delimited JSON protocol of the scheduling daemon.
+
+   One request per line, one response line per request. Requests:
+
+     {"id": 7, "kernel": "swim", "model": "wisefuse", "size": 16}
+     {"id": 8, "op": "ping"}
+     {"id": 9, "op": "stats"}
+     {"id": 10, "op": "shutdown"}
+
+   "op" defaults to "schedule". "id" is any JSON value and is echoed
+   verbatim (absent -> null); "model" defaults to "wisefuse"; "size"
+   defaults to the kernel's registry model size. Unknown fields are
+   ignored so clients can tag requests freely.
+
+   Every response carries "id" and "status" ("ok" | "error"). A
+   schedule response adds "key" (the content-address), "cache"
+   ("hit" | "miss"), "serve" (per-request counters: wall time and the
+   solver work this request performed — zeros on a hit) and "result"
+   (the cached payload: schedule, partition, wisecheck verdict, explain
+   chain, solve counters). Error responses add
+   {"error": {"code", "message"}} and reuse the CLI's diagnostic exit
+   vocabulary for codes. *)
+
+type op =
+  | Schedule of { kernel : string; size : int option; model : string }
+  | Ping
+  | Stats
+  | Shutdown
+
+type request = { id : Obs.Json.t; op : op }
+
+type parse_error = { err_id : Obs.Json.t; code : string; message : string }
+
+let member = Obs.Json.member
+
+let id_of j = Option.value (member "id" j) ~default:Obs.Json.Null
+
+let parse_request line =
+  match Obs.Json.parse line with
+  | Error msg ->
+    Error { err_id = Obs.Json.Null; code = "parse"; message = msg }
+  | Ok j -> (
+    let id = id_of j in
+    let str_field name = Option.bind (member name j) Obs.Json.to_string_opt in
+    match Option.value (str_field "op") ~default:"schedule" with
+    | "ping" -> Ok { id; op = Ping }
+    | "stats" -> Ok { id; op = Stats }
+    | "shutdown" -> Ok { id; op = Shutdown }
+    | "schedule" -> (
+      match str_field "kernel" with
+      | None ->
+        Error
+          { err_id = id; code = "usage";
+            message = "schedule request needs a \"kernel\" field" }
+      | Some kernel ->
+        let size = Option.bind (member "size" j) Obs.Json.to_int_opt in
+        let model = Option.value (str_field "model") ~default:"wisefuse" in
+        Ok { id; op = Schedule { kernel; size; model } })
+    | other ->
+      Error
+        { err_id = id; code = "usage";
+          message = Printf.sprintf "unknown op %S" other })
+
+(* --- response envelopes -------------------------------------------------- *)
+
+let ok_fields id rest = ("id", id) :: ("status", Obs.Json.Str "ok") :: rest
+
+let error_response ~id ~code ~message =
+  Obs.Json.Obj
+    [ ("id", id); ("status", Obs.Json.Str "error");
+      ( "error",
+        Obs.Json.Obj
+          [ ("code", Obs.Json.Str code); ("message", Obs.Json.Str message) ] ) ]
+
+let pong_response ~id = Obs.Json.Obj (ok_fields id [ ("pong", Obs.Json.Bool true) ])
+
+let shutdown_response ~id =
+  Obs.Json.Obj (ok_fields id [ ("bye", Obs.Json.Bool true) ])
+
+let stats_response ~id ~uptime_s ~requests (s : Cache.stats) =
+  Obs.Json.Obj
+    (ok_fields id
+       [ ( "stats",
+           Obs.Json.Obj
+             [ ("uptime_s", Obs.Json.Float (Obs.Json.round2 uptime_s));
+               ("requests", Obs.Json.Int requests);
+               ("cache_hits", Obs.Json.Int s.Cache.hits);
+               ("cache_misses", Obs.Json.Int s.Cache.misses);
+               ("cache_evictions", Obs.Json.Int s.Cache.evictions);
+               ("cache_entries", Obs.Json.Int s.Cache.entries);
+               ("cache_capacity", Obs.Json.Int s.Cache.capacity) ] ) ])
+
+(* Per-request serving section: what THIS request cost. On a cache hit
+   every solver counter is zero — the proof that hits bypass the ILP. *)
+let serve_section ~wall_us ~solver =
+  Obs.Json.Obj
+    (("wall_us", Obs.Json.Float (Obs.Json.round2 wall_us))
+     :: List.map (fun (n, v) -> (n, Obs.Json.Int v)) solver)
+
+let zero_solver =
+  [ ("lp_solves", 0); ("lp_pivots", 0); ("dual_pivots", 0); ("ilp_solves", 0);
+    ("bb_nodes", 0) ]
+
+let solver_counter_names = List.map fst zero_solver
+
+let schedule_response ~id ~key ~cache_state ~serve ~result =
+  Obs.Json.Obj
+    (ok_fields id
+       [ ("key", Obs.Json.Str key);
+         ("cache", Obs.Json.Str cache_state);
+         ("serve", serve);
+         ("result", result) ])
+
+let to_line j = Obs.Json.to_string j

@@ -1,0 +1,50 @@
+(** The line-delimited JSON protocol of the scheduling daemon: request
+    parsing and response-envelope construction (one request per line,
+    one response line per request). See the README "Serving" section
+    for the wire schema. *)
+
+type op =
+  | Schedule of { kernel : string; size : int option; model : string }
+  | Ping
+  | Stats
+  | Shutdown
+
+type request = { id : Obs.Json.t; op : op }
+
+type parse_error = {
+  err_id : Obs.Json.t;  (** echoed id when the line was valid JSON *)
+  code : string;  (** "parse" | "usage" *)
+  message : string;
+}
+
+(** Parse one request line. ["op"] defaults to ["schedule"], ["model"]
+    to ["wisefuse"]; unknown fields are ignored. *)
+val parse_request : string -> (request, parse_error) result
+
+val error_response : id:Obs.Json.t -> code:string -> message:string -> Obs.Json.t
+val pong_response : id:Obs.Json.t -> Obs.Json.t
+val shutdown_response : id:Obs.Json.t -> Obs.Json.t
+
+val stats_response :
+  id:Obs.Json.t -> uptime_s:float -> requests:int -> Cache.stats -> Obs.Json.t
+
+(** The per-request ["serve"] section: wall time plus the solver work
+    this request performed ([solver] is name/value pairs). *)
+val serve_section : wall_us:float -> solver:(string * int) list -> Obs.Json.t
+
+(** All solver counters at zero — a cache hit's ["serve"] section. *)
+val zero_solver : (string * int) list
+
+(** The counter names reported in the ["serve"] section, in order. *)
+val solver_counter_names : string list
+
+val schedule_response :
+  id:Obs.Json.t ->
+  key:string ->
+  cache_state:string ->
+  serve:Obs.Json.t ->
+  result:Obs.Json.t ->
+  Obs.Json.t
+
+(** Compact single-line rendering (what goes on the wire). *)
+val to_line : Obs.Json.t -> string

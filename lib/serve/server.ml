@@ -1,0 +1,447 @@
+(* wiseserve: the long-lived scheduling daemon.
+
+   Requests stream in as line-delimited JSON (stdio or a Unix socket),
+   are keyed by Fingerprint and answered from the content-addressed
+   Cache when possible. A miss runs the full certified pipeline —
+   Fusion.Model.optimize under a nested trace capture (so the decision
+   events become the response's explain chain), then wisecheck — and
+   stores the rendered payload for every later request with the same
+   content.
+
+   Concurrency model (OCaml 5 domains): any number of workers serve
+   hits and protocol ops concurrently — the cache has its own lock and
+   the hit path touches no other shared state. Cold solves serialize
+   under one solver lock, because the exact-arithmetic pipeline keeps
+   process-wide state (the Farkas memo table, the pipeline counters,
+   the trace sink); holding the lock also makes the per-request counter
+   deltas exact — the response's "serve" section proves a hit performed
+   zero LP pivots and zero B&B nodes, and a miss reports precisely its
+   own solver work. Concurrent requests for the SAME key coalesce: the
+   second requester blocks on the solver lock, re-probes the cache, and
+   leaves with the first one's entry (a hit, never a duplicate solve). *)
+
+type config = { domains : int; cache_capacity : int }
+
+let default_config = { domains = 1; cache_capacity = 512 }
+
+type t = {
+  config : config;
+  cache : Cache.t;
+  solver : Mutex.t;  (* serializes cold solves and the global solver state *)
+  out : Mutex.t;  (* serializes response emission in pool modes *)
+  stop : bool Atomic.t;
+  requests : int Atomic.t;
+  started : float;
+  mutable on_stop : unit -> unit;
+      (* wakes a blocked accept loop after a shutdown request *)
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    cache = Cache.create ~capacity:config.cache_capacity;
+    solver = Mutex.create ();
+    out = Mutex.create ();
+    stop = Atomic.make false;
+    requests = Atomic.make 0;
+    started = Unix.gettimeofday ();
+    on_stop = (fun () -> ());
+  }
+
+let cache t = t.cache
+let stopping t = Atomic.get t.stop
+
+(* --- building the cached result payload --------------------------------- *)
+
+let row_json = function
+  | Pluto.Sched.Hyp h ->
+    Obs.Json.Obj
+      [ ("hyp", Obs.Json.List (List.map (fun c -> Obs.Json.Int c) (Array.to_list h))) ]
+  | Pluto.Sched.Beta b -> Obs.Json.Obj [ ("beta", Obs.Json.Int b) ]
+
+let sched_json (prog : Scop.Program.t) (sched : Pluto.Sched.t) =
+  Obs.Json.List
+    (Array.to_list
+       (Array.mapi
+          (fun i rows ->
+            Obs.Json.Obj
+              [ ("stmt", Obs.Json.Str prog.Scop.Program.stmts.(i).Scop.Statement.name);
+                ("rows", Obs.Json.List (List.map row_json rows)) ])
+          sched))
+
+(* outermost fusion partition, statement id order; derived from the icc
+   nests when the structural model served the request *)
+let partition_json (opt : Fusion.Model.optimized) =
+  let part =
+    match (opt.Fusion.Model.scheduler, opt.Fusion.Model.icc) with
+    | Some res, _ -> res.Pluto.Scheduler.outer_partition
+    | None, Some r ->
+      let n = Array.length r.Icc.Icc_model.prog.Scop.Program.stmts in
+      let part = Array.make n 0 in
+      List.iteri
+        (fun idx (nst : Icc.Icc_model.nest) ->
+          List.iter (fun id -> part.(id) <- idx) nst.Icc.Icc_model.stmts)
+        r.Icc.Icc_model.nests;
+      part
+    | None, None -> [||]
+  in
+  Obs.Json.List (List.map (fun p -> Obs.Json.Int p) (Array.to_list part))
+
+let artifacts (opt : Fusion.Model.optimized) =
+  match (opt.Fusion.Model.scheduler, opt.Fusion.Model.icc) with
+  | Some res, _ ->
+    ( res.Pluto.Scheduler.prog,
+      res.Pluto.Scheduler.all_deps,
+      res.Pluto.Scheduler.sched )
+  | None, Some r ->
+    (r.Icc.Icc_model.prog, r.Icc.Icc_model.deps, r.Icc.Icc_model.sched)
+  | None, None -> assert false
+
+let wisecheck_json prog (r : Analysis.Wisecheck.report) =
+  Obs.Json.Obj
+    [ ("errors", Obs.Json.Int r.Analysis.Wisecheck.errors);
+      ("warnings", Obs.Json.Int r.Analysis.Wisecheck.warnings);
+      ("infos", Obs.Json.Int r.Analysis.Wisecheck.infos);
+      ("certified", Obs.Json.Bool (Analysis.Wisecheck.certified r));
+      ( "findings",
+        Obs.Json.List
+          (List.map (Analysis.Finding.json prog) r.Analysis.Wisecheck.findings) ) ]
+
+let explain_lines ex =
+  let text = Format.asprintf "%a" Fusion.Explain.pp ex in
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map (fun l -> Obs.Json.Str l)
+
+(* One cold solve. Must be called with [t.solver] held: it resets the
+   process-wide counters and the Farkas memo so the payload (explain
+   chain and counters included) is a pure function of the request
+   content — which is what makes cached responses byte-identical to
+   fresh solves. Returns the payload and the dependence-set
+   fingerprint. *)
+let solve ~kernel ~model ~size prog =
+  Linalg.Counters.reset ();
+  Pluto.Farkas.reset_cache ();
+  let opt, events =
+    Obs.Trace.capture (fun () -> Fusion.Model.optimize model prog)
+  in
+  let aprog, deps, sched = artifacts opt in
+  let report = Analysis.Wisecheck.certify aprog deps sched opt.Fusion.Model.ast in
+  let ex = { Fusion.Explain.kernel; model; outcome = opt; events } in
+  let rung, degraded =
+    match opt.Fusion.Model.resilience with
+    | Some o -> (Fusion.Resilient.rung_name o.Fusion.Resilient.rung,
+                 Fusion.Resilient.degraded o)
+    | None -> ("structural", false)
+  in
+  let payload =
+    Obs.Json.Obj
+      [ ("kernel", Obs.Json.Str kernel);
+        ("model", Obs.Json.Str (Fusion.Model.name model));
+        ("size", Obs.Json.Int size);
+        ("rung", Obs.Json.Str rung);
+        ("degraded", Obs.Json.Bool degraded);
+        ("schedule", sched_json aprog sched);
+        ("partition", partition_json opt);
+        ("wisecheck", wisecheck_json aprog report);
+        ("explain", Obs.Json.List (explain_lines ex));
+        ( "counters",
+          Obs.Json.Obj
+            (List.map
+               (fun (n, v) -> (n, Obs.Json.Int v))
+               (Linalg.Counters.all_counters ())) ) ]
+  in
+  (payload, Fingerprint.deps_key deps)
+
+(* --- request handling ---------------------------------------------------- *)
+
+let solver_deltas () =
+  let all = Linalg.Counters.all_counters () in
+  List.map
+    (fun n -> (n, Option.value (List.assoc_opt n all) ~default:0))
+    Protocol.solver_counter_names
+
+let hit_response ~id ~key ~coalesced ~wall0 (e : Cache.entry) =
+  if Obs.Trace.on () then
+    Obs.Trace.instant ~cat:"serve" "serve.cache-hit"
+      ~args:
+        [ ("key", Obs.Json.Str key); ("coalesced", Obs.Json.Bool coalesced) ];
+  let wall_us = (Unix.gettimeofday () -. wall0) *. 1e6 in
+  Protocol.schedule_response ~id ~key ~cache_state:"hit"
+    ~serve:(Protocol.serve_section ~wall_us ~solver:Protocol.zero_solver)
+    ~result:e.Cache.payload
+
+let handle_schedule t ~id ~kernel ~size ~model:model_name =
+  let wall0 = Unix.gettimeofday () in
+  match Kernels.Registry.find kernel with
+  | exception Not_found ->
+    Protocol.error_response ~id ~code:"usage"
+      ~message:
+        (Printf.sprintf "unknown kernel %S (see `wisefuse list')" kernel)
+  | entry -> (
+    match Fusion.Model.of_name model_name with
+    | exception Not_found ->
+      Protocol.error_response ~id ~code:"usage"
+        ~message:(Printf.sprintf "unknown model %S" model_name)
+    | model -> (
+      let n = Option.value size ~default:entry.Kernels.Registry.model_size in
+      match entry.Kernels.Registry.program ~n () with
+      | exception Invalid_argument msg ->
+        Protocol.error_response ~id ~code:"usage"
+          ~message:(Printf.sprintf "cannot build %s at size %d: %s" kernel n msg)
+      | prog ->
+        let key = Fingerprint.key ~model prog in
+        let args =
+          if Obs.Trace.on () then
+            [ ("kernel", Obs.Json.Str kernel);
+              ("model", Obs.Json.Str model_name);
+              ("key", Obs.Json.Str key) ]
+          else []
+        in
+        Obs.Trace.span ~cat:"serve" ~args "serve.request" (fun () ->
+            match Cache.find_quiet t.cache key with
+            | Some e ->
+              Cache.count_hit t.cache;
+              hit_response ~id ~key ~coalesced:false ~wall0 e
+            | None ->
+              Mutex.lock t.solver;
+              Fun.protect
+                ~finally:(fun () -> Mutex.unlock t.solver)
+                (fun () ->
+                  (* double-checked: someone may have solved this key
+                     while we waited for the lock *)
+                  match Cache.find_quiet t.cache key with
+                  | Some e ->
+                    Cache.count_hit t.cache;
+                    hit_response ~id ~key ~coalesced:true ~wall0 e
+                  | None -> (
+                    match
+                      Obs.Trace.span ~cat:"serve" "serve.schedule" (fun () ->
+                          let t0 = Unix.gettimeofday () in
+                          let payload, deps_fp = solve ~kernel ~model ~size:n prog in
+                          (payload, deps_fp, (Unix.gettimeofday () -. t0) *. 1e3))
+                    with
+                    | payload, deps_fp, solve_ms ->
+                      Cache.add t.cache key ~payload ~deps_fp ~solve_ms;
+                      Cache.count_miss t.cache;
+                      let solver = solver_deltas () in
+                      let wall_us = (Unix.gettimeofday () -. wall0) *. 1e6 in
+                      Protocol.schedule_response ~id ~key ~cache_state:"miss"
+                        ~serve:(Protocol.serve_section ~wall_us ~solver)
+                        ~result:payload
+                    | exception Pluto.Diagnostics.Error d ->
+                      Protocol.error_response ~id
+                        ~code:
+                          (Pluto.Diagnostics.phase_name d.Pluto.Diagnostics.phase
+                          ^ ":" ^ d.Pluto.Diagnostics.code)
+                        ~message:d.Pluto.Diagnostics.message)))))
+
+let handle_request t ({ id; op } : Protocol.request) =
+  match op with
+  | Protocol.Ping -> Protocol.pong_response ~id
+  | Protocol.Stats ->
+    Protocol.stats_response ~id
+      ~uptime_s:(Unix.gettimeofday () -. t.started)
+      ~requests:(Atomic.get t.requests) (Cache.stats t.cache)
+  | Protocol.Shutdown ->
+    Atomic.set t.stop true;
+    t.on_stop ();
+    Protocol.shutdown_response ~id
+  | Protocol.Schedule { kernel; size; model } ->
+    handle_schedule t ~id ~kernel ~size ~model
+
+(* One request line in, one response line out (no trailing newline).
+   Blank lines are ignored. Never raises: anything unexpected becomes
+   an "internal" error envelope so the stream stays alive. *)
+let handle_line t line =
+  let line = String.trim line in
+  if line = "" then None
+  else begin
+    Atomic.incr t.requests;
+    let response =
+      match Protocol.parse_request line with
+      | Error pe ->
+        Protocol.error_response ~id:pe.Protocol.err_id ~code:pe.Protocol.code
+          ~message:pe.Protocol.message
+      | Ok req -> (
+        try handle_request t req
+        with e ->
+          Protocol.error_response ~id:req.Protocol.id ~code:"internal"
+            ~message:(Printexc.to_string e))
+    in
+    Cache.sync_counters t.cache ~requests:(Atomic.get t.requests);
+    Some (Protocol.to_line response)
+  end
+
+(* --- serving loops ------------------------------------------------------- *)
+
+(* A minimal blocking multi-producer/multi-consumer queue for the
+   domain pools. [pop] returns [None] once the queue is closed and
+   drained. *)
+module Bqueue = struct
+  type 'a t = {
+    q : 'a Queue.t;
+    m : Mutex.t;
+    c : Condition.t;
+    mutable closed : bool;
+  }
+
+  let create () =
+    { q = Queue.create (); m = Mutex.create (); c = Condition.create (); closed = false }
+
+  let push t x =
+    Mutex.lock t.m;
+    if not t.closed then begin
+      Queue.push x t.q;
+      Condition.signal t.c
+    end;
+    Mutex.unlock t.m
+
+  let close t =
+    Mutex.lock t.m;
+    t.closed <- true;
+    Condition.broadcast t.c;
+    Mutex.unlock t.m
+
+  let pop t =
+    Mutex.lock t.m;
+    while Queue.is_empty t.q && not t.closed do
+      Condition.wait t.c t.m
+    done;
+    let r = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+    Mutex.unlock t.m;
+    r
+end
+
+(* SIGTERM means: clean up and leave with status 0 — the contract the
+   CI serve job asserts. Workers mid-request are abandoned; the cache
+   is in-memory, so there is nothing durable to corrupt. *)
+let install_sigterm cleanup =
+  try
+    Sys.set_signal Sys.sigterm
+      (Sys.Signal_handle
+         (fun _ ->
+           prerr_endline "wiseserve: caught SIGTERM, shutting down";
+           cleanup ();
+           exit 0))
+  with Invalid_argument _ -> ()
+
+let emit_locked t oc line =
+  Mutex.lock t.out;
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  Mutex.unlock t.out
+
+let serve_stdio t =
+  install_sigterm (fun () -> ());
+  if t.config.domains <= 1 then begin
+    (* synchronous: responses come back in request order *)
+    try
+      while not (Atomic.get t.stop) do
+        let line = input_line stdin in
+        match handle_line t line with
+        | None -> ()
+        | Some r ->
+          print_string r;
+          print_newline ();
+          flush stdout
+      done
+    with End_of_file -> ()
+  end
+  else begin
+    (* pool: N domains drain a shared line queue; responses may
+       interleave out of order (envelopes carry the request id) *)
+    let jobs = Bqueue.create () in
+    let worker () =
+      let rec loop () =
+        match Bqueue.pop jobs with
+        | None -> ()
+        | Some line ->
+          (match handle_line t line with
+          | None -> ()
+          | Some r -> emit_locked t stdout r);
+          loop ()
+      in
+      loop ()
+    in
+    let workers = List.init t.config.domains (fun _ -> Domain.spawn worker) in
+    (try
+       while not (Atomic.get t.stop) do
+         Bqueue.push jobs (input_line stdin)
+       done
+     with End_of_file -> ());
+    Bqueue.close jobs;
+    List.iter Domain.join workers
+  end
+
+(* One accepted connection, served to EOF by a single worker. *)
+let handle_conn t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let rec loop () =
+       let line = input_line ic in
+       (match handle_line t line with
+       | None -> ()
+       | Some r ->
+         output_string oc r;
+         output_char oc '\n';
+         flush oc);
+       if not (Atomic.get t.stop) then loop ()
+     in
+     loop ()
+   with
+  | End_of_file | Sys_error _ -> ()
+  | Unix.Unix_error _ -> ());
+  close_out_noerr oc
+
+let serve_socket t ~path =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  if Sys.file_exists path then Unix.unlink path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let cleanup () =
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    if Sys.file_exists path then try Unix.unlink path with Sys_error _ -> ()
+  in
+  install_sigterm cleanup;
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 64;
+  (* a shutdown request must also unblock the accept loop below: poke
+     our own socket so accept returns and sees the stop flag *)
+  t.on_stop <-
+    (fun () ->
+      try
+        let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect s (Unix.ADDR_UNIX path);
+        Unix.close s
+      with Unix.Unix_error _ -> ());
+  let conns = Bqueue.create () in
+  let worker () =
+    let rec loop () =
+      match Bqueue.pop conns with
+      | None -> ()
+      | Some fd ->
+        handle_conn t fd;
+        loop ()
+    in
+    loop ()
+  in
+  let workers =
+    List.init (max 1 t.config.domains) (fun _ -> Domain.spawn worker)
+  in
+  let rec accept_loop () =
+    if not (Atomic.get t.stop) then begin
+      match Unix.accept sock with
+      | fd, _ ->
+        Bqueue.push conns fd;
+        accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error _ when Atomic.get t.stop -> ()
+    end
+  in
+  accept_loop ();
+  Bqueue.close conns;
+  List.iter Domain.join workers;
+  cleanup ()

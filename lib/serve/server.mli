@@ -1,0 +1,50 @@
+(** wiseserve: the long-lived fusion-as-a-service scheduling daemon.
+
+    Line-delimited JSON requests (stdio or a Unix socket) are keyed by
+    {!Fingerprint} and answered from the content-addressed {!Cache}; a
+    miss runs the full certified pipeline (optimize under a nested
+    trace capture + wisecheck) and stores the payload for every later
+    request with the same content.
+
+    Concurrency: cache hits and protocol ops are served concurrently by
+    any number of OCaml 5 domains; cold solves serialize under one
+    solver lock (the exact-arithmetic pipeline keeps process-wide
+    state), which also makes the per-request counter deltas in each
+    response exact — hits provably perform zero LP pivots and zero B&B
+    nodes. Concurrent misses for the same key coalesce into one solve.
+
+    Trace spans (category ["serve"]): [serve.request] wraps each
+    schedule request, [serve.cache-hit] marks hits (with the key),
+    [serve.schedule] wraps each cold solve. All null-sink-guarded. *)
+
+type config = { domains : int; cache_capacity : int }
+
+val default_config : config
+(** 1 domain, 512 cache entries. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+val cache : t -> Cache.t
+
+(** Has a shutdown request been processed? *)
+val stopping : t -> bool
+
+(** [handle_line t line] handles one request line and returns the
+    response line (no trailing newline), or [None] for blank input.
+    Never raises — internal failures become ["internal"] error
+    envelopes. Safe to call from concurrent domains; this is also the
+    entry point the tests and the bench harness drive directly. *)
+val handle_line : t -> string -> string option
+
+(** Serve requests from stdin to stdout until EOF or a shutdown
+    request. With [config.domains > 1], a domain pool drains the input
+    and responses may interleave out of request order (envelopes carry
+    the request id). Installs a SIGTERM handler that exits 0. *)
+val serve_stdio : t -> unit
+
+(** Listen on a Unix domain socket ([path] is created, and removed on
+    shutdown), serving each accepted connection to EOF on a pool of
+    [config.domains] workers. SIGPIPE is ignored; SIGTERM exits 0 after
+    removing the socket. *)
+val serve_socket : t -> path:string -> unit

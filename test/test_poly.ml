@@ -193,6 +193,42 @@ let prop_intersect_conjunction =
       Polyhedron.integer_points ~lo ~hi inter
       = List.filter (Polyhedron.contains_int b) (Polyhedron.integer_points ~lo ~hi a))
 
+(* Golden pin of the frozen structural_key v1 format (see the contract
+   in polyhedron.mli). The serving layer content-addresses requests
+   with these keys, so a rendering change silently invalidates every
+   persisted cache key: this test forces such a change to be a
+   conscious, versioned one. *)
+let test_structural_key_golden () =
+  (* constraint keys: kind char + " <coeff>" per normalized coefficient *)
+  Alcotest.(check string) "ge" "g 1 0" (Constr.structural_key (Constr.ge [ 1; 0 ]));
+  Alcotest.(check string) "eq normalized" "e 1 2 3"
+    (Constr.structural_key (Constr.eq [ 2; 4; 6 ]));
+  Alcotest.(check string) "negative coeffs" "g -1 -2 -3"
+    (Constr.structural_key (Constr.ge [ -2; -4; -6 ]));
+  (* system key: dim, optional "!empty", then ";"-joined sorted constraints *)
+  let p = Polyhedron.make 1 [ Constr.ge [ 1; 0 ]; Constr.eq [ 1; -3 ] ] in
+  Alcotest.(check string) "1-d system" "1;e 1 -3;g 1 0"
+    (Polyhedron.structural_key p);
+  (* constraint order in the input must not matter *)
+  let p' = Polyhedron.make 1 [ Constr.eq [ 1; -3 ]; Constr.ge [ 1; 0 ] ] in
+  Alcotest.(check string) "input order irrelevant"
+    (Polyhedron.structural_key p) (Polyhedron.structural_key p');
+  (* construction-time falsity is part of the key (a trivially-false
+     constraint sets the marker; the trivial constraint itself is
+     dropped from the system) *)
+  let e = Polyhedron.make 1 [ Constr.ge [ 1; 0 ]; Constr.ge [ 0; -1 ] ] in
+  Alcotest.(check bool) "system is empty" true (Polyhedron.is_empty e);
+  Alcotest.(check string) "empty marker" "1!empty;g 1 0"
+    (Polyhedron.structural_key e);
+  (* 2-d box, rational-free rendering *)
+  let box =
+    Polyhedron.make 2
+      [ Constr.ge [ 1; 0; 0 ]; Constr.ge [ 0; 1; 0 ];
+        Constr.ge [ -1; 0; 4 ]; Constr.ge [ 0; -1; 4 ] ]
+  in
+  Alcotest.(check string) "2-d box" "2;g -1 0 4;g 0 -1 4;g 0 1 0;g 1 0 0"
+    (Polyhedron.structural_key box)
+
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "poly"
@@ -212,7 +248,9 @@ let () =
           Alcotest.test_case "integer points" `Quick test_poly_integer_points;
           Alcotest.test_case "insert dims" `Quick test_poly_insert_dims;
           Alcotest.test_case "lower/upper bounds" `Quick test_poly_bounds;
-          Alcotest.test_case "dedup tightest" `Quick test_poly_dedup_keeps_tightest ] );
+          Alcotest.test_case "dedup tightest" `Quick test_poly_dedup_keeps_tightest;
+          Alcotest.test_case "structural_key golden (frozen v1)" `Quick
+            test_structural_key_golden ] );
       ( "poly-props",
         qt
           [ prop_projection_sound; prop_empty_implies_no_points;

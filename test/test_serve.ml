@@ -1,0 +1,335 @@
+(* Tests for the wiseserve daemon: structural fingerprints, the
+   content-addressed LRU cache, and the server's envelope guarantees —
+   above all that a warm response is byte-identical to the cold solve
+   that populated it, for every kernel x model pair. *)
+
+module Cache = Serve.Cache
+
+let models = Fusion.Model.all
+let model_names = List.map Fusion.Model.name models
+
+let kernels =
+  List.map (fun (e : Kernels.Registry.entry) -> e.Kernels.Registry.name)
+    Kernels.Registry.all
+
+(* small sizes keep 50 cold solves inside a quick test budget; every
+   registry builder accepts n = 8 *)
+let test_size = 8
+
+let request_line ?(size = test_size) ?(model = "wisefuse") ~id kernel =
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       [ ("id", Obs.Json.Int id); ("kernel", Obs.Json.Str kernel);
+         ("model", Obs.Json.Str model); ("size", Obs.Json.Int size) ])
+
+let respond t line =
+  match Serve.Server.handle_line t line with
+  | None -> Alcotest.fail "daemon returned nothing for a request"
+  | Some r -> (
+    match Obs.Json.parse r with
+    | Ok j -> (r, j)
+    | Error m -> Alcotest.failf "unparseable response %s: %s" r m)
+
+let field j name =
+  match Obs.Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks %S: %s" name (Obs.Json.to_string j)
+
+let str_field j name =
+  match Obs.Json.to_string_opt (field j name) with
+  | Some s -> s
+  | None -> Alcotest.failf "%S not a string" name
+
+(* --- warm vs cold: byte identity over the whole registry ----------------- *)
+
+let test_warm_cold_identical () =
+  let t = Serve.Server.create () in
+  let id = ref 0 in
+  List.iter
+    (fun kernel ->
+      List.iter
+        (fun model ->
+          incr id;
+          let line = request_line ~id:!id ~model kernel in
+          let _, cold = respond t line in
+          let _, warm = respond t line in
+          Alcotest.(check string)
+            (kernel ^ "/" ^ model ^ " cold is a miss")
+            "miss" (str_field cold "cache");
+          Alcotest.(check string)
+            (kernel ^ "/" ^ model ^ " warm is a hit")
+            "hit" (str_field warm "cache");
+          Alcotest.(check string)
+            (kernel ^ "/" ^ model ^ " same key")
+            (str_field cold "key") (str_field warm "key");
+          (* the contract: the cached "result" renders to exactly the
+             bytes the cold solve produced *)
+          Alcotest.(check string)
+            (kernel ^ "/" ^ model ^ " byte-identical result")
+            (Obs.Json.to_string (field cold "result"))
+            (Obs.Json.to_string (field warm "result"));
+          (* and the hit performed zero solver work *)
+          let serve = field warm "serve" in
+          List.iter
+            (fun c ->
+              match Obs.Json.to_int_opt (field serve c) with
+              | Some 0 -> ()
+              | v ->
+                Alcotest.failf "%s/%s hit %s = %s" kernel model c
+                  (match v with Some n -> string_of_int n | None -> "?"))
+            [ "lp_solves"; "lp_pivots"; "dual_pivots"; "ilp_solves"; "bb_nodes" ])
+        model_names)
+    kernels;
+  let s = Cache.stats (Serve.Server.cache t) in
+  Alcotest.(check int) "one miss per pair"
+    (List.length kernels * List.length models)
+    s.Cache.misses;
+  Alcotest.(check int) "one hit per pair"
+    (List.length kernels * List.length models)
+    s.Cache.hits
+
+(* --- fingerprints --------------------------------------------------------- *)
+
+let mini ~name ~arrays ~stmts () =
+  (* a 2-statement kernel parameterized over its identifier names, for
+     the alpha-invariance checks: b[i] = a[i]*2; c[i] = b[i]+1 *)
+  let a_n, b_n, c_n = arrays in
+  let s1_n, s2_n = stmts in
+  let open Scop.Build in
+  let ctx = create ~name ~params:[ ("N", 16) ] in
+  let n = param ctx "N" in
+  let a = array ctx a_n [ n ] in
+  let b = array ctx b_n [ n ] in
+  let c = array ctx c_n [ n ] in
+  let lb = ci 0 and ub = n -~ ci 1 in
+  loop ctx "i" ~lb ~ub (fun i -> assign ctx s1_n b [ i ] (a.%([ i ]) *: f 2.0));
+  loop ctx "i" ~lb ~ub (fun i -> assign ctx s2_n c [ i ] (b.%([ i ]) +: f 1.0));
+  finish ctx
+
+let test_fingerprint_stable () =
+  let wf = Fusion.Model.Wisefuse in
+  let p1 = Kernels.Gemver.program ~n:16 () in
+  let p2 = Kernels.Gemver.program ~n:16 () in
+  Alcotest.(check string) "same content, same key"
+    (Serve.Fingerprint.key ~model:wf p1)
+    (Serve.Fingerprint.key ~model:wf p2);
+  (* MD5 hex: 32 lowercase hex chars *)
+  let k = Serve.Fingerprint.key ~model:wf p1 in
+  Alcotest.(check int) "key length" 32 (String.length k);
+  String.iter
+    (fun ch ->
+      if not ((ch >= '0' && ch <= '9') || (ch >= 'a' && ch <= 'f')) then
+        Alcotest.failf "non-hex key char %c" ch)
+    k
+
+let test_fingerprint_sensitivity () =
+  let wf = Fusion.Model.Wisefuse in
+  let p16 = Kernels.Gemver.program ~n:16 () in
+  let p20 = Kernels.Gemver.program ~n:20 () in
+  if Serve.Fingerprint.key ~model:wf p16 = Serve.Fingerprint.key ~model:wf p20
+  then Alcotest.fail "size change must change the key";
+  List.iter
+    (fun m ->
+      if m <> Fusion.Model.Wisefuse then
+        if
+          Serve.Fingerprint.key ~model:m p16
+          = Serve.Fingerprint.key ~model:wf p16
+        then
+          Alcotest.failf "model %s shares wisefuse's key" (Fusion.Model.name m))
+    models;
+  if
+    Serve.Fingerprint.key ~model:wf ~param_floor:2 p16
+    = Serve.Fingerprint.key ~model:wf ~param_floor:4 p16
+  then Alcotest.fail "param floor must be part of the key";
+  (* different kernels never collide *)
+  let keys =
+    List.map
+      (fun k ->
+        Serve.Fingerprint.key ~model:wf
+          ((Kernels.Registry.find k).Kernels.Registry.program ~n:8 ()))
+      kernels
+  in
+  Alcotest.(check int) "all kernels distinct"
+    (List.length kernels)
+    (List.length (List.sort_uniq compare keys))
+
+let test_fingerprint_alpha_invariant () =
+  (* names don't matter: the fingerprint is structural *)
+  let p1 =
+    mini ~name:"mini" ~arrays:("a", "b", "c") ~stmts:("S1", "S2") ()
+  in
+  let p2 =
+    mini ~name:"other" ~arrays:("xs", "ys", "zs") ~stmts:("T9", "T10") ()
+  in
+  Alcotest.(check string) "alpha-renamed programs share a fingerprint"
+    (Serve.Fingerprint.program p1)
+    (Serve.Fingerprint.program p2);
+  (* ... but structure does: swapping which array the second statement
+     reads changes the key *)
+  let p3 =
+    let open Scop.Build in
+    let ctx = create ~name:"mini" ~params:[ ("N", 16) ] in
+    let n = param ctx "N" in
+    let a = array ctx "a" [ n ] in
+    let b = array ctx "b" [ n ] in
+    let c = array ctx "c" [ n ] in
+    let lb = ci 0 and ub = n -~ ci 1 in
+    loop ctx "i" ~lb ~ub (fun i -> assign ctx "S1" b [ i ] (a.%([ i ]) *: f 2.0));
+    loop ctx "i" ~lb ~ub (fun i -> assign ctx "S2" c [ i ] (a.%([ i ]) +: f 1.0));
+    finish ctx
+  in
+  if Serve.Fingerprint.program p1 = Serve.Fingerprint.program p3 then
+    Alcotest.fail "changing a read target must change the fingerprint"
+
+let test_deps_key_deterministic () =
+  let prog = Kernels.Gemver.program ~n:16 () in
+  let k1 = Serve.Fingerprint.deps_key (Deps.Dep.analyze prog) in
+  let k2 = Serve.Fingerprint.deps_key (Deps.Dep.analyze prog) in
+  Alcotest.(check string) "deps key deterministic" k1 k2;
+  (* order-independence: reversing the list changes nothing *)
+  let k3 =
+    Serve.Fingerprint.deps_key (List.rev (Deps.Dep.analyze prog))
+  in
+  Alcotest.(check string) "deps key order-independent" k1 k3
+
+(* --- the cache ------------------------------------------------------------ *)
+
+let payload tag = Obs.Json.Obj [ ("tag", Obs.Json.Str tag) ]
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~capacity:2 in
+  Cache.add c "k1" ~payload:(payload "1") ~deps_fp:"d" ~solve_ms:1.0;
+  Cache.add c "k2" ~payload:(payload "2") ~deps_fp:"d" ~solve_ms:1.0;
+  (* touch k1 so k2 is the least recently used *)
+  ignore (Cache.find c "k1");
+  Cache.add c "k3" ~payload:(payload "3") ~deps_fp:"d" ~solve_ms:1.0;
+  let s = Cache.stats c in
+  Alcotest.(check int) "one eviction" 1 s.Cache.evictions;
+  Alcotest.(check int) "still at capacity" 2 s.Cache.entries;
+  Alcotest.(check bool) "LRU entry (k2) gone" true
+    (Cache.find_quiet c "k2" = None);
+  Alcotest.(check bool) "recently-used k1 kept" true
+    (Cache.find_quiet c "k1" <> None);
+  Alcotest.(check bool) "new k3 present" true (Cache.find_quiet c "k3" <> None);
+  (* re-adding an existing key is a no-op, not an eviction *)
+  Cache.add c "k3" ~payload:(payload "3'") ~deps_fp:"d" ~solve_ms:9.0;
+  Alcotest.(check int) "no extra eviction" 1 (Cache.stats c).Cache.evictions;
+  (match Cache.find_quiet c "k3" with
+  | Some e ->
+    Alcotest.(check string) "original payload kept" {|{"tag": "3"}|}
+      (Obs.Json.to_string e.Cache.payload)
+  | None -> Alcotest.fail "k3 vanished");
+  match Cache.create ~capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 must be rejected"
+
+let test_cache_counting_and_sync () =
+  let c = Cache.create ~capacity:4 in
+  ignore (Cache.find c "absent");
+  Cache.add c "k" ~payload:(payload "k") ~deps_fp:"d" ~solve_ms:1.0;
+  ignore (Cache.find c "k");
+  ignore (Cache.find_quiet c "k") (* quiet: no tally *);
+  Cache.count_hit c;
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits" 2 s.Cache.hits;
+  Alcotest.(check int) "misses" 1 s.Cache.misses;
+  Cache.sync_counters c ~requests:3;
+  Alcotest.(check int) "counter hits" 2 !Linalg.Counters.serve_cache_hits;
+  Alcotest.(check int) "counter misses" 1 !Linalg.Counters.serve_cache_misses;
+  Alcotest.(check int) "counter requests" 3 !Linalg.Counters.serve_requests;
+  Linalg.Counters.reset ();
+  Alcotest.(check int) "reset clears" 0 !Linalg.Counters.serve_cache_hits
+
+(* --- concurrent serving under 4 domains ----------------------------------- *)
+
+let test_concurrent_domains () =
+  let config = { Serve.Server.domains = 4; cache_capacity = 512 } in
+  let t = Serve.Server.create ~config () in
+  let pop =
+    [ ("gemver", "wisefuse"); ("gemver", "nofuse"); ("tce", "wisefuse");
+      ("tce", "smartfuse") ]
+  in
+  let per_domain = 30 in
+  let worker d () =
+    List.init per_domain (fun i ->
+        let kernel, model = List.nth pop ((d + i) mod List.length pop) in
+        let line = request_line ~id:((d * 1000) + i) ~model kernel in
+        let _, j = respond t line in
+        Alcotest.(check string) "ok" "ok" (str_field j "status");
+        (str_field j "key", Obs.Json.to_string (field j "result")))
+  in
+  let domains = List.init 4 (fun d -> Domain.spawn (worker d)) in
+  let results = List.concat_map Domain.join domains in
+  (* every response for a given key rendered identical bytes *)
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (key, result) ->
+      match Hashtbl.find_opt tbl key with
+      | None -> Hashtbl.add tbl key result
+      | Some prior ->
+        if prior <> result then
+          Alcotest.failf "key %s served two different payloads" key)
+    results;
+  Alcotest.(check int) "one entry per distinct request" (List.length pop)
+    (Hashtbl.length tbl);
+  let s = Cache.stats (Serve.Server.cache t) in
+  Alcotest.(check int) "every request counted once" (4 * per_domain)
+    (s.Cache.hits + s.Cache.misses);
+  (* coalescing: concurrent first touches must not solve a key twice *)
+  Alcotest.(check int) "misses = distinct keys" (List.length pop)
+    s.Cache.misses
+
+(* --- protocol corners ------------------------------------------------------ *)
+
+let test_protocol_envelopes () =
+  let t = Serve.Server.create () in
+  Alcotest.(check bool) "blank line ignored" true
+    (Serve.Server.handle_line t "   " = None);
+  let _, j = respond t {|{"id": 1, "op": "ping"}|} in
+  Alcotest.(check string) "pong ok" "ok" (str_field j "status");
+  let _, j = respond t {|{"id": 2, "kernel": "no-such-kernel"}|} in
+  Alcotest.(check string) "unknown kernel errors" "error" (str_field j "status");
+  Alcotest.(check string) "usage code" "usage"
+    (str_field (field j "error") "code");
+  let _, j = respond t {|{"id": 3, "op": "frobnicate"}|} in
+  Alcotest.(check string) "unknown op errors" "error" (str_field j "status");
+  let _, j = respond t {|this is not json|} in
+  Alcotest.(check string) "parse error envelope" "error" (str_field j "status");
+  Alcotest.(check string) "parse code" "parse"
+    (str_field (field j "error") "code");
+  let _, j = respond t {|{"id": 4, "op": "stats"}|} in
+  let stats = field j "stats" in
+  Alcotest.(check bool) "stats has capacity" true
+    (Obs.Json.to_int_opt (field stats "cache_capacity") = Some 512);
+  Alcotest.(check bool) "not stopping yet" false (Serve.Server.stopping t);
+  let _, j = respond t {|{"id": 5, "op": "shutdown"}|} in
+  Alcotest.(check string) "shutdown ok" "ok" (str_field j "status");
+  Alcotest.(check bool) "stopping after shutdown" true (Serve.Server.stopping t)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "fingerprint",
+        [
+          Alcotest.test_case "stable" `Quick test_fingerprint_stable;
+          Alcotest.test_case "sensitivity" `Quick test_fingerprint_sensitivity;
+          Alcotest.test_case "alpha-invariant" `Quick
+            test_fingerprint_alpha_invariant;
+          Alcotest.test_case "deps key" `Quick test_deps_key_deterministic;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "counting + sync" `Quick
+            test_cache_counting_and_sync;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "warm = cold bytes (all kernels x models)" `Slow
+            test_warm_cold_identical;
+          Alcotest.test_case "concurrent domains" `Quick
+            test_concurrent_domains;
+          Alcotest.test_case "protocol envelopes" `Quick
+            test_protocol_envelopes;
+        ] );
+    ]
