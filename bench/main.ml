@@ -1189,6 +1189,240 @@ let serve_check () =
   end
   else Printf.printf "  OK: all serving bounds hold\n"
 
+(* --- engine scale sweep: ilp vs lp-dfp on generated SCoPs + BENCH_scale.json -- *)
+
+let scale_json_file = "BENCH_scale.json"
+
+(* Chain and blocked sweep to 200 statements. Stencil stops at 100: its
+   ±1 shifts force a loop cut every few statements, both engines spend
+   the sweep inside the shared cut machinery, and past 100 statements
+   the sizes cost minutes each to restate a tie. *)
+let scale_sizes shape =
+  let full =
+    match shape with
+    | Kernels.Scopgen.Stencil -> [ 10; 25; 50; 100 ]
+    | Kernels.Scopgen.Chain | Kernels.Scopgen.Blocked ->
+      [ 10; 25; 50; 100; 150; 200 ]
+  in
+  if smoke then List.filter (fun s -> s <= 50) full else full
+
+(* The counters that tell the two engines apart: bb_nodes must stay 0
+   on the lp-dfp path, lp_relax_solves 0 on the ilp path, and
+   dfp_fallbacks counts the levels clustering could not certify. *)
+let scale_counter_names =
+  [ "lp_solves"; "ilp_solves"; "bb_nodes"; "lp_relax_solves";
+    "cluster_rounds"; "dfp_fallbacks" ]
+
+type scale_cell = {
+  swall_ms : float;
+  scounters : (string * int) list;
+  srows : int; (* schedule rows of statement 0 — sanity, both engines agree *)
+}
+
+(* One timed scheduler run on shared, pre-analyzed dependences, so the
+   measurement isolates the engine (hyperplane search) from dependence
+   analysis. A single repetition: the interesting walls are hundreds of
+   milliseconds to seconds, where run-to-run noise is far below the
+   2x gaps the sweep exists to show. *)
+let time_scale_engine cfg prog deps kind =
+  Pluto.Farkas.reset_cache ();
+  Linalg.Counters.reset ();
+  let t0 = Unix.gettimeofday () in
+  let res =
+    Pluto.Scheduler.run_with_deps ~engine:(Pluto.Engine.Fixed kind) cfg prog
+      deps
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let all = Linalg.Counters.all_counters () in
+  {
+    swall_ms = dt *. 1e3;
+    scounters = List.filter (fun (n, _) -> List.mem n scale_counter_names) all;
+    srows = List.length res.Pluto.Scheduler.sched.(0);
+  }
+
+let scale_engines = [ Pluto.Engine.Ilp; Pluto.Engine.Lp_dfp ]
+
+(* size row: {"stmts", "deps", "ilp": {...}, "lp-dfp": {...}} *)
+let scale_size_row shape stmts =
+  let prog = Kernels.Scopgen.generate shape ~stmts in
+  let deps = Deps.Dep.analyze prog in
+  let cfg = scheduler_config Wisefuse in
+  let cells =
+    List.map (fun k -> (k, time_scale_engine cfg prog deps k)) scale_engines
+  in
+  let cell k = List.assoc k cells in
+  let c kind name =
+    try List.assoc name (cell kind).scounters with Not_found -> 0
+  in
+  Printf.printf "  %-8s %5d %6d %10.2f %10.2f %8d %8d %6d %5d\n%!"
+    (Kernels.Scopgen.shape_name shape)
+    stmts (List.length deps) (cell Ilp).swall_ms (cell Lp_dfp).swall_ms
+    (c Ilp "bb_nodes")
+    (c Lp_dfp "lp_relax_solves")
+    (c Lp_dfp "cluster_rounds")
+    (c Lp_dfp "dfp_fallbacks");
+  let open Obs.Json in
+  let cell_obj cl =
+    Obj
+      (("wall_ms", Float (round2 cl.swall_ms))
+       :: ("sched_rows", Int cl.srows)
+       :: List.map (fun (n, v) -> (n, Int v)) cl.scounters)
+  in
+  Obj
+    (("stmts", Int stmts)
+     :: ("deps", Int (List.length deps))
+     :: List.map
+          (fun (k, cl) -> (Pluto.Engine.kind_name k, cell_obj cl))
+          cells)
+
+let scale_record () =
+  Printf.printf "  %-8s %5s %6s %10s %10s %8s %8s %6s %5s\n" "shape" "stmts"
+    "deps" "ilp ms" "lp-dfp ms" "bb nodes" "lp relax" "rounds" "fall";
+  let shapes =
+    List.map
+      (fun shape ->
+        ( Kernels.Scopgen.shape_name shape,
+          Obs.Json.List (List.map (scale_size_row shape) (scale_sizes shape)) ))
+      Kernels.Scopgen.all_shapes
+  in
+  let label = Option.value (Sys.getenv_opt "BENCH_LABEL") ~default:"dev" in
+  Obs.Json.Obj
+    [ ("label", Obs.Json.Str label); ("smoke", Obs.Json.Bool smoke);
+      ("shapes", Obs.Json.Obj shapes) ]
+
+let read_scale_file () =
+  if Sys.file_exists scale_json_file then begin
+    let ic = open_in_bin scale_json_file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Obs.Json.parse s with
+    | Error msg -> failwith (Printf.sprintf "%s: %s" scale_json_file msg)
+    | Ok doc ->
+      (match Option.bind (Obs.Json.member "runs" doc) Obs.Json.to_list_opt with
+      | Some runs -> runs
+      | None -> failwith (scale_json_file ^ {|: no "runs" array|}))
+  end
+  else []
+
+let write_scale_json run =
+  let label = Option.value (record_label run) ~default:"dev" in
+  let kept =
+    List.filter (fun r -> record_label r <> Some label) (read_scale_file ())
+  in
+  let doc =
+    Obs.Json.Obj
+      [ ("schema", Obs.Json.Int 1);
+        ( "unit",
+          Obs.Json.Str
+            "wall milliseconds of one scheduler run per engine on shared deps"
+        );
+        ("runs", Obs.Json.List (kept @ [ run ])) ]
+  in
+  let oc = open_out_bin scale_json_file in
+  output_string oc (Obs.Json.to_string_pretty doc);
+  close_out oc;
+  Printf.printf "  wrote %s (label %S)\n%!" scale_json_file label
+
+let scale () =
+  section "Scale: ilp vs lp-dfp engines on generated large SCoPs";
+  write_scale_json (scale_record ())
+
+(* Scale gate (CI, advisory like the other gates): validates the latest
+   record in BENCH_scale.json — both engines ran in the same process on
+   the same dependences, so every bound below is a ratio or a counter
+   within one run; nothing compares absolute times across machines.
+   Bounds:
+     - bb_nodes = 0 on every lp-dfp cell (the path never branches);
+     - at each shape's largest size, lp-dfp wall <= ilp wall x 1.25
+       (stencil legitimately ties — cut machinery dominates — so the
+       per-shape bound carries tolerance);
+     - aggregate lp-dfp wall <= aggregate ilp wall over the whole sweep
+       (the headline claim: the relaxation path wins where it matters).
+*)
+let scale_check_threshold = 1.25
+
+let scale_check () =
+  section "Scale check: lp-dfp bounds over the latest BENCH_scale record";
+  match List.rev (read_scale_file ()) with
+  | [] ->
+    Printf.printf "  no record in %s; run `bench -- scale` first\n"
+      scale_json_file;
+    exit 1
+  | run :: _ ->
+    Printf.printf "  record: %S (smoke %b)\n"
+      (Option.value (record_label run) ~default:"?")
+      (Option.value (record_smoke run) ~default:false);
+    let open Obs.Json in
+    let num cell name =
+      Option.bind (member name cell) (fun v ->
+          match to_float_opt v with
+          | Some f -> Some f
+          | None -> Option.map float_of_int (to_int_opt v))
+    in
+    let failed = ref false in
+    let bound name v =
+      Printf.printf "  %-40s %s\n" name (Bench_check.describe_bound v);
+      if Bench_check.bound_failure v then failed := true
+    in
+    let ilp_total = ref 0.0 and dfp_total = ref 0.0 in
+    let shapes =
+      match member "shapes" run with
+      | Some (Obj fields) -> fields
+      | _ -> failwith (scale_json_file ^ {|: record has no "shapes" object|})
+    in
+    List.iter
+      (fun (shape, rows) ->
+        let rows = Option.value (to_list_opt rows) ~default:[] in
+        List.iter
+          (fun row ->
+            match (member "ilp" row, member "lp-dfp" row) with
+            | Some ilp, Some dfp ->
+              ilp_total :=
+                !ilp_total +. Option.value (num ilp "wall_ms") ~default:0.0;
+              dfp_total :=
+                !dfp_total +. Option.value (num dfp "wall_ms") ~default:0.0;
+              let stmts =
+                Option.value (num row "stmts") ~default:Float.nan
+              in
+              bound
+                (Printf.sprintf "%s/%.0f lp-dfp bb_nodes = 0" shape stmts)
+                (Bench_check.check_max ~ceiling:0.0
+                   ~value:(Option.value (num dfp "bb_nodes") ~default:Float.nan))
+            | _ ->
+              failed := true;
+              Printf.printf "  BAD %s row lacks an engine cell\n" shape)
+          rows;
+        (* per-shape wall bound at the largest size only: small sizes
+           are millisecond noise, the asymptote is the claim *)
+        match List.rev rows with
+        | last :: _ -> (
+          match (member "ilp" last, member "lp-dfp" last) with
+          | Some ilp, Some dfp ->
+            let iw = Option.value (num ilp "wall_ms") ~default:Float.nan in
+            let dw = Option.value (num dfp "wall_ms") ~default:Float.nan in
+            let stmts = Option.value (num last "stmts") ~default:Float.nan in
+            bound
+              (Printf.sprintf "%s/%.0f lp-dfp <= ilp x %.2f" shape stmts
+                 scale_check_threshold)
+              (Bench_check.check_max
+                 ~ceiling:(iw *. scale_check_threshold)
+                 ~value:dw)
+          | _ -> ())
+        | [] ->
+          failed := true;
+          Printf.printf "  BAD shape %s has no rows\n" shape)
+      shapes;
+    bound "aggregate lp-dfp <= aggregate ilp"
+      (Bench_check.check_max ~ceiling:!ilp_total ~value:!dfp_total);
+    Printf.printf "  aggregate: lp-dfp %.2f ms vs ilp %.2f ms\n" !dfp_total
+      !ilp_total;
+    if !failed then begin
+      Printf.printf "  FAIL: scale bounds violated\n";
+      exit 1
+    end
+    else Printf.printf "  OK: all scale bounds hold\n"
+
 (* --- Bechamel: time the compiler itself -------------------------------------- *)
 
 let bechamel () =
@@ -1253,13 +1487,14 @@ let experiments =
     ("tiling", tiling); ("locality", locality); ("space", space);
     ("vector", vector); ("pipeline", pipeline); ("analyze", analyze_overhead);
     ("budget", budget_overhead); ("trace", trace_overhead);
-    ("serve", serve_bench); ("bechamel", bechamel) ]
+    ("serve", serve_bench); ("scale", scale); ("bechamel", bechamel) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | [ "pipeline"; "--check" ] | [ "--check" ] -> pipeline_check ()
   | [ "serve"; "--check" ] -> serve_check ()
+  | [ "scale"; "--check" ] -> scale_check ()
   | [] -> List.iter (fun (_, f) -> f ()) experiments
   | names ->
     List.iter

@@ -5,7 +5,17 @@
      show KERNEL       - print the source program
      deps KERNEL       - dependences, DDG and SCCs
      opt KERNEL        - schedule + partitions + generated code
-     sim KERNEL        - simulate and report the machine model's stats *)
+     emit KERNEL       - emit a complete C program
+     sim KERNEL        - simulate and report the machine model's stats
+     analyze KERNEL    - wisecheck certification (race freedom, lints)
+     trace KERNEL      - export a Chrome trace-event file
+     explain KERNEL    - human-readable fusion-decision report
+     serve             - the scheduling daemon (stdio / Unix socket)
+
+   Exit codes (see Pluto.Diagnostics.exit_code):
+     0 success; 2 usage error (unknown kernel/model/engine, bad flags);
+     3 solver budget exhausted; 4 scheduling failed; 5 verification
+     failed; 6 codegen failed; 7 error-severity wisecheck findings. *)
 
 open Cmdliner
 
@@ -32,6 +42,24 @@ let cores_arg =
 let tile_arg =
   let doc = "Tile permutable bands with this edge (polyhedral models only)." in
   Arg.(value & opt (some int) None & info [ "t"; "tile" ] ~docv:"SIZE" ~doc)
+
+let engine_names = [ "ilp"; "lp-dfp"; "auto" ]
+
+let engine_arg =
+  let doc =
+    "Scheduling engine: ilp (exact branch-and-bound lexmin), lp-dfp (LP \
+     relaxation + clustering, no branching), or auto (ilp below the \
+     statement-count threshold, lp-dfp at or above)."
+  in
+  Arg.(value & opt string "auto" & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let engine_of_name s =
+  match Pluto.Engine.of_string s with
+  | Some e -> e
+  | None ->
+    Printf.eprintf "unknown engine %s (expected one of %s)\n" s
+      (String.concat ", " engine_names);
+    exit 2
 
 let simd_arg =
   let doc = "Model simd width (1 = off)." in
@@ -97,10 +125,10 @@ let load name size =
       Kernels.Registry.all;
     exit usage_exit
 
-let ast_of_model ?tile prog mname =
+let ast_of_model ?tile ?engine prog mname =
   match Fusion.Model.of_name mname with
   | m ->
-    let opt = Fusion.Model.optimize m prog in
+    let opt = Fusion.Model.optimize ?engine m prog in
     (match opt.Fusion.Model.resilience with
     | Some o when Fusion.Resilient.degraded o ->
       Format.eprintf "note: %a@." Fusion.Report.pp_resilience o
@@ -178,10 +206,12 @@ let deps_cmd =
 (* --- opt -------------------------------------------------------------- *)
 
 let opt_cmd =
-  let run name size model tile stats vflag =
+  let run name size model engine tile stats vflag =
     verbose := vflag;
     let prog = load name size in
-    let ast, res = ast_of_model ?tile prog model in
+    let ast, res =
+      ast_of_model ?tile ~engine:(engine_of_name engine) prog model
+    in
     (match res with
     | Some res ->
       Format.printf "=== schedule (%s) ===@.%a@." model
@@ -204,22 +234,23 @@ let opt_cmd =
     report_stats stats
   in
   Cmd.v (Cmd.info "opt" ~doc:"Optimize and print the transformed code")
-    Term.(const run $ kernel_arg $ size_arg $ model_arg $ tile_arg $ stats_arg
-          $ verbose_arg)
+    Term.(const run $ kernel_arg $ size_arg $ model_arg $ engine_arg
+          $ tile_arg $ stats_arg $ verbose_arg)
 
 (* --- emit ------------------------------------------------------------- *)
 
 let emit_cmd =
-  let run name size model vflag =
+  let run name size model engine vflag =
     verbose := vflag;
     let prog = load name size in
-    let ast, _ = ast_of_model prog model in
+    let ast, _ = ast_of_model ~engine:(engine_of_name engine) prog model in
     print_string
       (Codegen.Cprint.program ~name:(name ^ "_" ^ model) prog ast)
   in
   Cmd.v
     (Cmd.info "emit" ~doc:"Emit a complete C program for the transformed code")
-    Term.(const run $ kernel_arg $ size_arg $ model_arg $ verbose_arg)
+    Term.(const run $ kernel_arg $ size_arg $ model_arg $ engine_arg
+          $ verbose_arg)
 
 (* --- analyze ---------------------------------------------------------- *)
 
@@ -240,8 +271,8 @@ let certify_opt (opt : Fusion.Model.optimized) =
   in
   (prog, Analysis.Wisecheck.certify prog deps sched opt.Fusion.Model.ast)
 
-let analyze_one prog mname =
-  certify_opt (Fusion.Model.optimize (Fusion.Model.of_name mname) prog)
+let analyze_one ?engine prog mname =
+  certify_opt (Fusion.Model.optimize ?engine (Fusion.Model.of_name mname) prog)
 
 let json_arg =
   let doc = "Emit findings as JSON (one object per line of \"findings\")." in
@@ -276,8 +307,9 @@ let print_report_json prog ~kernel ~model (r : Analysis.Wisecheck.report) =
           ]))
 
 let analyze_cmd =
-  let run kernel size model all json stats vflag =
+  let run kernel size model engine all json stats vflag =
     verbose := vflag;
+    let engine = engine_of_name engine in
     let targets =
       if all then
         List.concat_map
@@ -301,7 +333,7 @@ let analyze_cmd =
             (String.concat ", " model_names);
           exit usage_exit
         end;
-        let prog, report = analyze_one prog mname in
+        let prog, report = analyze_one ~engine prog mname in
         if report.Analysis.Wisecheck.errors > 0 then any_errors := true;
         if json then print_report_json prog ~kernel:kname ~model:mname report
         else print_report_text prog (kname ^ " / " ^ mname) report)
@@ -314,8 +346,8 @@ let analyze_cmd =
        ~doc:
          "Independently certify the generated code (race freedom, scan \
           soundness, DDG lints); exit 7 on error-severity findings")
-    Term.(const run $ opt_kernel_arg $ size_arg $ model_arg $ all_arg
-          $ json_arg $ stats_arg $ verbose_arg)
+    Term.(const run $ opt_kernel_arg $ size_arg $ model_arg $ engine_arg
+          $ all_arg $ json_arg $ stats_arg $ verbose_arg)
 
 (* --- trace / explain --------------------------------------------------- *)
 
@@ -340,13 +372,13 @@ let out_dir_arg =
    cache reset first so the trace is a function of the program alone.
    Leaves the tracer disabled but the events readable (report_stats
    reads the span totals from them). *)
-let traced_run prog mname =
+let traced_run ?engine prog mname =
   let model = model_of_name mname in
   Linalg.Counters.reset ();
   Pluto.Farkas.reset_cache ();
   let res =
     Obs.Trace.with_recording (fun () ->
-        let opt = Fusion.Model.optimize model prog in
+        let opt = Fusion.Model.optimize ?engine model prog in
         ignore (certify_opt opt);
         opt)
   in
@@ -354,11 +386,12 @@ let traced_run prog mname =
   res
 
 let trace_cmd =
-  let run kernel size model all out out_dir stats vflag =
+  let run kernel size model engine all out out_dir stats vflag =
     verbose := vflag;
+    let engine = engine_of_name engine in
     let trace_one kname out =
       let prog = load kname size in
-      let _, events = traced_run prog model in
+      let _, events = traced_run ~engine prog model in
       let json =
         Obs.Export.chrome_trace
           ~process:(Printf.sprintf "wisefuse %s/%s" kname model)
@@ -391,16 +424,17 @@ let trace_cmd =
        ~doc:
          "Run the pipeline under the span tracer and export a Chrome \
           trace-event JSON (load in chrome://tracing or ui.perfetto.dev)")
-    Term.(const run $ opt_kernel_arg $ size_arg $ model_arg $ all_arg
-          $ out_arg $ out_dir_arg $ stats_arg $ verbose_arg)
+    Term.(const run $ opt_kernel_arg $ size_arg $ model_arg $ engine_arg
+          $ all_arg $ out_arg $ out_dir_arg $ stats_arg $ verbose_arg)
 
 let explain_cmd =
-  let run kernel size model all stats vflag =
+  let run kernel size model engine all stats vflag =
     verbose := vflag;
+    let engine = engine_of_name engine in
     let explain_one kname =
       let prog = load kname size in
       let m = model_of_name model in
-      let ex = Fusion.Explain.capture ~model:m ~kernel:kname prog in
+      let ex = Fusion.Explain.capture ~engine ~model:m ~kernel:kname prog in
       Format.printf "%a@." Fusion.Explain.pp ex;
       (* the analysis verdict is not part of the optimization trace;
          append it from a direct certification of the captured result *)
@@ -433,17 +467,17 @@ let explain_cmd =
          "Explain the fusion decisions: pre-fusion clustering, every cut \
           with its justifying dependence, per-level ILP effort, \
           degradation rungs and the final partitioning")
-    Term.(const run $ opt_kernel_arg $ size_arg $ model_arg $ all_arg
-          $ stats_arg $ verbose_arg)
+    Term.(const run $ opt_kernel_arg $ size_arg $ model_arg $ engine_arg
+          $ all_arg $ stats_arg $ verbose_arg)
 
 (* --- sim -------------------------------------------------------------- *)
 
 let sim_cmd =
-  let run name size model cores tile simd stats vflag =
+  let run name size model engine cores tile simd stats vflag =
     verbose := vflag;
     let prog = load name size in
     let params = prog.Scop.Program.default_params in
-    let ast, _ = ast_of_model ?tile prog model in
+    let ast, _ = ast_of_model ?tile ~engine:(engine_of_name engine) prog model in
     (* semantic check against the original *)
     let m_ref = Machine.Interp.init_memory prog ~params in
     Machine.Interp.run_original prog m_ref ~params;
@@ -462,8 +496,8 @@ let sim_cmd =
     report_stats stats
   in
   Cmd.v (Cmd.info "sim" ~doc:"Simulate on the machine model")
-    Term.(const run $ kernel_arg $ size_arg $ model_arg $ cores_arg $ tile_arg
-          $ simd_arg $ stats_arg $ verbose_arg)
+    Term.(const run $ kernel_arg $ size_arg $ model_arg $ engine_arg
+          $ cores_arg $ tile_arg $ simd_arg $ stats_arg $ verbose_arg)
 
 (* --- serve ------------------------------------------------------------ *)
 
@@ -514,7 +548,19 @@ let serve_cmd =
 
 let () =
   let doc = "loop fusion in the polyhedral framework (PPoPP'14 reproduction)" in
-  let info = Cmd.info "wisefuse" ~version:"1.0" ~doc in
+  let exits =
+    Cmd.Exit.defaults
+    @ [
+        Cmd.Exit.info 2
+          ~doc:"usage error (unknown kernel, model or engine; bad flags).";
+        Cmd.Exit.info 3 ~doc:"solver budget exhausted.";
+        Cmd.Exit.info 4 ~doc:"scheduling failed.";
+        Cmd.Exit.info 5 ~doc:"schedule verification failed.";
+        Cmd.Exit.info 6 ~doc:"code generation failed.";
+        Cmd.Exit.info 7 ~doc:"error-severity wisecheck findings (analyze).";
+      ]
+  in
+  let info = Cmd.info "wisefuse" ~version:"1.0" ~doc ~exits in
   let cmds =
     [
       list_cmd; show_cmd; deps_cmd; opt_cmd; emit_cmd; sim_cmd; analyze_cmd;

@@ -10,11 +10,12 @@ type t = {
   events : Obs.Trace.event list;
 }
 
-let capture ?budget ~model ~kernel prog =
+let capture ?budget ?engine ~model ~kernel prog =
   Linalg.Counters.reset ();
   Pluto.Farkas.reset_cache ();
   let outcome, events =
-    Obs.Trace.with_recording (fun () -> Model.optimize ?budget model prog)
+    Obs.Trace.with_recording (fun () ->
+        Model.optimize ?budget ?engine model prog)
   in
   Obs.Trace.disable ();
   { kernel; model; outcome; events }
@@ -113,6 +114,10 @@ let pp_search fmt events =
           (int_ e "level")
           (Option.value (dep_phrase e) ~default:"dependence")
           (str e "partition")
+      | "engine.select" ->
+        heading e;
+        Format.fprintf fmt "  engine: %s (%s, %d statements)@," (str e "engine")
+          (str e "reason") (int_ e "stmts")
       | "ilp.level-solve" ->
         heading e;
         Format.fprintf fmt
@@ -120,6 +125,17 @@ let pp_search fmt events =
           (int_ e "level") (str e "outcome")
           (int_ e "pivots" + int_ e "dual-pivots")
           (int_ e "bb-nodes") (int_ e "warm-solves") (int_ e "cold-fallbacks")
+      | "lp.relax" ->
+        heading e;
+        Format.fprintf fmt "  level %d: LP relaxation %s (pivots %d)@,"
+          (int_ e "level") (str e "outcome")
+          (int_ e "pivots" + int_ e "dual-pivots")
+      | "cluster.match" ->
+        Format.fprintf fmt
+          "  level %d: cluster {%s} scaled by %s -> %s@," (int_ e "level")
+          (str e "stmts") (str e "scale")
+          (if abool e "ok" = Some true then "integral hyperplane"
+           else "no integral scaling (ILP fallback)")
       | "sched.row-accepted" ->
         Format.fprintf fmt
           "  level %d: row accepted - newly satisfies %d deps (%d/%d total)@,"

@@ -39,7 +39,7 @@ type optimized = {
          models only; [None] for icc) *)
 }
 
-let optimize ?budget m prog =
+let optimize ?budget ?engine m prog =
   match m with
   | Icc ->
     let r = Icc.Icc_model.run prog in
@@ -49,7 +49,9 @@ let optimize ?budget m prog =
        result is identical to running the scheduler directly; on solver
        budget exhaustion or a scheduling dead end the pipeline falls
        back instead of raising *)
-    let o = Resilient.optimize ?budget ~config:(scheduler_config m) prog in
+    let o =
+      Resilient.optimize ?budget ?engine ~config:(scheduler_config m) prog
+    in
     {
       ast = o.Resilient.ast;
       scheduler = Some o.Resilient.result;

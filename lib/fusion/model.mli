@@ -30,8 +30,15 @@ type optimized = {
 (** Run the model's whole pipeline on a program. Polyhedral models run
     through the {!Resilient} degradation ladder, so a solver budget
     ([budget], defaulting to {!Linalg.Budget.of_env}) degrades the
-    schedule instead of failing the run. *)
-val optimize : ?budget:Linalg.Budget.t -> t -> Scop.Program.t -> optimized
+    schedule instead of failing the run. [engine] selects the
+    scheduling engine (default {!Pluto.Engine.Auto}; ignored by
+    [Icc], which has no solver). *)
+val optimize :
+  ?budget:Linalg.Budget.t ->
+  ?engine:Pluto.Engine.choice ->
+  t ->
+  Scop.Program.t ->
+  optimized
 
 (** [simulate ?config m prog] optimizes and runs the machine model (at
     the program's default parameters). *)

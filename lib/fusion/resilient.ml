@@ -7,10 +7,16 @@
    schedule always exists (the original program order is one). This
    module walks a fallback ladder:
 
-     1. Primary      — the requested configuration (wisefuse by default);
-     2. Distributed  — maximal distribution: every SCC in its own nest,
+     1. Primary      — the requested configuration (wisefuse by default)
+                       on the requested engine;
+     2. Lp_relaxed   — the same configuration on the lp-dfp engine (LP
+                       relaxation + clustering, no branch-and-bound) —
+                       tried only when the primary attempt ran the ILP
+                       engine, since a cheaper solver can survive a
+                       budget the exact one tripped;
+     3. Distributed  — maximal distribution: every SCC in its own nest,
                        the cheapest search the full scheduler can run;
-     3. Identity     — the original program order, built directly (no
+     4. Identity     — the original program order, built directly (no
                        solver at all) and always legal by construction.
 
    Each rung gets a fresh copy of the budget ([Budget.refresh]) rather
@@ -23,10 +29,11 @@
 
 open Deps
 
-type rung = Primary | Distributed | Identity
+type rung = Primary | Lp_relaxed | Distributed | Identity
 
 let rung_name = function
   | Primary -> "primary"
+  | Lp_relaxed -> "lp-relaxed"
   | Distributed -> "distributed"
   | Identity -> "identity"
 
@@ -83,6 +90,7 @@ let identity_result (prog : Scop.Program.t) all_deps =
   {
     Pluto.Scheduler.prog;
     config_name = "identity";
+    engine = Pluto.Engine.Ilp (* no solver ran; the kind is vacuous *);
     all_deps;
     true_deps = List.filter Dep.is_true all_deps;
     ddg;
@@ -130,13 +138,20 @@ let degrade_event rung (d : Pluto.Diagnostics.t) =
       ("message", Obs.Json.Str d.message);
     ]
 
-let with_deps ?budget ~config (prog : Scop.Program.t) all_deps =
+let with_deps ?budget ?(engine = Pluto.Engine.Auto) ~config
+    (prog : Scop.Program.t) all_deps =
   (* One attempt = schedule search + code generation; a failure
      anywhere in the pair degrades to the next rung. *)
-  let attempt rung cfg b =
+  let attempt rung cfg eng b =
     rung_event "resilience.attempt" rung
-      [ ("config", Obs.Json.Str cfg.Pluto.Scheduler.name) ];
-    match Pluto.Scheduler.schedule_with_deps ?budget:b cfg prog all_deps with
+      [
+        ("config", Obs.Json.Str cfg.Pluto.Scheduler.name);
+        ("engine", Obs.Json.Str (Pluto.Engine.choice_name eng));
+      ];
+    match
+      Pluto.Scheduler.schedule_with_deps ?budget:b ~engine:eng cfg prog
+        all_deps
+    with
     | Error d -> Error d
     | Ok result -> (
       match
@@ -150,26 +165,52 @@ let with_deps ?budget ~config (prog : Scop.Program.t) all_deps =
       [ ("degraded", Obs.Json.Bool (rung <> Primary)) ];
     { result; ast; rung; notes }
   in
-  let refreshed = Option.map Linalg.Budget.refresh budget in
-  match attempt Primary config budget with
+  (* every rung gets a fresh copy of the budget, never an already
+     tripped one *)
+  let refresh () = Option.map Linalg.Budget.refresh budget in
+  let identity notes =
+    (* Last rung: no solver involved, so no budget applies. Verified
+       like every other schedule; a failure here raises — there is
+       nothing further to degrade to. *)
+    rung_event "resilience.attempt" Identity
+      [ ("config", Obs.Json.Str "identity") ];
+    let result = identity_result prog all_deps in
+    verify_identity result;
+    let ast = Codegen.Scan.of_result result in
+    settled Identity notes (result, ast)
+  in
+  let distributed notes =
+    match attempt Distributed (distributed_config config) engine (refresh ()) with
+    | Ok ok -> settled Distributed notes ok
+    | Error d ->
+      degrade_event Distributed d;
+      identity (notes @ [ d ])
+  in
+  match attempt Primary config engine budget with
   | Ok ok -> settled Primary [] ok
-  | Error d1 -> (
+  | Error d1 ->
     degrade_event Primary d1;
-    match attempt Distributed (distributed_config config) refreshed with
-    | Ok ok -> settled Distributed [ d1 ] ok
-    | Error d2 ->
-      degrade_event Distributed d2;
-      (* Last rung: no solver involved, so no budget applies. Verified
-         like every other schedule; a failure here raises — there is
-         nothing further to degrade to. *)
-      rung_event "resilience.attempt" Identity
-        [ ("config", Obs.Json.Str "identity") ];
-      let result = identity_result prog all_deps in
-      verify_identity result;
-      let ast = Codegen.Scan.of_result result in
-      settled Identity [ d1; d2 ] (result, ast))
+    (* Engine step-down: retry the same configuration on the lp-dfp
+       engine before giving up on it — but only when the primary
+       attempt actually ran the ILP engine (a fixed or auto-selected
+       lp-dfp primary has nothing cheaper to step down to). *)
+    let primary_engine =
+      Pluto.Engine.resolve engine ~nstmts:(Array.length prog.stmts)
+    in
+    if primary_engine = Pluto.Engine.Ilp then begin
+      match
+        attempt Lp_relaxed config
+          (Pluto.Engine.Fixed Pluto.Engine.Lp_dfp)
+          (refresh ())
+      with
+      | Ok ok -> settled Lp_relaxed [ d1 ] ok
+      | Error d2 ->
+        degrade_event Lp_relaxed d2;
+        distributed [ d1; d2 ]
+    end
+    else distributed [ d1 ]
 
-let optimize ?param_floor ?budget ?(config = Wisefuse.config) prog =
+let optimize ?param_floor ?budget ?engine ?(config = Wisefuse.config) prog =
   let budget =
     match budget with Some _ -> budget | None -> Linalg.Budget.of_env ()
   in
@@ -177,4 +218,4 @@ let optimize ?param_floor ?budget ?(config = Wisefuse.config) prog =
     Linalg.Counters.time "dep-analysis" (fun () ->
         Dep.analyze ?param_floor prog)
   in
-  with_deps ?budget ~config prog all_deps
+  with_deps ?budget ?engine ~config prog all_deps

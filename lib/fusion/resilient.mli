@@ -5,7 +5,11 @@
     transform codegen rejects. This module walks a fallback ladder
     until something succeeds:
 
-    + {e Primary} — the requested configuration;
+    + {e Primary} — the requested configuration on the requested
+      engine;
+    + {e Lp_relaxed} — the same configuration on the lp-dfp engine
+      (LP relaxation + clustering; see {!Pluto.Engine}), tried only
+      when the primary attempt ran the ILP engine;
     + {e Distributed} — maximal distribution (every SCC its own nest);
     + {e Identity} — the original program order, solver-free and legal
       by construction.
@@ -14,7 +18,7 @@
     Every outcome, degraded or not, has passed
     {!Pluto.Satisfy.check_complete} and {!Pluto.Satisfy.check_legal}. *)
 
-type rung = Primary | Distributed | Identity
+type rung = Primary | Lp_relaxed | Distributed | Identity
 
 val rung_name : rung -> string
 
@@ -33,8 +37,9 @@ val degraded : outcome -> bool
     (exposed for tests). *)
 val distributed_config : Pluto.Scheduler.config -> Pluto.Scheduler.config
 
-(** [optimize ?param_floor ?budget ?config prog] — run the ladder.
-    [config] defaults to the wisefuse model; [budget] defaults to
+(** [optimize ?param_floor ?budget ?engine ?config prog] — run the
+    ladder. [config] defaults to the wisefuse model; [engine] to
+    {!Pluto.Engine.Auto}; [budget] defaults to
     {!Linalg.Budget.of_env} (so [WISEFUSE_BUDGET_MS] and friends apply
     to every pipeline entry point), and [None] there means unlimited.
     On the happy path this is byte-identical to
@@ -46,6 +51,7 @@ val distributed_config : Pluto.Scheduler.config -> Pluto.Scheduler.config
 val optimize :
   ?param_floor:int ->
   ?budget:Linalg.Budget.t ->
+  ?engine:Pluto.Engine.choice ->
   ?config:Pluto.Scheduler.config ->
   Scop.Program.t ->
   outcome
@@ -55,6 +61,7 @@ val optimize :
     here — the caller decides. *)
 val with_deps :
   ?budget:Linalg.Budget.t ->
+  ?engine:Pluto.Engine.choice ->
   config:Pluto.Scheduler.config ->
   Scop.Program.t ->
   Deps.Dep.t list ->

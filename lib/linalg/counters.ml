@@ -26,6 +26,14 @@ let findings_error = ref 0
 let findings_warning = ref 0
 let findings_info = ref 0
 
+(* lp-dfp engine counters (per-level LP relaxation + clustering instead
+   of branch-and-bound): pure-LP lexmin stages, cluster recovery rounds,
+   and levels the clustering could not certify (handed back to the ILP
+   engine) *)
+let lp_relax_solves = ref 0
+let cluster_rounds = ref 0
+let dfp_fallbacks = ref 0
+
 (* wiseserve (lib/serve) counters: requests handled by the daemon and
    the hit/miss/eviction traffic of its content-addressed cross-request
    cache. The cache keeps its own authoritative tallies under its lock
@@ -50,6 +58,9 @@ let all_counters () =
     ("findings_error", !findings_error);
     ("findings_warning", !findings_warning);
     ("findings_info", !findings_info);
+    ("lp_relax_solves", !lp_relax_solves);
+    ("cluster_rounds", !cluster_rounds);
+    ("dfp_fallbacks", !dfp_fallbacks);
     ("serve_requests", !serve_requests);
     ("serve_cache_hits", !serve_cache_hits);
     ("serve_cache_misses", !serve_cache_misses);
@@ -117,6 +128,9 @@ let reset () =
   findings_error := 0;
   findings_warning := 0;
   findings_info := 0;
+  lp_relax_solves := 0;
+  cluster_rounds := 0;
+  dfp_fallbacks := 0;
   serve_requests := 0;
   serve_cache_hits := 0;
   serve_cache_misses := 0;

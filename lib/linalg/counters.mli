@@ -52,6 +52,27 @@ val findings_error : int ref
 val findings_warning : int ref
 val findings_info : int ref
 
+(** {2 LP-dfp engine counters}
+
+    The decoupled scheduling engine (per-level LP relaxation +
+    dimension-matching clustering, after pluto-lp-dfp) solves no
+    integer programs on its happy path; these separate its work from
+    the branch-and-bound counters above. *)
+
+(** Pure-LP lexicographic stages solved by the lp-dfp engine (one per
+    objective vector per hyperplane level; no branching). *)
+val lp_relax_solves : int ref
+
+(** Cluster recovery rounds: one per dependence-connected statement
+    cluster whose rational solution was scaled to an integral
+    hyperplane. *)
+val cluster_rounds : int ref
+
+(** Levels the clustering could not certify (rational optimum
+    unscalable or scaled row not provably legal) and that were handed
+    back to the ILP engine. *)
+val dfp_fallbacks : int ref
+
 (** {2 Serving (wiseserve) counters}
 
     Requests handled by the scheduling daemon and the traffic of its

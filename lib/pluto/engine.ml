@@ -1,0 +1,23 @@
+(* Pluggable scheduling engines: which per-level hyperplane solver the
+   scheduler runs, and how "auto" picks one per program. *)
+
+type kind = Ilp | Lp_dfp
+type choice = Fixed of kind | Auto
+
+let kind_name = function Ilp -> "ilp" | Lp_dfp -> "lp-dfp"
+let choice_name = function Fixed k -> kind_name k | Auto -> "auto"
+
+let of_string = function
+  | "ilp" -> Some (Fixed Ilp)
+  | "lp-dfp" -> Some (Fixed Lp_dfp)
+  | "auto" -> Some Auto
+  | _ -> None
+
+(* The registry kernels top out around 20 statements and must keep
+   their byte-identical ILP schedules under Auto; the generated-SCoP
+   scale sweep shows lp-dfp winning well before 100 statements. 40
+   splits the two regimes with margin on both sides. *)
+let auto_threshold = 40
+
+let resolve c ~nstmts =
+  match c with Fixed k -> k | Auto -> if nstmts >= auto_threshold then Lp_dfp else Ilp

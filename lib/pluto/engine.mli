@@ -1,0 +1,42 @@
+(** Pluggable scheduling engines.
+
+    The scheduler's per-level hyperplane search can run on two engines:
+
+    - {b ilp} — the original branch-and-bound integer lexmin
+      ({!Ilp.Bb.lexmin}): exact, deterministic, and the quality
+      reference, but its cost grows quickly with statements ×
+      dependences.
+    - {b lp-dfp} — the decoupled path after Acharya & Bondhugula's
+      pluto-lp-dfp: solve the pure LP relaxation with the warm-started
+      simplex (no branching), then recover integral hyperplanes by
+      scaling each dependence-connected statement cluster of the
+      rational optimum. Every recovered row is re-certified against
+      the dependence polyhedra; any level the clustering cannot
+      certify falls back to the ILP engine
+      ({!Linalg.Counters.dfp_fallbacks}).
+
+    Callers normally pass a {!choice}; [Auto] picks per program by
+    statement count, so small SCoPs keep the byte-identical ILP
+    schedules while large generated SCoPs get the asymptotically
+    cheaper path. *)
+
+type kind = Ilp | Lp_dfp
+
+(** An engine request: a fixed engine, or size-based selection. *)
+type choice = Fixed of kind | Auto
+
+(** Wire/CLI names: ["ilp"], ["lp-dfp"]. *)
+val kind_name : kind -> string
+
+(** ["ilp"], ["lp-dfp"], or ["auto"]. *)
+val choice_name : choice -> string
+
+(** Inverse of {!choice_name}; [None] on unknown names. *)
+val of_string : string -> choice option
+
+(** Statement count at and above which [Auto] selects [Lp_dfp]. *)
+val auto_threshold : int
+
+(** [resolve c ~nstmts] is the engine that actually runs: [Fixed k] is
+    [k]; [Auto] is [Lp_dfp] iff [nstmts >= auto_threshold]. *)
+val resolve : choice -> nstmts:int -> kind

@@ -18,6 +18,7 @@ type config = {
 type result = {
   prog : Scop.Program.t;
   config_name : string;
+  engine : Engine.kind; (* the per-level solver that actually ran *)
   all_deps : Dep.t list;
   true_deps : Dep.t list;
   ddg : Ddg.t;
@@ -82,6 +83,7 @@ type state = {
   prog : Scop.Program.t;
   np : int;
   cfg : config;
+  engine : Engine.kind; (* resolved per-level solver (see Engine.resolve) *)
   budget : Budget.t option;
       (* caps the hyperplane search (per-level ILP + δ-range LPs); dep
          analysis and verification run unbudgeted so a degraded run can
@@ -201,7 +203,7 @@ let upper_bound_cons ~np ~nv ~var_offset (prog : Scop.Program.t) =
     prog.stmts;
   !cons
 
-let make_state ?budget cfg (prog : Scop.Program.t) all_deps =
+let make_state ?budget ~engine cfg (prog : Scop.Program.t) all_deps =
   let np = Scop.Program.nparams prog in
   let n = Array.length prog.stmts in
   let ddg = Ddg.build prog all_deps in
@@ -249,6 +251,7 @@ let make_state ?budget cfg (prog : Scop.Program.t) all_deps =
       prog;
       np;
       cfg;
+      engine;
       budget;
       true_deps;
       scc_of;
@@ -453,7 +456,9 @@ let dep_cons st =
     st.dep_seg <- Some (nsat, !cons);
     !cons
 
-let solve_level_raw st =
+(* The per-level problem both engines share: the polyhedron over the
+   global coefficient space and the lexicographic objective tower. *)
+let level_problem st =
   let cons = st.bounds @ stmt_cons st @ dep_cons st in
   let p = Poly.Polyhedron.make st.nv cons in
   let obj mask =
@@ -507,55 +512,13 @@ let solve_level_raw st =
       st.prog.stmts;
     v
   in
-  match
-    Ilp.Bb.lexmin ~nonneg:true ?budget:st.budget p
-      [ sum_u; just_w; sum_c_iter; stride; iter_order; sum_c0 ]
-  with
+  (p, [ sum_u; just_w; sum_c_iter; stride; iter_order; sum_c0 ])
+
+(* The original engine: branch-and-bound integer lexmin. *)
+let solve_level_ilp st p objs =
+  match Ilp.Bb.lexmin ~nonneg:true ?budget:st.budget p objs with
   | None -> None
   | Some (_, x) -> Some x
-
-(* Per-level solve, wrapped in a [sched.level] span carrying the ILP
-   effort deltas (pivots, branch-and-bound nodes, warm vs cold
-   re-solves) and the outcome. *)
-let solve_level st =
-  if not (Obs.Trace.on ()) then solve_level_raw st
-  else begin
-    let active =
-      Array.fold_left (fun n s -> if s then n else n + 1) 0 st.satisfied
-    in
-    Obs.Trace.begin_span ~cat:"sched" "sched.level"
-      ~args:
-        [
-          ("config", Obs.Json.Str st.cfg.name);
-          ("level", Obs.Json.Int st.accepted_hyp_rows);
-          ("ranks", Obs.Json.Str (ranks_string st));
-          ("active-deps", Obs.Json.Int active);
-        ];
-    let p0 = !Counters.lp_pivots and dp0 = !Counters.dual_pivots in
-    let n0 = !Counters.bb_nodes in
-    let w0 = !Counters.warm_starts and f0 = !Counters.warm_fallbacks in
-    Fun.protect
-      ~finally:(fun () -> Obs.Trace.end_span "sched.level")
-      (fun () ->
-        let res = solve_level_raw st in
-        Obs.Trace.instant ~cat:"sched" "ilp.level-solve"
-          ~args:
-            [
-              ("config", Obs.Json.Str st.cfg.name);
-              ("level", Obs.Json.Int st.accepted_hyp_rows);
-              ( "outcome",
-                Obs.Json.Str
-                  (match res with
-                  | Some _ -> "hyperplane"
-                  | None -> "infeasible") );
-              ("pivots", Obs.Json.Int (!Counters.lp_pivots - p0));
-              ("dual-pivots", Obs.Json.Int (!Counters.dual_pivots - dp0));
-              ("bb-nodes", Obs.Json.Int (!Counters.bb_nodes - n0));
-              ("warm-solves", Obs.Json.Int (!Counters.warm_starts - w0));
-              ("cold-fallbacks", Obs.Json.Int (!Counters.warm_fallbacks - f0));
-            ];
-        res)
-  end
 
 let row_of_solution st x id =
   let d = stmt_depth st.prog id in
@@ -603,6 +566,248 @@ let dep_range st (d : Dep.t) src_row dst_row =
     | Ilp.Lp.Infeasible -> Some Q.zero
   in
   (dmin, dmax)
+
+(* --- the lp-dfp engine (LP relaxation + clustering) ---------------------
+
+   The decoupled path of Acharya & Bondhugula's pluto-lp-dfp: solve the
+   per-level problem as a pure LP (no branching), then recover an
+   integral hyperplane by scaling each dependence-connected statement
+   cluster of the rational vertex uniformly. Legality survives the
+   scaling because (a) no active dependence links two clusters, so each
+   dependence's difference form phi_dst - phi_src is scaled by one
+   positive factor, and (b) the recovered rows are re-certified against
+   the dependence polyhedra before acceptance — any level that fails
+   certification falls back to the ILP engine. *)
+
+(* Pure-LP lexicographic minimum over the same objective tower as the
+   ILP engine: each stage minimizes one objective, fixes its optimal
+   value with an equality row, and warm-restarts the next stage from
+   the previous basis (mirroring [Bb.lexmin], minus the trees and the
+   final cold integer search). Returns the last stage's vertex. *)
+let lp_lexmin st p objs =
+  let dim = Poly.Polyhedron.dim p in
+  let rec go p from last = function
+    | [] -> last
+    | obj :: rest -> (
+      incr Counters.lp_relax_solves;
+      let result, warm =
+        match from with
+        | Some (w, cs) -> Ilp.Lp.reoptimize ?budget:st.budget w ~add:cs ~obj
+        | None -> Ilp.Lp.minimize_warm ~nonneg:true ?budget:st.budget p obj
+      in
+      match result with
+      | Ilp.Lp.Optimal (v, x) ->
+        (* fix this objective: obj . x + c = v *)
+        let fix = Vec.copy obj in
+        fix.(dim) <- Q.sub fix.(dim) v;
+        let fixc = Poly.Constr.make Poly.Constr.Eq fix in
+        go
+          (Poly.Polyhedron.add p fixc)
+          (Option.map (fun w -> (w, [ fixc ])) warm)
+          (Some x) rest
+      | Ilp.Lp.Infeasible | Ilp.Lp.Unbounded | Ilp.Lp.Exhausted -> None)
+  in
+  go p None None objs
+
+(* Dependence-connected statement clusters: union-find over the
+   endpoints of the still-active true dependences, members in
+   increasing statement id, clusters by smallest member. *)
+let active_clusters st =
+  let n = Array.length st.prog.stmts in
+  let parent = Array.init n Fun.id in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      parent.(i) <- find parent.(i);
+      parent.(i)
+    end
+  in
+  Array.iteri
+    (fun i (d : Dep.t) ->
+      if not st.satisfied.(i) then begin
+        let a = find d.src and b = find d.dst in
+        if a <> b then parent.(max a b) <- min a b
+      end)
+    st.true_deps;
+  let members = Array.make n [] in
+  for id = n - 1 downto 0 do
+    let r = find id in
+    members.(r) <- id :: members.(r)
+  done;
+  List.filter (fun l -> l <> []) (Array.to_list members)
+
+(* Recovered rows with entries beyond this are treated as a clustering
+   failure (ILP fallback) rather than embedded into schedules. *)
+let max_scaled_coeff = 1024
+
+(* Scale one cluster of the rational vertex [xq] into [xi]: multiply
+   the members' coefficient blocks by the lcm of their denominators,
+   then divide by the gcd of the scaled entries — the smallest uniform
+   integral multiple of the cluster (the per-statement rows stay valid:
+   entries are nonnegative, so a nonzero block keeps sum >= 1, and
+   positive scaling preserves the orthogonal-complement projections).
+   Returns the scaling factor, or [None] past [max_scaled_coeff]. *)
+let scale_cluster st xq xi members =
+  let slots =
+    List.concat_map
+      (fun id ->
+        let d = stmt_depth st.prog id in
+        List.init (d + 1) (fun i -> st.var_offset.(id) + i))
+      members
+  in
+  let lcm_den =
+    List.fold_left (fun l s -> Bigint.lcm l (Q.den xq.(s))) Bigint.one slots
+  in
+  let scaled =
+    List.map
+      (fun s -> (s, Q.to_bigint (Q.mul xq.(s) (Q.of_bigint lcm_den))))
+      slots
+  in
+  let g = List.fold_left (fun g (_, b) -> Bigint.gcd g b) Bigint.zero scaled in
+  let g = if Bigint.sign g = 0 then Bigint.one else g in
+  let ok =
+    List.for_all
+      (fun (s, b) ->
+        match Bigint.to_int_opt (Bigint.div b g) with
+        | Some c when abs c <= max_scaled_coeff ->
+          xi.(s) <- c;
+          true
+        | _ -> false)
+      scaled
+  in
+  if ok then Some (lcm_den, g) else None
+
+(* Certify a recovered candidate: evaluate every still-active true
+   dependence's cached Farkas legality rows at the integral point.
+   Fourier-Motzkin elimination is exact over the rationals, so those
+   rows are precisely the weak-legality face (delta >= 0 over the
+   dependence polyhedron) the per-level problem encodes — a point
+   satisfying them is legal for that dependence. Evaluation keeps the
+   re-validation ground-truth at dot-product cost, instead of the
+   LP-per-dependence delta-range probe. *)
+let certify_candidate st x =
+  let v = Array.map Q.of_int x in
+  let ok = ref true in
+  Array.iteri
+    (fun i _ ->
+      if !ok && not st.satisfied.(i) then
+        ok := List.for_all (fun c -> Poly.Constr.holds c v) st.legality.(i))
+    st.true_deps;
+  !ok
+
+let cluster_event st ~members ~scale ~ok =
+  if Obs.Trace.on () then
+    Obs.Trace.instant ~cat:"sched" "cluster.match"
+      ~args:
+        [
+          ("config", Obs.Json.Str st.cfg.name);
+          ("level", Obs.Json.Int st.accepted_hyp_rows);
+          ( "stmts",
+            Obs.Json.Str (String.concat "," (List.map string_of_int members))
+          );
+          ("size", Obs.Json.Int (List.length members));
+          ( "scale",
+            Obs.Json.Str
+              (match scale with
+              | Some (l, g) ->
+                Printf.sprintf "%s/%s" (Bigint.to_string l) (Bigint.to_string g)
+              | None -> "overflow") );
+          ("ok", Obs.Json.Bool ok);
+        ]
+
+let solve_level_dfp st p objs =
+  let p0 = !Counters.lp_pivots and dp0 = !Counters.dual_pivots in
+  let relax = lp_lexmin st p objs in
+  if Obs.Trace.on () then
+    Obs.Trace.instant ~cat:"sched" "lp.relax"
+      ~args:
+        [
+          ("config", Obs.Json.Str st.cfg.name);
+          ("level", Obs.Json.Int st.accepted_hyp_rows);
+          ( "outcome",
+            Obs.Json.Str (match relax with Some _ -> "vertex" | None -> "infeasible")
+          );
+          ("pivots", Obs.Json.Int (!Counters.lp_pivots - p0));
+          ("dual-pivots", Obs.Json.Int (!Counters.dual_pivots - dp0));
+        ];
+  match relax with
+  | None ->
+    (* the relaxation found nothing, so the integer program is no
+       better: let the cut machinery (or the budget diagnostics) take
+       over, same as an ILP dead end *)
+    None
+  | Some xq ->
+    let xi = Array.make st.nv 0 in
+    let scaled =
+      List.for_all
+        (fun members ->
+          incr Counters.cluster_rounds;
+          let scale = scale_cluster st xq xi members in
+          cluster_event st ~members ~scale ~ok:(scale <> None);
+          scale <> None)
+        (active_clusters st)
+    in
+    if scaled && certify_candidate st xi then Some xi
+    else begin
+      (* clustering could not certify this level: hand it to the exact
+         engine *)
+      incr Counters.dfp_fallbacks;
+      solve_level_ilp st p objs
+    end
+
+(* --- per-level dispatch ------------------------------------------------- *)
+
+let solve_level_raw st =
+  let p, objs = level_problem st in
+  match st.engine with
+  | Engine.Ilp -> solve_level_ilp st p objs
+  | Engine.Lp_dfp -> solve_level_dfp st p objs
+
+(* Per-level solve, wrapped in a [sched.level] span carrying the solver
+   effort deltas (pivots, branch-and-bound nodes, warm vs cold
+   re-solves) and the outcome. The dfp path additionally emits its own
+   [lp.relax] / [cluster.match] instants from inside the span. *)
+let solve_level st =
+  if not (Obs.Trace.on ()) then solve_level_raw st
+  else begin
+    let active =
+      Array.fold_left (fun n s -> if s then n else n + 1) 0 st.satisfied
+    in
+    Obs.Trace.begin_span ~cat:"sched" "sched.level"
+      ~args:
+        [
+          ("config", Obs.Json.Str st.cfg.name);
+          ("engine", Obs.Json.Str (Engine.kind_name st.engine));
+          ("level", Obs.Json.Int st.accepted_hyp_rows);
+          ("ranks", Obs.Json.Str (ranks_string st));
+          ("active-deps", Obs.Json.Int active);
+        ];
+    let p0 = !Counters.lp_pivots and dp0 = !Counters.dual_pivots in
+    let n0 = !Counters.bb_nodes in
+    let w0 = !Counters.warm_starts and f0 = !Counters.warm_fallbacks in
+    Fun.protect
+      ~finally:(fun () -> Obs.Trace.end_span "sched.level")
+      (fun () ->
+        let res = solve_level_raw st in
+        if st.engine = Engine.Ilp then
+          Obs.Trace.instant ~cat:"sched" "ilp.level-solve"
+            ~args:
+              [
+                ("config", Obs.Json.Str st.cfg.name);
+                ("level", Obs.Json.Int st.accepted_hyp_rows);
+                ( "outcome",
+                  Obs.Json.Str
+                    (match res with
+                    | Some _ -> "hyperplane"
+                    | None -> "infeasible") );
+                ("pivots", Obs.Json.Int (!Counters.lp_pivots - p0));
+                ("dual-pivots", Obs.Json.Int (!Counters.dual_pivots - dp0));
+                ("bb-nodes", Obs.Json.Int (!Counters.bb_nodes - n0));
+                ("warm-solves", Obs.Json.Int (!Counters.warm_starts - w0));
+                ("cold-fallbacks", Obs.Json.Int (!Counters.warm_fallbacks - f0));
+              ];
+        res)
+  end
 
 let count_satisfied st =
   Array.fold_left (fun n s -> if s then n + 1 else n) 0 st.satisfied
@@ -802,8 +1007,28 @@ let verify_result (res : result) =
              res.config_name d.src d.dst));
   res
 
-let run_with_deps_budgeted ?budget cfg (prog : Scop.Program.t) all_deps =
-  let st, ddg, scc_order = make_state ?budget cfg prog all_deps in
+let run_with_deps_budgeted ?budget ?(engine = Engine.Auto) cfg
+    (prog : Scop.Program.t) all_deps =
+  let nstmts = Array.length prog.stmts in
+  let resolved = Engine.resolve engine ~nstmts in
+  if Obs.Trace.on () then
+    Obs.Trace.instant ~cat:"sched" "engine.select"
+      ~args:
+        [
+          ("config", Obs.Json.Str cfg.name);
+          ("requested", Obs.Json.Str (Engine.choice_name engine));
+          ("engine", Obs.Json.Str (Engine.kind_name resolved));
+          ("stmts", Obs.Json.Int nstmts);
+          ( "reason",
+            Obs.Json.Str
+              (match engine with
+              | Engine.Fixed _ -> "fixed"
+              | Engine.Auto ->
+                Printf.sprintf "auto: %d stmts %s threshold %d" nstmts
+                  (if resolved = Engine.Lp_dfp then ">=" else "<")
+                  Engine.auto_threshold) );
+        ];
+  let st, ddg, scc_order = make_state ?budget ~engine:resolved cfg prog all_deps in
   (* initial cut *)
   (match cfg.initial_cut with
   | None -> ()
@@ -896,6 +1121,7 @@ let run_with_deps_budgeted ?budget cfg (prog : Scop.Program.t) all_deps =
     {
       prog;
       config_name = cfg.name;
+      engine = resolved;
       all_deps;
       true_deps = Array.to_list st.true_deps;
       ddg;
@@ -905,25 +1131,26 @@ let run_with_deps_budgeted ?budget cfg (prog : Scop.Program.t) all_deps =
       outer_partition;
     }
 
-let run_with_deps cfg prog all_deps = run_with_deps_budgeted cfg prog all_deps
+let run_with_deps ?engine cfg prog all_deps =
+  run_with_deps_budgeted ?engine cfg prog all_deps
 
-let run ?param_floor ?budget cfg prog =
+let run ?param_floor ?budget ?engine cfg prog =
   let all_deps =
     Counters.time "dep-analysis" (fun () -> Dep.analyze ?param_floor prog)
   in
   Counters.time "scheduling" (fun () ->
-      run_with_deps_budgeted ?budget cfg prog all_deps)
+      run_with_deps_budgeted ?budget ?engine cfg prog all_deps)
 
-let schedule_with_deps ?budget cfg prog all_deps =
+let schedule_with_deps ?budget ?engine cfg prog all_deps =
   Diagnostics.protect (fun () ->
       Counters.time "scheduling" (fun () ->
-          run_with_deps_budgeted ?budget cfg prog all_deps))
+          run_with_deps_budgeted ?budget ?engine cfg prog all_deps))
 
-let schedule ?param_floor ?budget cfg prog =
+let schedule ?param_floor ?budget ?engine cfg prog =
   let all_deps =
     Counters.time "dep-analysis" (fun () -> Dep.analyze ?param_floor prog)
   in
-  schedule_with_deps ?budget cfg prog all_deps
+  schedule_with_deps ?budget ?engine cfg prog all_deps
 
 let partitions (result : result) =
   let n = Array.length result.prog.stmts in

@@ -45,6 +45,9 @@ type config = {
 type result = {
   prog : Scop.Program.t;
   config_name : string;
+  engine : Engine.kind;
+      (** the per-level solver that actually ran (after [Auto]
+          resolution) *)
   all_deps : Deps.Dep.t list;  (** including input dependences *)
   true_deps : Deps.Dep.t list;
   ddg : Deps.Ddg.t;
@@ -80,16 +83,25 @@ val smartfuse : config
     returned result has passed {!Satisfy.check_complete} and
     {!Satisfy.check_legal} (always-on exit verification). With
     [budget], the hyperplane search (per-level ILP and δ-range LPs) is
-    capped; dependence analysis and verification stay unbudgeted.
+    capped; dependence analysis and verification stay unbudgeted. With
+    [engine], the per-level solver is selected explicitly (default
+    [Engine.Auto]: ILP below {!Engine.auto_threshold} statements,
+    lp-dfp at or above — see {!Engine}).
     @raise Diagnostics.Error if no legal schedule can be found within
     budget — use {!schedule} for the non-raising variant. *)
 val run :
-  ?param_floor:int -> ?budget:Linalg.Budget.t -> config -> Scop.Program.t -> result
+  ?param_floor:int ->
+  ?budget:Linalg.Budget.t ->
+  ?engine:Engine.choice ->
+  config ->
+  Scop.Program.t ->
+  result
 
 (** Run with dependences already computed (they must include input
     dependences if downstream wants them).
     @raise Diagnostics.Error like {!run}. *)
-val run_with_deps : config -> Scop.Program.t -> Deps.Dep.t list -> result
+val run_with_deps :
+  ?engine:Engine.choice -> config -> Scop.Program.t -> Deps.Dep.t list -> result
 
 (** {!run} with the failure path reified: a schedule that failed
     verification or a search that died (budget exhaustion included)
@@ -98,6 +110,7 @@ val run_with_deps : config -> Scop.Program.t -> Deps.Dep.t list -> result
 val schedule :
   ?param_floor:int ->
   ?budget:Linalg.Budget.t ->
+  ?engine:Engine.choice ->
   config ->
   Scop.Program.t ->
   (result, Diagnostics.t) Stdlib.result
@@ -105,6 +118,7 @@ val schedule :
 (** {!schedule} with dependences already computed. *)
 val schedule_with_deps :
   ?budget:Linalg.Budget.t ->
+  ?engine:Engine.choice ->
   config ->
   Scop.Program.t ->
   Deps.Dep.t list ->

@@ -100,7 +100,7 @@ val lower_upper_bounds : t -> int -> Constr.t list * Constr.t list * Constr.t li
 
     The serving layer's content-addressed cache builds request
     fingerprints from these keys ([Serve.Fingerprint], versioned
-    ["wisefuse-fp-v1"]), and persisted cache keys outlive any single
+    ["wisefuse-fp-v2"]), and persisted cache keys outlive any single
     process — a silent format change would turn every stored key stale
     and corrupt cross-version hit accounting. The golden regression
     test in [test/test_poly.ml] pins this rendering; update the version

@@ -27,7 +27,10 @@
    record the dependence-set fingerprint in the cache entry for audit,
    and so tests can assert the derivation is stable. *)
 
-let version = "wisefuse-fp-v1"
+(* v2: the requested scheduling engine joined the key (an lp-dfp
+   schedule may legitimately differ from the ILP one, so the two must
+   never share a cache entry). *)
+let version = "wisefuse-fp-v2"
 
 (* --- canonical writers --------------------------------------------------- *)
 
@@ -191,8 +194,14 @@ let digest s = Digest.to_hex (Digest.string s)
 let program p = digest (program_body p)
 let deps_key ds = digest (deps_body ds)
 
-let key ?(param_floor = 2) ~model prog =
+(* The *requested* choice is keyed, not the resolved kind: [Auto] and
+   [Fixed] requests stay distinct even when they resolve to the same
+   engine for a given program. Conservative (an auto request never
+   collides into a fixed entry solved under a different threshold) and
+   independent of the program's statement count. *)
+let key ?(param_floor = 2) ?(engine = Pluto.Engine.Auto) ~model prog =
   digest
     (String.concat "\x00"
-       [ version; model_body model; "floor=" ^ string_of_int param_floor;
-         program_body prog ])
+       [ version; model_body model;
+         "engine=" ^ Pluto.Engine.choice_name engine;
+         "floor=" ^ string_of_int param_floor; program_body prog ])

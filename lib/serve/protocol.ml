@@ -9,7 +9,9 @@
 
    "op" defaults to "schedule". "id" is any JSON value and is echoed
    verbatim (absent -> null); "model" defaults to "wisefuse"; "size"
-   defaults to the kernel's registry model size. Unknown fields are
+   defaults to the kernel's registry model size; "engine" selects the
+   per-level scheduling engine ("ilp" | "lp-dfp" | "auto", default
+   "auto" — validated by the server, not here). Unknown fields are
    ignored so clients can tag requests freely.
 
    Every response carries "id" and "status" ("ok" | "error"). A
@@ -22,7 +24,12 @@
    vocabulary for codes. *)
 
 type op =
-  | Schedule of { kernel : string; size : int option; model : string }
+  | Schedule of {
+      kernel : string;
+      size : int option;
+      model : string;
+      engine : string;
+    }
   | Ping
   | Stats
   | Shutdown
@@ -55,7 +62,8 @@ let parse_request line =
       | Some kernel ->
         let size = Option.bind (member "size" j) Obs.Json.to_int_opt in
         let model = Option.value (str_field "model") ~default:"wisefuse" in
-        Ok { id; op = Schedule { kernel; size; model } })
+        let engine = Option.value (str_field "engine") ~default:"auto" in
+        Ok { id; op = Schedule { kernel; size; model; engine } })
     | other ->
       Error
         { err_id = id; code = "usage";

@@ -4,7 +4,12 @@
     for the wire schema. *)
 
 type op =
-  | Schedule of { kernel : string; size : int option; model : string }
+  | Schedule of {
+      kernel : string;
+      size : int option;
+      model : string;
+      engine : string;  (** "ilp" | "lp-dfp" | "auto"; server-validated *)
+    }
   | Ping
   | Stats
   | Shutdown
@@ -18,7 +23,8 @@ type parse_error = {
 }
 
 (** Parse one request line. ["op"] defaults to ["schedule"], ["model"]
-    to ["wisefuse"]; unknown fields are ignored. *)
+    to ["wisefuse"], ["engine"] to ["auto"]; unknown fields are
+    ignored. *)
 val parse_request : string -> (request, parse_error) result
 
 val error_response : id:Obs.Json.t -> code:string -> message:string -> Obs.Json.t

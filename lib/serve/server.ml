@@ -119,11 +119,11 @@ let explain_lines ex =
    content — which is what makes cached responses byte-identical to
    fresh solves. Returns the payload and the dependence-set
    fingerprint. *)
-let solve ~kernel ~model ~size prog =
+let solve ~kernel ~model ~size ~engine prog =
   Linalg.Counters.reset ();
   Pluto.Farkas.reset_cache ();
   let opt, events =
-    Obs.Trace.capture (fun () -> Fusion.Model.optimize model prog)
+    Obs.Trace.capture (fun () -> Fusion.Model.optimize ~engine model prog)
   in
   let aprog, deps, sched = artifacts opt in
   let report = Analysis.Wisecheck.certify aprog deps sched opt.Fusion.Model.ast in
@@ -134,11 +134,20 @@ let solve ~kernel ~model ~size prog =
                  Fusion.Resilient.degraded o)
     | None -> ("structural", false)
   in
+  (* requested choice plus the per-level solver that actually ran
+     ("none" when the structural icc model served the request) *)
+  let engine_used =
+    match opt.Fusion.Model.scheduler with
+    | Some res -> Pluto.Engine.kind_name res.Pluto.Scheduler.engine
+    | None -> "none"
+  in
   let payload =
     Obs.Json.Obj
       [ ("kernel", Obs.Json.Str kernel);
         ("model", Obs.Json.Str (Fusion.Model.name model));
         ("size", Obs.Json.Int size);
+        ("engine", Obs.Json.Str (Pluto.Engine.choice_name engine));
+        ("engine_used", Obs.Json.Str engine_used);
         ("rung", Obs.Json.Str rung);
         ("degraded", Obs.Json.Bool degraded);
         ("schedule", sched_json aprog sched);
@@ -171,7 +180,7 @@ let hit_response ~id ~key ~coalesced ~wall0 (e : Cache.entry) =
     ~serve:(Protocol.serve_section ~wall_us ~solver:Protocol.zero_solver)
     ~result:e.Cache.payload
 
-let handle_schedule t ~id ~kernel ~size ~model:model_name =
+let handle_schedule t ~id ~kernel ~size ~model:model_name ~engine:engine_name =
   let wall0 = Unix.gettimeofday () in
   match Kernels.Registry.find kernel with
   | exception Not_found ->
@@ -184,17 +193,26 @@ let handle_schedule t ~id ~kernel ~size ~model:model_name =
       Protocol.error_response ~id ~code:"usage"
         ~message:(Printf.sprintf "unknown model %S" model_name)
     | model -> (
+      match Pluto.Engine.of_string engine_name with
+      | None ->
+        Protocol.error_response ~id ~code:"usage"
+          ~message:
+            (Printf.sprintf
+               "unknown engine %S (expected \"ilp\", \"lp-dfp\" or \"auto\")"
+               engine_name)
+      | Some engine -> (
       let n = Option.value size ~default:entry.Kernels.Registry.model_size in
       match entry.Kernels.Registry.program ~n () with
       | exception Invalid_argument msg ->
         Protocol.error_response ~id ~code:"usage"
           ~message:(Printf.sprintf "cannot build %s at size %d: %s" kernel n msg)
       | prog ->
-        let key = Fingerprint.key ~model prog in
+        let key = Fingerprint.key ~engine ~model prog in
         let args =
           if Obs.Trace.on () then
             [ ("kernel", Obs.Json.Str kernel);
               ("model", Obs.Json.Str model_name);
+              ("engine", Obs.Json.Str (Pluto.Engine.choice_name engine));
               ("key", Obs.Json.Str key) ]
           else []
         in
@@ -218,7 +236,9 @@ let handle_schedule t ~id ~kernel ~size ~model:model_name =
                     match
                       Obs.Trace.span ~cat:"serve" "serve.schedule" (fun () ->
                           let t0 = Unix.gettimeofday () in
-                          let payload, deps_fp = solve ~kernel ~model ~size:n prog in
+                          let payload, deps_fp =
+                            solve ~kernel ~model ~size:n ~engine prog
+                          in
                           (payload, deps_fp, (Unix.gettimeofday () -. t0) *. 1e3))
                     with
                     | payload, deps_fp, solve_ms ->
@@ -234,7 +254,7 @@ let handle_schedule t ~id ~kernel ~size ~model:model_name =
                         ~code:
                           (Pluto.Diagnostics.phase_name d.Pluto.Diagnostics.phase
                           ^ ":" ^ d.Pluto.Diagnostics.code)
-                        ~message:d.Pluto.Diagnostics.message)))))
+                        ~message:d.Pluto.Diagnostics.message))))))
 
 let handle_request t ({ id; op } : Protocol.request) =
   match op with
@@ -247,8 +267,8 @@ let handle_request t ({ id; op } : Protocol.request) =
     Atomic.set t.stop true;
     t.on_stop ();
     Protocol.shutdown_response ~id
-  | Protocol.Schedule { kernel; size; model } ->
-    handle_schedule t ~id ~kernel ~size ~model
+  | Protocol.Schedule { kernel; size; model; engine } ->
+    handle_schedule t ~id ~kernel ~size ~model ~engine
 
 (* One request line in, one response line out (no trailing newline).
    Blank lines are ignored. Never raises: anything unexpected becomes

@@ -72,8 +72,8 @@ let check_schedule line j =
     List.iter
       (fun f ->
         if member f result = None then fail line "result lacks %S" f)
-      [ "kernel"; "model"; "size"; "rung"; "schedule"; "partition";
-        "wisecheck"; "explain"; "counters" ];
+      [ "kernel"; "model"; "size"; "engine"; "engine_used"; "rung";
+        "schedule"; "partition"; "wisecheck"; "explain"; "counters" ];
     (match member "wisecheck" result with
     | None -> ()
     | Some wc -> (

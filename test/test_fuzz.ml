@@ -196,6 +196,94 @@ let fuzz_pipeline =
   QCheck.Test.make ~name:"random SCoPs: pipeline crash-free and legal" ~count
     arb_spec run_case
 
+(* --- large generated SCoPs ------------------------------------------------ *)
+
+(* The same properties over Kernels.Scopgen's many-statement shapes,
+   with the engine itself fuzzed (ilp / lp-dfp / auto). Statement
+   counts go up to FUZZ_STMTS (default 80); the CI scale smoke job
+   raises it. Far fewer cases than the random-SCoP property: each one
+   is a whole hundred-ish-statement pipeline run. *)
+
+let fuzz_stmts =
+  match Sys.getenv_opt "FUZZ_STMTS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 9 -> n | _ -> 80)
+  | None -> 80
+
+let large_count = max 3 (count / 10)
+
+type large_spec = { shape : int; lstmts : int; engine : int; lmodel : int }
+
+let gen_large =
+  QCheck.Gen.(
+    map
+      (fun ((shape, lstmts), (engine, lmodel)) ->
+        { shape; lstmts; engine; lmodel })
+      (pair
+         (pair (int_range 0 2) (int_range 10 fuzz_stmts))
+         (pair (int_range 0 2) (int_range 0 3))))
+
+let print_large spec =
+  Printf.sprintf "shape=%s stmts=%d engine=%s model=%s"
+    (Kernels.Scopgen.shape_name
+       (List.nth Kernels.Scopgen.all_shapes spec.shape))
+    spec.lstmts
+    (Pluto.Engine.choice_name
+       (match spec.engine with
+       | 0 -> Pluto.Engine.Fixed Pluto.Engine.Ilp
+       | 1 -> Pluto.Engine.Fixed Pluto.Engine.Lp_dfp
+       | _ -> Pluto.Engine.Auto))
+    (Fusion.Model.name (model_of spec.lmodel))
+
+let run_large spec =
+  let shape = List.nth Kernels.Scopgen.all_shapes spec.shape in
+  let engine =
+    match spec.engine with
+    | 0 -> Pluto.Engine.Fixed Pluto.Engine.Ilp
+    | 1 -> Pluto.Engine.Fixed Pluto.Engine.Lp_dfp
+    | _ -> Pluto.Engine.Auto
+  in
+  let prog = Kernels.Scopgen.generate shape ~stmts:spec.lstmts in
+  let config = Fusion.Model.scheduler_config (model_of spec.lmodel) in
+  let o = Fusion.Resilient.optimize ~engine ~config prog in
+  let r = o.Fusion.Resilient.result in
+  (match
+     Pluto.Satisfy.check_complete r.Pluto.Scheduler.prog r.Pluto.Scheduler.sched
+   with
+  | Ok () -> ()
+  | Error d ->
+    QCheck.Test.fail_reportf "incomplete schedule: %s" d.Pluto.Diagnostics.code);
+  (match
+     Pluto.Satisfy.check_legal r.Pluto.Scheduler.prog
+       r.Pluto.Scheduler.true_deps r.Pluto.Scheduler.sched
+   with
+  | Ok () -> ()
+  | Error d ->
+    QCheck.Test.fail_reportf "illegal schedule: dep %d->%d" d.Deps.Dep.src
+      d.Deps.Dep.dst);
+  let races =
+    Analysis.Race.check r.Pluto.Scheduler.prog r.Pluto.Scheduler.all_deps
+      r.Pluto.Scheduler.sched o.Fusion.Resilient.ast
+  in
+  (match
+     List.find_opt
+       (fun (f : Analysis.Finding.t) ->
+         f.Analysis.Finding.kind = Analysis.Finding.Racy_parallel)
+       races
+   with
+  | Some f ->
+    QCheck.Test.fail_reportf "racy parallel mark: %s" f.Analysis.Finding.message
+  | None -> ());
+  true
+
+let fuzz_large =
+  QCheck.Test.make ~name:"generated large SCoPs: engines crash-free and legal"
+    ~count:large_count
+    (QCheck.make ~print:print_large gen_large)
+    run_large
+
 let () =
   Alcotest.run "fuzz"
-    [ ("pipeline", [ QCheck_alcotest.to_alcotest fuzz_pipeline ]) ]
+    [
+      ("pipeline", [ QCheck_alcotest.to_alcotest fuzz_pipeline ]);
+      ("large", [ QCheck_alcotest.to_alcotest fuzz_large ]);
+    ]

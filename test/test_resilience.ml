@@ -374,6 +374,45 @@ let test_bench_comparator () =
     && (not (is_failure (cmp (Some 0.0) 10.0)))
     && not (is_failure (cmp None 10.0)))
 
+(* one-sided bounds used by the serve and scale gates *)
+let test_bench_bounds () =
+  let open Bench_check in
+  (match check_min ~floor:0.5 ~value:0.7 with
+  | Met v -> Alcotest.(check (float 1e-9)) "min met carries value" 0.7 v
+  | _ -> Alcotest.fail "0.7 meets a 0.5 floor");
+  (match check_min ~floor:0.5 ~value:0.3 with
+  | Violation v -> Alcotest.(check (float 1e-9)) "min violation value" 0.3 v
+  | _ -> Alcotest.fail "0.3 violates a 0.5 floor");
+  Alcotest.(check bool) "floor is inclusive" true
+    (check_min ~floor:0.5 ~value:0.5 = Met 0.5);
+  (match check_max ~ceiling:10.0 ~value:8.0 with
+  | Met v -> Alcotest.(check (float 1e-9)) "max met carries value" 8.0 v
+  | _ -> Alcotest.fail "8 meets a 10 ceiling");
+  (match check_max ~ceiling:10.0 ~value:11.0 with
+  | Violation v -> Alcotest.(check (float 1e-9)) "max violation value" 11.0 v
+  | _ -> Alcotest.fail "11 violates a 10 ceiling");
+  Alcotest.(check bool) "ceiling is inclusive" true
+    (check_max ~ceiling:10.0 ~value:10.0 = Met 10.0);
+  (* the zero-ceiling form gates lp-dfp's bb_nodes = 0 invariant *)
+  Alcotest.(check bool) "zero ceiling, zero value" true
+    (check_max ~ceiling:0.0 ~value:0.0 = Met 0.0);
+  Alcotest.(check bool) "zero ceiling, one violates" true
+    (check_max ~ceiling:0.0 ~value:1.0 = Violation 1.0);
+  (* non-finite inputs never produce a verdict, in either direction *)
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "nan/inf value guarded" true
+        (check_min ~floor:1.0 ~value:v = Bad_value
+        && check_max ~ceiling:1.0 ~value:v = Bad_value);
+      Alcotest.(check bool) "nan/inf bound guarded" true
+        (check_min ~floor:v ~value:1.0 = Bad_value
+        && check_max ~ceiling:v ~value:1.0 = Bad_value))
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  Alcotest.(check bool) "only violations fail" true
+    (bound_failure (Violation 2.0)
+    && (not (bound_failure (Met 2.0)))
+    && not (bound_failure Bad_value))
+
 (* --- counters on an empty run ---------------------------------------------- *)
 
 let test_counters_pp_empty () =
@@ -438,6 +477,7 @@ let () =
         [
           Alcotest.test_case "regression comparator" `Quick
             test_bench_comparator;
+          Alcotest.test_case "bound comparators" `Quick test_bench_bounds;
           Alcotest.test_case "counters pp on empty run" `Quick
             test_counters_pp_empty;
         ] );

@@ -141,6 +141,17 @@ let test_fingerprint_sensitivity () =
     Serve.Fingerprint.key ~model:wf ~param_floor:2 p16
     = Serve.Fingerprint.key ~model:wf ~param_floor:4 p16
   then Alcotest.fail "param floor must be part of the key";
+  (* the requested engine is part of the key, pairwise *)
+  let ek e = Serve.Fingerprint.key ~engine:e ~model:wf p16 in
+  let engine_keys =
+    [ ek (Pluto.Engine.Fixed Pluto.Engine.Ilp);
+      ek (Pluto.Engine.Fixed Pluto.Engine.Lp_dfp); ek Pluto.Engine.Auto ]
+  in
+  Alcotest.(check int) "engine choices have distinct keys" 3
+    (List.length (List.sort_uniq compare engine_keys));
+  Alcotest.(check string) "auto is the default engine"
+    (Serve.Fingerprint.key ~model:wf p16)
+    (ek Pluto.Engine.Auto);
   (* different kernels never collide *)
   let keys =
     List.map
@@ -279,6 +290,58 @@ let test_concurrent_domains () =
   Alcotest.(check int) "misses = distinct keys" (List.length pop)
     s.Cache.misses
 
+(* --- engine selection over the wire ---------------------------------------- *)
+
+let engine_line ~id ~engine kernel =
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       [ ("id", Obs.Json.Int id); ("kernel", Obs.Json.Str kernel);
+         ("size", Obs.Json.Int test_size); ("engine", Obs.Json.Str engine) ])
+
+let test_engine_requests () =
+  let t = Serve.Server.create () in
+  let _, ilp = respond t (engine_line ~id:1 ~engine:"ilp" "gemver") in
+  let _, dfp = respond t (engine_line ~id:2 ~engine:"lp-dfp" "gemver") in
+  Alcotest.(check string) "ilp request ok" "ok" (str_field ilp "status");
+  Alcotest.(check string) "lp-dfp request ok" "ok" (str_field dfp "status");
+  if str_field ilp "key" = str_field dfp "key" then
+    Alcotest.fail "ilp and lp-dfp must have distinct cache keys";
+  let result j = field j "result" in
+  Alcotest.(check string) "payload echoes the requested engine" "lp-dfp"
+    (str_field (result dfp) "engine");
+  (* gemver is far below the auto threshold, so a fixed lp-dfp request
+     is the only way this kernel runs the dfp engine *)
+  Alcotest.(check string) "lp-dfp actually ran" "lp-dfp"
+    (str_field (result dfp) "engine_used");
+  Alcotest.(check string) "ilp actually ran" "ilp"
+    (str_field (result ilp) "engine_used");
+  (* per-engine warm hits are byte-identical to their own cold solve *)
+  let _, warm = respond t (engine_line ~id:3 ~engine:"lp-dfp" "gemver") in
+  Alcotest.(check string) "warm lp-dfp is a hit" "hit" (str_field warm "cache");
+  Alcotest.(check string) "warm lp-dfp byte-identical"
+    (Obs.Json.to_string (result dfp))
+    (Obs.Json.to_string (result warm));
+  (* an explicit auto engine shares the default entry *)
+  let _, auto0 = respond t (request_line ~id:4 "gemver") in
+  let _, auto1 = respond t (engine_line ~id:5 ~engine:"auto" "gemver") in
+  Alcotest.(check string) "explicit auto = default key"
+    (str_field auto0 "key") (str_field auto1 "key");
+  Alcotest.(check string) "explicit auto hits" "hit" (str_field auto1 "cache");
+  (* icc accepts (and ignores) the engine *)
+  let _, icc =
+    respond t
+      {|{"id": 6, "kernel": "gemver", "size": 8, "model": "icc", "engine": "lp-dfp"}|}
+  in
+  Alcotest.(check string) "icc + engine ok" "ok" (str_field icc "status");
+  Alcotest.(check string) "icc used no per-level engine" "none"
+    (str_field (result icc) "engine_used");
+  (* unknown engines are usage errors *)
+  let _, bad = respond t (engine_line ~id:7 ~engine:"simplex" "gemver") in
+  Alcotest.(check string) "unknown engine errors" "error"
+    (str_field bad "status");
+  Alcotest.(check string) "usage code" "usage"
+    (str_field (field bad "error") "code")
+
 (* --- protocol corners ------------------------------------------------------ *)
 
 let test_protocol_envelopes () =
@@ -329,6 +392,7 @@ let () =
             test_warm_cold_identical;
           Alcotest.test_case "concurrent domains" `Quick
             test_concurrent_domains;
+          Alcotest.test_case "engine selection" `Quick test_engine_requests;
           Alcotest.test_case "protocol envelopes" `Quick
             test_protocol_envelopes;
         ] );
