@@ -1189,6 +1189,529 @@ let serve_check () =
   end
   else Printf.printf "  OK: all serving bounds hold\n"
 
+(* --- soak: chaos + hostile traffic against the hardened daemon ---------------- *)
+
+(* The survival experiment behind the "Hardened serving" claims: a
+   multi-domain in-process daemon is soaked in thousands of mixed
+   requests where a deliberate share of the traffic is hostile
+   (malformed JSON, truncated lines, unknown ops, bad engines/models,
+   oversized lines) and a share of the cold solves is sabotaged by the
+   chaos hook (injected exceptions, starved budgets, slow solves). The
+   daemon must never crash, answer EVERY line with a typed envelope,
+   keep deadline overruns bounded, trip and recover the circuit
+   breaker, and — the core wiseserve guarantee — still serve payloads
+   byte-identical to an unfaulted run afterwards. Survival metrics land
+   in BENCH_soak.json; `soak --check` is the gate CI blocks on. *)
+
+let soak_json_file = "BENCH_soak.json"
+let soak_deadline_ms = 250
+
+(* per-worker xorshift64* state: each domain gets its own stream, so
+   the concurrent phase stays deterministic per worker *)
+let soak_rand r =
+  let open Int64 in
+  let x = !r in
+  let x = logxor x (shift_left x 13) in
+  let x = logxor x (shift_right_logical x 7) in
+  let x = logxor x (shift_left x 17) in
+  r := x;
+  to_int (shift_right_logical x 2)
+
+let soak_rand_float r = float_of_int (soak_rand r land 0xFFFFFF) /. 16777216.0
+
+let soak_registry () =
+  List.map (fun (e : Kernels.Registry.entry) -> e.Kernels.Registry.name)
+    Kernels.Registry.all
+
+(* cache-busting cold solves stick to the structurally cheap kernels:
+   the size only changes the fingerprint (it is a loop-bound parameter,
+   not a statement count), so fresh sizes mean fresh cold solves at a
+   flat cost *)
+let soak_cheap_kernels = [| "gemver"; "tce"; "advect" |]
+
+let soak_oversized_line =
+  lazy ("{\"id\": 6, \"pad\": \"" ^ String.make ((1 lsl 20) + 64) 'x' ^ "\"}")
+
+let soak_hostile_line i =
+  match i mod 9 with
+  | 0 -> {|{"id": 1, "op": "no-such-op"}|}
+  | 1 -> "this is not json"
+  | 2 -> {|{"truncated":|}
+  | 3 -> {|{"id": 2, "kernel": "no-such-kernel"}|}
+  | 4 -> {|{"id": 3, "kernel": "gemver", "size": 8, "engine": "bogus"}|}
+  | 5 -> {|{"id": 4, "kernel": "gemver", "size": 8, "model": "bogus"}|}
+  | 6 -> {|{"id": 5, "kernel": 42}|}
+  | 7 -> {|{"id": 6, "kernel": "gemver", "size": 8, "deadline_ms": -1}|}
+  | _ -> Lazy.force soak_oversized_line
+
+type soak_reply =
+  | Sok of string (* cache state: hit | miss | uncached | "" for ops *)
+  | Serr of string (* typed error code *)
+  | Suntyped (* missing, unparseable or schema-less response *)
+
+(* per-worker tally, merged after the domains join *)
+type soak_tally = {
+  mutable sent : int;
+  mutable hostile : int;
+  mutable hits : int;
+  mutable cold : int;
+  mutable uncache : int;
+  errs : (string, int) Hashtbl.t;
+  mutable untyped : int;
+  mutable crashes : int;
+  mutable overruns : float list; (* ms, from deadline-carrying replies *)
+}
+
+let soak_classify resp =
+  match resp with
+  | None -> (Suntyped, None)
+  | Some r -> (
+    match Obs.Json.parse r with
+    | Error _ -> (Suntyped, None)
+    | Ok j ->
+      let str p = Option.bind (serve_field j p) Obs.Json.to_string_opt in
+      let overrun =
+        Option.bind (serve_field j [ "serve"; "overrun_ms" ])
+          Obs.Json.to_float_opt
+      in
+      (match str [ "status" ] with
+      | Some "ok" ->
+        (Sok (Option.value (str [ "cache" ]) ~default:""), overrun)
+      | Some "error" -> (
+        match str [ "error"; "code" ] with
+        | Some code -> (Serr code, overrun)
+        | None -> (Suntyped, overrun))
+      | _ -> (Suntyped, overrun)))
+
+let soak_send t tally line ~hostile =
+  tally.sent <- tally.sent + 1;
+  if hostile then tally.hostile <- tally.hostile + 1;
+  let reply =
+    (* handle_line promises never to raise; a raise IS the crash the
+       soak exists to rule out, so count it instead of dying *)
+    try soak_classify (Serve.Server.handle_line t line)
+    with _ ->
+      tally.crashes <- tally.crashes + 1;
+      (Suntyped, None)
+  in
+  (match reply with
+  | Sok "hit", _ -> tally.hits <- tally.hits + 1
+  | Sok "miss", _ -> tally.cold <- tally.cold + 1
+  | Sok "uncached", _ -> tally.uncache <- tally.uncache + 1
+  | Sok _, _ -> ()
+  | Serr code, _ ->
+    Hashtbl.replace tally.errs code
+      (1 + Option.value (Hashtbl.find_opt tally.errs code) ~default:0)
+  | Suntyped, _ -> tally.untyped <- tally.untyped + 1);
+  match reply with
+  | _, Some o -> tally.overruns <- o :: tally.overruns
+  | _ -> ()
+
+(* one worker domain's request stream against the shared server *)
+let soak_worker t ~worker ~count =
+  let rng = ref (Int64.of_int ((worker + 1) * 0x9E3779B9)) in
+  let tally =
+    { sent = 0; hostile = 0; hits = 0; cold = 0; uncache = 0;
+      errs = Hashtbl.create 16; untyped = 0; crashes = 0; overruns = [] }
+  in
+  let registry = Array.of_list (soak_registry ()) in
+  let fresh = ref 0 in
+  for i = 1 to count do
+    let r = soak_rand_float rng in
+    if r < 0.12 then
+      soak_send t tally (soak_hostile_line (soak_rand rng)) ~hostile:true
+    else if r < 0.40 then begin
+      (* cache-busting cold solve: a size nobody else requests, so the
+         chaos hook sees a steady stream of fresh fingerprints *)
+      incr fresh;
+      let kernel =
+        soak_cheap_kernels.(soak_rand rng mod Array.length soak_cheap_kernels)
+      in
+      let size = 1000 + (worker * 100_000) + !fresh in
+      let deadline =
+        if soak_rand_float rng < 0.5 then
+          Printf.sprintf {|, "deadline_ms": %d|} soak_deadline_ms
+        else ""
+      in
+      soak_send t tally
+        (Printf.sprintf {|{"id": %d, "kernel": %S, "size": %d%s}|} i kernel
+           size deadline)
+        ~hostile:false
+    end
+    else begin
+      (* warm population traffic over the full registry *)
+      let kernel = registry.(soak_rand rng mod Array.length registry) in
+      let model =
+        if soak_rand_float rng < 0.2 then {|, "model": "nofuse"|} else ""
+      in
+      let deadline =
+        if soak_rand_float rng < 0.3 then
+          Printf.sprintf {|, "deadline_ms": %d|} soak_deadline_ms
+        else ""
+      in
+      soak_send t tally
+        (Printf.sprintf {|{"id": %d, "kernel": %S, "size": 8%s%s}|} i kernel
+           model deadline)
+        ~hostile:false
+    end
+  done;
+  tally
+
+(* (key, result-payload) for one registry kernel; the pair whose byte
+   identity across servers and across the soak is the core guarantee *)
+let soak_payload t kernel =
+  let line = Printf.sprintf {|{"id": 0, "kernel": %S, "size": 8}|} kernel in
+  match Serve.Server.handle_line t line with
+  | None -> ("", "", "none")
+  | Some r -> (
+    match Obs.Json.parse r with
+    | Error _ -> ("", "", "unparseable")
+    | Ok j ->
+      let str f = Option.bind (Obs.Json.member f j) Obs.Json.to_string_opt in
+      let result =
+        match Obs.Json.member "result" j with
+        | Some v -> Obs.Json.to_string v
+        | None -> ""
+      in
+      ( Option.value (str "key") ~default:"",
+        result,
+        Option.value (str "cache") ~default:"?" ))
+
+let soak_config () =
+  { Serve.Server.default_config with
+    domains = 4;
+    cache_capacity = 1024;
+    (* low-water admission: with 4 soaking domains the gauge crosses it
+       under bursts, so shedding is exercised, not just configured *)
+    max_pending = 3;
+    (* no server default deadline: only the requests that ask for one
+       carry deadline/overrun accounting, which keeps the overrun
+       population well-defined *)
+    default_deadline_ms = None;
+  }
+
+type soak_stats = {
+  kdomains : int;
+  ksent : int;
+  khostile : int;
+  khits : int;
+  kcold : int;
+  kuncached : int;
+  kerrs : (string * int) list;
+  kuntyped : int;
+  kcrashes : int;
+  kraises : int;
+  kexhausts : int;
+  kslows : int;
+  kshed : int;
+  krecovered : int;
+  ktrips : int;
+  krejects : int;
+  koverrun_samples : int;
+  koverrun_p99_ms : float;
+  kwarm_identity : bool;
+  kwarm_hits : bool;
+  kcold_identity : bool;
+  kwall_s : float;
+}
+
+let run_soak () =
+  let t0 = Linalg.Clock.now () in
+  Serve.Chaos.reset ();
+  let registry = soak_registry () in
+  let workers = 4 in
+  let per_worker = if smoke then 100 else 600 in
+
+  (* phase 0: unfaulted reference payloads from a pristine server *)
+  let reference =
+    let fresh = Serve.Server.create ~config:(soak_config ()) () in
+    List.map (fun k -> (k, soak_payload fresh k)) registry
+  in
+
+  let t = Serve.Server.create ~config:(soak_config ()) () in
+
+  (* phase 1: seed the soak server's cache with the registry, so the
+     identity population is warm before any fault is armed *)
+  List.iter (fun k -> ignore (soak_payload t k)) registry;
+
+  (* phase 2: poison pill — one unique fingerprint fails [threshold]
+     times in a row, which must trip the breaker; the next request for
+     it must be rejected without touching the solver *)
+  let threshold = (soak_config ()).Serve.Server.breaker_threshold in
+  Serve.Chaos.arm_queue (List.init threshold (fun _ -> Serve.Chaos.Raise));
+  let pill = {|{"id": 0, "kernel": "gemver", "size": 9973}|} in
+  let pill_tally =
+    { sent = 0; hostile = 0; hits = 0; cold = 0; uncache = 0;
+      errs = Hashtbl.create 4; untyped = 0; crashes = 0; overruns = [] }
+  in
+  for _ = 1 to threshold + 1 do
+    soak_send t pill_tally pill ~hostile:true
+  done;
+
+  (* phase 3: the concurrent soak — probabilistic chaos on cold solves,
+     four worker domains firing the mixed request stream *)
+  let chaos_mutex = Mutex.create () in
+  let chaos_rng = ref 0x2545F4914F6CDD1DL in
+  (Serve.Chaos.solve_fault :=
+     fun () ->
+       Mutex.lock chaos_mutex;
+       let r = soak_rand_float chaos_rng in
+       let ms = 40 + (soak_rand chaos_rng mod 60) in
+       Mutex.unlock chaos_mutex;
+       if r < 0.04 then Some Serve.Chaos.Raise
+       else if r < 0.08 then Some Serve.Chaos.Exhaust
+       else if r < 0.12 then Some (Serve.Chaos.Slow ms)
+       else None);
+  let tallies =
+    List.init workers (fun w ->
+        Domain.spawn (fun () -> soak_worker t ~worker:w ~count:per_worker))
+    |> List.map Domain.join
+  in
+  (* snapshot the chaos tallies before reset zeroes them, and the
+     shed/recovered mirrors before the phase-4 servers (whose own
+     gauges are zero) overwrite the process-wide counters *)
+  let raises = !Serve.Chaos.injected_raises in
+  let exhausts = !Serve.Chaos.injected_exhausts in
+  let slows = !Serve.Chaos.injected_slows in
+  let shed = !Linalg.Counters.serve_shed in
+  let recovered = !Linalg.Counters.serve_recovered in
+  Serve.Chaos.reset ();
+  let tallies = pill_tally :: tallies in
+
+  (* phase 4: identity after the storm — the soak server must still
+     serve the registry byte-identically to the unfaulted reference
+     (warm), and a brand-new server in the same process must reproduce
+     it cold (no poisoned global state survived) *)
+  let warm = List.map (fun k -> (k, soak_payload t k)) registry in
+  let cold_t = Serve.Server.create ~config:(soak_config ()) () in
+  let cold = List.map (fun k -> (k, soak_payload cold_t k)) registry in
+  let same a b =
+    List.for_all2
+      (fun (k1, (key1, res1, _)) (k2, (key2, res2, _)) ->
+        k1 = k2 && key1 = key2 && res1 = res2 && res1 <> "")
+      a b
+  in
+  let warm_identity = same reference warm in
+  let warm_hits = List.for_all (fun (_, (_, _, c)) -> c = "hit") warm in
+  let cold_identity = same reference cold in
+
+  (* merge the per-worker tallies *)
+  let sum f = List.fold_left (fun a tl -> a + f tl) 0 tallies in
+  let errs = Hashtbl.create 16 in
+  List.iter
+    (fun tl ->
+      Hashtbl.iter
+        (fun code n ->
+          Hashtbl.replace errs code
+            (n + Option.value (Hashtbl.find_opt errs code) ~default:0))
+        tl.errs)
+    tallies;
+  let overruns =
+    Array.of_list (List.concat_map (fun tl -> tl.overruns) tallies)
+  in
+  Array.sort compare overruns;
+  let breaker = Serve.Server.breaker t in
+  {
+    kdomains = workers;
+    ksent = sum (fun tl -> tl.sent);
+    khostile = sum (fun tl -> tl.hostile);
+    khits = sum (fun tl -> tl.hits);
+    kcold = sum (fun tl -> tl.cold);
+    kuncached = sum (fun tl -> tl.uncache);
+    kerrs =
+      Hashtbl.fold (fun c n acc -> (c, n) :: acc) errs []
+      |> List.sort compare;
+    kuntyped = sum (fun tl -> tl.untyped);
+    kcrashes = sum (fun tl -> tl.crashes);
+    kraises = raises;
+    kexhausts = exhausts;
+    kslows = slows;
+    kshed = shed;
+    krecovered = recovered;
+    ktrips = Serve.Breaker.trips breaker;
+    krejects = Serve.Breaker.rejects breaker;
+    koverrun_samples = Array.length overruns;
+    koverrun_p99_ms =
+      (if Array.length overruns = 0 then nan else percentile overruns 0.99);
+    kwarm_identity = warm_identity;
+    kwarm_hits = warm_hits;
+    kcold_identity = cold_identity;
+    kwall_s = Linalg.Clock.elapsed_ms ~since:t0 /. 1e3;
+  }
+
+let soak_fault_share st =
+  float_of_int (st.khostile + st.kraises + st.kexhausts + st.kslows)
+  /. float_of_int st.ksent
+
+let soak_record st =
+  let open Obs.Json in
+  let label = Option.value (Sys.getenv_opt "BENCH_LABEL") ~default:"dev" in
+  Obj
+    [ ("label", Str label); ("smoke", Bool smoke);
+      ("domains", Int st.kdomains); ("requests", Int st.ksent);
+      ("hostile_lines", Int st.khostile);
+      ( "injected",
+        Obj
+          [ ("raises", Int st.kraises); ("exhausts", Int st.kexhausts);
+            ("slows", Int st.kslows) ] );
+      ( "fault_share",
+        Float (Float.of_string (Printf.sprintf "%.4f" (soak_fault_share st)))
+      );
+      ("hits", Int st.khits); ("misses", Int st.kcold);
+      ("uncached", Int st.kuncached);
+      ("error_codes", Obj (List.map (fun (c, n) -> (c, Int n)) st.kerrs));
+      ("untyped", Int st.kuntyped); ("crashes", Int st.kcrashes);
+      ( "deadline",
+        Obj
+          [ ("deadline_ms", Int soak_deadline_ms);
+            ("samples", Int st.koverrun_samples);
+            ("overrun_p99_ms", Float (round2 st.koverrun_p99_ms));
+            ("bound_ms", Int (2 * soak_deadline_ms)) ] );
+      ( "breaker",
+        Obj [ ("trips", Int st.ktrips); ("rejects", Int st.krejects) ] );
+      ("shed", Int st.kshed); ("recovered", Int st.krecovered);
+      ("warm_identity", Bool st.kwarm_identity);
+      ("warm_all_hits", Bool st.kwarm_hits);
+      ("cold_identity", Bool st.kcold_identity);
+      ("wall_s", Float (round2 st.kwall_s)) ]
+
+let read_soak_file () =
+  if Sys.file_exists soak_json_file then begin
+    let ic = open_in_bin soak_json_file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Obs.Json.parse s with
+    | Error msg -> failwith (Printf.sprintf "%s: %s" soak_json_file msg)
+    | Ok doc ->
+      (match Option.bind (Obs.Json.member "runs" doc) Obs.Json.to_list_opt with
+      | Some runs -> runs
+      | None -> failwith (soak_json_file ^ {|: no "runs" array|}))
+  end
+  else []
+
+let write_soak_json st =
+  let run = soak_record st in
+  let label = Option.value (record_label run) ~default:"dev" in
+  let kept =
+    List.filter (fun r -> record_label r <> Some label) (read_soak_file ())
+  in
+  let doc =
+    Obs.Json.Obj
+      [ ("schema", Obs.Json.Int 1);
+        ( "unit",
+          Obs.Json.Str
+            "survival metrics of the daemon under chaos + hostile traffic" );
+        ("runs", Obs.Json.List (kept @ [ run ])) ]
+  in
+  let oc = open_out_bin soak_json_file in
+  output_string oc (Obs.Json.to_string_pretty doc);
+  close_out oc;
+  Printf.printf "  wrote %s (label %S)\n%!" soak_json_file label
+
+let soak_table st =
+  Printf.printf
+    "  %d requests over %d domains in %.1f s: %d hits, %d misses, %d \
+     uncached, %d hostile lines\n"
+    st.ksent st.kdomains st.kwall_s st.khits st.kcold st.kuncached st.khostile;
+  Printf.printf "  injected faults: %d raises, %d exhausts, %d slows (fault \
+                 share %.1f%%)\n"
+    st.kraises st.kexhausts st.kslows
+    (100.0 *. soak_fault_share st);
+  Printf.printf "  typed errors:";
+  List.iter (fun (c, n) -> Printf.printf " %s=%d" c n) st.kerrs;
+  Printf.printf "\n  untyped %d, crashes %d, shed %d, recovered %d, breaker \
+                 trips %d / rejects %d\n"
+    st.kuntyped st.kcrashes st.kshed st.krecovered st.ktrips st.krejects;
+  Printf.printf
+    "  deadline overrun p99 %.1f ms over %d samples (bound %d ms)\n"
+    st.koverrun_p99_ms st.koverrun_samples (2 * soak_deadline_ms);
+  Printf.printf
+    "  identity after soak: warm %b (all hits %b), fresh-server cold %b\n%!"
+    st.kwarm_identity st.kwarm_hits st.kcold_identity
+
+let soak_bench () =
+  section "Soak: chaos + hostile traffic against the hardened daemon";
+  let st = run_soak () in
+  soak_table st;
+  write_soak_json st
+
+(* Soak gate (CI, blocking): validates the latest BENCH_soak record.
+   Every bound is machine-independent — counts, shares and identity
+   booleans from one run; the only time-like bound (overrun p99) is
+   relative to the deadline the run itself requested. *)
+let soak_check () =
+  section "Soak check: survival bounds over the latest BENCH_soak record";
+  match List.rev (read_soak_file ()) with
+  | [] ->
+    Printf.printf "  no record in %s; run `bench -- soak` first\n"
+      soak_json_file;
+    exit 1
+  | run :: _ ->
+    let open Obs.Json in
+    let smoke_run = Option.value (record_smoke run) ~default:false in
+    Printf.printf "  record: %S (smoke %b)\n"
+      (Option.value (record_label run) ~default:"?")
+      smoke_run;
+    let num path =
+      let rec go j = function
+        | [] -> to_float_opt j |> fun f ->
+          (match f with Some _ -> f | None -> Option.map float_of_int (to_int_opt j))
+        | f :: rest -> Option.bind (member f j) (fun v -> go v rest)
+      in
+      Option.value (go run path) ~default:Float.nan
+    in
+    let flag path =
+      match
+        let rec go j = function
+          | [] -> to_bool_opt j
+          | f :: rest -> Option.bind (member f j) (fun v -> go v rest)
+        in
+        go run path
+      with
+      | Some b -> b
+      | None -> false
+    in
+    let failed = ref false in
+    let bound name v =
+      Printf.printf "  %-36s %s\n" name (Bench_check.describe_bound v);
+      if Bench_check.bound_failure v then failed := true
+    in
+    let must name ok =
+      Printf.printf "  %-36s %s\n" name (if ok then "OK" else "FAIL");
+      if not ok then failed := true
+    in
+    bound "crashes = 0" (Bench_check.check_max ~ceiling:0.0 ~value:(num [ "crashes" ]));
+    bound "untyped responses = 0"
+      (Bench_check.check_max ~ceiling:0.0 ~value:(num [ "untyped" ]));
+    bound "fault share >= 0.10"
+      (Bench_check.check_min ~floor:0.10 ~value:(num [ "fault_share" ]));
+    bound "overrun p99 <= 2 x deadline"
+      (Bench_check.check_max
+         ~ceiling:(num [ "deadline"; "bound_ms" ])
+         ~value:(num [ "deadline"; "overrun_p99_ms" ]));
+    bound "overrun samples > 0"
+      (Bench_check.check_min ~floor:1.0 ~value:(num [ "deadline"; "samples" ]));
+    bound "breaker trips >= 1"
+      (Bench_check.check_min ~floor:1.0 ~value:(num [ "breaker"; "trips" ]));
+    bound "breaker rejects >= 1"
+      (Bench_check.check_min ~floor:1.0 ~value:(num [ "breaker"; "rejects" ]));
+    bound "firewall recoveries >= 1"
+      (Bench_check.check_min ~floor:1.0 ~value:(num [ "recovered" ]));
+    must "warm identity after soak" (flag [ "warm_identity" ]);
+    must "fresh-server cold identity" (flag [ "cold_identity" ]);
+    if not smoke_run then begin
+      bound "requests >= 2000 (full scale)"
+        (Bench_check.check_min ~floor:2000.0 ~value:(num [ "requests" ]));
+      bound "domains >= 2 (full scale)"
+        (Bench_check.check_min ~floor:2.0 ~value:(num [ "domains" ]))
+    end;
+    if !failed then begin
+      Printf.printf "  FAIL: soak survival bounds violated\n";
+      exit 1
+    end
+    else Printf.printf "  OK: the daemon survived the soak within bounds\n"
+
 (* --- engine scale sweep: ilp vs lp-dfp on generated SCoPs + BENCH_scale.json -- *)
 
 let scale_json_file = "BENCH_scale.json"
@@ -1487,7 +2010,8 @@ let experiments =
     ("tiling", tiling); ("locality", locality); ("space", space);
     ("vector", vector); ("pipeline", pipeline); ("analyze", analyze_overhead);
     ("budget", budget_overhead); ("trace", trace_overhead);
-    ("serve", serve_bench); ("scale", scale); ("bechamel", bechamel) ]
+    ("serve", serve_bench); ("scale", scale); ("soak", soak_bench);
+    ("bechamel", bechamel) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -1495,6 +2019,7 @@ let () =
   | [ "pipeline"; "--check" ] | [ "--check" ] -> pipeline_check ()
   | [ "serve"; "--check" ] -> serve_check ()
   | [ "scale"; "--check" ] -> scale_check ()
+  | [ "soak"; "--check" ] -> soak_check ()
   | [] -> List.iter (fun (_, f) -> f ()) experiments
   | names ->
     List.iter

@@ -502,17 +502,42 @@ let sim_cmd =
 (* --- serve ------------------------------------------------------------ *)
 
 let serve_cmd =
-  let run socket stdio domains cache_cap vflag =
+  let run socket stdio domains cache_cap max_pending deadline_ms
+      max_deadline_ms max_line_bytes breaker_threshold breaker_ttl_s vflag =
     verbose := vflag;
-    if domains < 1 then begin
-      Printf.eprintf "serve: --domains must be >= 1\n";
+    let check name v floor =
+      if v < floor then begin
+        Printf.eprintf "serve: --%s must be >= %d\n" name floor;
+        exit usage_exit
+      end
+    in
+    check "domains" domains 1;
+    check "cache-cap" cache_cap 1;
+    check "max-pending" max_pending 1;
+    check "max-deadline-ms" max_deadline_ms 1;
+    check "max-line-bytes" max_line_bytes 1;
+    check "breaker-threshold" breaker_threshold 1;
+    if breaker_ttl_s <= 0.0 then begin
+      Printf.eprintf "serve: --breaker-ttl-s must be positive\n";
       exit usage_exit
     end;
-    if cache_cap < 1 then begin
-      Printf.eprintf "serve: --cache-cap must be >= 1\n";
+    if deadline_ms < 0 then begin
+      Printf.eprintf "serve: --deadline-ms must be >= 0 (0 = unlimited)\n";
       exit usage_exit
     end;
-    let config = { Serve.Server.domains; cache_capacity = cache_cap } in
+    let config =
+      {
+        Serve.Server.domains;
+        cache_capacity = cache_cap;
+        max_pending;
+        max_line_bytes;
+        (* 0 = no default deadline (client-requested ones still apply) *)
+        default_deadline_ms = (if deadline_ms = 0 then None else Some deadline_ms);
+        max_deadline_ms;
+        breaker_threshold;
+        breaker_ttl_s;
+      }
+    in
     let t = Serve.Server.create ~config () in
     match (socket, stdio) with
     | Some _, true ->
@@ -537,13 +562,73 @@ let serve_cmd =
     let doc = "Capacity of the content-addressed response cache (entries)." in
     Arg.(value & opt int 512 & info [ "cache-cap" ] ~docv:"N" ~doc)
   in
+  let dflt = Serve.Server.default_config in
+  let max_pending_arg =
+    let doc =
+      "Admission-control high-water mark: schedule requests are shed with a \
+       typed \"overloaded\" error while more than $(docv) requests are \
+       pending (in flight or queued)."
+    in
+    Arg.(value
+         & opt int dflt.Serve.Server.max_pending
+         & info [ "max-pending" ] ~docv:"N" ~doc)
+  in
+  let deadline_ms_arg =
+    let doc =
+      "Default per-request solve deadline in milliseconds, applied when a \
+       request carries no \"deadline_ms\" field (0 = unlimited). Requests \
+       that overrun degrade down the resilience ladder and answer with a \
+       typed degraded envelope."
+    in
+    Arg.(value
+         & opt int
+             (match dflt.Serve.Server.default_deadline_ms with
+             | Some d -> d
+             | None -> 0)
+         & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_deadline_ms_arg =
+    let doc = "Cap on client-requested deadlines, in milliseconds." in
+    Arg.(value
+         & opt int dflt.Serve.Server.max_deadline_ms
+         & info [ "max-deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_line_bytes_arg =
+    let doc =
+      "Maximum request-line length in bytes; longer input answers a typed \
+       \"oversized\" error and is never buffered in full."
+    in
+    Arg.(value
+         & opt int dflt.Serve.Server.max_line_bytes
+         & info [ "max-line-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let breaker_threshold_arg =
+    let doc =
+      "Consecutive solve failures for one fingerprint that open its circuit \
+       breaker (further requests answer a typed \"breaker\" error)."
+    in
+    Arg.(value
+         & opt int dflt.Serve.Server.breaker_threshold
+         & info [ "breaker-threshold" ] ~docv:"N" ~doc)
+  in
+  let breaker_ttl_arg =
+    let doc = "Seconds an open circuit breaker keeps rejecting before a \
+               half-open probe is allowed." in
+    Arg.(value
+         & opt float dflt.Serve.Server.breaker_ttl_s
+         & info [ "breaker-ttl-s" ] ~docv:"S" ~doc)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the scheduling daemon: line-delimited JSON requests over stdio \
           or a Unix socket, answered from a content-addressed cross-request \
-          cache (see the README's Serving section for the protocol)")
+          cache, hardened with per-request deadlines, admission control and \
+          a per-fingerprint circuit breaker (see the README's Serving and \
+          Hardened serving sections for the protocol)")
     Term.(const run $ socket_arg $ stdio_arg $ domains_arg $ cache_cap_arg
+          $ max_pending_arg $ deadline_ms_arg $ max_deadline_ms_arg
+          $ max_line_bytes_arg $ breaker_threshold_arg $ breaker_ttl_arg
           $ verbose_arg)
 
 let () =

@@ -13,7 +13,7 @@
    degradation ladder on. *)
 
 type t = {
-  deadline : float option; (* absolute Unix time, seconds *)
+  deadline : float option; (* absolute monotonic time ({!Clock.now}), seconds *)
   max_pivots : int option;
   max_nodes : int option;
   mutable pivots : int;
@@ -21,10 +21,12 @@ type t = {
   mutable tripped : bool;
 }
 
+(* Deadlines live on the monotonic clock: a wall-clock (NTP) step must
+   not trip a budget instantly or extend it indefinitely. *)
 let make ?ms ?pivots ?nodes () =
   {
     deadline =
-      Option.map (fun m -> Unix.gettimeofday () +. (float_of_int m /. 1e3)) ms;
+      Option.map (fun m -> Clock.now () +. (float_of_int m /. 1e3)) ms;
     max_pivots = pivots;
     max_nodes = nodes;
     pivots = 0;
@@ -38,14 +40,14 @@ let make ?ms ?pivots ?nodes () =
 let refresh b =
   let remaining_ms =
     Option.map
-      (fun d -> max 1 (int_of_float ((d -. Unix.gettimeofday ()) *. 1e3)))
+      (fun d -> max 1 (int_of_float ((d -. Clock.now ()) *. 1e3)))
       b.deadline
   in
   (* keep at least the original per-stage pivot/node caps *)
   {
     deadline =
       Option.map
-        (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1e3))
+        (fun ms -> Clock.now () +. (float_of_int ms /. 1e3))
         remaining_ms;
     max_pivots = b.max_pivots;
     max_nodes = b.max_nodes;
@@ -61,7 +63,7 @@ let trip b = b.tripped <- true
 let over_deadline b =
   match b.deadline with
   | None -> false
-  | Some d -> Unix.gettimeofday () > d
+  | Some d -> Clock.now () > d
 
 (* [spend_pivot b] charges one simplex pivot; [false] means the budget
    is exhausted and the caller must stop. Cheap: two int compares and

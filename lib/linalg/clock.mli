@@ -1,0 +1,15 @@
+(** Monotonic interval clock (CLOCK_MONOTONIC, nanosecond resolution).
+
+    The origin is arbitrary — readings are meaningful only as
+    differences. Unlike [Unix.gettimeofday], NTP steps never move this
+    clock, so latencies, uptimes and deadlines derived from it cannot
+    go negative. Used by {!Budget} deadlines, the serving daemon's
+    per-request timing, and the bench harness. *)
+
+val now : unit -> float
+(** Seconds since an arbitrary fixed origin. *)
+
+val elapsed_ms : since:float -> float
+(** [elapsed_ms ~since] is [(now () -. since) *. 1e3]. *)
+
+val elapsed_us : since:float -> float

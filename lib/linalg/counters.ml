@@ -45,6 +45,16 @@ let serve_cache_hits = ref 0
 let serve_cache_misses = ref 0
 let serve_cache_evictions = ref 0
 
+(* wiseharden counters: requests shed by admission control, requests
+   whose escaped exception was firewalled (solver state scrubbed), and
+   circuit-breaker traffic (trips = times a fingerprint's breaker
+   opened; rejects = requests turned away while one was open). Synced
+   from the server's authoritative atomics like the cache tallies. *)
+let serve_shed = ref 0
+let serve_recovered = ref 0
+let serve_breaker_trips = ref 0
+let serve_breaker_rejects = ref 0
+
 let all_counters () =
   [ ("lp_solves", !lp_solves);
     ("lp_pivots", !lp_pivots);
@@ -65,6 +75,10 @@ let all_counters () =
     ("serve_cache_hits", !serve_cache_hits);
     ("serve_cache_misses", !serve_cache_misses);
     ("serve_cache_evictions", !serve_cache_evictions);
+    ("serve_shed", !serve_shed);
+    ("serve_recovered", !serve_recovered);
+    ("serve_breaker_trips", !serve_breaker_trips);
+    ("serve_breaker_rejects", !serve_breaker_rejects);
     ("big_promotions", !promotions);
     ("big_demotions", !demotions) ]
 
@@ -94,12 +108,12 @@ let time name f =
      trace can re-derive these accumulators: the span tree's exclusive
      self-times reconcile with [stage_times] *)
   if Obs.Trace.on () then Obs.Trace.begin_span ~cat:"stage" name;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let children = ref 0.0 in
   active := children :: !active;
   Fun.protect
     ~finally:(fun () ->
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = Clock.now () -. t0 in
       (match !active with
       | c :: rest when c == children ->
         active := rest;
@@ -135,6 +149,10 @@ let reset () =
   serve_cache_hits := 0;
   serve_cache_misses := 0;
   serve_cache_evictions := 0;
+  serve_shed := 0;
+  serve_recovered := 0;
+  serve_breaker_trips := 0;
+  serve_breaker_rejects := 0;
   Hashtbl.reset stages;
   stage_order := []
 

@@ -1,0 +1,35 @@
+(** Per-fingerprint circuit breaker: a TTL'd negative cache over solve
+    failures.
+
+    After [threshold] consecutive failures for one fingerprint the
+    breaker opens: requests for that fingerprint are answered with a
+    typed ["breaker"] error without touching the solver, until [ttl_s]
+    elapses. Then it goes half-open — one probe is allowed; success
+    closes it, failure re-opens it immediately. Thread-safe. *)
+
+type t
+
+type verdict =
+  | Closed
+  | Open of float  (** seconds until the half-open probe is allowed *)
+
+val create : threshold:int -> ttl_s:float -> t
+
+(** Admission check before a cold solve. An [Open] verdict also counts
+    one reject. *)
+val check : t -> string -> verdict
+
+(** Record a solve failure; [true] when this one opened the breaker. *)
+val record_failure : t -> string -> bool
+
+(** A successful solve clears the key's failure run. *)
+val record_success : t -> string -> unit
+
+(** Fingerprints whose breaker is currently open (TTL not yet expired). *)
+val open_count : t -> int
+
+(** Total opens since creation. *)
+val trips : t -> int
+
+(** Total requests rejected while open. *)
+val rejects : t -> int

@@ -3,25 +3,33 @@
    One request per line, one response line per request. Requests:
 
      {"id": 7, "kernel": "swim", "model": "wisefuse", "size": 16}
+     {"id": 7, "kernel": "swim", "deadline_ms": 250}
      {"id": 8, "op": "ping"}
      {"id": 9, "op": "stats"}
-     {"id": 10, "op": "shutdown"}
+     {"id": 10, "op": "health"}
+     {"id": 11, "op": "shutdown"}
 
    "op" defaults to "schedule". "id" is any JSON value and is echoed
    verbatim (absent -> null); "model" defaults to "wisefuse"; "size"
    defaults to the kernel's registry model size; "engine" selects the
    per-level scheduling engine ("ilp" | "lp-dfp" | "auto", default
-   "auto" — validated by the server, not here). Unknown fields are
-   ignored so clients can tag requests freely.
+   "auto" — validated by the server, not here); "deadline_ms" is a
+   per-request solve deadline (positive; the server applies a default
+   when absent and a cap always). Unknown fields are ignored so
+   clients can tag requests freely.
 
    Every response carries "id" and "status" ("ok" | "error"). A
    schedule response adds "key" (the content-address), "cache"
-   ("hit" | "miss"), "serve" (per-request counters: wall time and the
-   solver work this request performed — zeros on a hit) and "result"
-   (the cached payload: schedule, partition, wisecheck verdict, explain
-   chain, solve counters). Error responses add
-   {"error": {"code", "message"}} and reuse the CLI's diagnostic exit
-   vocabulary for codes. *)
+   ("hit" | "miss" | "uncached" — degraded results are served but not
+   stored), "serve" (per-request counters: wall time, the solver work
+   this request performed — zeros on a hit — and, when a deadline
+   applied, "deadline_ms"/"overrun_ms") and "result" (the cached
+   payload: schedule, partition, wisecheck verdict, explain chain,
+   solve counters). Error responses add {"error": {"code", "message"}}
+   and reuse the CLI's diagnostic exit vocabulary for codes, extended
+   by the serving layer with "overloaded" (admission control),
+   "breaker" (open circuit), "oversized" (line cap), "draining"
+   (shutdown in progress) and "internal" (firewalled exception). *)
 
 type op =
   | Schedule of {
@@ -29,9 +37,11 @@ type op =
       size : int option;
       model : string;
       engine : string;
+      deadline_ms : int option;
     }
   | Ping
   | Stats
+  | Health
   | Shutdown
 
 type request = { id : Obs.Json.t; op : op }
@@ -52,6 +62,7 @@ let parse_request line =
     match Option.value (str_field "op") ~default:"schedule" with
     | "ping" -> Ok { id; op = Ping }
     | "stats" -> Ok { id; op = Stats }
+    | "health" -> Ok { id; op = Health }
     | "shutdown" -> Ok { id; op = Shutdown }
     | "schedule" -> (
       match str_field "kernel" with
@@ -59,11 +70,28 @@ let parse_request line =
         Error
           { err_id = id; code = "usage";
             message = "schedule request needs a \"kernel\" field" }
-      | Some kernel ->
+      | Some kernel -> (
         let size = Option.bind (member "size" j) Obs.Json.to_int_opt in
         let model = Option.value (str_field "model") ~default:"wisefuse" in
         let engine = Option.value (str_field "engine") ~default:"auto" in
-        Ok { id; op = Schedule { kernel; size; model; engine } })
+        match member "deadline_ms" j with
+        | Some dj -> (
+          match Obs.Json.to_int_opt dj with
+          | Some d when d > 0 ->
+            Ok
+              { id;
+                op =
+                  Schedule
+                    { kernel; size; model; engine; deadline_ms = Some d } }
+          | _ ->
+            Error
+              { err_id = id; code = "usage";
+                message = "\"deadline_ms\" must be a positive integer" })
+        | None ->
+          Ok
+            { id;
+              op = Schedule { kernel; size; model; engine; deadline_ms = None }
+            }))
     | other ->
       Error
         { err_id = id; code = "usage";
@@ -98,12 +126,40 @@ let stats_response ~id ~uptime_s ~requests (s : Cache.stats) =
                ("cache_entries", Obs.Json.Int s.Cache.entries);
                ("cache_capacity", Obs.Json.Int s.Cache.capacity) ] ) ])
 
-(* Per-request serving section: what THIS request cost. On a cache hit
-   every solver counter is zero — the proof that hits bypass the ILP. *)
-let serve_section ~wall_us ~solver =
+(* Liveness/readiness snapshot for load balancers and the drain logic:
+   "ready" means a schedule request arriving now would be admitted. *)
+let health_response ~id ~ready ~draining ~backlog ~max_pending ~breaker_open
+    ~uptime_s (s : Cache.stats) =
   Obs.Json.Obj
-    (("wall_us", Obs.Json.Float (Obs.Json.round2 wall_us))
-     :: List.map (fun (n, v) -> (n, Obs.Json.Int v)) solver)
+    (ok_fields id
+       [ ( "health",
+           Obs.Json.Obj
+             [ ("ready", Obs.Json.Bool ready);
+               ("draining", Obs.Json.Bool draining);
+               ("backlog", Obs.Json.Int backlog);
+               ("max_pending", Obs.Json.Int max_pending);
+               ("breaker_open", Obs.Json.Int breaker_open);
+               ("uptime_s", Obs.Json.Float (Obs.Json.round2 uptime_s));
+               ("cache_entries", Obs.Json.Int s.Cache.entries) ] ) ])
+
+(* Per-request serving section: what THIS request cost. On a cache hit
+   every solver counter is zero — the proof that hits bypass the ILP.
+   When a deadline applied, the section also reports it and the overrun
+   (wall time past the deadline, 0.0 when the request made it). *)
+let serve_section ?deadline_ms ~wall_us ~solver () =
+  let deadline_fields =
+    match deadline_ms with
+    | None -> []
+    | Some d ->
+      [ ("deadline_ms", Obs.Json.Int d);
+        ( "overrun_ms",
+          Obs.Json.Float
+            (Obs.Json.round2 (Float.max 0.0 ((wall_us /. 1e3) -. float_of_int d)))
+        ) ]
+  in
+  Obs.Json.Obj
+    ((("wall_us", Obs.Json.Float (Obs.Json.round2 wall_us)) :: deadline_fields)
+    @ List.map (fun (n, v) -> (n, Obs.Json.Int v)) solver)
 
 let zero_solver =
   [ ("lp_solves", 0); ("lp_pivots", 0); ("dual_pivots", 0); ("ilp_solves", 0);

@@ -9,9 +9,13 @@ type op =
       size : int option;
       model : string;
       engine : string;  (** "ilp" | "lp-dfp" | "auto"; server-validated *)
+      deadline_ms : int option;
+          (** per-request solve deadline; the server applies its
+              default when absent and its cap always *)
     }
   | Ping
   | Stats
+  | Health
   | Shutdown
 
 type request = { id : Obs.Json.t; op : op }
@@ -23,8 +27,8 @@ type parse_error = {
 }
 
 (** Parse one request line. ["op"] defaults to ["schedule"], ["model"]
-    to ["wisefuse"], ["engine"] to ["auto"]; unknown fields are
-    ignored. *)
+    to ["wisefuse"], ["engine"] to ["auto"]; a present ["deadline_ms"]
+    must be a positive integer; unknown fields are ignored. *)
 val parse_request : string -> (request, parse_error) result
 
 val error_response : id:Obs.Json.t -> code:string -> message:string -> Obs.Json.t
@@ -34,9 +38,26 @@ val shutdown_response : id:Obs.Json.t -> Obs.Json.t
 val stats_response :
   id:Obs.Json.t -> uptime_s:float -> requests:int -> Cache.stats -> Obs.Json.t
 
+(** Liveness/readiness snapshot: [ready] means a schedule request
+    arriving now would be admitted (not draining, backlog under the
+    high-water mark). *)
+val health_response :
+  id:Obs.Json.t ->
+  ready:bool ->
+  draining:bool ->
+  backlog:int ->
+  max_pending:int ->
+  breaker_open:int ->
+  uptime_s:float ->
+  Cache.stats ->
+  Obs.Json.t
+
 (** The per-request ["serve"] section: wall time plus the solver work
-    this request performed ([solver] is name/value pairs). *)
-val serve_section : wall_us:float -> solver:(string * int) list -> Obs.Json.t
+    this request performed ([solver] is name/value pairs). When
+    [deadline_ms] is given, also reports it and ["overrun_ms"] (wall
+    time past the deadline, [0.] when the request made it). *)
+val serve_section :
+  ?deadline_ms:int -> wall_us:float -> solver:(string * int) list -> unit -> Obs.Json.t
 
 (** All solver counters at zero — a cache hit's ["serve"] section. *)
 val zero_solver : (string * int) list

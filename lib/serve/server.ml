@@ -18,20 +18,63 @@
    zero LP pivots and zero B&B nodes, and a miss reports precisely its
    own solver work. Concurrent requests for the SAME key coalesce: the
    second requester blocks on the solver lock, re-probes the cache, and
-   leaves with the first one's entry (a hit, never a duplicate solve). *)
+   leaves with the first one's entry (a hit, never a duplicate solve).
 
-type config = { domains : int; cache_capacity : int }
+   Hardening (wiseharden): every request solves under a fresh deadline
+   budget (client "deadline_ms", server default/cap), so a pathological
+   SCoP degrades down the resilience ladder instead of holding the
+   solver lock indefinitely; degraded results are served ("uncached")
+   but never stored, keeping the cache byte-pure. Any exception that
+   escapes the solve path is firewalled at the request boundary: the
+   global solver state is scrubbed back to the known-clean baseline
+   (counter reset + Farkas memo reset — the same baseline every cold
+   solve starts from) before the solver lock is released, and the
+   client gets a typed "internal" error. Repeated failures for one
+   fingerprint trip a TTL'd circuit breaker (Breaker). Admission
+   control sheds schedule requests with a typed "overloaded" error once
+   the pending-work gauge passes config.max_pending; protocol ops
+   (ping/stats/health/shutdown) are always served. Input lines longer
+   than config.max_line_bytes are answered with a typed "oversized"
+   error without buffering them. SIGTERM/SIGINT drain the socket
+   server: in-flight requests finish, new work is rejected, the socket
+   is unlinked, and the process exits 0. *)
 
-let default_config = { domains = 1; cache_capacity = 512 }
+type config = {
+  domains : int;
+  cache_capacity : int;
+  max_pending : int;  (* admission high-water mark (in-flight + queued) *)
+  max_line_bytes : int;  (* longer request lines answer "oversized" *)
+  default_deadline_ms : int option;  (* applied when the client sends none *)
+  max_deadline_ms : int;  (* cap on client-requested deadlines *)
+  breaker_threshold : int;  (* consecutive failures that open the breaker *)
+  breaker_ttl_s : float;  (* how long an open breaker rejects *)
+}
+
+let default_config =
+  {
+    domains = 1;
+    cache_capacity = 512;
+    max_pending = 64;
+    max_line_bytes = 1 lsl 20;
+    default_deadline_ms = Some 10_000;
+    max_deadline_ms = 300_000;
+    breaker_threshold = 3;
+    breaker_ttl_s = 30.0;
+  }
 
 type t = {
   config : config;
   cache : Cache.t;
+  breaker : Breaker.t;
   solver : Mutex.t;  (* serializes cold solves and the global solver state *)
   out : Mutex.t;  (* serializes response emission in pool modes *)
   stop : bool Atomic.t;
   requests : int Atomic.t;
-  started : float;
+  inflight : int Atomic.t;  (* requests admitted and not yet answered *)
+  queued : int Atomic.t;  (* lines/connections waiting in a pool queue *)
+  shed : int Atomic.t;  (* schedule requests refused by admission control *)
+  recovered : int Atomic.t;  (* exceptions caught by the solve firewall *)
+  started : float;  (* Clock.now — uptime survives NTP steps *)
   mutable on_stop : unit -> unit;
       (* wakes a blocked accept loop after a shutdown request *)
 }
@@ -40,16 +83,25 @@ let create ?(config = default_config) () =
   {
     config;
     cache = Cache.create ~capacity:config.cache_capacity;
+    breaker =
+      Breaker.create ~threshold:config.breaker_threshold
+        ~ttl_s:config.breaker_ttl_s;
     solver = Mutex.create ();
     out = Mutex.create ();
     stop = Atomic.make false;
     requests = Atomic.make 0;
-    started = Unix.gettimeofday ();
+    inflight = Atomic.make 0;
+    queued = Atomic.make 0;
+    shed = Atomic.make 0;
+    recovered = Atomic.make 0;
+    started = Linalg.Clock.now ();
     on_stop = (fun () -> ());
   }
 
 let cache t = t.cache
+let breaker t = t.breaker
 let stopping t = Atomic.get t.stop
+let backlog t = Atomic.get t.inflight + Atomic.get t.queued
 
 (* --- building the cached result payload --------------------------------- *)
 
@@ -117,13 +169,31 @@ let explain_lines ex =
    process-wide counters and the Farkas memo so the payload (explain
    chain and counters included) is a pure function of the request
    content — which is what makes cached responses byte-identical to
-   fresh solves. Returns the payload and the dependence-set
-   fingerprint. *)
-let solve ~kernel ~model ~size ~engine prog =
+   fresh solves. The chaos hook is consulted here, under the lock, so a
+   planned fault is consumed by exactly one solve. Returns the payload,
+   the dependence-set fingerprint, and whether the resilience ladder
+   degraded (degraded payloads must not be cached: a deadline or an
+   injected fault is request-local state, and caching its result would
+   poison every later request for the same content). *)
+let solve ?budget ~kernel ~model ~size ~engine prog =
   Linalg.Counters.reset ();
   Pluto.Farkas.reset_cache ();
+  let fault = !Chaos.solve_fault () in
+  let budget =
+    (* An Exhaust fault starves the budget instead of sabotaging the LP
+       layer itself: solver rungs trip, but the unbudgeted identity
+       verification stays sound, so the ladder settles typed. *)
+    match fault with
+    | Some Chaos.Exhaust -> Some (Chaos.starved_budget ())
+    | _ -> budget
+  in
+  let run () =
+    Obs.Trace.capture (fun () -> Fusion.Model.optimize ?budget ~engine model prog)
+  in
   let opt, events =
-    Obs.Trace.capture (fun () -> Fusion.Model.optimize ~engine model prog)
+    match fault with
+    | None -> run ()
+    | Some fault -> Chaos.apply fault run
   in
   let aprog, deps, sched = artifacts opt in
   let report = Analysis.Wisecheck.certify aprog deps sched opt.Fusion.Model.ast in
@@ -160,7 +230,7 @@ let solve ~kernel ~model ~size ~engine prog =
                (fun (n, v) -> (n, Obs.Json.Int v))
                (Linalg.Counters.all_counters ())) ) ]
   in
-  (payload, Fingerprint.deps_key deps)
+  (payload, Fingerprint.deps_key deps, degraded)
 
 (* --- request handling ---------------------------------------------------- *)
 
@@ -170,18 +240,52 @@ let solver_deltas () =
     (fun n -> (n, Option.value (List.assoc_opt n all) ~default:0))
     Protocol.solver_counter_names
 
-let hit_response ~id ~key ~coalesced ~wall0 (e : Cache.entry) =
+(* The deadline a request actually solves under: the client's ask,
+   capped — or the server default when the client sent none. *)
+let effective_deadline t requested =
+  match requested with
+  | Some d -> Some (min d t.config.max_deadline_ms)
+  | None -> t.config.default_deadline_ms
+
+let hit_response ~id ~key ~coalesced ~wall0 ?deadline_ms (e : Cache.entry) =
   if Obs.Trace.on () then
     Obs.Trace.instant ~cat:"serve" "serve.cache-hit"
       ~args:
         [ ("key", Obs.Json.Str key); ("coalesced", Obs.Json.Bool coalesced) ];
-  let wall_us = (Unix.gettimeofday () -. wall0) *. 1e6 in
+  let wall_us = Linalg.Clock.elapsed_us ~since:wall0 in
   Protocol.schedule_response ~id ~key ~cache_state:"hit"
-    ~serve:(Protocol.serve_section ~wall_us ~solver:Protocol.zero_solver)
+    ~serve:
+      (Protocol.serve_section ?deadline_ms ~wall_us ~solver:Protocol.zero_solver
+         ())
     ~result:e.Cache.payload
 
-let handle_schedule t ~id ~kernel ~size ~model:model_name ~engine:engine_name =
-  let wall0 = Unix.gettimeofday () in
+(* A solve failure (typed diagnostic or firewalled exception) feeds the
+   per-fingerprint breaker; crossing the threshold opens it. *)
+let note_failure t key =
+  if Breaker.record_failure t.breaker key && Obs.Trace.on () then
+    Obs.Trace.instant ~cat:"serve" "serve.breaker"
+      ~args:[ ("key", Obs.Json.Str key); ("state", Obs.Json.Str "open") ]
+
+(* Poisoned-state recovery: an exception escaped the solve path, so the
+   process-wide solver state is suspect (half-bumped counters, a
+   partially filled Farkas memo). Scrub everything back to the baseline
+   every cold solve starts from, while the solver lock is still held —
+   the next solve provably sees clean state. The trace sink needs no
+   repair here: [Obs.Trace.capture] restores it on exceptions. *)
+let recover t ~key exn =
+  Linalg.Counters.reset ();
+  Pluto.Farkas.reset_cache ();
+  Atomic.incr t.recovered;
+  if Obs.Trace.on () then
+    Obs.Trace.instant ~cat:"serve" "serve.recovered"
+      ~args:
+        [ ("key", Obs.Json.Str key);
+          ("exn", Obs.Json.Str (Printexc.to_string exn)) ];
+  note_failure t key
+
+let handle_schedule t ~id ~kernel ~size ~model:model_name ~engine:engine_name
+    ~deadline_ms:requested_deadline =
+  let wall0 = Linalg.Clock.now () in
   match Kernels.Registry.find kernel with
   | exception Not_found ->
     Protocol.error_response ~id ~code:"usage"
@@ -208,6 +312,7 @@ let handle_schedule t ~id ~kernel ~size ~model:model_name ~engine:engine_name =
           ~message:(Printf.sprintf "cannot build %s at size %d: %s" kernel n msg)
       | prog ->
         let key = Fingerprint.key ~engine ~model prog in
+        let deadline_ms = effective_deadline t requested_deadline in
         let args =
           if Obs.Trace.on () then
             [ ("kernel", Obs.Json.Str kernel);
@@ -220,78 +325,184 @@ let handle_schedule t ~id ~kernel ~size ~model:model_name ~engine:engine_name =
             match Cache.find_quiet t.cache key with
             | Some e ->
               Cache.count_hit t.cache;
-              hit_response ~id ~key ~coalesced:false ~wall0 e
-            | None ->
-              Mutex.lock t.solver;
-              Fun.protect
-                ~finally:(fun () -> Mutex.unlock t.solver)
-                (fun () ->
-                  (* double-checked: someone may have solved this key
-                     while we waited for the lock *)
-                  match Cache.find_quiet t.cache key with
-                  | Some e ->
-                    Cache.count_hit t.cache;
-                    hit_response ~id ~key ~coalesced:true ~wall0 e
-                  | None -> (
-                    match
-                      Obs.Trace.span ~cat:"serve" "serve.schedule" (fun () ->
-                          let t0 = Unix.gettimeofday () in
-                          let payload, deps_fp =
-                            solve ~kernel ~model ~size:n ~engine prog
-                          in
-                          (payload, deps_fp, (Unix.gettimeofday () -. t0) *. 1e3))
-                    with
-                    | payload, deps_fp, solve_ms ->
-                      Cache.add t.cache key ~payload ~deps_fp ~solve_ms;
-                      Cache.count_miss t.cache;
-                      let solver = solver_deltas () in
-                      let wall_us = (Unix.gettimeofday () -. wall0) *. 1e6 in
-                      Protocol.schedule_response ~id ~key ~cache_state:"miss"
-                        ~serve:(Protocol.serve_section ~wall_us ~solver)
-                        ~result:payload
-                    | exception Pluto.Diagnostics.Error d ->
-                      Protocol.error_response ~id
-                        ~code:
-                          (Pluto.Diagnostics.phase_name d.Pluto.Diagnostics.phase
-                          ^ ":" ^ d.Pluto.Diagnostics.code)
-                        ~message:d.Pluto.Diagnostics.message))))))
+              hit_response ~id ~key ~coalesced:false ~wall0 ?deadline_ms e
+            | None -> (
+              match Breaker.check t.breaker key with
+              | Breaker.Open remaining ->
+                if Obs.Trace.on () then
+                  Obs.Trace.instant ~cat:"serve" "serve.breaker"
+                    ~args:
+                      [ ("key", Obs.Json.Str key);
+                        ("state", Obs.Json.Str "reject") ];
+                Protocol.error_response ~id ~code:"breaker"
+                  ~message:
+                    (Printf.sprintf
+                       "circuit open for this fingerprint after repeated \
+                        failures (retry in %.1fs)"
+                       remaining)
+              | Breaker.Closed ->
+                Mutex.lock t.solver;
+                Fun.protect
+                  ~finally:(fun () -> Mutex.unlock t.solver)
+                  (fun () ->
+                    (* double-checked: someone may have solved this key
+                       while we waited for the lock *)
+                    match Cache.find_quiet t.cache key with
+                    | Some e ->
+                      Cache.count_hit t.cache;
+                      hit_response ~id ~key ~coalesced:true ~wall0 ?deadline_ms
+                        e
+                    | None -> (
+                      let budget =
+                        Option.map
+                          (fun ms -> Linalg.Budget.make ~ms ())
+                          deadline_ms
+                      in
+                      match
+                        Obs.Trace.span ~cat:"serve" "serve.schedule" (fun () ->
+                            let t0 = Linalg.Clock.now () in
+                            let payload, deps_fp, degraded =
+                              solve ?budget ~kernel ~model ~size:n ~engine prog
+                            in
+                            ( payload,
+                              deps_fp,
+                              degraded,
+                              Linalg.Clock.elapsed_ms ~since:t0 ))
+                      with
+                      | payload, deps_fp, degraded, solve_ms ->
+                        Breaker.record_success t.breaker key;
+                        (* degraded = this request's deadline (or an
+                           injected fault) shaped the result; it is
+                           valid for this caller but must not be served
+                           to anyone else *)
+                        let cache_state =
+                          if degraded then "uncached"
+                          else begin
+                            Cache.add t.cache key ~payload ~deps_fp ~solve_ms;
+                            "miss"
+                          end
+                        in
+                        Cache.count_miss t.cache;
+                        let solver = solver_deltas () in
+                        let wall_us = Linalg.Clock.elapsed_us ~since:wall0 in
+                        Protocol.schedule_response ~id ~key ~cache_state
+                          ~serve:
+                            (Protocol.serve_section ?deadline_ms ~wall_us
+                               ~solver ())
+                          ~result:payload
+                      | exception Pluto.Diagnostics.Error d ->
+                        (* typed failure: deterministic for this content,
+                           so it feeds the breaker; the diagnostics path
+                           raises before mutating anything a reset-at-
+                           solve-start would not fix *)
+                        note_failure t key;
+                        Protocol.error_response ~id
+                          ~code:
+                            (Pluto.Diagnostics.phase_name
+                               d.Pluto.Diagnostics.phase
+                            ^ ":" ^ d.Pluto.Diagnostics.code)
+                          ~message:d.Pluto.Diagnostics.message
+                      | exception e ->
+                        (* the exception firewall: scrub global solver
+                           state before the lock is released, then
+                           answer typed instead of dying *)
+                        recover t ~key e;
+                        Protocol.error_response ~id ~code:"internal"
+                          ~message:(Printexc.to_string e))))))))
 
 let handle_request t ({ id; op } : Protocol.request) =
   match op with
   | Protocol.Ping -> Protocol.pong_response ~id
   | Protocol.Stats ->
     Protocol.stats_response ~id
-      ~uptime_s:(Unix.gettimeofday () -. t.started)
+      ~uptime_s:(Linalg.Clock.now () -. t.started)
       ~requests:(Atomic.get t.requests) (Cache.stats t.cache)
+  | Protocol.Health ->
+    let draining = Atomic.get t.stop in
+    let backlog = backlog t in
+    Protocol.health_response ~id
+      ~ready:((not draining) && backlog <= t.config.max_pending)
+      ~draining ~backlog ~max_pending:t.config.max_pending
+      ~breaker_open:(Breaker.open_count t.breaker)
+      ~uptime_s:(Linalg.Clock.now () -. t.started)
+      (Cache.stats t.cache)
   | Protocol.Shutdown ->
+    (* idempotent: a second shutdown (op or signal) during drain finds
+       the flag already set and just answers again *)
     Atomic.set t.stop true;
     t.on_stop ();
     Protocol.shutdown_response ~id
-  | Protocol.Schedule { kernel; size; model; engine } ->
-    handle_schedule t ~id ~kernel ~size ~model ~engine
+  | Protocol.Schedule { kernel; size; model; engine; deadline_ms } ->
+    handle_schedule t ~id ~kernel ~size ~model ~engine ~deadline_ms
+
+let oversized_error t ~id =
+  Protocol.error_response ~id ~code:"oversized"
+    ~message:
+      (Printf.sprintf "request line exceeds %d bytes" t.config.max_line_bytes)
+
+(* mirror the hardening tallies into the process-wide counters next to
+   the cache's sync *)
+let sync_hardening t =
+  Linalg.Counters.serve_shed := Atomic.get t.shed;
+  Linalg.Counters.serve_recovered := Atomic.get t.recovered;
+  Linalg.Counters.serve_breaker_trips := Breaker.trips t.breaker;
+  Linalg.Counters.serve_breaker_rejects := Breaker.rejects t.breaker
 
 (* One request line in, one response line out (no trailing newline).
    Blank lines are ignored. Never raises: anything unexpected becomes
-   an "internal" error envelope so the stream stays alive. *)
+   an "internal" error envelope so the stream stays alive. This is the
+   admission boundary: oversized lines, drain rejections and overload
+   shedding are all decided here, before any solver work. *)
 let handle_line t line =
-  let line = String.trim line in
-  if line = "" then None
-  else begin
+  if String.length line > t.config.max_line_bytes then begin
     Atomic.incr t.requests;
-    let response =
-      match Protocol.parse_request line with
-      | Error pe ->
-        Protocol.error_response ~id:pe.Protocol.err_id ~code:pe.Protocol.code
-          ~message:pe.Protocol.message
-      | Ok req -> (
-        try handle_request t req
-        with e ->
-          Protocol.error_response ~id:req.Protocol.id ~code:"internal"
-            ~message:(Printexc.to_string e))
-    in
     Cache.sync_counters t.cache ~requests:(Atomic.get t.requests);
-    Some (Protocol.to_line response)
+    Some (Protocol.to_line (oversized_error t ~id:Obs.Json.Null))
   end
+  else
+    let line = String.trim line in
+    if line = "" then None
+    else begin
+      Atomic.incr t.requests;
+      Atomic.incr t.inflight;
+      Fun.protect
+        ~finally:(fun () -> Atomic.decr t.inflight)
+        (fun () ->
+          let response =
+            match Protocol.parse_request line with
+            | Error pe ->
+              Protocol.error_response ~id:pe.Protocol.err_id
+                ~code:pe.Protocol.code ~message:pe.Protocol.message
+            | Ok req -> (
+              match req.Protocol.op with
+              | Protocol.Schedule _ when Atomic.get t.stop ->
+                Protocol.error_response ~id:req.Protocol.id ~code:"draining"
+                  ~message:"server is draining; schedule request rejected"
+              | Protocol.Schedule _ when backlog t > t.config.max_pending ->
+                Atomic.incr t.shed;
+                if Obs.Trace.on () then
+                  Obs.Trace.instant ~cat:"serve" "serve.shed"
+                    ~args:
+                      [ ("backlog", Obs.Json.Int (backlog t));
+                        ("max_pending", Obs.Json.Int t.config.max_pending) ];
+                Protocol.error_response ~id:req.Protocol.id ~code:"overloaded"
+                  ~message:
+                    (Printf.sprintf
+                       "backlog %d over high-water mark %d; retry later"
+                       (backlog t) t.config.max_pending)
+              | _ -> (
+                try handle_request t req
+                with e ->
+                  (* last-resort firewall for non-solve surprises (the
+                     solve path recovered state already if it raised
+                     past its own handler) *)
+                  Protocol.error_response ~id:req.Protocol.id ~code:"internal"
+                    ~message:(Printexc.to_string e)))
+          in
+          Cache.sync_counters t.cache ~requests:(Atomic.get t.requests);
+          sync_hardening t;
+          Some (Protocol.to_line response))
+    end
 
 (* --- serving loops ------------------------------------------------------- *)
 
@@ -333,18 +544,58 @@ module Bqueue = struct
     r
 end
 
-(* SIGTERM means: clean up and leave with status 0 — the contract the
-   CI serve job asserts. Workers mid-request are abandoned; the cache
-   is in-memory, so there is nothing durable to corrupt. *)
-let install_sigterm cleanup =
-  try
-    Sys.set_signal Sys.sigterm
-      (Sys.Signal_handle
-         (fun _ ->
-           prerr_endline "wiseserve: caught SIGTERM, shutting down";
-           cleanup ();
-           exit 0))
-  with Invalid_argument _ -> ()
+(* Bounded line framing: read up to [max] bytes of one
+   newline-terminated line. An overlong line is consumed to its
+   newline (or EOF) but never buffered past the cap, so hostile input
+   cannot grow the heap; the caller answers it with a typed
+   "oversized" error and the stream stays framed. *)
+let read_line_bounded ic ~max =
+  let buf = Buffer.create 256 in
+  let rec go overflow =
+    match input_char ic with
+    | exception End_of_file ->
+      if overflow then `Oversized
+      else if Buffer.length buf = 0 then `Eof
+      else `Line (Buffer.contents buf)
+    | '\n' -> if overflow then `Oversized else `Line (Buffer.contents buf)
+    | c ->
+      if Buffer.length buf >= max then go true
+      else begin
+        Buffer.add_char buf c;
+        go overflow
+      end
+  in
+  go false
+
+(* the response line for an input the reader refused to buffer *)
+let oversized_line t =
+  Atomic.incr t.requests;
+  Cache.sync_counters t.cache ~requests:(Atomic.get t.requests);
+  Protocol.to_line (oversized_error t ~id:Obs.Json.Null)
+
+(* Both SIGTERM and SIGINT mean: stop taking work, finish what is in
+   flight, clean up, exit 0 — the contract the CI serve job asserts. A
+   second signal during the drain is tolerated (logged, no raise, no
+   re-entry). [immediate] is the stdio path, where the main thread sits
+   in a blocking read that a flag cannot interrupt: there the handler
+   cleans up and exits directly. *)
+let install_drain_signals ?(immediate = false) t cleanup =
+  let drain signal_name =
+    if Atomic.compare_and_set t.stop false true then begin
+      Printf.eprintf "wiseserve: caught %s, draining\n%!" signal_name;
+      if immediate then begin
+        cleanup ();
+        exit 0
+      end
+      else t.on_stop ()
+    end
+    else Printf.eprintf "wiseserve: caught %s, already draining\n%!" signal_name
+  in
+  List.iter
+    (fun (s, name) ->
+      try Sys.set_signal s (Sys.Signal_handle (fun _ -> drain name))
+      with Invalid_argument _ -> ())
+    [ (Sys.sigterm, "SIGTERM"); (Sys.sigint, "SIGINT") ]
 
 let emit_locked t oc line =
   Mutex.lock t.out;
@@ -354,20 +605,29 @@ let emit_locked t oc line =
   Mutex.unlock t.out
 
 let serve_stdio t =
-  install_sigterm (fun () -> ());
+  install_drain_signals ~immediate:true t (fun () -> ());
+  let max = t.config.max_line_bytes in
   if t.config.domains <= 1 then begin
     (* synchronous: responses come back in request order *)
-    try
-      while not (Atomic.get t.stop) do
-        let line = input_line stdin in
-        match handle_line t line with
-        | None -> ()
-        | Some r ->
-          print_string r;
+    let rec loop () =
+      if not (Atomic.get t.stop) then
+        match read_line_bounded stdin ~max with
+        | `Eof -> ()
+        | `Oversized ->
+          print_string (oversized_line t);
           print_newline ();
-          flush stdout
-      done
-    with End_of_file -> ()
+          flush stdout;
+          loop ()
+        | `Line line ->
+          (match handle_line t line with
+          | None -> ()
+          | Some r ->
+            print_string r;
+            print_newline ();
+            flush stdout);
+          loop ()
+    in
+    loop ()
   end
   else begin
     (* pool: N domains drain a shared line queue; responses may
@@ -378,6 +638,7 @@ let serve_stdio t =
         match Bqueue.pop jobs with
         | None -> ()
         | Some line ->
+          Atomic.decr t.queued;
           (match handle_line t line with
           | None -> ()
           | Some r -> emit_locked t stdout r);
@@ -386,34 +647,78 @@ let serve_stdio t =
       loop ()
     in
     let workers = List.init t.config.domains (fun _ -> Domain.spawn worker) in
-    (try
-       while not (Atomic.get t.stop) do
-         Bqueue.push jobs (input_line stdin)
-       done
-     with End_of_file -> ());
+    let rec feed () =
+      if not (Atomic.get t.stop) then
+        match read_line_bounded stdin ~max with
+        | `Eof -> ()
+        | `Oversized ->
+          (* answered inline: the pool never sees the line *)
+          emit_locked t stdout (oversized_line t);
+          feed ()
+        | `Line line ->
+          Atomic.incr t.queued;
+          Bqueue.push jobs line;
+          feed ()
+    in
+    feed ();
     Bqueue.close jobs;
     List.iter Domain.join workers
   end
 
+(* Live connections, so a drain can unblock workers parked in a read:
+   shutting down the receive side delivers EOF to the worker, which
+   finishes its current response and closes. Entries are removed
+   *before* the fd is closed — fd numbers are only recycled once no
+   accept loop runs, and the registry never touches an fd after its
+   removal. *)
+module Conn_registry = struct
+  type nonrec t = { tbl : (Unix.file_descr, unit) Hashtbl.t; m : Mutex.t }
+
+  let create () = { tbl = Hashtbl.create 16; m = Mutex.create () }
+
+  let locked r f =
+    Mutex.lock r.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock r.m) f
+
+  let add r fd = locked r (fun () -> Hashtbl.replace r.tbl fd ())
+  let remove r fd = locked r (fun () -> Hashtbl.remove r.tbl fd)
+
+  let shutdown_all r =
+    locked r (fun () ->
+        Hashtbl.iter
+          (fun fd () ->
+            try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+            with Unix.Unix_error _ -> ())
+          r.tbl)
+end
+
 (* One accepted connection, served to EOF by a single worker. *)
-let handle_conn t fd =
+let handle_conn t registry fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   (try
      let rec loop () =
-       let line = input_line ic in
-       (match handle_line t line with
-       | None -> ()
-       | Some r ->
-         output_string oc r;
+       match read_line_bounded ic ~max:t.config.max_line_bytes with
+       | `Eof -> ()
+       | `Oversized ->
+         output_string oc (oversized_line t);
          output_char oc '\n';
-         flush oc);
-       if not (Atomic.get t.stop) then loop ()
+         flush oc;
+         if not (Atomic.get t.stop) then loop ()
+       | `Line line ->
+         (match handle_line t line with
+         | None -> ()
+         | Some r ->
+           output_string oc r;
+           output_char oc '\n';
+           flush oc);
+         if not (Atomic.get t.stop) then loop ()
      in
      loop ()
    with
   | End_of_file | Sys_error _ -> ()
   | Unix.Unix_error _ -> ());
+  Conn_registry.remove registry fd;
   close_out_noerr oc
 
 let serve_socket t ~path =
@@ -425,11 +730,12 @@ let serve_socket t ~path =
     (try Unix.close sock with Unix.Unix_error _ -> ());
     if Sys.file_exists path then try Unix.unlink path with Sys_error _ -> ()
   in
-  install_sigterm cleanup;
+  install_drain_signals t cleanup;
   Unix.bind sock (Unix.ADDR_UNIX path);
   Unix.listen sock 64;
-  (* a shutdown request must also unblock the accept loop below: poke
-     our own socket so accept returns and sees the stop flag *)
+  (* a shutdown request (or signal) must also unblock the accept loop
+     below: poke our own socket so accept returns and sees the stop
+     flag *)
   t.on_stop <-
     (fun () ->
       try
@@ -437,13 +743,15 @@ let serve_socket t ~path =
         Unix.connect s (Unix.ADDR_UNIX path);
         Unix.close s
       with Unix.Unix_error _ -> ());
+  let registry = Conn_registry.create () in
   let conns = Bqueue.create () in
   let worker () =
     let rec loop () =
       match Bqueue.pop conns with
       | None -> ()
       | Some fd ->
-        handle_conn t fd;
+        Atomic.decr t.queued;
+        handle_conn t registry fd;
         loop ()
     in
     loop ()
@@ -455,6 +763,8 @@ let serve_socket t ~path =
     if not (Atomic.get t.stop) then begin
       match Unix.accept sock with
       | fd, _ ->
+        Conn_registry.add registry fd;
+        Atomic.incr t.queued;
         Bqueue.push conns fd;
         accept_loop ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
@@ -462,6 +772,9 @@ let serve_socket t ~path =
     end
   in
   accept_loop ();
+  (* drain: no new connections are accepted; parked readers get EOF so
+     workers finish their in-flight request and exit *)
+  Conn_registry.shutdown_all registry;
   Bqueue.close conns;
   List.iter Domain.join workers;
   cleanup ()

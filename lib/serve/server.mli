@@ -13,38 +13,86 @@
     response exact — hits provably perform zero LP pivots and zero B&B
     nodes. Concurrent misses for the same key coalesce into one solve.
 
+    Hardening: every request solves under a fresh deadline budget
+    (client ["deadline_ms"], server default/cap) and degrades down the
+    resilience ladder instead of monopolizing the solver; degraded
+    results are served (["uncached"]) but never stored. Exceptions
+    escaping a solve are firewalled — the global solver state is
+    scrubbed before the solver lock is released and the client gets a
+    typed ["internal"] error; repeated failures per fingerprint trip a
+    TTL'd circuit breaker ({!Breaker}). Admission control sheds
+    schedule requests (["overloaded"]) past [config.max_pending];
+    oversized lines answer ["oversized"] without being buffered;
+    SIGTERM/SIGINT drain and exit 0.
+
     Trace spans (category ["serve"]): [serve.request] wraps each
     schedule request, [serve.cache-hit] marks hits (with the key),
-    [serve.schedule] wraps each cold solve. All null-sink-guarded. *)
+    [serve.schedule] wraps each cold solve; instants [serve.shed],
+    [serve.breaker] (open/reject) and [serve.recovered] mark the
+    hardening paths. All null-sink-guarded. *)
 
-type config = { domains : int; cache_capacity : int }
+type config = {
+  domains : int;
+  cache_capacity : int;
+  max_pending : int;
+      (** admission high-water mark on the pending-work gauge
+          (in-flight + queued); schedule requests past it are shed with
+          a typed ["overloaded"] error *)
+  max_line_bytes : int;
+      (** request lines longer than this answer ["oversized"] and are
+          never buffered in full *)
+  default_deadline_ms : int option;
+      (** solve deadline applied when the client sends none;
+          [None] = unlimited *)
+  max_deadline_ms : int;  (** cap on client-requested deadlines *)
+  breaker_threshold : int;
+      (** consecutive same-fingerprint failures that open the breaker *)
+  breaker_ttl_s : float;  (** how long an open breaker rejects *)
+}
 
 val default_config : config
-(** 1 domain, 512 cache entries. *)
+(** 1 domain, 512 cache entries, 64 pending, 1 MiB lines, 10 s default
+    deadline (300 s cap), breaker 3 failures / 30 s TTL. *)
 
 type t
 
 val create : ?config:config -> unit -> t
 val cache : t -> Cache.t
+val breaker : t -> Breaker.t
 
-(** Has a shutdown request been processed? *)
+(** Has a shutdown request (or drain signal) been processed? *)
 val stopping : t -> bool
+
+(** The pending-work gauge: requests in flight plus lines/connections
+    queued for the worker pool. *)
+val backlog : t -> int
 
 (** [handle_line t line] handles one request line and returns the
     response line (no trailing newline), or [None] for blank input.
     Never raises — internal failures become ["internal"] error
-    envelopes. Safe to call from concurrent domains; this is also the
-    entry point the tests and the bench harness drive directly. *)
+    envelopes (with the solver state scrubbed first). Safe to call from
+    concurrent domains; this is also the entry point the tests and the
+    bench harness drive directly. *)
 val handle_line : t -> string -> string option
+
+(** Bounded line framing: one newline-terminated line of at most [max]
+    bytes. Overlong input is consumed (never buffered past the cap)
+    and reported as [`Oversized]. Exposed for the serving loops and
+    their tests. *)
+val read_line_bounded :
+  in_channel -> max:int -> [ `Line of string | `Oversized | `Eof ]
 
 (** Serve requests from stdin to stdout until EOF or a shutdown
     request. With [config.domains > 1], a domain pool drains the input
     and responses may interleave out of request order (envelopes carry
-    the request id). Installs a SIGTERM handler that exits 0. *)
+    the request id). SIGTERM/SIGINT exit 0 (the blocking stdin read
+    cannot observe a drain flag). *)
 val serve_stdio : t -> unit
 
 (** Listen on a Unix domain socket ([path] is created, and removed on
     shutdown), serving each accepted connection to EOF on a pool of
-    [config.domains] workers. SIGPIPE is ignored; SIGTERM exits 0 after
-    removing the socket. *)
+    [config.domains] workers. SIGPIPE is ignored; SIGTERM/SIGINT drain:
+    in-flight requests finish, parked connection readers are shut down,
+    the socket is unlinked and the process exits 0. A second signal or
+    shutdown op during the drain is tolerated. *)
 val serve_socket : t -> path:string -> unit

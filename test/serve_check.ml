@@ -11,17 +11,22 @@
 
    Checks per line: well-formed JSON; "id" present; "status" ok|error;
    error envelopes carry {"error": {"code", "message"}}; ok schedule
-   envelopes carry a 32-hex "key", "cache" hit|miss, a "serve" section
-   with wall_us and the five solver counters, and a complete "result"
+   envelopes carry a 32-hex "key", "cache" hit|miss|uncached (uncached
+   = a degraded solve the daemon refused to store), a "serve" section
+   with wall_us, the five solver counters and — when the request ran
+   under a deadline — deadline_ms/overrun_ms, and a complete "result"
    (schedule, partition, wisecheck, explain, counters) whose wisecheck
    verdict is certified. Cache hits must report zero solver work — the
-   proof that cached schedules bypass the LP/B&B machinery. Exits 1 on
-   any violation, with a per-class summary on stdout either way. *)
+   proof that cached schedules bypass the LP/B&B machinery. Health
+   envelopes must carry the full readiness/backlog/breaker gauge set.
+   Exits 1 on any violation, with a per-class summary on stdout either
+   way. *)
 
 let violations = ref 0
 let seen = ref 0
 let hits = ref 0
 let misses = ref 0
+let uncached = ref 0
 let errors = ref 0
 let others = ref 0
 
@@ -51,13 +56,22 @@ let check_schedule line j =
   (match cache with
   | Some "hit" -> incr hits
   | Some "miss" -> incr misses
-  | _ -> fail line {|"cache" must be "hit" or "miss"|});
+  | Some "uncached" -> incr uncached
+  | _ -> fail line {|"cache" must be "hit", "miss" or "uncached"|});
   (match member "serve" j with
   | None -> fail line {|schedule response lacks a "serve" section|}
   | Some serve ->
     (match Option.bind (member "wall_us" serve) Obs.Json.to_float_opt with
     | Some w when Float.is_finite w && w >= 0.0 -> ()
     | _ -> fail line "serve.wall_us missing or not a non-negative number");
+    (* deadline accounting is optional but must be well-formed as a pair *)
+    (match
+       ( Option.bind (member "deadline_ms" serve) Obs.Json.to_int_opt,
+         Option.bind (member "overrun_ms" serve) Obs.Json.to_float_opt )
+     with
+    | None, None -> ()
+    | Some d, Some o when d > 0 && Float.is_finite o && o >= 0.0 -> ()
+    | _ -> fail line "serve deadline_ms/overrun_ms malformed or unpaired");
     List.iter
       (fun c ->
         match Option.bind (member c serve) Obs.Json.to_int_opt with
@@ -95,7 +109,17 @@ let check_line line =
       | Some "ok" ->
         if member "key" j <> None || member "result" j <> None then
           check_schedule line j
-        else incr others (* pong / stats / bye *)
+        else begin
+          (match member "health" j with
+          | None -> ()
+          | Some h ->
+            List.iter
+              (fun f ->
+                if member f h = None then fail line "health lacks %S" f)
+              [ "ready"; "draining"; "backlog"; "max_pending"; "breaker_open";
+                "uptime_s"; "cache_entries" ]);
+          incr others (* pong / stats / health / bye *)
+        end
       | Some "error" -> (
         incr errors;
         match member "error" j with
@@ -155,9 +179,9 @@ let () =
        responses to stdin)";
     exit 2);
   Printf.printf
-    "serve_check: %d responses (%d hits, %d misses, %d errors, %d other), %d \
-     violations\n"
-    !seen !hits !misses !errors !others !violations;
+    "serve_check: %d responses (%d hits, %d misses, %d uncached, %d errors, \
+     %d other), %d violations\n"
+    !seen !hits !misses !uncached !errors !others !violations;
   if !seen = 0 then begin
     Printf.printf "serve_check: no responses seen\n";
     exit 1

@@ -59,6 +59,15 @@ let test_opt_help () =
   let text = run_help [ "opt"; "--help=plain" ] in
   check_mentions "opt help" text [ "--engine"; "lp-dfp"; "auto"; "--tile" ]
 
+let test_serve_help () =
+  (* the hardening knobs must stay documented *)
+  let text = run_help [ "serve"; "--help=plain" ] in
+  check_mentions "serve help" text
+    [
+      "--max-pending"; "--deadline-ms"; "--max-deadline-ms";
+      "--max-line-bytes"; "--breaker-threshold"; "--breaker-ttl";
+    ]
+
 let test_engine_everywhere () =
   (* every pipeline subcommand that runs the optimizer takes --engine *)
   List.iter
@@ -74,6 +83,7 @@ let () =
         [
           Alcotest.test_case "top-level" `Quick test_top_help;
           Alcotest.test_case "opt flags" `Quick test_opt_help;
+          Alcotest.test_case "serve flags" `Quick test_serve_help;
           Alcotest.test_case "--engine everywhere" `Quick
             test_engine_everywhere;
         ] );

@@ -254,7 +254,7 @@ let test_cache_counting_and_sync () =
 (* --- concurrent serving under 4 domains ----------------------------------- *)
 
 let test_concurrent_domains () =
-  let config = { Serve.Server.domains = 4; cache_capacity = 512 } in
+  let config = { Serve.Server.default_config with domains = 4 } in
   let t = Serve.Server.create ~config () in
   let pop =
     [ ("gemver", "wisefuse"); ("gemver", "nofuse"); ("tce", "wisefuse");
@@ -369,6 +369,256 @@ let test_protocol_envelopes () =
   Alcotest.(check string) "shutdown ok" "ok" (str_field j "status");
   Alcotest.(check bool) "stopping after shutdown" true (Serve.Server.stopping t)
 
+(* --- hardening: firewall, breaker, deadlines, admission, drain ------------ *)
+
+let sched_line ?(size = test_size) ?deadline ~id kernel =
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       (List.concat
+          [ [ ("id", Obs.Json.Int id); ("kernel", Obs.Json.Str kernel);
+              ("size", Obs.Json.Int size) ];
+            (match deadline with
+            | Some d -> [ ("deadline_ms", Obs.Json.Int d) ]
+            | None -> []) ]))
+
+let error_code j = str_field (field j "error") "code"
+
+let with_chaos f = Fun.protect ~finally:Serve.Chaos.reset f
+
+(* (a) a raising request leaves the solver lock released and the
+   counters/Farkas memo scrubbed; (b) the next cold solve is
+   byte-identical to an unfaulted run *)
+let test_firewall_recovery () =
+  with_chaos (fun () ->
+      (* unfaulted reference: a fresh server, same config *)
+      let reference =
+        let t = Serve.Server.create () in
+        let _, cold = respond t (sched_line ~id:1 "gemver") in
+        Obs.Json.to_string (field cold "result")
+      in
+      let t = Serve.Server.create () in
+      Serve.Chaos.arm_queue [ Serve.Chaos.Raise ];
+      let _, faulted = respond t (sched_line ~id:2 "gemver") in
+      Alcotest.(check string) "faulted request errors" "error"
+        (str_field faulted "status");
+      Alcotest.(check string) "typed internal error" "internal"
+        (error_code faulted);
+      Alcotest.(check int) "one injected raise" 1 !Serve.Chaos.injected_raises;
+      (* the poison the fault planted in the counters must be gone *)
+      List.iter
+        (fun (n, v) ->
+          if
+            (not (String.length n >= 6 && String.sub n 0 6 = "serve_"))
+            && v <> 0
+          then Alcotest.failf "counter %s = %d after recovery" n v)
+        (Linalg.Counters.all_counters ());
+      Alcotest.(check int) "firewall counted the recovery" 1
+        !Linalg.Counters.serve_recovered;
+      (* solver lock released + clean state: the next cold solve (same
+         key, no fault armed) succeeds and is byte-identical to the
+         unfaulted reference *)
+      let _, cold = respond t (sched_line ~id:3 "gemver") in
+      Alcotest.(check string) "next solve is a clean miss" "miss"
+        (str_field cold "cache");
+      Alcotest.(check string) "post-fault cold solve byte-identical"
+        reference
+        (Obs.Json.to_string (field cold "result"));
+      let _, warm = respond t (sched_line ~id:4 "gemver") in
+      Alcotest.(check string) "and caches normally" "hit"
+        (str_field warm "cache"))
+
+(* (c) the breaker opens after N failures and closes after the TTL *)
+let test_breaker_opens_and_closes () =
+  with_chaos (fun () ->
+      let config =
+        { Serve.Server.default_config with
+          breaker_threshold = 2;
+          breaker_ttl_s = 0.2;
+        }
+      in
+      let t = Serve.Server.create ~config () in
+      Serve.Chaos.arm_queue [ Serve.Chaos.Raise; Serve.Chaos.Raise ];
+      let _, f1 = respond t (sched_line ~id:1 "gemver") in
+      Alcotest.(check string) "first failure internal" "internal"
+        (error_code f1);
+      Alcotest.(check int) "breaker still closed" 0
+        (Serve.Breaker.open_count (Serve.Server.breaker t));
+      let _, f2 = respond t (sched_line ~id:2 "gemver") in
+      Alcotest.(check string) "second failure internal" "internal"
+        (error_code f2);
+      Alcotest.(check int) "breaker open after threshold" 1
+        (Serve.Breaker.open_count (Serve.Server.breaker t));
+      (* while open: typed rejection, no solve attempted (the chaos
+         queue is empty — a solve would succeed and betray itself) *)
+      let _, rej = respond t (sched_line ~id:3 "gemver") in
+      Alcotest.(check string) "open breaker rejects typed" "breaker"
+        (error_code rej);
+      Alcotest.(check int) "reject counted" 1
+        (Serve.Breaker.rejects (Serve.Server.breaker t));
+      Alcotest.(check bool) "trips synced to counters" true
+        (!Linalg.Counters.serve_breaker_trips >= 1);
+      (* a different fingerprint is unaffected *)
+      let _, other = respond t (sched_line ~id:4 "tce") in
+      Alcotest.(check string) "other keys still served" "ok"
+        (str_field other "status");
+      (* after the TTL the half-open probe goes through and closes it *)
+      Unix.sleepf 0.25;
+      let _, probe = respond t (sched_line ~id:5 "gemver") in
+      Alcotest.(check string) "half-open probe solves" "ok"
+        (str_field probe "status");
+      Alcotest.(check string) "probe was a real miss" "miss"
+        (str_field probe "cache");
+      Alcotest.(check int) "breaker closed by success" 0
+        (Serve.Breaker.open_count (Serve.Server.breaker t)))
+
+(* a slow solve under a tight deadline degrades down the ladder and is
+   served but never cached *)
+let test_deadline_degrades_uncached () =
+  with_chaos (fun () ->
+      let t = Serve.Server.create () in
+      Serve.Chaos.arm_queue [ Serve.Chaos.Slow 60 ];
+      let _, slow = respond t (sched_line ~id:1 ~deadline:10 "gemver") in
+      Alcotest.(check string) "slow request still ok" "ok"
+        (str_field slow "status");
+      let result = field slow "result" in
+      Alcotest.(check bool) "degraded result" true
+        (Obs.Json.to_bool_opt (field result "degraded") = Some true);
+      Alcotest.(check bool) "not the primary rung" true
+        (str_field result "rung" <> "primary");
+      Alcotest.(check string) "degraded results are not cached" "uncached"
+        (str_field slow "cache");
+      let serve = field slow "serve" in
+      Alcotest.(check bool) "deadline echoed" true
+        (Obs.Json.to_int_opt (field serve "deadline_ms") = Some 10);
+      (match Obs.Json.to_float_opt (field serve "overrun_ms") with
+      | Some o when o > 0.0 -> ()
+      | v ->
+        Alcotest.failf "expected positive overrun, got %s"
+          (match v with Some f -> string_of_float f | None -> "?"));
+      (* the key was never poisoned: the next request solves clean at
+         full quality and only THAT result is cached *)
+      let _, clean = respond t (sched_line ~id:2 ~deadline:10_000 "gemver") in
+      Alcotest.(check string) "clean re-solve is a miss" "miss"
+        (str_field clean "cache");
+      Alcotest.(check bool) "clean result undegraded" true
+        (Obs.Json.to_bool_opt (field (field clean "result") "degraded")
+        = Some false);
+      let _, warm = respond t (sched_line ~id:3 "gemver") in
+      Alcotest.(check string) "then hits" "hit" (str_field warm "cache");
+      Alcotest.(check string) "warm bytes = clean cold bytes"
+        (Obs.Json.to_string (field clean "result"))
+        (Obs.Json.to_string (field warm "result")))
+
+(* forced exhaustion degrades to the identity rung, typed, not cached *)
+let test_exhaustion_degrades () =
+  with_chaos (fun () ->
+      let t = Serve.Server.create () in
+      Serve.Chaos.arm_queue [ Serve.Chaos.Exhaust ];
+      let _, j = respond t (sched_line ~id:1 "tce") in
+      Alcotest.(check string) "exhausted request ok" "ok" (str_field j "status");
+      Alcotest.(check string) "identity rung" "identity"
+        (str_field (field j "result") "rung");
+      Alcotest.(check string) "uncached" "uncached" (str_field j "cache");
+      Alcotest.(check int) "one injected exhaust" 1
+        !Serve.Chaos.injected_exhausts)
+
+let test_oversized_line () =
+  let t = Serve.Server.create () in
+  (* satellite contract: a 10 MiB line answers a typed error without
+     being processed *)
+  let huge = String.make (10 * 1024 * 1024) 'x' in
+  (match Serve.Server.handle_line t huge with
+  | None -> Alcotest.fail "oversized line must be answered"
+  | Some r -> (
+    match Obs.Json.parse r with
+    | Ok j ->
+      Alcotest.(check string) "typed oversized error" "oversized" (error_code j)
+    | Error m -> Alcotest.failf "unparseable oversized envelope: %s" m));
+  (* the bounded reader: refuses the long line without buffering it,
+     then keeps the stream framed for the next request *)
+  let file = Filename.temp_file "wiseserve" ".in" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      output_string oc (String.make 4096 'y');
+      output_string oc "\n{\"id\":1,\"op\":\"ping\"}\n";
+      close_out oc;
+      let ic = open_in file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let max = 256 in
+          (match Serve.Server.read_line_bounded ic ~max with
+          | `Oversized -> ()
+          | `Line _ | `Eof -> Alcotest.fail "long line must read Oversized");
+          (match Serve.Server.read_line_bounded ic ~max with
+          | `Line l ->
+            Alcotest.(check string) "stream stays framed"
+              {|{"id":1,"op":"ping"}|} l
+          | `Oversized | `Eof -> Alcotest.fail "next line lost");
+          match Serve.Server.read_line_bounded ic ~max with
+          | `Eof -> ()
+          | `Line _ | `Oversized -> Alcotest.fail "expected EOF"))
+
+let test_admission_shedding () =
+  (* max_pending 0: every schedule request finds the gauge (which
+     includes itself) over the mark — deterministic shedding *)
+  let config = { Serve.Server.default_config with max_pending = 0 } in
+  let t = Serve.Server.create ~config () in
+  let _, shed = respond t (sched_line ~id:1 "gemver") in
+  Alcotest.(check string) "typed overloaded" "overloaded" (error_code shed);
+  Alcotest.(check int) "shed counted" 1 !Linalg.Counters.serve_shed;
+  (* protocol ops are never shed *)
+  let _, ping = respond t {|{"id": 2, "op": "ping"}|} in
+  Alcotest.(check string) "ping served under overload" "ok"
+    (str_field ping "status");
+  let _, health = respond t {|{"id": 3, "op": "health"}|} in
+  let h = field health "health" in
+  Alcotest.(check bool) "not ready while overloaded" true
+    (Obs.Json.to_bool_opt (field h "ready") = Some false);
+  Alcotest.(check bool) "but not draining" true
+    (Obs.Json.to_bool_opt (field h "draining") = Some false)
+
+let test_health_and_idempotent_shutdown () =
+  let t = Serve.Server.create () in
+  let _, health = respond t {|{"id": 1, "op": "health"}|} in
+  Alcotest.(check string) "health ok" "ok" (str_field health "status");
+  let h = field health "health" in
+  Alcotest.(check bool) "ready" true
+    (Obs.Json.to_bool_opt (field h "ready") = Some true);
+  Alcotest.(check bool) "no open breakers" true
+    (Obs.Json.to_int_opt (field h "breaker_open") = Some 0);
+  Alcotest.(check bool) "uptime is non-negative" true
+    (match Obs.Json.to_float_opt (field h "uptime_s") with
+    | Some u -> u >= 0.0
+    | None -> false);
+  let _, bye1 = respond t {|{"id": 2, "op": "shutdown"}|} in
+  Alcotest.(check string) "shutdown ok" "ok" (str_field bye1 "status");
+  (* a second shutdown during the drain is answered, not raised *)
+  let _, bye2 = respond t {|{"id": 3, "op": "shutdown"}|} in
+  Alcotest.(check string) "second shutdown tolerated" "ok"
+    (str_field bye2 "status");
+  (* new schedule work is rejected while draining, typed *)
+  let _, rej = respond t (sched_line ~id:4 "gemver") in
+  Alcotest.(check string) "draining rejection" "draining" (error_code rej);
+  (* health keeps answering and reports the drain *)
+  let _, health = respond t {|{"id": 5, "op": "health"}|} in
+  let h = field health "health" in
+  Alcotest.(check bool) "draining reported" true
+    (Obs.Json.to_bool_opt (field h "draining") = Some true);
+  Alcotest.(check bool) "not ready while draining" true
+    (Obs.Json.to_bool_opt (field h "ready") = Some false)
+
+let test_deadline_validation () =
+  let t = Serve.Server.create () in
+  let _, bad = respond t {|{"id": 1, "kernel": "gemver", "deadline_ms": -5}|} in
+  Alcotest.(check string) "negative deadline is a usage error" "usage"
+    (error_code bad);
+  let _, bad = respond t {|{"id": 2, "kernel": "gemver", "deadline_ms": "x"}|} in
+  Alcotest.(check string) "non-integer deadline is a usage error" "usage"
+    (error_code bad)
+
 let () =
   Alcotest.run "serve"
     [
@@ -395,5 +645,22 @@ let () =
           Alcotest.test_case "engine selection" `Quick test_engine_requests;
           Alcotest.test_case "protocol envelopes" `Quick
             test_protocol_envelopes;
+        ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "firewall recovery" `Quick test_firewall_recovery;
+          Alcotest.test_case "breaker opens and closes" `Quick
+            test_breaker_opens_and_closes;
+          Alcotest.test_case "deadline degrades, uncached" `Quick
+            test_deadline_degrades_uncached;
+          Alcotest.test_case "exhaustion degrades" `Quick
+            test_exhaustion_degrades;
+          Alcotest.test_case "oversized line" `Quick test_oversized_line;
+          Alcotest.test_case "admission shedding" `Quick
+            test_admission_shedding;
+          Alcotest.test_case "health + idempotent shutdown" `Quick
+            test_health_and_idempotent_shutdown;
+          Alcotest.test_case "deadline validation" `Quick
+            test_deadline_validation;
         ] );
     ]
