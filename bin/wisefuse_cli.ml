@@ -61,6 +61,29 @@ let engine_of_name s =
       (String.concat ", " engine_names);
     exit 2
 
+let reductions_names = [ "on"; "off" ]
+
+let reductions_arg =
+  let doc =
+    "Reduction-aware legality: on (prove reduction statements with the \
+     wisereduce detector and relax their covered self-dependences in the \
+     scheduler; reduction loops come out as parallel reductions) or off \
+     (never tag a dependence; schedules are byte-identical to the \
+     pre-reduction pipeline)."
+  in
+  Arg.(value
+       & opt string "off"
+       & info [ "reductions" ] ~docv:"MODE" ~doc)
+
+let reductions_of_name s =
+  match s with
+  | "on" -> true
+  | "off" -> false
+  | _ ->
+    Printf.eprintf "unknown reductions mode %s (expected one of %s)\n" s
+      (String.concat ", " reductions_names);
+    exit 2
+
 let simd_arg =
   let doc = "Model simd width (1 = off)." in
   Arg.(value & opt int 1 & info [ "simd" ] ~docv:"W" ~doc)
@@ -125,10 +148,10 @@ let load name size =
       Kernels.Registry.all;
     exit usage_exit
 
-let ast_of_model ?tile ?engine prog mname =
+let ast_of_model ?tile ?engine ?reductions prog mname =
   match Fusion.Model.of_name mname with
   | m ->
-    let opt = Fusion.Model.optimize ?engine m prog in
+    let opt = Fusion.Model.optimize ?engine ?reductions m prog in
     (match opt.Fusion.Model.resilience with
     | Some o when Fusion.Resilient.degraded o ->
       Format.eprintf "note: %a@." Fusion.Report.pp_resilience o
@@ -206,11 +229,12 @@ let deps_cmd =
 (* --- opt -------------------------------------------------------------- *)
 
 let opt_cmd =
-  let run name size model engine tile stats vflag =
+  let run name size model engine reductions tile stats vflag =
     verbose := vflag;
     let prog = load name size in
     let ast, res =
-      ast_of_model ?tile ~engine:(engine_of_name engine) prog model
+      ast_of_model ?tile ~engine:(engine_of_name engine)
+        ~reductions:(reductions_of_name reductions) prog model
     in
     (match res with
     | Some res ->
@@ -235,22 +259,25 @@ let opt_cmd =
   in
   Cmd.v (Cmd.info "opt" ~doc:"Optimize and print the transformed code")
     Term.(const run $ kernel_arg $ size_arg $ model_arg $ engine_arg
-          $ tile_arg $ stats_arg $ verbose_arg)
+          $ reductions_arg $ tile_arg $ stats_arg $ verbose_arg)
 
 (* --- emit ------------------------------------------------------------- *)
 
 let emit_cmd =
-  let run name size model engine vflag =
+  let run name size model engine reductions vflag =
     verbose := vflag;
     let prog = load name size in
-    let ast, _ = ast_of_model ~engine:(engine_of_name engine) prog model in
+    let ast, _ =
+      ast_of_model ~engine:(engine_of_name engine)
+        ~reductions:(reductions_of_name reductions) prog model
+    in
     print_string
       (Codegen.Cprint.program ~name:(name ^ "_" ^ model) prog ast)
   in
   Cmd.v
     (Cmd.info "emit" ~doc:"Emit a complete C program for the transformed code")
     Term.(const run $ kernel_arg $ size_arg $ model_arg $ engine_arg
-          $ verbose_arg)
+          $ reductions_arg $ verbose_arg)
 
 (* --- analyze ---------------------------------------------------------- *)
 
@@ -271,8 +298,10 @@ let certify_opt (opt : Fusion.Model.optimized) =
   in
   (prog, Analysis.Wisecheck.certify prog deps sched opt.Fusion.Model.ast)
 
-let analyze_one ?engine prog mname =
-  certify_opt (Fusion.Model.optimize ?engine (Fusion.Model.of_name mname) prog)
+let analyze_one ?engine ?reductions prog mname =
+  certify_opt
+    (Fusion.Model.optimize ?engine ?reductions (Fusion.Model.of_name mname)
+       prog)
 
 let json_arg =
   let doc = "Emit findings as JSON (one object per line of \"findings\")." in
@@ -307,9 +336,10 @@ let print_report_json prog ~kernel ~model (r : Analysis.Wisecheck.report) =
           ]))
 
 let analyze_cmd =
-  let run kernel size model engine all json stats vflag =
+  let run kernel size model engine reductions all json stats vflag =
     verbose := vflag;
     let engine = engine_of_name engine in
+    let reductions = reductions_of_name reductions in
     let targets =
       if all then
         List.concat_map
@@ -333,7 +363,7 @@ let analyze_cmd =
             (String.concat ", " model_names);
           exit usage_exit
         end;
-        let prog, report = analyze_one ~engine prog mname in
+        let prog, report = analyze_one ~engine ~reductions prog mname in
         if report.Analysis.Wisecheck.errors > 0 then any_errors := true;
         if json then print_report_json prog ~kernel:kname ~model:mname report
         else print_report_text prog (kname ^ " / " ^ mname) report)
@@ -347,7 +377,7 @@ let analyze_cmd =
          "Independently certify the generated code (race freedom, scan \
           soundness, DDG lints); exit 7 on error-severity findings")
     Term.(const run $ opt_kernel_arg $ size_arg $ model_arg $ engine_arg
-          $ all_arg $ json_arg $ stats_arg $ verbose_arg)
+          $ reductions_arg $ all_arg $ json_arg $ stats_arg $ verbose_arg)
 
 (* --- trace / explain --------------------------------------------------- *)
 
@@ -372,13 +402,13 @@ let out_dir_arg =
    cache reset first so the trace is a function of the program alone.
    Leaves the tracer disabled but the events readable (report_stats
    reads the span totals from them). *)
-let traced_run ?engine prog mname =
+let traced_run ?engine ?reductions prog mname =
   let model = model_of_name mname in
   Linalg.Counters.reset ();
   Pluto.Farkas.reset_cache ();
   let res =
     Obs.Trace.with_recording (fun () ->
-        let opt = Fusion.Model.optimize ?engine model prog in
+        let opt = Fusion.Model.optimize ?engine ?reductions model prog in
         ignore (certify_opt opt);
         opt)
   in
@@ -386,12 +416,13 @@ let traced_run ?engine prog mname =
   res
 
 let trace_cmd =
-  let run kernel size model engine all out out_dir stats vflag =
+  let run kernel size model engine reductions all out out_dir stats vflag =
     verbose := vflag;
     let engine = engine_of_name engine in
+    let reductions = reductions_of_name reductions in
     let trace_one kname out =
       let prog = load kname size in
-      let _, events = traced_run ~engine prog model in
+      let _, events = traced_run ~engine ~reductions prog model in
       let json =
         Obs.Export.chrome_trace
           ~process:(Printf.sprintf "wisefuse %s/%s" kname model)
@@ -425,16 +456,20 @@ let trace_cmd =
          "Run the pipeline under the span tracer and export a Chrome \
           trace-event JSON (load in chrome://tracing or ui.perfetto.dev)")
     Term.(const run $ opt_kernel_arg $ size_arg $ model_arg $ engine_arg
-          $ all_arg $ out_arg $ out_dir_arg $ stats_arg $ verbose_arg)
+          $ reductions_arg $ all_arg $ out_arg $ out_dir_arg $ stats_arg
+          $ verbose_arg)
 
 let explain_cmd =
-  let run kernel size model engine all stats vflag =
+  let run kernel size model engine reductions all stats vflag =
     verbose := vflag;
     let engine = engine_of_name engine in
+    let reductions = reductions_of_name reductions in
     let explain_one kname =
       let prog = load kname size in
       let m = model_of_name model in
-      let ex = Fusion.Explain.capture ~engine ~model:m ~kernel:kname prog in
+      let ex =
+        Fusion.Explain.capture ~engine ~reductions ~model:m ~kernel:kname prog
+      in
       Format.printf "%a@." Fusion.Explain.pp ex;
       (* the analysis verdict is not part of the optimization trace;
          append it from a direct certification of the captured result *)
@@ -468,16 +503,19 @@ let explain_cmd =
           with its justifying dependence, per-level ILP effort, \
           degradation rungs and the final partitioning")
     Term.(const run $ opt_kernel_arg $ size_arg $ model_arg $ engine_arg
-          $ all_arg $ stats_arg $ verbose_arg)
+          $ reductions_arg $ all_arg $ stats_arg $ verbose_arg)
 
 (* --- sim -------------------------------------------------------------- *)
 
 let sim_cmd =
-  let run name size model engine cores tile simd stats vflag =
+  let run name size model engine reductions cores tile simd stats vflag =
     verbose := vflag;
     let prog = load name size in
     let params = prog.Scop.Program.default_params in
-    let ast, _ = ast_of_model ?tile ~engine:(engine_of_name engine) prog model in
+    let ast, _ =
+      ast_of_model ?tile ~engine:(engine_of_name engine)
+        ~reductions:(reductions_of_name reductions) prog model
+    in
     (* semantic check against the original *)
     let m_ref = Machine.Interp.init_memory prog ~params in
     Machine.Interp.run_original prog m_ref ~params;
@@ -497,7 +535,8 @@ let sim_cmd =
   in
   Cmd.v (Cmd.info "sim" ~doc:"Simulate on the machine model")
     Term.(const run $ kernel_arg $ size_arg $ model_arg $ engine_arg
-          $ cores_arg $ tile_arg $ simd_arg $ stats_arg $ verbose_arg)
+          $ reductions_arg $ cores_arg $ tile_arg $ simd_arg $ stats_arg
+          $ verbose_arg)
 
 (* --- serve ------------------------------------------------------------ *)
 

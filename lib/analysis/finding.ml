@@ -10,6 +10,9 @@ type kind =
   | Redundant_dependence
   | Dead_write
   | Unreachable_statement
+  | Reduction_detected
+  | Reduction_rejected
+  | Reduction_certified
 
 type t = {
   kind : kind;
@@ -31,11 +34,16 @@ let code = function
   | Redundant_dependence -> "ddg.redundant-dependence"
   | Dead_write -> "ddg.dead-write"
   | Unreachable_statement -> "ddg.unreachable"
+  | Reduction_detected -> "reduction.detected"
+  | Reduction_rejected -> "reduction.rejected"
+  | Reduction_certified -> "race.up-to-reduction"
 
 let severity_of_kind = function
   | Racy_parallel | Dropped_point | Guard_mismatch -> Error
   | Lost_parallelism | Loose_bounds | Dead_scan | Dead_write -> Warning
-  | Redundant_dependence | Unreachable_statement -> Info
+  | Redundant_dependence | Unreachable_statement | Reduction_detected
+  | Reduction_rejected | Reduction_certified ->
+    Info
 
 let severity_name = function
   | Error -> "error"

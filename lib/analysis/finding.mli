@@ -39,6 +39,17 @@ type kind =
   | Unreachable_statement
       (** a statement that no surviving (live-out) value depends on
           (info) *)
+  | Reduction_detected
+      (** a statement is a proven reduction: associative-commutative
+          read-modify-write of one accumulator cell, combined expression
+          accumulator-free, no interleaved writer (info) *)
+  | Reduction_rejected
+      (** a near-miss reduction shape with the exact reason it failed
+          the proof — context key ["reason"] (info) *)
+  | Reduction_certified
+      (** a [Parallel_reduction] loop whose every carried conflict is
+          covered by an independently re-derived reduction proof:
+          race-free up to reduction reassociation (info) *)
 
 type t = {
   kind : kind;

@@ -53,7 +53,7 @@ let covers ~param_floor (prog : Scop.Program.t) (dep : Dep.t) =
   in
   not (List.exists escapes (Poly.Polyhedron.constraints proj))
 
-let check ?(param_floor = 2) (prog : Scop.Program.t) deps =
+let check ?(param_floor = 2) ?(facts = []) (prog : Scop.Program.t) deps =
   let ddg = Ddg.build prog deps in
   let true_deps = Ddg.true_deps ddg in
   let findings = ref [] in
@@ -101,13 +101,20 @@ let check ?(param_floor = 2) (prog : Scop.Program.t) deps =
             && covers ~param_floor prog d)
           true_deps)
     prog.stmts;
+  (* only flow into *another* statement counts as consumption: the
+     self-flow of an accumulation chain feeds nothing outside itself *)
   let has_out_flow = Array.make n false in
   List.iter
-    (fun (d : Dep.t) -> if d.kind = Dep.Flow then has_out_flow.(d.src) <- true)
+    (fun (d : Dep.t) ->
+      if d.kind = Dep.Flow && d.src <> d.dst then has_out_flow.(d.src) <- true)
     true_deps;
+  (* a proven reduction accumulator is written every iteration by
+     design; its value is the whole chain, not the per-instance write —
+     never a dead write *)
+  let is_reduction s = Reduction_info.for_stmt facts s <> None in
   let dead = Array.make n false in
   for s = 0 to n - 1 do
-    if (not has_out_flow.(s)) && covered.(s) then begin
+    if (not has_out_flow.(s)) && covered.(s) && not (is_reduction s) then begin
       dead.(s) <- true;
       emit
         (Finding.make ~stmts:[ s ] Finding.Dead_write

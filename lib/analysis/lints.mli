@@ -6,14 +6,19 @@
       endpoints are also connected by a longer path of true edges — the
       direct edge adds no scheduling constraint beyond transitivity.
     - {b dead write} (warning): a statement whose value no read ever
-      sees (no outgoing flow dependence) and whose every instance is
-      later overwritten (an output dependence whose source projection
-      covers the whole domain). The coverage test uses Fourier–Motzkin
-      projection, which over-approximates — hence warning, not error.
+      sees (no flow dependence into {e another} statement — self-flow
+      of an accumulation chain does not count as consumption) and whose
+      every instance is later overwritten (an output dependence whose
+      source projection covers the whole domain). Statements covered by
+      a reduction proof in [facts] are exempt: a proven accumulator is
+      written every iteration by design. The coverage test uses
+      Fourier–Motzkin projection, which over-approximates — hence
+      warning, not error.
     - {b unreachable statement} (info): a statement from which no chain
       of flow dependences reaches any live-out write (a write not fully
       overwritten). Its results cannot influence the program's
       observable output. *)
 
 val check :
-  ?param_floor:int -> Scop.Program.t -> Deps.Dep.t list -> Finding.t list
+  ?param_floor:int -> ?facts:Reduction_info.t list -> Scop.Program.t ->
+  Deps.Dep.t list -> Finding.t list

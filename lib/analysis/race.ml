@@ -79,7 +79,8 @@ let pp_witness prog (dep : Dep.t) (w : int array) =
       (slice (d1 + d2) (Array.length w - d1 - d2))
   end
 
-let check ?(param_floor = 2) (prog : Scop.Program.t) deps sched ast =
+let check ?(param_floor = 2) ?(facts = []) (prog : Scop.Program.t) deps sched
+    ast =
   if Array.length sched = 0 then []
   else begin
     let rows_of_level = loop_rows sched in
@@ -107,29 +108,72 @@ let check ?(param_floor = 2) (prog : Scop.Program.t) deps sched ast =
                 | None -> None)
               live
           in
+          let emit_racy ((d : Dep.t), w) =
+            emit
+              (Finding.make
+                 ~stmts:(List.sort_uniq compare [ d.src; d.dst ])
+                 ~level:l.level ~dep:d
+                 ~context:
+                   [
+                     ("row", string_of_int row_idx);
+                     ("witness", pp_witness prog d w);
+                   ]
+                 Finding.Racy_parallel
+                 (Printf.sprintf
+                    "loop t%d is marked %s but carries a %s \
+                     dependence %s -> %s"
+                    l.level
+                    (Codegen.Ast.parallelism_name l.par)
+                    (Dep.kind_to_string d.kind)
+                    prog.stmts.(d.src).Scop.Statement.name
+                    prog.stmts.(d.dst).Scop.Statement.name))
+          in
           (match (l.par, conflicts) with
-          | Codegen.Ast.Parallel, _ :: _ ->
-            List.iter
-              (fun ((d : Dep.t), w) ->
-                emit
-                  (Finding.make
-                     ~stmts:(List.sort_uniq compare [ d.src; d.dst ])
-                     ~level:l.level ~dep:d
-                     ~context:
-                       [
-                         ("row", string_of_int row_idx);
-                         ("witness", pp_witness prog d w);
-                       ]
-                     Finding.Racy_parallel
-                     (Printf.sprintf
-                        "loop t%d is marked parallel but carries a %s \
-                         dependence %s -> %s"
-                        l.level
-                        (Dep.kind_to_string d.kind)
-                        prog.stmts.(d.src).Scop.Statement.name
-                        prog.stmts.(d.dst).Scop.Statement.name)))
-              conflicts
+          | Codegen.Ast.Parallel, _ :: _ -> List.iter emit_racy conflicts
           | Codegen.Ast.Parallel, [] -> ()
+          | Codegen.Ast.Parallel_reduction, conflicts ->
+            (* every carried conflict must be licensed by an
+               independently re-derived reduction proof; anything else
+               behind the mark is a race, proof or no mark *)
+            let covered, uncovered =
+              List.partition
+                (fun ((d : Dep.t), _) ->
+                  List.exists (fun f -> Reduction.covers f d) facts)
+                conflicts
+            in
+            List.iter emit_racy uncovered;
+            if uncovered = [] then begin
+              incr Linalg.Counters.reductions_certified;
+              let ops =
+                List.sort_uniq compare
+                  (List.concat_map
+                     (fun ((d : Dep.t), _) ->
+                       List.filter_map
+                         (fun (f : Reduction_info.t) ->
+                           if Reduction.covers f d then
+                             Some (Reduction_info.op_name f)
+                           else None)
+                         facts)
+                     covered)
+              in
+              emit
+                (Finding.make
+                   ~stmts:(List.sort_uniq compare mem)
+                   ~level:l.level
+                   ~context:
+                     [
+                       ("row", string_of_int row_idx);
+                       ( "covered-conflicts",
+                         string_of_int (List.length covered) );
+                       ("operators", String.concat "," ops);
+                     ]
+                   Finding.Reduction_certified
+                   (Printf.sprintf
+                      "loop t%d is race-free up to reduction reassociation \
+                       (every carried dependence is a proven reduction \
+                       self-dependence)"
+                      l.level))
+            end
           | (Codegen.Ast.Forward | Codegen.Ast.Sequential), [] ->
             emit
               (Finding.make

@@ -10,10 +10,15 @@
     exact integer emptiness via branch-and-bound).
 
     A loop marked [Parallel] with a feasible conflict system is racy
-    generated code (error). A loop marked [Forward] or [Sequential]
-    whose every live dependence has an {e infeasible} conflict system is
-    provably race-free — parallelism the pipeline left on the table
-    (warning). *)
+    generated code (error). A loop marked [Parallel_reduction] is held
+    to the same standard {e unless} every feasible conflict is a
+    self-dependence covered by one of the caller's independently
+    derived reduction proofs ([facts]) — then the loop is certified
+    "race-free up to reduction reassociation" (info); any uncovered
+    conflict behind the mark is still a [race.parallel] error. A loop
+    marked [Forward] or [Sequential] whose every live dependence has an
+    {e infeasible} conflict system is provably race-free — parallelism
+    the pipeline left on the table (warning). *)
 
 (** [carried_witness ?param_floor prog sched dep ~row_idx] decides
     whether the dependence can connect two distinct iterations of the
@@ -30,9 +35,13 @@ val carried_witness :
   row_idx:int ->
   int array option
 
-(** Check every loop of the AST; findings in AST pre-order. *)
+(** Check every loop of the AST; findings in AST pre-order. [facts]
+    (default none) are the reduction proofs used to judge
+    [Parallel_reduction] marks — pass proofs re-derived via
+    {!Reduction.detect}, never the scheduler's own tags. *)
 val check :
   ?param_floor:int ->
+  ?facts:Reduction_info.t list ->
   Scop.Program.t ->
   Deps.Dep.t list ->
   Pluto.Sched.t ->

@@ -376,16 +376,33 @@ let check ?(param_floor = 2) (prog : Scop.Program.t) sched ast =
       | [] -> ()
       | b :: rest ->
         let sys = Poly.Polyhedron.add base b in
-        if Ilp.Bb.feasible sys then
+        if Ilp.Bb.feasible sys then begin
+          (* witness: an integer point of the feasible system, rendered
+             in original-iterator space ([y(ylen); p(np); x(d)] layout)
+             — warnings carry their witness just like errors do *)
+          let witness =
+            match Ilp.Bb.integer_point sys with
+            | None -> pp_point prog st [||]
+            | Some w when Array.length w < dim -> pp_point prog st [||]
+            | Some w ->
+              pp_point prog st
+                (Array.init (d + np) (fun i ->
+                     if i < d then w.(ylen + np + i) else w.(ylen + i - d)))
+          in
           emit
             (Finding.make ~stmts:[ inst.stmt_id ]
                ~context:
-                 [ ("violated", Format.asprintf "%a" (Poly.Constr.pp ?names:None) b) ]
+                 [
+                   ( "violated",
+                     Format.asprintf "%a" (Poly.Constr.pp ?names:None) b );
+                   ("witness", witness);
+                 ]
                Finding.Loose_bounds
                (Printf.sprintf
                   "statement %s: emitted bounds scan time points that invert \
                    outside its domain"
                   st.Scop.Statement.name))
+        end
         else first rest
     in
     first branches

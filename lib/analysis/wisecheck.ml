@@ -7,10 +7,16 @@ type report = {
 
 let certify ?param_floor (prog : Scop.Program.t) deps sched ast =
   Linalg.Counters.time "analysis" (fun () ->
+      (* re-derive reduction proofs from the program text and raw
+         dependences — never trust the scheduler's own tags. A
+         [Parallel_reduction] mark is only honoured when the proof
+         reconstructs here. *)
+      let facts, reduction_findings = Reduction.detect prog deps in
       let findings =
-        Race.check ?param_floor prog deps sched ast
+        Race.check ?param_floor ~facts prog deps sched ast
         @ Scan_check.check ?param_floor prog sched ast
-        @ Lints.check ?param_floor prog deps
+        @ Lints.check ?param_floor ~facts prog deps
+        @ reduction_findings
       in
       let findings = Finding.by_severity findings in
       List.iter

@@ -1,12 +1,21 @@
 (** The wisecheck driver: independent certification of a scheduling
     pipeline's output.
 
-    [certify prog deps sched ast] runs the three analysis passes —
+    [certify prog deps sched ast] runs the analysis passes —
     {!Race} (parallel-mark certification), {!Scan_check} (guard
     consistency, bound coverage, loose bounds, dead scanning) and
     {!Lints} (DDG hygiene) — over the {e final} artifacts of a pipeline
     run, deliberately not reusing the pipeline's own satisfaction
     classification, and returns the findings sorted errors-first.
+
+    Reduction proofs are re-derived here via {!Reduction.detect}
+    (structural, independent of the scheduler's tags) and handed to
+    {!Race} and {!Lints}: a [Parallel_reduction] mark is certified
+    "race-free up to reduction reassociation" only when the proof
+    reconstructs from the program text; a flipped mark with no proof is
+    still a [race.parallel] error. The detector's own
+    [reduction.detected] / [reduction.rejected] findings ride along in
+    the report.
 
     The whole pass is timed under the ["analysis"] stage of
     [Linalg.Counters] and bumps the per-severity finding counters. *)

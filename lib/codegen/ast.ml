@@ -1,6 +1,6 @@
 type bound = { num : int array; den : int }
 
-type parallelism = Parallel | Forward | Sequential
+type parallelism = Parallel | Parallel_reduction | Forward | Sequential
 
 type instance = {
   stmt_id : int;
@@ -34,11 +34,13 @@ and loop = {
 
 let of_loop_class = function
   | Pluto.Satisfy.Parallel -> Parallel
+  | Pluto.Satisfy.Parallel_reduction -> Parallel_reduction
   | Pluto.Satisfy.Forward -> Forward
   | Pluto.Satisfy.Sequential -> Sequential
 
 let to_loop_class = function
   | Parallel -> Pluto.Satisfy.Parallel
+  | Parallel_reduction -> Pluto.Satisfy.Parallel_reduction
   | Forward -> Pluto.Satisfy.Forward
   | Sequential -> Pluto.Satisfy.Sequential
 
@@ -268,6 +270,10 @@ let rec pp_node prog indent fmt node =
     let pragma =
       match l.par with
       | Parallel -> Printf.sprintf "%s#pragma omp parallel for\n" pad
+      | Parallel_reduction ->
+        Printf.sprintf
+          "%s#pragma omp parallel for reduction  /* privatize + combine */\n"
+          pad
       | Forward -> Printf.sprintf "%s/* pipelined (forward dep) */\n" pad
       | Sequential -> ""
     in

@@ -17,7 +17,7 @@ type bound = {
   den : int;  (** positive divisor: lower bounds take ceil, upper floor *)
 }
 
-type parallelism = Parallel | Forward | Sequential
+type parallelism = Parallel | Parallel_reduction | Forward | Sequential
 
 type instance = {
   stmt_id : int;

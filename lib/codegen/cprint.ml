@@ -171,6 +171,12 @@ let body (prog : Program.t) ast =
     | Ast.Loop l ->
       (match l.Ast.par with
       | Ast.Parallel -> buf_add b (pad ^ "#pragma omp parallel for\n")
+      | Ast.Parallel_reduction ->
+        buf_add b
+          (pad
+         ^ "/* reduction loop: privatize accumulators per thread, \
+            combine after the barrier */\n");
+        buf_add b (pad ^ "#pragma omp parallel for /* reduction */\n")
       | Ast.Forward -> buf_add b (pad ^ "/* pipelined: forward dependence */\n")
       | Ast.Sequential -> ());
       buf_add b
@@ -194,7 +200,10 @@ let program ~name (prog : Program.t) ast =
   buf_add b "#define ceild(n, d) (((n) > 0) ? ((n) + (d) - 1) / (d) : -((-(n)) / (d)))\n";
   buf_add b "#define floord(n, d) (((n) >= 0) ? (n) / (d) : -((-(n) + (d) - 1) / (d)))\n";
   buf_add b "#define mind(a, b) ((a) < (b) ? (a) : (b))\n";
-  buf_add b "#define maxd(a, b) ((a) > (b) ? (a) : (b))\n\n";
+  buf_add b "#define maxd(a, b) ((a) > (b) ? (a) : (b))\n";
+  (* statement expressions print min/max in function-call form *)
+  buf_add b "#define min(a, b) fmin(a, b)\n";
+  buf_add b "#define max(a, b) fmax(a, b)\n\n";
   Array.iteri
     (fun p pname ->
       buf_add b (Printf.sprintf "#define %s %d\n" pname params.(p)))

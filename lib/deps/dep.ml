@@ -4,6 +4,8 @@ type kind = Flow | Anti | Output | Input
 
 type level = Carried of int | Independent
 
+type tag = Normal | Reduction
+
 type t = {
   src : int;
   dst : int;
@@ -12,6 +14,7 @@ type t = {
   dst_access : Access.t;
   level : level;
   poly : Poly.Polyhedron.t;
+  tag : tag;
 }
 
 let is_true d = d.kind <> Input
@@ -140,6 +143,7 @@ let analyze ?(param_floor = 2) ?(with_input = true) (prog : Program.t) =
                   dst_access = dst_acc;
                   level;
                   poly = p;
+                  tag = Normal;
                 }
                 :: !deps
           in
@@ -197,5 +201,6 @@ let pp fmt d =
     | Carried l -> Printf.sprintf "carried@%d" l
     | Independent -> "indep"
   in
-  Format.fprintf fmt "S%d -> S%d [%s, %s, %s]" d.src d.dst (kind_to_string d.kind)
-    d.src_access.Access.array lvl
+  let tag = match d.tag with Normal -> "" | Reduction -> ", reduction" in
+  Format.fprintf fmt "S%d -> S%d [%s, %s, %s%s]" d.src d.dst (kind_to_string d.kind)
+    d.src_access.Access.array lvl tag

@@ -18,6 +18,15 @@ type level =
   | Carried of int  (** 0-based index of the carrying common loop *)
   | Independent  (** same common iteration, textual order *)
 
+type tag =
+  | Normal
+  | Reduction
+      (** A self-dependence covered by a proven reduction
+          ([Analysis.Reduction]): legality may reorder the chain because
+          the combining operator is associative and commutative, so the
+          scheduler treats the edge as pre-satisfied and codegen marks
+          the carrying loop [Parallel_reduction]. *)
+
 type t = {
   src : int;  (** source statement id *)
   dst : int;  (** destination statement id *)
@@ -27,6 +36,7 @@ type t = {
   level : level;
   poly : Poly.Polyhedron.t;
       (** over [src iters (d1); dst iters (d2); params (np)] *)
+  tag : tag;  (** always [Normal] out of [analyze]; retagged by callers *)
 }
 
 (** Is this a real DDG edge (not an input dependence)? *)

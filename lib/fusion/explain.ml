@@ -10,12 +10,12 @@ type t = {
   events : Obs.Trace.event list;
 }
 
-let capture ?budget ?engine ~model ~kernel prog =
+let capture ?budget ?engine ?reductions ~model ~kernel prog =
   Linalg.Counters.reset ();
   Pluto.Farkas.reset_cache ();
   let outcome, events =
     Obs.Trace.with_recording (fun () ->
-        Model.optimize ?budget ?engine model prog)
+        Model.optimize ?budget ?engine ?reductions model prog)
   in
   Obs.Trace.disable ();
   { kernel; model; outcome; events }

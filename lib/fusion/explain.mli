@@ -20,7 +20,7 @@ type t = {
     Resets {!Linalg.Counters} and the Farkas cache first so the report
     is a function of the program alone. The tracer is left disabled. *)
 val capture :
-  ?budget:Linalg.Budget.t -> ?engine:Pluto.Engine.choice -> model:Model.t ->
-  kernel:string -> Scop.Program.t -> t
+  ?budget:Linalg.Budget.t -> ?engine:Pluto.Engine.choice ->
+  ?reductions:bool -> model:Model.t -> kernel:string -> Scop.Program.t -> t
 
 val pp : Format.formatter -> t -> unit

@@ -39,7 +39,7 @@ type optimized = {
          models only; [None] for icc) *)
 }
 
-let optimize ?budget ?engine m prog =
+let optimize ?budget ?engine ?reductions m prog =
   match m with
   | Icc ->
     let r = Icc.Icc_model.run prog in
@@ -50,7 +50,8 @@ let optimize ?budget ?engine m prog =
        budget exhaustion or a scheduling dead end the pipeline falls
        back instead of raising *)
     let o =
-      Resilient.optimize ?budget ?engine ~config:(scheduler_config m) prog
+      Resilient.optimize ?budget ?engine ?reductions
+        ~config:(scheduler_config m) prog
     in
     {
       ast = o.Resilient.ast;
@@ -59,13 +60,13 @@ let optimize ?budget ?engine m prog =
       resilience = Some o;
     }
 
-let simulate ?config m (prog : Scop.Program.t) =
-  let { ast; _ } = optimize m prog in
+let simulate ?config ?reductions m (prog : Scop.Program.t) =
+  let { ast; _ } = optimize ?reductions m prog in
   Machine.Perf.simulate ?config prog ast ~params:prog.default_params
 
-let verify m (prog : Scop.Program.t) =
+let verify ?reductions m (prog : Scop.Program.t) =
   let params = prog.default_params in
-  let { ast; _ } = optimize m prog in
+  let { ast; _ } = optimize ?reductions m prog in
   let reference = Machine.Interp.init_memory prog ~params in
   Machine.Interp.run_original prog reference ~params;
   let transformed = Machine.Interp.init_memory prog ~params in

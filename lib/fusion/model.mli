@@ -32,19 +32,27 @@ type optimized = {
     ([budget], defaulting to {!Linalg.Budget.of_env}) degrades the
     schedule instead of failing the run. [engine] selects the
     scheduling engine (default {!Pluto.Engine.Auto}; ignored by
-    [Icc], which has no solver). *)
+    [Icc], which has no solver). [reductions] (default [false])
+    enables reduction-aware legality — see {!Resilient.optimize};
+    ignored by [Icc]. *)
 val optimize :
   ?budget:Linalg.Budget.t ->
   ?engine:Pluto.Engine.choice ->
+  ?reductions:bool ->
   t ->
   Scop.Program.t ->
   optimized
 
 (** [simulate ?config m prog] optimizes and runs the machine model (at
     the program's default parameters). *)
-val simulate : ?config:Machine.Perf.config -> t -> Scop.Program.t -> Machine.Perf.stats
+val simulate :
+  ?config:Machine.Perf.config ->
+  ?reductions:bool ->
+  t ->
+  Scop.Program.t ->
+  Machine.Perf.stats
 
 (** [verify m prog] interprets the transformed program against the
     original; [None] means semantically equivalent, [Some msg] is the
     first difference. *)
-val verify : t -> Scop.Program.t -> string option
+val verify : ?reductions:bool -> t -> Scop.Program.t -> string option

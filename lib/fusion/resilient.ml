@@ -210,12 +210,25 @@ let with_deps ?budget ?(engine = Pluto.Engine.Auto) ~config
     end
     else distributed [ d1 ]
 
-let optimize ?param_floor ?budget ?engine ?(config = Wisefuse.config) prog =
+let optimize ?param_floor ?budget ?engine ?(config = Wisefuse.config)
+    ?(reductions = false) prog =
   let budget =
     match budget with Some _ -> budget | None -> Linalg.Budget.of_env ()
   in
   let all_deps =
     Linalg.Counters.time "dep-analysis" (fun () ->
         Dep.analyze ?param_floor prog)
+  in
+  (* reduction-aware scheduling: prove reduction shapes, retag their
+     covered self-dependences, and let the scheduler treat those edges
+     as pre-satisfied. Off by default — with the flag off no dependence
+     is ever tagged, so schedules are byte-identical to the untagged
+     pipeline. *)
+  let all_deps =
+    if not reductions then all_deps
+    else begin
+      let facts, _ = Analysis.Reduction.detect prog all_deps in
+      Analysis.Reduction.tag_deps facts all_deps
+    end
   in
   with_deps ?budget ?engine ~config prog all_deps

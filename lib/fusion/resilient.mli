@@ -37,12 +37,17 @@ val degraded : outcome -> bool
     (exposed for tests). *)
 val distributed_config : Pluto.Scheduler.config -> Pluto.Scheduler.config
 
-(** [optimize ?param_floor ?budget ?engine ?config prog] — run the
-    ladder. [config] defaults to the wisefuse model; [engine] to
-    {!Pluto.Engine.Auto}; [budget] defaults to
+(** [optimize ?param_floor ?budget ?engine ?config ?reductions prog] —
+    run the ladder. [config] defaults to the wisefuse model; [engine]
+    to {!Pluto.Engine.Auto}; [budget] defaults to
     {!Linalg.Budget.of_env} (so [WISEFUSE_BUDGET_MS] and friends apply
     to every pipeline entry point), and [None] there means unlimited.
-    On the happy path this is byte-identical to
+    With [reductions] (default [false]) the dependence set is run
+    through {!Analysis.Reduction.detect} and the covered
+    self-dependences retagged [Deps.Dep.Reduction] before scheduling,
+    relaxing legality for proven accumulation chains; when [false] no
+    dependence is ever tagged and schedules are byte-identical to the
+    untagged pipeline. On the happy path this is byte-identical to
     [Pluto.Scheduler.run config prog] followed by
     [Codegen.Scan.of_result].
     @raise Pluto.Diagnostics.Error only if even the identity rung fails
@@ -53,6 +58,7 @@ val optimize :
   ?budget:Linalg.Budget.t ->
   ?engine:Pluto.Engine.choice ->
   ?config:Pluto.Scheduler.config ->
+  ?reductions:bool ->
   Scop.Program.t ->
   outcome
 

@@ -128,7 +128,10 @@ let nest_outer_parallel prog deps sched ids =
       ~members:ids
   with
   | Pluto.Satisfy.Parallel -> true
-  | Pluto.Satisfy.Forward | Pluto.Satisfy.Sequential -> false
+  | Pluto.Satisfy.Parallel_reduction
+  | Pluto.Satisfy.Forward | Pluto.Satisfy.Sequential ->
+    (* icc's heuristics do not do reduction privatization here *)
+    false
 
 (* legality restricted to the dependences a candidate fusion could
    affect: only statements of the two merged nests change schedule *)

@@ -1,0 +1,37 @@
+(* covariance (Polybench, data mining): column means, centering, then
+   the covariance contraction — a three-statement pipeline whose first
+   and last statements are +-reductions.
+
+     for j for i:       S1: mean[j] += data[i][j]
+     for i for j:       S2: cdata[i][j] = data[i][j] - mean[j] * (1/N)
+     for i for j for k: S3: cov[i][j]  += cdata[k][i] * cdata[k][j]
+
+   S2 is a plain (non-reduction) statement between the two chains: it
+   subtracts, and it writes a different array than it reads, so the
+   detector must leave it alone while proving S1 and S3. The S3
+   contraction over k is the expensive reduction loop. *)
+
+open Scop.Build
+
+let program ?(n = 12) () =
+  let invn = 1.0 /. float_of_int n in
+  let ctx = create ~name:"covariance" ~params:[ ("N", n) ] in
+  let n = param ctx "N" in
+  let data = array ctx "data" [ n; n ] in
+  let cdata = array ctx "cdata" [ n; n ] in
+  let mean = array ctx "mean" [ n ] in
+  let cov = array ctx "cov" [ n; n ] in
+  let lb = ci 0 and ub = n -~ ci 1 in
+  loop ctx "j" ~lb ~ub (fun j ->
+      loop ctx "i" ~lb ~ub (fun i ->
+          assign ctx "S1" mean [ j ] (mean.%([ j ]) +: data.%([ i; j ]))));
+  loop ctx "i" ~lb ~ub (fun i ->
+      loop ctx "j" ~lb ~ub (fun j ->
+          assign ctx "S2" cdata [ i; j ]
+            (data.%([ i; j ]) -: (mean.%([ j ]) *: f invn))));
+  loop ctx "i" ~lb ~ub (fun i ->
+      loop ctx "j" ~lb ~ub (fun j ->
+          loop ctx "k" ~lb ~ub (fun k ->
+              assign ctx "S3" cov [ i; j ]
+                (cov.%([ i; j ]) +: (cdata.%([ k; i ]) *: cdata.%([ k; j ]))))));
+  finish ctx

@@ -1,0 +1,28 @@
+(* dot (BLAS level 1): inner product plus the norm of the left vector —
+   two scalar accumulation loops over the same data.
+
+     for i: S1: dot[0] += a[i] * b[i]
+     for i: S2: nrm[0] += a[i] * a[i]
+
+   Both statements are +-reductions into a scalar cell; their
+   self-dependences are carried by the only loop, so without
+   reduction-aware legality neither loop can be parallel. With it, the
+   fused loop is a parallel reduction (privatize both accumulators,
+   combine after the barrier). *)
+
+open Scop.Build
+
+let program ?(n = 64) () =
+  let ctx = create ~name:"dot" ~params:[ ("N", n) ] in
+  let n = param ctx "N" in
+  let a = array ctx "a" [ n ] and b = array ctx "b" [ n ] in
+  let dot = array ctx "dot" [ ci 1 ] in
+  let nrm = array ctx "nrm" [ ci 1 ] in
+  let lb = ci 0 and ub = n -~ ci 1 in
+  loop ctx "i" ~lb ~ub (fun i ->
+      assign ctx "S1" dot [ ci 0 ]
+        (dot.%([ ci 0 ]) +: (a.%([ i ]) *: b.%([ i ]))));
+  loop ctx "i" ~lb ~ub (fun i ->
+      assign ctx "S2" nrm [ ci 0 ]
+        (nrm.%([ ci 0 ]) +: (a.%([ i ]) *: a.%([ i ]))));
+  finish ctx

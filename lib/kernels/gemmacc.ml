@@ -1,0 +1,25 @@
+(* gemmacc (BLAS level 3): accumulating matrix multiply,
+   C += A * B — the canonical carried reduction over the contraction
+   dimension.
+
+     for i for j for k: S1: C[i][j] += A[i][k] * B[k][j]
+
+   The self-dependence on C[i][j] is carried by the k loop only; i and
+   j are parallel outright. Reduction-aware legality additionally
+   licenses k as a parallel reduction (privatize C[i][j] per thread,
+   combine after the barrier). *)
+
+open Scop.Build
+
+let program ?(n = 14) () =
+  let ctx = create ~name:"gemmacc" ~params:[ ("N", n) ] in
+  let n = param ctx "N" in
+  let c = array ctx "C" [ n; n ] in
+  let a = array ctx "A" [ n; n ] and b = array ctx "B" [ n; n ] in
+  let lb = ci 0 and ub = n -~ ci 1 in
+  loop ctx "i" ~lb ~ub (fun i ->
+      loop ctx "j" ~lb ~ub (fun j ->
+          loop ctx "k" ~lb ~ub (fun k ->
+              assign ctx "S1" c [ i; j ]
+                (c.%([ i; j ]) +: (a.%([ i; k ]) *: b.%([ k; j ]))))));
+  finish ctx

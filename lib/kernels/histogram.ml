@@ -1,0 +1,28 @@
+(* histogram (image processing): per-column sum and per-column peak of
+   an image — affine histogramming (the bin index is an iterator, not a
+   data-dependent subscript, so it stays inside the polyhedral model).
+
+     for i for j: S1: hist[j] += img[i][j]
+     for i for j: S2: peak[j] = max(peak[j], img[i][j])
+
+   Both self-dependences are carried by the i loop (same column j,
+   successive rows i): without reduction-aware legality only j is
+   parallel; with it, i becomes a parallel reduction for both the +
+   and the max operator. *)
+
+open Scop.Build
+
+let program ?(n = 32) () =
+  let ctx = create ~name:"histogram" ~params:[ ("N", n) ] in
+  let n = param ctx "N" in
+  let img = array ctx "img" [ n; n ] in
+  let hist = array ctx "hist" [ n ] in
+  let peak = array ctx "peak" [ n ] in
+  let lb = ci 0 and ub = n -~ ci 1 in
+  loop ctx "i" ~lb ~ub (fun i ->
+      loop ctx "j" ~lb ~ub (fun j ->
+          assign ctx "S1" hist [ j ] (hist.%([ j ]) +: img.%([ i; j ]))));
+  loop ctx "i" ~lb ~ub (fun i ->
+      loop ctx "j" ~lb ~ub (fun j ->
+          assign ctx "S2" peak [ j ] (max_ (peak.%([ j ])) (img.%([ i; j ])))));
+  finish ctx

@@ -100,6 +100,44 @@ let all =
       large = false;
       program = Wupwise.program;
     };
+    (* reduction kernels (not from the paper's Table 1): exercise the
+       wisereduce detection pass and reduction-aware legality *)
+    {
+      name = "dot";
+      suite = "BLAS";
+      category = "Linear Algebra (level 1)";
+      paper_size = "N=10^6";
+      model_size = 64;
+      large = false;
+      program = Dot.program;
+    };
+    {
+      name = "gemmacc";
+      suite = "BLAS";
+      category = "Linear Algebra (level 3)";
+      paper_size = "N=1024";
+      model_size = 14;
+      large = false;
+      program = Gemmacc.program;
+    };
+    {
+      name = "histogram";
+      suite = "UTDSP";
+      category = "Image Processing";
+      paper_size = "512x512";
+      model_size = 32;
+      large = false;
+      program = Histogram.program;
+    };
+    {
+      name = "covariance";
+      suite = "Polybench";
+      category = "Data Mining";
+      paper_size = "N=1400";
+      model_size = 12;
+      large = false;
+      program = Covariance.program;
+    };
   ]
 
 let find name = List.find (fun e -> e.name = name) all

@@ -26,6 +26,12 @@ let findings_error = ref 0
 let findings_warning = ref 0
 let findings_info = ref 0
 
+(* wisereduce counters: reduction facts proven by the detector and
+   Parallel_reduction loops certified "race-free up to reduction
+   reassociation" by wisecheck *)
+let reductions_detected = ref 0
+let reductions_certified = ref 0
+
 (* lp-dfp engine counters (per-level LP relaxation + clustering instead
    of branch-and-bound): pure-LP lexmin stages, cluster recovery rounds,
    and levels the clustering could not certify (handed back to the ILP
@@ -68,6 +74,8 @@ let all_counters () =
     ("findings_error", !findings_error);
     ("findings_warning", !findings_warning);
     ("findings_info", !findings_info);
+    ("reductions_detected", !reductions_detected);
+    ("reductions_certified", !reductions_certified);
     ("lp_relax_solves", !lp_relax_solves);
     ("cluster_rounds", !cluster_rounds);
     ("dfp_fallbacks", !dfp_fallbacks);
@@ -142,6 +150,8 @@ let reset () =
   findings_error := 0;
   findings_warning := 0;
   findings_info := 0;
+  reductions_detected := 0;
+  reductions_certified := 0;
   lp_relax_solves := 0;
   cluster_rounds := 0;
   dfp_fallbacks := 0;

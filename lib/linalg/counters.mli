@@ -52,6 +52,15 @@ val findings_error : int ref
 val findings_warning : int ref
 val findings_info : int ref
 
+(** {2 Reduction (wisereduce) counters}
+
+    Facts proven by the reduction detector
+    ([Analysis.Reduction.detect]) and [Parallel_reduction] loops
+    certified "race-free up to reduction reassociation" by wisecheck. *)
+
+val reductions_detected : int ref
+val reductions_certified : int ref
+
 (** {2 LP-dfp engine counters}
 
     The decoupled scheduling engine (per-level LP relaxation +

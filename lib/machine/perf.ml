@@ -13,6 +13,7 @@ type config = {
   lat_mem : int;
   op_cost : int;
   barrier_cost : int;
+  combine_cost : int;
   sequential : bool;
   simd_width : int;
 }
@@ -33,6 +34,7 @@ let default =
     lat_mem = 220;
     op_cost = 2;
     barrier_cost = 3000;
+    combine_cost = 400;
     sequential = false;
     simd_width = 1;
   }
@@ -179,6 +181,10 @@ let simulate ?(config = default) (prog : Scop.Program.t) ast ~params =
         let sync =
           match Codegen.Ast.to_loop_class l.par with
           | Pluto.Satisfy.Parallel -> config.barrier_cost
+          | Pluto.Satisfy.Parallel_reduction ->
+            (* privatize-and-combine epilogue: each worker's partial
+               accumulator is merged after the barrier *)
+            config.barrier_cost + (ncores * config.combine_cost)
           | Pluto.Satisfy.Forward | Pluto.Satisfy.Sequential ->
             (* pipelined wavefronts: one synchronization per outer
                iteration *)

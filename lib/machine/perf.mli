@@ -33,6 +33,10 @@ type config = {
   lat_mem : int;
   op_cost : int;
   barrier_cost : int;
+  combine_cost : int;
+      (** per-core cost of merging privatized partial accumulators
+          after a [Parallel_reduction] loop: the loop pays
+          [barrier_cost + cores * combine_cost] at its single barrier *)
   sequential : bool;  (** force everything onto one core (icc -O3 without -parallel, or a serial baseline) *)
   simd_width : int;
       (** arithmetic throughput multiplier applied inside {e innermost}
@@ -45,7 +49,8 @@ type config = {
 }
 
 (** 8 cores; 4KB/16KB private, 128KB shared caches (scaled); latencies
-    4/12/40/220 cycles; 64B lines; barrier 3000 cycles. *)
+    4/12/40/220 cycles; 64B lines; barrier 3000 cycles; combine 400
+    cycles per core. *)
 val default : config
 
 val with_cores : int -> config -> config

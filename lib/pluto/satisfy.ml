@@ -54,7 +54,7 @@ let satisfaction_level prog dep sched =
 let check_legal prog deps sched =
   let n = Sched.num_rows sched in
   let check_dep (d : Dep.t) =
-    if not (Dep.is_true d) then true
+    if (not (Dep.is_true d)) || d.tag = Dep.Reduction then true
     else begin
       (* scan rows: all deltas >= 0 until the first >= 1 *)
       let rec go level =
@@ -155,10 +155,11 @@ let check_complete (prog : Scop.Program.t) (sched : Sched.t) =
     go 0
   end
 
-type loop_class = Parallel | Forward | Sequential
+type loop_class = Parallel | Parallel_reduction | Forward | Sequential
 
 let loop_class_name = function
   | Parallel -> "parallel"
+  | Parallel_reduction -> "parallel-reduction"
   | Forward -> "forward"
   | Sequential -> "sequential"
 
@@ -178,5 +179,8 @@ let row_class prog deps sched ~level ~members =
     | Some v -> Q.sign v > 0
     | None -> true
   in
-  if List.exists (fun d -> live d && carries_forward d) deps then Forward
-  else Parallel
+  let carried = List.filter (fun d -> live d && carries_forward d) deps in
+  if carried = [] then Parallel
+  else if List.for_all (fun (d : Dep.t) -> d.tag = Dep.Reduction) carried then
+    Parallel_reduction
+  else Forward

@@ -32,7 +32,10 @@ val satisfaction_level : Scop.Program.t -> Deps.Dep.t -> Sched.t -> int option
 
 (** [legal prog deps sched]: every true dependence is strongly
     satisfied at some row, and no row before its satisfaction level has
-    a negative δ. Returns the offending dependence if any. *)
+    a negative δ. Dependences tagged {!Deps.Dep.Reduction} are exempt —
+    a proven reduction chain may be reordered, so its self-dependences
+    are pre-satisfied by definition. Returns the offending dependence
+    if any. *)
 val check_legal : Scop.Program.t -> Deps.Dep.t list -> Sched.t -> (unit, Deps.Dep.t) result
 
 (** [check_complete prog sched]: structural completeness — every
@@ -49,6 +52,10 @@ val check_complete : Scop.Program.t -> Sched.t -> (unit, Diagnostics.t) result
     ({!Codegen.Ast.of_loop_class} / {!Codegen.Ast.to_loop_class}). *)
 type loop_class =
   | Parallel  (** communication-free: every live dependence has δ = 0 *)
+  | Parallel_reduction
+      (** every dependence the loop carries is a reduction-tagged
+          self-dependence: parallel after privatizing the accumulator
+          per worker and combining partial results at the barrier *)
   | Forward  (** carries or may carry a dependence forward: pipelined *)
   | Sequential
       (** demoted to serial execution (e.g. by the icc model's
@@ -62,7 +69,9 @@ val loop_class_name : loop_class -> string
     row [level] for the set of statements [members] (a fusion
     partition), considering only dependences with both endpoints in
     [members] that are not satisfied before [level]. Returns
-    [Parallel] or [Forward], never [Sequential]. *)
+    [Parallel] if the loop carries nothing, [Parallel_reduction] if
+    everything it carries is tagged {!Deps.Dep.Reduction}, [Forward]
+    otherwise — never [Sequential]. *)
 val row_class :
   Scop.Program.t -> Deps.Dep.t list -> Sched.t -> level:int -> members:int list ->
   loop_class

@@ -262,7 +262,10 @@ let make_state ?budget ~engine cfg (prog : Scop.Program.t) all_deps =
       var_offset;
       nv;
       rows_rev = Array.make n [];
-      satisfied = Array.map (fun _ -> false) true_deps;
+      (* reduction-tagged self-dependences are pre-satisfied: reduction
+         legality lets the chain reassociate, so they never contribute
+         legality or bounding rows *)
+      satisfied = Array.map (fun (d : Dep.t) -> d.tag = Dep.Reduction) true_deps;
       part = Array.make n 0;
       hyp_rows = Array.make n [];
       rank = Array.make n 0;

@@ -64,6 +64,8 @@ let ( *: ) a b = RBin (Expr.Mul, a, b)
 let ( /: ) a b = RBin (Expr.Div, a, b)
 let neg a = RNeg a
 let sqrt_ a = RSqrt a
+let min_ a b = RBin (Expr.Min, a, b)
+let max_ a b = RBin (Expr.Max, a, b)
 
 (* --- ctx ----------------------------------------------------------------- *)
 

@@ -69,3 +69,8 @@ val ( *: ) : rexpr -> rexpr -> rexpr
 val ( /: ) : rexpr -> rexpr -> rexpr
 val neg : rexpr -> rexpr
 val sqrt_ : rexpr -> rexpr
+
+(** Pointwise minimum / maximum — the associative-commutative operators
+    the reduction detector recognizes besides [+] and [*]. *)
+val min_ : rexpr -> rexpr -> rexpr
+val max_ : rexpr -> rexpr -> rexpr

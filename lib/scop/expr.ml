@@ -1,4 +1,4 @@
-type binop = Add | Sub | Mul | Div
+type binop = Add | Sub | Mul | Div | Min | Max
 
 type t =
   | Const of float
@@ -29,15 +29,28 @@ let rec eval e ~read =
   | Sqrt e -> sqrt (eval e ~read)
   | Bin (op, l, r) ->
     let a = eval l ~read and b = eval r ~read in
-    (match op with Add -> a +. b | Sub -> a -. b | Mul -> a *. b | Div -> a /. b)
+    (match op with
+     | Add -> a +. b
+     | Sub -> a -. b
+     | Mul -> a *. b
+     | Div -> a /. b
+     | Min -> Float.min a b
+     | Max -> Float.max a b)
 
-let op_str = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+let op_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+  | Min -> "min" | Max -> "max"
 
 let rec pp ?iter_names ?param_names fmt = function
   | Const f -> Format.fprintf fmt "%g" f
   | Load a -> Access.pp ?iter_names ?param_names fmt a
   | Neg e -> Format.fprintf fmt "-(%a)" (pp ?iter_names ?param_names) e
   | Sqrt e -> Format.fprintf fmt "sqrt(%a)" (pp ?iter_names ?param_names) e
+  | Bin ((Min | Max) as op, l, r) ->
+    (* function-call form: compiles as C through the cprint min/max macros *)
+    Format.fprintf fmt "%s(%a, %a)" (op_str op)
+      (pp ?iter_names ?param_names) l
+      (pp ?iter_names ?param_names) r
   | Bin (op, l, r) ->
     Format.fprintf fmt "(%a %s %a)"
       (pp ?iter_names ?param_names) l (op_str op)

@@ -5,7 +5,7 @@
     execute programs and so transformed programs can be checked
     semantically equivalent to their sources. *)
 
-type binop = Add | Sub | Mul | Div
+type binop = Add | Sub | Mul | Div | Min | Max
 
 type t =
   | Const of float
@@ -23,6 +23,10 @@ val op_count : t -> int
 (** [eval e ~read] computes the value, resolving each [Load] through
     [read]. *)
 val eval : t -> read:(Access.t -> float) -> float
+
+(** Operator spelling: symbols for the infix operators, ["min"]/["max"]
+    for the function-call ones. *)
+val op_str : binop -> string
 
 val pp : ?iter_names:string array -> ?param_names:string array ->
   Format.formatter -> t -> unit

@@ -29,8 +29,10 @@
 
 (* v2: the requested scheduling engine joined the key (an lp-dfp
    schedule may legitimately differ from the ILP one, so the two must
-   never share a cache entry). *)
-let version = "wisefuse-fp-v2"
+   never share a cache entry).
+   v3: the reductions flag joined the key (reduction-aware legality
+   relaxes tagged self-dependences, so on/off schedules may differ). *)
+let version = "wisefuse-fp-v3"
 
 (* --- canonical writers --------------------------------------------------- *)
 
@@ -75,7 +77,9 @@ let rec add_expr buf ~array_index (e : Scop.Expr.t) =
       | Scop.Expr.Add -> '+'
       | Scop.Expr.Sub -> '-'
       | Scop.Expr.Mul -> '*'
-      | Scop.Expr.Div -> '/');
+      | Scop.Expr.Div -> '/'
+      | Scop.Expr.Min -> 'm'
+      | Scop.Expr.Max -> 'M');
     Buffer.add_char buf '(';
     add_expr buf ~array_index l;
     Buffer.add_char buf ',';
@@ -199,9 +203,11 @@ let deps_key ds = digest (deps_body ds)
    engine for a given program. Conservative (an auto request never
    collides into a fixed entry solved under a different threshold) and
    independent of the program's statement count. *)
-let key ?(param_floor = 2) ?(engine = Pluto.Engine.Auto) ~model prog =
+let key ?(param_floor = 2) ?(engine = Pluto.Engine.Auto) ?(reductions = false)
+    ~model prog =
   digest
     (String.concat "\x00"
        [ version; model_body model;
          "engine=" ^ Pluto.Engine.choice_name engine;
+         "reductions=" ^ (if reductions then "on" else "off");
          "floor=" ^ string_of_int param_floor; program_body prog ])

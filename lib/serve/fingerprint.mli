@@ -45,11 +45,12 @@ val deps_key : Deps.Dep.t list -> string
 val model_body : Fusion.Model.t -> string
 
 (** The request key: MD5 hex over version, model, requested scheduling
-    engine, param floor and program content. [param_floor] defaults to
-    2, matching {!Deps.Dep.analyze}; [engine] defaults to
-    [Pluto.Engine.Auto]. The requested choice is keyed (not the
-    resolved kind), so [Auto] and [Fixed] requests never share an
-    entry. *)
+    engine, reductions flag, param floor and program content.
+    [param_floor] defaults to 2, matching {!Deps.Dep.analyze}; [engine]
+    defaults to [Pluto.Engine.Auto]; [reductions] (default [false])
+    keys whether reduction-aware legality relaxation was requested. The
+    requested choice is keyed (not the resolved kind), so [Auto] and
+    [Fixed] requests never share an entry. *)
 val key :
-  ?param_floor:int -> ?engine:Pluto.Engine.choice -> model:Fusion.Model.t ->
-  Scop.Program.t -> string
+  ?param_floor:int -> ?engine:Pluto.Engine.choice -> ?reductions:bool ->
+  model:Fusion.Model.t -> Scop.Program.t -> string

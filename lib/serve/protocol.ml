@@ -13,7 +13,9 @@
    verbatim (absent -> null); "model" defaults to "wisefuse"; "size"
    defaults to the kernel's registry model size; "engine" selects the
    per-level scheduling engine ("ilp" | "lp-dfp" | "auto", default
-   "auto" — validated by the server, not here); "deadline_ms" is a
+   "auto" — validated by the server, not here); "reductions" toggles
+   reduction-aware legality ("on" | "off", default "off" — part of the
+   content address, since it changes the schedule); "deadline_ms" is a
    per-request solve deadline (positive; the server applies a default
    when absent and a cap always). Unknown fields are ignored so
    clients can tag requests freely.
@@ -37,6 +39,7 @@ type op =
       size : int option;
       model : string;
       engine : string;
+      reductions : bool;
       deadline_ms : int option;
     }
   | Ping
@@ -74,24 +77,36 @@ let parse_request line =
         let size = Option.bind (member "size" j) Obs.Json.to_int_opt in
         let model = Option.value (str_field "model") ~default:"wisefuse" in
         let engine = Option.value (str_field "engine") ~default:"auto" in
-        match member "deadline_ms" j with
-        | Some dj -> (
-          match Obs.Json.to_int_opt dj with
-          | Some d when d > 0 ->
+        match Option.value (str_field "reductions") ~default:"off" with
+        | ("on" | "off") as reductions_s -> (
+          let reductions = reductions_s = "on" in
+          match member "deadline_ms" j with
+          | Some dj -> (
+            match Obs.Json.to_int_opt dj with
+            | Some d when d > 0 ->
+              Ok
+                { id;
+                  op =
+                    Schedule
+                      { kernel; size; model; engine; reductions;
+                        deadline_ms = Some d } }
+            | _ ->
+              Error
+                { err_id = id; code = "usage";
+                  message = "\"deadline_ms\" must be a positive integer" })
+          | None ->
             Ok
               { id;
                 op =
                   Schedule
-                    { kernel; size; model; engine; deadline_ms = Some d } }
-          | _ ->
-            Error
-              { err_id = id; code = "usage";
-                message = "\"deadline_ms\" must be a positive integer" })
-        | None ->
-          Ok
-            { id;
-              op = Schedule { kernel; size; model; engine; deadline_ms = None }
-            }))
+                    { kernel; size; model; engine; reductions;
+                      deadline_ms = None } })
+        | other ->
+          Error
+            { err_id = id; code = "usage";
+              message =
+                Printf.sprintf
+                  "\"reductions\" must be \"on\" or \"off\" (got %S)" other }))
     | other ->
       Error
         { err_id = id; code = "usage";

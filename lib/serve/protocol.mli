@@ -9,6 +9,8 @@ type op =
       size : int option;
       model : string;
       engine : string;  (** "ilp" | "lp-dfp" | "auto"; server-validated *)
+      reductions : bool;
+          (** reduction-aware legality; part of the content address *)
       deadline_ms : int option;
           (** per-request solve deadline; the server applies its
               default when absent and its cap always *)
@@ -27,8 +29,9 @@ type parse_error = {
 }
 
 (** Parse one request line. ["op"] defaults to ["schedule"], ["model"]
-    to ["wisefuse"], ["engine"] to ["auto"]; a present ["deadline_ms"]
-    must be a positive integer; unknown fields are ignored. *)
+    to ["wisefuse"], ["engine"] to ["auto"], ["reductions"] to ["off"]
+    (only ["on"]/["off"] are accepted); a present ["deadline_ms"] must
+    be a positive integer; unknown fields are ignored. *)
 val parse_request : string -> (request, parse_error) result
 
 val error_response : id:Obs.Json.t -> code:string -> message:string -> Obs.Json.t

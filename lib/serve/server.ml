@@ -175,7 +175,7 @@ let explain_lines ex =
    degraded (degraded payloads must not be cached: a deadline or an
    injected fault is request-local state, and caching its result would
    poison every later request for the same content). *)
-let solve ?budget ~kernel ~model ~size ~engine prog =
+let solve ?budget ~kernel ~model ~size ~engine ~reductions prog =
   Linalg.Counters.reset ();
   Pluto.Farkas.reset_cache ();
   let fault = !Chaos.solve_fault () in
@@ -188,7 +188,8 @@ let solve ?budget ~kernel ~model ~size ~engine prog =
     | _ -> budget
   in
   let run () =
-    Obs.Trace.capture (fun () -> Fusion.Model.optimize ?budget ~engine model prog)
+    Obs.Trace.capture (fun () ->
+        Fusion.Model.optimize ?budget ~engine ~reductions model prog)
   in
   let opt, events =
     match fault with
@@ -218,6 +219,7 @@ let solve ?budget ~kernel ~model ~size ~engine prog =
         ("size", Obs.Json.Int size);
         ("engine", Obs.Json.Str (Pluto.Engine.choice_name engine));
         ("engine_used", Obs.Json.Str engine_used);
+        ("reductions", Obs.Json.Str (if reductions then "on" else "off"));
         ("rung", Obs.Json.Str rung);
         ("degraded", Obs.Json.Bool degraded);
         ("schedule", sched_json aprog sched);
@@ -284,7 +286,7 @@ let recover t ~key exn =
   note_failure t key
 
 let handle_schedule t ~id ~kernel ~size ~model:model_name ~engine:engine_name
-    ~deadline_ms:requested_deadline =
+    ~reductions ~deadline_ms:requested_deadline =
   let wall0 = Linalg.Clock.now () in
   match Kernels.Registry.find kernel with
   | exception Not_found ->
@@ -311,7 +313,7 @@ let handle_schedule t ~id ~kernel ~size ~model:model_name ~engine:engine_name
         Protocol.error_response ~id ~code:"usage"
           ~message:(Printf.sprintf "cannot build %s at size %d: %s" kernel n msg)
       | prog ->
-        let key = Fingerprint.key ~engine ~model prog in
+        let key = Fingerprint.key ~engine ~reductions ~model prog in
         let deadline_ms = effective_deadline t requested_deadline in
         let args =
           if Obs.Trace.on () then
@@ -362,7 +364,8 @@ let handle_schedule t ~id ~kernel ~size ~model:model_name ~engine:engine_name
                         Obs.Trace.span ~cat:"serve" "serve.schedule" (fun () ->
                             let t0 = Linalg.Clock.now () in
                             let payload, deps_fp, degraded =
-                              solve ?budget ~kernel ~model ~size:n ~engine prog
+                              solve ?budget ~kernel ~model ~size:n ~engine
+                                ~reductions prog
                             in
                             ( payload,
                               deps_fp,
@@ -432,8 +435,8 @@ let handle_request t ({ id; op } : Protocol.request) =
     Atomic.set t.stop true;
     t.on_stop ();
     Protocol.shutdown_response ~id
-  | Protocol.Schedule { kernel; size; model; engine; deadline_ms } ->
-    handle_schedule t ~id ~kernel ~size ~model ~engine ~deadline_ms
+  | Protocol.Schedule { kernel; size; model; engine; reductions; deadline_ms } ->
+    handle_schedule t ~id ~kernel ~size ~model ~engine ~reductions ~deadline_ms
 
 let oversized_error t ~id =
   Protocol.error_response ~id ~code:"oversized"

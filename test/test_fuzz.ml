@@ -55,7 +55,17 @@ let budget_of = function
   | 2 -> Linalg.Budget.make ~pivots:50 ()
   | _ -> Linalg.Budget.make ()
 
-let build_program spec =
+(* An injected reduction shape: accumulates into its own dedicated
+   array (so no interleaved writer can spoil the proof) with one of the
+   four associative-commutative operators. *)
+type red_spec = {
+  rop : int;  (* 0 +, 1 *, 2 min, 3 max *)
+  rdepth : int;  (* 1 or 2 *)
+  racc_col : bool;  (* depth 2 only: accumulator indexed by the inner j *)
+  rreads : (int * (int * int)) list;  (* data arrays read, as in stmt_spec *)
+}
+
+let build_program ?(reds = []) spec =
   let open Scop.Build in
   let ctx = create ~name:"fuzz" ~params:[ ("N", 10) ] in
   let n = param ctx "N" in
@@ -74,9 +84,9 @@ let build_program spec =
     incr sid;
     assign ctx name arrs.(st.target) (index i j st.write_off) rhs
   in
+  let lb = ci 1 and ub = n -~ ci 2 in
   List.iter
     (fun nest ->
-      let lb = ci 1 and ub = n -~ ci 2 in
       if nest.depth = 1 then
         loop ctx "i" ~lb ~ub (fun i ->
             List.iter (fun st -> emit st i i) nest.stmts)
@@ -85,6 +95,32 @@ let build_program spec =
             loop ctx "j" ~lb ~ub (fun j ->
                 List.iter (fun st -> emit st i j) nest.stmts)))
     spec.nests;
+  List.iteri
+    (fun k (r : red_spec) ->
+      let acc = array ctx (Printf.sprintf "acc%d" k) [ n ] in
+      let rhs_data i j =
+        List.fold_left
+          (fun e (a, off) -> e +: arrs.(a).%(index i j off))
+          (f 1.0) r.rreads
+      in
+      let combine acc_ld e =
+        match r.rop with
+        | 0 -> acc_ld +: e
+        | 1 -> acc_ld *: e
+        | 2 -> min_ acc_ld e
+        | _ -> max_ acc_ld e
+      in
+      let name = Printf.sprintf "R%d" k in
+      if r.rdepth = 1 then
+        loop ctx "i" ~lb ~ub (fun i ->
+            assign ctx name acc [ ci 0 ]
+              (combine (acc.%([ ci 0 ])) (rhs_data i i)))
+      else
+        loop ctx "i" ~lb ~ub (fun i ->
+            loop ctx "j" ~lb ~ub (fun j ->
+                let ix = if r.racc_col then [ j ] else [ ci 0 ] in
+                assign ctx name acc ix (combine (acc.%(ix)) (rhs_data i j)))))
+    reds;
   finish ctx
 
 (* --- generator ------------------------------------------------------------ *)
@@ -196,6 +232,102 @@ let fuzz_pipeline =
   QCheck.Test.make ~name:"random SCoPs: pipeline crash-free and legal" ~count
     arb_spec run_case
 
+(* --- injected reduction shapes -------------------------------------------- *)
+
+(* Random SCoPs with reduction statements injected alongside the
+   ordinary ones, round-tripped through the reduction-aware pipeline.
+   Properties, on every generated program:
+
+   - the detector proves every injected shape (each accumulates into
+     its own array, so nothing can spoil the proof);
+   - reduction-aware scheduling stays complete and legal — legality
+     checked against the tagged dependences, exactly as the pipeline's
+     own rungs check it;
+   - wisecheck certifies the result with zero errors: every
+     Parallel_reduction mark must re-prove from program text. *)
+
+type red_case = { rbase : case_spec; reds : red_spec list }
+
+let gen_red =
+  QCheck.Gen.(
+    let off = int_range (-1) 1 in
+    let offs = pair off off in
+    let red =
+      map3
+        (fun rop (rdepth, racc_col) rreads -> { rop; rdepth; racc_col; rreads })
+        (int_range 0 3)
+        (pair (int_range 1 2) bool)
+        (list_size (int_range 0 2) (pair (int_range 0 2) offs))
+    in
+    map2
+      (fun rbase reds -> { rbase; reds })
+      gen_spec
+      (list_size (int_range 1 3) red))
+
+let op_sym = function 0 -> "+" | 1 -> "*" | 2 -> "min" | _ -> "max"
+
+let print_red rc =
+  print_spec rc.rbase
+  ^ String.concat ""
+      (List.mapi
+         (fun k r ->
+           Printf.sprintf "  R%d: acc%d[%s] %s= data (depth %d, %d reads)\n" k
+             k
+             (if r.rdepth = 2 && r.racc_col then "j" else "0")
+             (op_sym r.rop) r.rdepth (List.length r.rreads))
+         rc.reds)
+
+let run_red rc =
+  let prog = build_program ~reds:rc.reds rc.rbase in
+  let deps = Deps.Dep.analyze prog in
+  let facts, _ = Analysis.Reduction.detect prog deps in
+  Array.iteri
+    (fun idx (s : Scop.Statement.t) ->
+      if String.length s.name > 0 && s.name.[0] = 'R' then
+        match Analysis.Reduction_info.for_stmt facts idx with
+        | Some _ -> ()
+        | None ->
+          QCheck.Test.fail_reportf "injected reduction %s not detected" s.name)
+    prog.Scop.Program.stmts;
+  let config = Fusion.Model.scheduler_config (model_of rc.rbase.model) in
+  let o = Fusion.Resilient.optimize ~reductions:true ~config prog in
+  let r = o.Fusion.Resilient.result in
+  (match
+     Pluto.Satisfy.check_complete r.Pluto.Scheduler.prog r.Pluto.Scheduler.sched
+   with
+  | Ok () -> ()
+  | Error d ->
+    QCheck.Test.fail_reportf "incomplete schedule: %s" d.Pluto.Diagnostics.code);
+  (match
+     Pluto.Satisfy.check_legal r.Pluto.Scheduler.prog
+       r.Pluto.Scheduler.true_deps r.Pluto.Scheduler.sched
+   with
+  | Ok () -> ()
+  | Error d ->
+    QCheck.Test.fail_reportf "illegal schedule: dep %d->%d" d.Deps.Dep.src
+      d.Deps.Dep.dst);
+  let rep =
+    Analysis.Wisecheck.certify r.Pluto.Scheduler.prog r.Pluto.Scheduler.all_deps
+      r.Pluto.Scheduler.sched o.Fusion.Resilient.ast
+  in
+  if rep.Analysis.Wisecheck.errors > 0 then
+    QCheck.Test.fail_reportf "wisecheck errors on reduction-injected SCoP: %s"
+      (String.concat "; "
+         (List.filter_map
+            (fun (fi : Analysis.Finding.t) ->
+              if fi.Analysis.Finding.severity = Analysis.Finding.Error then
+                Some fi.Analysis.Finding.message
+              else None)
+            rep.Analysis.Wisecheck.findings));
+  true
+
+let fuzz_reductions =
+  QCheck.Test.make
+    ~name:"injected reductions: detect, schedule and certify"
+    ~count:(max 5 (count / 2))
+    (QCheck.make ~print:print_red gen_red)
+    run_red
+
 (* --- large generated SCoPs ------------------------------------------------ *)
 
 (* The same properties over Kernels.Scopgen's many-statement shapes,
@@ -285,5 +417,6 @@ let () =
   Alcotest.run "fuzz"
     [
       ("pipeline", [ QCheck_alcotest.to_alcotest fuzz_pipeline ]);
+      ("reductions", [ QCheck_alcotest.to_alcotest fuzz_reductions ]);
       ("large", [ QCheck_alcotest.to_alcotest fuzz_large ]);
     ]

@@ -12,8 +12,8 @@ let kernels =
   List.map (fun (e : Kernels.Registry.entry) -> e.Kernels.Registry.name)
     Kernels.Registry.all
 
-(* small sizes keep 50 cold solves inside a quick test budget; every
-   registry builder accepts n = 8 *)
+(* small sizes keep the registry-wide cold solves inside a quick test
+   budget; every registry builder accepts n = 8 *)
 let test_size = 8
 
 let request_line ?(size = test_size) ?(model = "wisefuse") ~id kernel =
