@@ -1024,6 +1024,15 @@ type serve_stats = {
   all_p99_us : float;
   per_skew : (string * int * int) list; (* skew, requests, hits *)
   zero_solver_hits : bool;
+  (* the daemon's own telemetry, read back after the traffic: the
+     scrape must reconcile exactly with the driver's ledger, and the
+     histogram percentiles must tell the same hit-vs-cold story as the
+     driver's sampled wall times *)
+  tel_reconciled : bool;
+  tel_hit_p50_us : float;
+  tel_hit_p99_us : float;
+  tel_cold_p50_us : float;
+  tel_cold_p99_us : float;
 }
 
 let run_serve_traffic () =
@@ -1054,8 +1063,30 @@ let run_serve_traffic () =
       "  FAIL: %d cache hits reported non-zero solver counters\n" !bad;
     exit 1
   end;
+  (* reconcile the daemon's telemetry against the driver's own ledger:
+     every answered line was a schedule response, so requests_total,
+     hit (+coalesced, though this single-domain driver never
+     coalesces) and cold must match exactly *)
+  let tel = Serve.Server.telemetry t in
+  let requests = List.length samples in
+  let tel_hits =
+    Serve.Telemetry.outcome_total tel "hit"
+    + Serve.Telemetry.outcome_total tel "coalesced"
+  in
+  let tel_cold = Serve.Telemetry.outcome_total tel "cold" in
+  let reconciled =
+    Serve.Telemetry.requests_total tel = requests
+    && tel_hits = nhits && tel_cold = ncold
+  in
+  if not reconciled then
+    Printf.printf
+      "  telemetry MISMATCH: scrape says %d requests / %d hits / %d cold, \
+       ledger says %d / %d / %d\n%!"
+      (Serve.Telemetry.requests_total tel)
+      tel_hits tel_cold requests nhits ncold;
+  let q cls p = Serve.Telemetry.duration_quantile tel cls p in
   {
-    srequests = List.length samples;
+    srequests = requests;
     shits = nhits;
     scold = ncold;
     hit_p50_us = h50;
@@ -1066,6 +1097,11 @@ let run_serve_traffic () =
     all_p99_us = o99;
     per_skew = List.rev !per_skew;
     zero_solver_hits = !bad = 0;
+    tel_reconciled = reconciled;
+    tel_hit_p50_us = q `Hit 0.5;
+    tel_hit_p99_us = q `Hit 0.99;
+    tel_cold_p50_us = q `Cold 0.5;
+    tel_cold_p99_us = q `Cold 0.99;
   }
 
 let serve_record st =
@@ -1086,6 +1122,13 @@ let serve_record st =
       ("overall_p50_us", r2 st.all_p50_us); ("overall_p99_us", r2 st.all_p99_us);
       ("speedup_p50", r2 (st.cold_p50_us /. st.hit_p50_us));
       ("zero_solver_hits", Bool st.zero_solver_hits);
+      ( "telemetry",
+        Obj
+          [ ("reconciled", Bool st.tel_reconciled);
+            ("hist_hit_p50_us", r2 st.tel_hit_p50_us);
+            ("hist_hit_p99_us", r2 st.tel_hit_p99_us);
+            ("hist_cold_p50_us", r2 st.tel_cold_p50_us);
+            ("hist_cold_p99_us", r2 st.tel_cold_p99_us) ] );
       ( "skews",
         Obj
           (List.map
@@ -1143,9 +1186,12 @@ let serve_table st =
   Printf.printf "  %-8s %8d %12.1f %12.1f\n" "overall" st.srequests
     st.all_p50_us st.all_p99_us;
   Printf.printf
-    "  hit rate %.1f%%; cache-hit p50 is x%.0f below a cold solve's p50\n%!"
+    "  hit rate %.1f%%; cache-hit p50 is x%.0f below a cold solve's p50\n"
     (100.0 *. float_of_int st.shits /. float_of_int st.srequests)
-    (st.cold_p50_us /. st.hit_p50_us)
+    (st.cold_p50_us /. st.hit_p50_us);
+  Printf.printf
+    "  telemetry: reconciled %b; histogram p50 hit %.1f us / cold %.1f us\n%!"
+    st.tel_reconciled st.tel_hit_p50_us st.tel_cold_p50_us
 
 let serve_bench () =
   section "Serve: heavy traffic against the scheduling daemon (wiseserve)";
@@ -1186,19 +1232,114 @@ let serve_check () =
         Bench_check.check_max ~ceiling:st.cold_p50_us ~value:st.hit_p99_us );
       ( "cold_p50/hit_p50 >= 10",
         Bench_check.check_min ~floor:10.0
-          ~value:(st.cold_p50_us /. st.hit_p50_us) ) ]
+          ~value:(st.cold_p50_us /. st.hit_p50_us) );
+      (* the daemon's own histograms must tell the same story as the
+         driver's sampled wall times: hits and colds separate, and the
+         bucketed p50s agree with the sampled ones to within the
+         log-linear resolution (upper-edge estimate, 12.5% buckets —
+         4x is a generous machine-independent envelope) *)
+      ( "hist hit_p50 <= hist cold_p50",
+        Bench_check.check_max ~ceiling:st.tel_cold_p50_us
+          ~value:st.tel_hit_p50_us );
+      ( "hist/sampled hit_p50 <= 4",
+        Bench_check.check_max ~ceiling:4.0
+          ~value:(st.tel_hit_p50_us /. st.hit_p50_us) );
+      ( "hist/sampled cold_p50 <= 4",
+        Bench_check.check_max ~ceiling:4.0
+          ~value:(st.tel_cold_p50_us /. st.cold_p50_us) ) ]
   in
   let failed = ref false in
   List.iter
     (fun (name, v) ->
-      Printf.printf "  %-24s %s\n" name (Bench_check.describe_bound v);
+      Printf.printf "  %-28s %s\n" name (Bench_check.describe_bound v);
       if Bench_check.bound_failure v then failed := true)
     checks;
+  Printf.printf "  %-28s %s\n" "telemetry reconciled"
+    (if st.tel_reconciled then "OK" else "FAIL");
+  if not st.tel_reconciled then failed := true;
   if !failed then begin
     Printf.printf "  FAIL: serving bounds violated\n";
     exit 1
   end
   else Printf.printf "  OK: all serving bounds hold\n"
+
+(* --- telemetry overhead: instruments on vs off over warm traffic ------------- *)
+
+(* The zero-cost-when-disabled claim, measured: the same warm request
+   stream (all cache hits after warm-up, so the solver never runs and
+   the per-request instrument work is the largest relative term) is
+   driven through two servers that differ only in [config.metrics].
+   Both must serve byte-identical schedule payloads — telemetry
+   observes responses, it never shapes them — and the per-request
+   delta is reported like [trace_overhead]. *)
+
+let telemetry_overhead () =
+  section "Telemetry overhead (metrics instruments on vs off, warm hits)";
+  let population = serve_population () in
+  let mk metrics =
+    Serve.Server.create
+      ~config:{ Serve.Server.default_config with metrics }
+      ()
+  in
+  let t_on = mk true in
+  let t_off = mk false in
+  (* warm both caches over the population; the cold payloads must
+     already be byte-identical (key + result) between the two servers *)
+  let payload t p =
+    let line = serve_request_line ~id:0 p in
+    match Serve.Server.handle_line t line with
+    | None -> ("", "")
+    | Some r -> (
+      match Obs.Json.parse r with
+      | Error _ -> ("", "")
+      | Ok j ->
+        let key =
+          Option.value ~default:""
+            (Option.bind (serve_field j [ "key" ]) Obs.Json.to_string_opt)
+        in
+        let result =
+          match serve_field j [ "result" ] with
+          | Some v -> Obs.Json.to_string v
+          | None -> ""
+        in
+        (key, result))
+  in
+  let identical =
+    List.for_all
+      (fun p ->
+        let k_on, r_on = payload t_on p in
+        let k_off, r_off = payload t_off p in
+        k_on = k_off && r_on = r_off && r_on <> "")
+      population
+  in
+  if not identical then begin
+    Printf.printf
+      "  FAIL: schedules differ between metrics-on and metrics-off servers\n";
+    exit 1
+  end;
+  let reqs =
+    Array.of_list (List.mapi (fun i p -> serve_request_line ~id:i p) population)
+  in
+  let reps = if smoke then 3 else 20 in
+  let time t =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      Array.iter (fun line -> ignore (Serve.Server.handle_line t line)) reqs;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best *. 1e6 /. float_of_int (Array.length reqs)
+  in
+  let off = time t_off in
+  let on = time t_on in
+  Printf.printf
+    "  %d warm requests per rep, best of %d reps; payloads byte-identical\n"
+    (Array.length reqs) reps;
+  Printf.printf
+    "  metrics off %8.2f us/req   metrics on %8.2f us/req   (%+5.2f%%)\n%!"
+    off on
+    ((on -. off) /. off *. 100.0)
 
 (* --- soak: chaos + hostile traffic against the hardened daemon ---------------- *)
 
@@ -1271,7 +1412,43 @@ type soak_tally = {
   mutable untyped : int;
   mutable crashes : int;
   mutable overruns : float list; (* ms, from deadline-carrying replies *)
+  mutable scrapes : int; (* in-soak "metrics" ops answered *)
+  mutable scrape_last : int; (* requests_total from the last scrape *)
+  mutable mono : bool; (* scrape totals never decreased *)
 }
+
+let soak_fresh_tally () =
+  { sent = 0; hostile = 0; hits = 0; cold = 0; uncache = 0;
+    errs = Hashtbl.create 16; untyped = 0; crashes = 0; overruns = [];
+    scrapes = 0; scrape_last = 0; mono = true }
+
+(* sum every sample of one family in a Prometheus text exposition
+   (label sets are summed; histogram suffixes are distinct names) *)
+let prom_total text name =
+  List.fold_left
+    (fun acc line ->
+      if line = "" || line.[0] = '#' then acc
+      else
+        match String.index_opt line ' ' with
+        | None -> acc
+        | Some sp ->
+          let head = String.sub line 0 sp in
+          let base =
+            match String.index_opt head '{' with
+            | Some b -> String.sub head 0 b
+            | None -> head
+          in
+          if base = name then
+            acc
+            + (match
+                 float_of_string_opt
+                   (String.sub line (sp + 1) (String.length line - sp - 1))
+               with
+              | Some f -> int_of_float f
+              | None -> 0)
+          else acc)
+    0
+    (String.split_on_char '\n' text)
 
 let soak_classify resp =
   match resp with
@@ -1297,13 +1474,15 @@ let soak_classify resp =
 let soak_send t tally line ~hostile =
   tally.sent <- tally.sent + 1;
   if hostile then tally.hostile <- tally.hostile + 1;
-  let reply =
+  let raw, reply =
     (* handle_line promises never to raise; a raise IS the crash the
        soak exists to rule out, so count it instead of dying *)
-    try soak_classify (Serve.Server.handle_line t line)
+    try
+      let raw = Serve.Server.handle_line t line in
+      (raw, soak_classify raw)
     with _ ->
       tally.crashes <- tally.crashes + 1;
-      (Suntyped, None)
+      (None, (Suntyped, None))
   in
   (match reply with
   | Sok "hit", _ -> tally.hits <- tally.hits + 1
@@ -1314,23 +1493,48 @@ let soak_send t tally line ~hostile =
     Hashtbl.replace tally.errs code
       (1 + Option.value (Hashtbl.find_opt tally.errs code) ~default:0)
   | Suntyped, _ -> tally.untyped <- tally.untyped + 1);
-  match reply with
+  (match reply with
   | _, Some o -> tally.overruns <- o :: tally.overruns
-  | _ -> ()
+  | _ -> ());
+  raw
+
+(* an in-soak scrape: the "metrics" protocol op, answered live while
+   other domains hammer the server; the exposition's request total
+   must never decrease across a worker's successive scrapes — the
+   monotonicity the telemetry promises across fault recoveries *)
+let soak_scrape t tally =
+  match soak_send t tally {|{"id": "scrape", "op": "metrics"}|} ~hostile:false
+  with
+  | None -> tally.mono <- false
+  | Some r ->
+    tally.scrapes <- tally.scrapes + 1;
+    let total =
+      match Obs.Json.parse r with
+      | Error _ -> -1
+      | Ok j -> (
+        match
+          Option.bind
+            (serve_field j [ "metrics"; "text" ])
+            Obs.Json.to_string_opt
+        with
+        | None -> -1
+        | Some text -> prom_total text "wisefuse_serve_requests_total")
+    in
+    if total < tally.scrape_last then tally.mono <- false;
+    tally.scrape_last <- max total tally.scrape_last
 
 (* one worker domain's request stream against the shared server *)
 let soak_worker t ~worker ~count =
   let rng = ref (Int64.of_int ((worker + 1) * 0x9E3779B9)) in
-  let tally =
-    { sent = 0; hostile = 0; hits = 0; cold = 0; uncache = 0;
-      errs = Hashtbl.create 16; untyped = 0; crashes = 0; overruns = [] }
-  in
+  let tally = soak_fresh_tally () in
   let registry = Array.of_list (soak_registry ()) in
   let fresh = ref 0 in
   for i = 1 to count do
+    (* a live scrape rides along every 50 requests *)
+    if i mod 50 = 0 then soak_scrape t tally;
     let r = soak_rand_float rng in
     if r < 0.12 then
-      soak_send t tally (soak_hostile_line (soak_rand rng)) ~hostile:true
+      ignore (soak_send t tally (soak_hostile_line (soak_rand rng)) ~hostile:true)
     else if r < 0.40 then begin
       (* cache-busting cold solve: a size nobody else requests, so the
          chaos hook sees a steady stream of fresh fingerprints *)
@@ -1344,10 +1548,11 @@ let soak_worker t ~worker ~count =
           Printf.sprintf {|, "deadline_ms": %d|} soak_deadline_ms
         else ""
       in
-      soak_send t tally
-        (Printf.sprintf {|{"id": %d, "kernel": %S, "size": %d%s}|} i kernel
-           size deadline)
-        ~hostile:false
+      ignore
+        (soak_send t tally
+           (Printf.sprintf {|{"id": %d, "kernel": %S, "size": %d%s}|} i kernel
+              size deadline)
+           ~hostile:false)
     end
     else begin
       (* warm population traffic over the full registry *)
@@ -1360,10 +1565,11 @@ let soak_worker t ~worker ~count =
           Printf.sprintf {|, "deadline_ms": %d|} soak_deadline_ms
         else ""
       in
-      soak_send t tally
-        (Printf.sprintf {|{"id": %d, "kernel": %S, "size": 8%s%s}|} i kernel
-           model deadline)
-        ~hostile:false
+      ignore
+        (soak_send t tally
+           (Printf.sprintf {|{"id": %d, "kernel": %S, "size": 8%s%s}|} i kernel
+              model deadline)
+           ~hostile:false)
     end
   done;
   tally
@@ -1424,6 +1630,10 @@ type soak_stats = {
   kwarm_hits : bool;
   kcold_identity : bool;
   kwall_s : float;
+  kscrapes : int; (* live "metrics" ops answered during the soak *)
+  kmono : bool; (* scrape totals never decreased (across recoveries) *)
+  ktel_requests : int; (* final scraped requests_total *)
+  kledger : bool; (* scrape totals == driver ledger, per outcome *)
 }
 
 let run_soak () =
@@ -1451,12 +1661,9 @@ let run_soak () =
   let threshold = (soak_config ()).Serve.Server.breaker_threshold in
   Serve.Chaos.arm_queue (List.init threshold (fun _ -> Serve.Chaos.Raise));
   let pill = {|{"id": 0, "kernel": "gemver", "size": 9973}|} in
-  let pill_tally =
-    { sent = 0; hostile = 0; hits = 0; cold = 0; uncache = 0;
-      errs = Hashtbl.create 4; untyped = 0; crashes = 0; overruns = [] }
-  in
+  let pill_tally = soak_fresh_tally () in
   for _ = 1 to threshold + 1 do
-    soak_send t pill_tally pill ~hostile:true
+    ignore (soak_send t pill_tally pill ~hostile:true)
   done;
 
   (* phase 3: the concurrent soak — probabilistic chaos on cold solves,
@@ -1521,6 +1728,67 @@ let run_soak () =
     Array.of_list (List.concat_map (fun tl -> tl.overruns) tallies)
   in
   Array.sort compare overruns;
+
+  (* telemetry ledger reconciliation: the final scrape totals must
+     match the driver's own ledger EXACTLY — hostile lines, faulted
+     solves, shed and breaker-rejected requests included.  The code ->
+     outcome mapping below re-derives [Serve.Telemetry.classify]
+     independently, so agreement is evidence, not tautology.  The
+     server answered: the phase-1 seeds (all cold), every tallied line
+     (pill + workers + in-soak scrapes), and the phase-4 warm reads
+     (all hits, asserted separately). *)
+  let tel = Serve.Server.telemetry t in
+  let seeds = List.length registry in
+  let tel_requests = Serve.Telemetry.requests_total tel in
+  let classify_code = function
+    | "overloaded" -> "shed"
+    | "oversized" -> "oversized"
+    | "breaker" -> "breaker"
+    | "internal" -> "internal"
+    | "draining" -> "draining"
+    | "parse" -> "parse"
+    | "usage" -> "usage"
+    | c when String.contains c ':' -> "diagnostic"
+    | _ -> "error"
+  in
+  let err_expect label =
+    Hashtbl.fold
+      (fun c n acc -> if classify_code c = label then acc + n else acc)
+      errs 0
+  in
+  let ot l = Serve.Telemetry.outcome_total tel l in
+  let ledger_rows =
+    [ ("requests", sum (fun tl -> tl.sent) + (2 * seeds), tel_requests);
+      ("hit", sum (fun tl -> tl.hits) + seeds, ot "hit" + ot "coalesced");
+      ("cold", sum (fun tl -> tl.cold) + seeds, ot "cold");
+      ("degraded", sum (fun tl -> tl.uncache), ot "degraded");
+      ("op:metrics", sum (fun tl -> tl.scrapes),
+       Serve.Telemetry.op_total tel "metrics") ]
+    @ List.map
+        (fun l -> (l, err_expect l, ot l))
+        [ "shed"; "oversized"; "breaker"; "internal"; "draining"; "parse";
+          "usage"; "diagnostic"; "error" ]
+  in
+  let sum_assoc l = List.fold_left (fun a (_, v) -> a + v) 0 l in
+  let outcome_op_sum =
+    sum_assoc (Serve.Telemetry.outcome_totals tel)
+    + sum_assoc (Serve.Telemetry.op_totals tel)
+  in
+  let ledger = ref (tel_requests = outcome_op_sum) in
+  if not !ledger then
+    Printf.printf
+      "  telemetry MISMATCH: requests_total %d <> outcome+op sum %d\n%!"
+      tel_requests outcome_op_sum;
+  List.iter
+    (fun (name, expect, got) ->
+      if expect <> got then begin
+        ledger := false;
+        Printf.printf "  telemetry MISMATCH: %s ledger %d, scrape %d\n%!" name
+          expect got
+      end)
+    ledger_rows;
+  let mono = List.for_all (fun tl -> tl.mono) tallies in
+
   let breaker = Serve.Server.breaker t in
   {
     kdomains = workers;
@@ -1548,6 +1816,10 @@ let run_soak () =
     kwarm_hits = warm_hits;
     kcold_identity = cold_identity;
     kwall_s = Linalg.Clock.elapsed_ms ~since:t0 /. 1e3;
+    kscrapes = sum (fun tl -> tl.scrapes);
+    kmono = mono;
+    ktel_requests = tel_requests;
+    kledger = !ledger;
   }
 
 let soak_fault_share st =
@@ -1581,6 +1853,11 @@ let soak_record st =
       ( "breaker",
         Obj [ ("trips", Int st.ktrips); ("rejects", Int st.krejects) ] );
       ("shed", Int st.kshed); ("recovered", Int st.krecovered);
+      ( "telemetry",
+        Obj
+          [ ("scrapes", Int st.kscrapes); ("monotone", Bool st.kmono);
+            ("requests_total", Int st.ktel_requests);
+            ("ledger_reconciled", Bool st.kledger) ] );
       ("warm_identity", Bool st.kwarm_identity);
       ("warm_all_hits", Bool st.kwarm_hits);
       ("cold_identity", Bool st.kcold_identity);
@@ -1637,6 +1914,10 @@ let soak_table st =
   Printf.printf
     "  deadline overrun p99 %.1f ms over %d samples (bound %d ms)\n"
     st.koverrun_p99_ms st.koverrun_samples (2 * soak_deadline_ms);
+  Printf.printf
+    "  telemetry: %d live scrapes, monotone %b, requests_total %d, ledger \
+     reconciled %b\n"
+    st.kscrapes st.kmono st.ktel_requests st.kledger;
   Printf.printf
     "  identity after soak: warm %b (all hits %b), fresh-server cold %b\n%!"
     st.kwarm_identity st.kwarm_hits st.kcold_identity
@@ -1709,6 +1990,11 @@ let soak_check () =
       (Bench_check.check_min ~floor:1.0 ~value:(num [ "breaker"; "rejects" ]));
     bound "firewall recoveries >= 1"
       (Bench_check.check_min ~floor:1.0 ~value:(num [ "recovered" ]));
+    bound "live scrapes >= 1"
+      (Bench_check.check_min ~floor:1.0
+         ~value:(num [ "telemetry"; "scrapes" ]));
+    must "scrape totals monotone" (flag [ "telemetry"; "monotone" ]);
+    must "telemetry ledger reconciled" (flag [ "telemetry"; "ledger_reconciled" ]);
     must "warm identity after soak" (flag [ "warm_identity" ]);
     must "fresh-server cold identity" (flag [ "cold_identity" ]);
     if not smoke_run then begin
@@ -2021,7 +2307,8 @@ let experiments =
     ("tiling", tiling); ("locality", locality); ("space", space);
     ("vector", vector); ("pipeline", pipeline); ("analyze", analyze_overhead);
     ("budget", budget_overhead); ("trace", trace_overhead);
-    ("serve", serve_bench); ("scale", scale); ("soak", soak_bench);
+    ("serve", serve_bench); ("telemetry", telemetry_overhead);
+    ("scale", scale); ("soak", soak_bench);
     ("bechamel", bechamel) ]
 
 let () =

@@ -11,6 +11,7 @@
      trace KERNEL      - export a Chrome trace-event file
      explain KERNEL    - human-readable fusion-decision report
      serve             - the scheduling daemon (stdio / Unix socket)
+     metrics           - one-shot telemetry scrape of a running daemon
 
    Exit codes (see Pluto.Diagnostics.exit_code):
      0 success; 2 usage error (unknown kernel/model/engine, bad flags);
@@ -542,7 +543,8 @@ let sim_cmd =
 
 let serve_cmd =
   let run socket stdio domains cache_cap max_pending deadline_ms
-      max_deadline_ms max_line_bytes breaker_threshold breaker_ttl_s vflag =
+      max_deadline_ms max_line_bytes breaker_threshold breaker_ttl_s
+      no_metrics trace_sample access_log vflag =
     verbose := vflag;
     let check name v floor =
       if v < floor then begin
@@ -564,6 +566,10 @@ let serve_cmd =
       Printf.eprintf "serve: --deadline-ms must be >= 0 (0 = unlimited)\n";
       exit usage_exit
     end;
+    if trace_sample < 0 then begin
+      Printf.eprintf "serve: --trace-sample must be >= 0 (0 = never)\n";
+      exit usage_exit
+    end;
     let config =
       {
         Serve.Server.domains;
@@ -575,9 +581,17 @@ let serve_cmd =
         max_deadline_ms;
         breaker_threshold;
         breaker_ttl_s;
+        metrics = not no_metrics;
+        trace_sample;
+        access_log;
       }
     in
-    let t = Serve.Server.create ~config () in
+    let t =
+      try Serve.Server.create ~config ()
+      with Sys_error msg ->
+        Printf.eprintf "serve: cannot open access log: %s\n" msg;
+        exit usage_exit
+    in
     match (socket, stdio) with
     | Some _, true ->
       Printf.eprintf "serve: --socket and --stdio are mutually exclusive\n";
@@ -657,6 +671,31 @@ let serve_cmd =
          & opt float dflt.Serve.Server.breaker_ttl_s
          & info [ "breaker-ttl-s" ] ~docv:"S" ~doc)
   in
+  let no_metrics_arg =
+    let doc =
+      "Disable live telemetry (the \"metrics\" op answers a placeholder; \
+       instruments become no-ops — the measured zero-cost path)."
+    in
+    Arg.(value & flag & info [ "no-metrics" ] ~doc)
+  in
+  let trace_sample_arg =
+    let doc =
+      "Capture a span trace for every $(docv)-th request (0 = never); \
+       sampled responses carry \"trace_id\" and a compact \"trace\" span \
+       summary."
+    in
+    Arg.(value & opt int 0 & info [ "trace-sample" ] ~docv:"N" ~doc)
+  in
+  let access_log_arg =
+    let doc =
+      "Append one JSON line per answered request to $(docv) (id, \
+       fingerprint, outcome, cache verdict, rung, engine, deadline/overrun, \
+       latency), written by a dedicated writer domain."
+    in
+    Arg.(value
+         & opt (some string) None
+         & info [ "access-log" ] ~docv:"PATH" ~doc)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -668,7 +707,92 @@ let serve_cmd =
     Term.(const run $ socket_arg $ stdio_arg $ domains_arg $ cache_cap_arg
           $ max_pending_arg $ deadline_ms_arg $ max_deadline_ms_arg
           $ max_line_bytes_arg $ breaker_threshold_arg $ breaker_ttl_arg
+          $ no_metrics_arg $ trace_sample_arg $ access_log_arg
           $ verbose_arg)
+
+(* --- metrics (one-shot scraper) --------------------------------------- *)
+
+(* Connect to a serving daemon's Unix socket, send one {"op":"metrics"}
+   request, unwrap the Prometheus text from the JSON envelope and print
+   it — the bridge between the line-delimited protocol and an actual
+   scrape pipeline (curl-style usage in cron/CI). Exits 1 on connection
+   or protocol failure so scrapers can alert on a dead daemon. *)
+let metrics_cmd =
+  let run socket op vflag =
+    verbose := vflag;
+    let fail fmt =
+      Printf.ksprintf
+        (fun msg ->
+          Printf.eprintf "metrics: %s\n" msg;
+          exit 1)
+        fmt
+    in
+    let line =
+      match
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            Unix.connect fd (Unix.ADDR_UNIX socket);
+            let ic = Unix.in_channel_of_descr fd in
+            let oc = Unix.out_channel_of_descr fd in
+            output_string oc
+              (Printf.sprintf "{\"id\":\"metrics-cli\",\"op\":%S}\n" op);
+            flush oc;
+            input_line ic)
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+        fail "cannot reach %s: %s" socket (Unix.error_message e)
+      | exception End_of_file -> fail "daemon closed the connection"
+      | line -> line
+    in
+    match Obs.Json.parse line with
+    | Error msg -> fail "unparseable response: %s" msg
+    | Ok j -> (
+      let member = Obs.Json.member in
+      let str n v = Option.bind (member n v) Obs.Json.to_string_opt in
+      match str "status" j with
+      | Some "ok" when op = "metrics" -> (
+        match Option.bind (member "metrics" j) (str "text") with
+        | Some text -> print_string text
+        | None -> fail "response carries no metrics text")
+      | Some "ok" ->
+        (* --op health: print the whole envelope for probes *)
+        print_endline (Obs.Json.to_string_pretty j)
+      | _ ->
+        let code =
+          Option.value
+            (Option.bind (member "error" j) (str "code"))
+            ~default:"?"
+        in
+        let message =
+          Option.value
+            (Option.bind (member "error" j) (str "message"))
+            ~default:line
+        in
+        fail "daemon answered %s: %s" code message)
+  in
+  let socket_arg =
+    let doc = "Unix domain socket of the serving daemon." in
+    Arg.(required
+         & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let op_arg =
+    let doc = "Protocol op to send: \"metrics\" (prints the Prometheus \
+               text) or \"health\" (prints the envelope)." in
+    Arg.(value & opt (enum [ ("metrics", "metrics"); ("health", "health") ])
+           "metrics"
+         & info [ "op" ] ~docv:"OP" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "One-shot telemetry scrape of a running daemon over its Unix \
+          socket: sends {\"op\": \"metrics\"} and prints the Prometheus \
+          text exposition (exit 1 if the daemon is unreachable)")
+    Term.(const run $ socket_arg $ op_arg $ verbose_arg)
 
 let () =
   let doc = "loop fusion in the polyhedral framework (PPoPP'14 reproduction)" in
@@ -688,7 +812,7 @@ let () =
   let cmds =
     [
       list_cmd; show_cmd; deps_cmd; opt_cmd; emit_cmd; sim_cmd; analyze_cmd;
-      trace_cmd; explain_cmd; serve_cmd;
+      trace_cmd; explain_cmd; serve_cmd; metrics_cmd;
     ]
   in
   (* a diagnostic escaping the pipeline exits with its phase's code

@@ -37,6 +37,11 @@ let rung_name = function
   | Distributed -> "distributed"
   | Identity -> "identity"
 
+(* ladder order; telemetry pre-creates one labeled series per rung so
+   scrape output is stable from the first request *)
+let rung_names =
+  List.map rung_name [ Primary; Lp_relaxed; Distributed; Identity ]
+
 type outcome = {
   result : Pluto.Scheduler.result;
   ast : Codegen.Ast.node;

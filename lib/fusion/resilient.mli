@@ -22,6 +22,9 @@ type rung = Primary | Lp_relaxed | Distributed | Identity
 
 val rung_name : rung -> string
 
+(** All rung names in ladder order — the telemetry label set. *)
+val rung_names : string list
+
 type outcome = {
   result : Pluto.Scheduler.result;
   ast : Codegen.Ast.node;

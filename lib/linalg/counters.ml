@@ -111,6 +111,16 @@ let add_stage name dt =
     stage_order := name :: !stage_order;
     Hashtbl.add stages name dt
 
+(* Stage observer: a hook the serving daemon installs to feed each
+   completed stage's exclusive duration into its latency histograms
+   ([wisefuse_stage_duration_us]). Kept as an [Atomic] function cell so
+   installation is race-free against concurrent solves; the default is
+   a no-op, so non-serving binaries pay one atomic load per stage. *)
+let stage_observer : (string -> float -> unit) Atomic.t =
+  Atomic.make (fun _ _ -> ())
+
+let set_stage_observer f = Atomic.set stage_observer f
+
 let time name f =
   (* every stage is also a trace span (category "stage"), so a recorded
      trace can re-derive these accumulators: the span tree's exclusive
@@ -128,7 +138,9 @@ let time name f =
         (* charge the whole span to the parent, keep only self time *)
         (match rest with parent :: _ -> parent := !parent +. dt | [] -> ())
       | _ -> () (* unbalanced via an exotic exception path; be lenient *));
-      add_stage name (dt -. !children);
+      let self = dt -. !children in
+      add_stage name self;
+      (Atomic.get stage_observer) name self;
       Obs.Trace.end_span name)
     f
 

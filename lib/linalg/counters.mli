@@ -118,6 +118,14 @@ val serve_breaker_rejects : int ref
     ["stage"]), so traces can re-derive these accumulators. *)
 val time : string -> (unit -> 'a) -> 'a
 
+(** Install a callback invoked with each completed stage's name and
+    {e exclusive} duration in seconds (same accounting as
+    {!stage_times}). The serving daemon uses this to feed per-stage
+    latency histograms without [linalg] depending on the metrics
+    registry. The default is a no-op; installation is atomic, so it is
+    safe against concurrent solves. *)
+val set_stage_observer : (string -> float -> unit) -> unit
+
 (** Accumulated (stage, seconds) pairs, in first-use order. *)
 val stage_times : unit -> (string * float) list
 

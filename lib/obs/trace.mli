@@ -1,4 +1,5 @@
-(** Process-wide hierarchical span tracing and decision provenance.
+(** Hierarchical span tracing and decision provenance, with
+    {e per-domain} sinks.
 
     The tracer records two kinds of events into an in-memory sink:
 
@@ -10,19 +11,25 @@
       cut, whether an ILP solve was warm or cold, which degradation
       rung fired) with structured {!Json.t} arguments.
 
-    The default sink is {e null}: [on ()] is a single [bool ref] read
-    and every emit function returns immediately, so instrumented hot
-    paths cost one branch when tracing is off. Call sites that build
+    Every domain owns an independent sink in domain-local storage:
+    {!enable}, {!events}, {!capture} etc. act on the calling domain's
+    sink only.  Emission is therefore lock-free — no mutex, no
+    cross-domain interleaving — and concurrent {!capture}s on
+    different domains (one per in-flight request in the serving
+    daemon) cannot lose or mix events.
+
+    The default sink is {e null}: {!on} is a single [Atomic.get] of
+    the count of domains with an enabled sink, and every emit function
+    returns immediately when it reads zero, so instrumented hot paths
+    cost one atomic load when tracing is off.  Call sites that build
     argument lists should guard with [if Trace.on () then ...] so the
     allocation is skipped too.
 
-    Timestamps are wall-clock microseconds relative to the most recent
-    {!enable}/{!reset}, clamped to be non-decreasing (Chrome's trace
-    viewer requires monotone timestamps).
-
-    When the sink is {e on}, emissions are serialized under a mutex so
-    concurrent domains (the serving daemon) can record safely; the
-    null-sink fast path never touches the lock. *)
+    Timestamps are microseconds relative to the calling domain's most
+    recent {!enable}/{!reset}, clamped to be non-decreasing (Chrome's
+    trace viewer requires monotone timestamps).  The timestamp source
+    defaults to the wall clock; [Linalg.Clock] installs the monotonic
+    clock via {!set_clock} at link time. *)
 
 type phase = B | E | I
 
@@ -34,25 +41,32 @@ type event = {
   args : (string * Json.t) list;
 }
 
-(** Is the recording sink active? The only check hot paths pay. *)
+(** Is any domain's sink active? One [Atomic.get] — the only check hot
+    paths pay when tracing is off. *)
 val on : unit -> bool
 
-(** Start recording into a fresh in-memory sink (drops prior events,
-    re-zeroes the clock). *)
+(** Replace the timestamp source (seconds, as a float). Installed once
+    at link time by [Linalg.Clock]; tests may swap in a fake clock. *)
+val set_clock : (unit -> float) -> unit
+
+(** Start recording into a fresh sink {e on the calling domain} (drops
+    that domain's prior events, re-zeroes its clock). *)
 val enable : unit -> unit
 
-(** Stop recording. Events stay readable until the next {!enable}. *)
+(** Stop the calling domain's recording. Events stay readable until
+    the next {!enable}. *)
 val disable : unit -> unit
 
-(** Drop recorded events and re-zero the clock, keeping the sink state. *)
+(** Drop the calling domain's recorded events and re-zero its clock,
+    keeping the enabled/disabled state. *)
 val reset : unit -> unit
 
-(** Recorded events, in emission order. *)
+(** The calling domain's recorded events, in emission order. *)
 val events : unit -> event list
 
 val event_count : unit -> int
 
-(** {2 Emission} — all no-ops when the sink is off. *)
+(** {2 Emission} — all no-ops when the calling domain's sink is off. *)
 
 val begin_span : ?args:(string * Json.t) list -> cat:string -> string -> unit
 val end_span : string -> unit
@@ -63,7 +77,7 @@ val span : ?args:(string * Json.t) list -> cat:string -> string -> (unit -> 'a) 
 
 val instant : ?args:(string * Json.t) list -> cat:string -> string -> unit
 
-(** {2 Reconstruction} *)
+(** {2 Reconstruction} — all over the calling domain's sink. *)
 
 (** Per-name {e exclusive} (self) seconds of the recorded spans of
     category [cat], in first-appearance order: each span's duration
@@ -78,13 +92,14 @@ val summary : cat:string -> unit -> (string * float * float) list
 
 (** [with_recording f] runs [f] under a fresh enabled sink and returns
     its result with the recorded events; the previous sink state
-    (on/off and events) is NOT restored — callers own the tracer. *)
+    (on/off and events) is NOT restored — callers own their domain's
+    tracer. *)
 val with_recording : (unit -> 'a) -> 'a * event list
 
 (** [capture f] runs [f] under a fresh recording like {!with_recording}
-    but saves the entire sink state first and restores it afterwards
-    (also on exceptions — the captured events are then lost). Captures
-    therefore nest: an outer recording resumes exactly where it left
-    off, clock monotonicity included. This is what the serving daemon
-    uses to harvest per-request decision events. *)
+    but saves the calling domain's entire sink state first and
+    restores it afterwards (also on exceptions — the captured events
+    are then lost). Captures therefore nest, and concurrent captures
+    on different domains are independent. This is what the serving
+    daemon uses to harvest per-request decision events. *)
 val capture : (unit -> 'a) -> 'a * event list

@@ -1,0 +1,91 @@
+(* Structured JSON access log: one JSONL line per answered request,
+   written by a dedicated writer domain so request paths never block
+   on file I/O — [log] is a queue push, and a slow or stalled disk
+   backs up the queue, not the responders.
+
+   Every field is derived from the response envelope (plus the wall
+   duration and optional trace id the server measured), so the log
+   needs no second bookkeeping path that could disagree with what the
+   client saw. *)
+
+type t = {
+  q : string Bqueue.t;
+  writer : unit Domain.t;
+  closed : bool Atomic.t;
+}
+
+let open_ ~path =
+  (* append mode: a restarted daemon extends the log *)
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+  let q = Bqueue.create () in
+  let writer =
+    Domain.spawn (fun () ->
+        let rec loop () =
+          match Bqueue.pop q with
+          | None -> ()
+          | Some line ->
+            output_string oc line;
+            output_char oc '\n';
+            (* flush per line: the log is a forensic record, and CI
+               reads it the moment the daemon exits *)
+            flush oc;
+            loop ()
+        in
+        loop ();
+        close_out_noerr oc)
+  in
+  { q; writer; closed = Atomic.make false }
+
+let log t line = Bqueue.push t.q line
+
+let close t =
+  (* idempotent: the stdio immediate-signal path and the normal exit
+     path can both get here *)
+  if Atomic.compare_and_set t.closed false true then begin
+    Bqueue.close t.q;
+    Domain.join t.writer
+  end
+
+(* --- line rendering ------------------------------------------------------ *)
+
+let member = Obs.Json.member
+let str_of name j = Option.bind (member name j) Obs.Json.to_string_opt
+
+let opt_field name v f =
+  match v with None -> [] | Some v -> [ (name, f v) ]
+
+let render ~ts ~wall_us ~trace_id ~outcome response =
+  let serve = member "serve" response in
+  let result = member "result" response in
+  let sub sec name = Option.bind sec (member name) in
+  let fields =
+    [ ("ts", Obs.Json.Float ts);
+      ("id", Option.value (member "id" response) ~default:Obs.Json.Null);
+      ("outcome", Obs.Json.Str outcome);
+      ( "status",
+        Obs.Json.Str (Option.value (str_of "status" response) ~default:"?") ) ]
+    @ opt_field "code"
+        (Option.bind (member "error" response) (fun e ->
+             Option.bind (member "code" e) Obs.Json.to_string_opt))
+        (fun c -> Obs.Json.Str c)
+    @ opt_field "key" (str_of "key" response) (fun k -> Obs.Json.Str k)
+    @ opt_field "cache" (str_of "cache" response) (fun c -> Obs.Json.Str c)
+    @ opt_field "kernel"
+        (Option.bind result (fun r -> str_of "kernel" r))
+        (fun k -> Obs.Json.Str k)
+    @ opt_field "engine"
+        (Option.bind result (fun r -> str_of "engine_used" r))
+        (fun e -> Obs.Json.Str e)
+    @ opt_field "rung"
+        (Option.bind result (fun r -> str_of "rung" r))
+        (fun r -> Obs.Json.Str r)
+    @ opt_field "deadline_ms"
+        (Option.bind (sub serve "deadline_ms") Obs.Json.to_int_opt)
+        (fun d -> Obs.Json.Int d)
+    @ opt_field "overrun_ms"
+        (Option.bind (sub serve "overrun_ms") Obs.Json.to_float_opt)
+        (fun o -> Obs.Json.Float o)
+    @ [ ("wall_us", Obs.Json.Float (Obs.Json.round2 wall_us)) ]
+    @ opt_field "trace_id" trace_id (fun id -> Obs.Json.Str id)
+  in
+  Obs.Json.to_string (Obs.Json.Obj fields)

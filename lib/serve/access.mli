@@ -1,0 +1,33 @@
+(** Structured JSONL access log with a dedicated writer domain.
+
+    One line per answered request: timestamp, echoed id, classified
+    outcome, status/error code, fingerprint key, cache verdict, kernel,
+    engine actually used, resilience rung, deadline and overrun, wall
+    latency in microseconds, and the trace id when the request was
+    sampled. {!log} is a lock-guarded queue push — request paths never
+    block on file I/O. *)
+
+type t
+
+(** Open [path] for append (created if missing) and start the writer
+    domain. @raise Sys_error if the path cannot be opened. *)
+val open_ : path:string -> t
+
+(** Enqueue one rendered line (no trailing newline). *)
+val log : t -> string -> unit
+
+(** Close the queue, join the writer (flushing what is queued) and
+    close the file. Idempotent. *)
+val close : t -> unit
+
+(** Render one access-log line from a response envelope. [outcome] is
+    the telemetry classification ({!Telemetry.record_response});
+    [wall_us] the measured wall latency; [ts] a wall-clock timestamp
+    in seconds. *)
+val render :
+  ts:float ->
+  wall_us:float ->
+  trace_id:string option ->
+  outcome:string ->
+  Obs.Json.t ->
+  string

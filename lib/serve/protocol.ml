@@ -45,6 +45,7 @@ type op =
   | Ping
   | Stats
   | Health
+  | Metrics
   | Shutdown
 
 type request = { id : Obs.Json.t; op : op }
@@ -66,6 +67,7 @@ let parse_request line =
     | "ping" -> Ok { id; op = Ping }
     | "stats" -> Ok { id; op = Stats }
     | "health" -> Ok { id; op = Health }
+    | "metrics" -> Ok { id; op = Metrics }
     | "shutdown" -> Ok { id; op = Shutdown }
     | "schedule" -> (
       match str_field "kernel" with
@@ -142,9 +144,12 @@ let stats_response ~id ~uptime_s ~requests (s : Cache.stats) =
                ("cache_capacity", Obs.Json.Int s.Cache.capacity) ] ) ])
 
 (* Liveness/readiness snapshot for load balancers and the drain logic:
-   "ready" means a schedule request arriving now would be admitted. *)
+   "ready" means a schedule request arriving now would be admitted.
+   [snapshot] is the compact telemetry summary (requests, hit, cold,
+   degraded, errors, ops totals) so a health probe sees traffic shape
+   without a full metrics scrape. *)
 let health_response ~id ~ready ~draining ~backlog ~max_pending ~breaker_open
-    ~uptime_s (s : Cache.stats) =
+    ~uptime_s ~snapshot (s : Cache.stats) =
   Obs.Json.Obj
     (ok_fields id
        [ ( "health",
@@ -155,13 +160,33 @@ let health_response ~id ~ready ~draining ~backlog ~max_pending ~breaker_open
                ("max_pending", Obs.Json.Int max_pending);
                ("breaker_open", Obs.Json.Int breaker_open);
                ("uptime_s", Obs.Json.Float (Obs.Json.round2 uptime_s));
-               ("cache_entries", Obs.Json.Int s.Cache.entries) ] ) ])
+               ("cache_entries", Obs.Json.Int s.Cache.entries);
+               ( "snapshot",
+                 Obs.Json.Obj
+                   (List.map (fun (n, v) -> (n, Obs.Json.Int v)) snapshot) ) ] )
+       ])
+
+(* The Prometheus exposition rides inside the JSON envelope (the
+   protocol stays strictly line-delimited); "wisefuse_cli metrics"
+   unwraps the text for actual scrapers. *)
+let metrics_response ~id ~text =
+  Obs.Json.Obj
+    (ok_fields id
+       [ ( "metrics",
+           Obs.Json.Obj
+             [ ("format", Obs.Json.Str "prometheus-text-0.0.4");
+               ("text", Obs.Json.Str text) ] ) ])
 
 (* Per-request serving section: what THIS request cost. On a cache hit
    every solver counter is zero — the proof that hits bypass the ILP.
    When a deadline applied, the section also reports it and the overrun
    (wall time past the deadline, 0.0 when the request made it). *)
-let serve_section ?deadline_ms ~wall_us ~solver () =
+let serve_section ?(coalesced = false) ?deadline_ms ~wall_us ~solver () =
+  let coalesced_fields =
+    (* only marked when true, so ordinary hit envelopes keep their
+       exact historical bytes *)
+    if coalesced then [ ("coalesced", Obs.Json.Bool true) ] else []
+  in
   let deadline_fields =
     match deadline_ms with
     | None -> []
@@ -173,7 +198,8 @@ let serve_section ?deadline_ms ~wall_us ~solver () =
         ) ]
   in
   Obs.Json.Obj
-    ((("wall_us", Obs.Json.Float (Obs.Json.round2 wall_us)) :: deadline_fields)
+    ((("wall_us", Obs.Json.Float (Obs.Json.round2 wall_us)) :: coalesced_fields)
+    @ deadline_fields
     @ List.map (fun (n, v) -> (n, Obs.Json.Int v)) solver)
 
 let zero_solver =

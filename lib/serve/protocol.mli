@@ -18,6 +18,7 @@ type op =
   | Ping
   | Stats
   | Health
+  | Metrics
   | Shutdown
 
 type request = { id : Obs.Json.t; op : op }
@@ -43,7 +44,8 @@ val stats_response :
 
 (** Liveness/readiness snapshot: [ready] means a schedule request
     arriving now would be admitted (not draining, backlog under the
-    high-water mark). *)
+    high-water mark). [snapshot] is the compact telemetry summary
+    ((name, total) pairs) embedded as ["snapshot"]. *)
 val health_response :
   id:Obs.Json.t ->
   ready:bool ->
@@ -52,14 +54,23 @@ val health_response :
   max_pending:int ->
   breaker_open:int ->
   uptime_s:float ->
+  snapshot:(string * int) list ->
   Cache.stats ->
   Obs.Json.t
+
+(** The ["metrics"] response: the Prometheus text exposition carried
+    inside the JSON envelope (the protocol stays line-delimited). *)
+val metrics_response : id:Obs.Json.t -> text:string -> Obs.Json.t
 
 (** The per-request ["serve"] section: wall time plus the solver work
     this request performed ([solver] is name/value pairs). When
     [deadline_ms] is given, also reports it and ["overrun_ms"] (wall
-    time past the deadline, [0.] when the request made it). *)
+    time past the deadline, [0.] when the request made it).
+    [coalesced] marks a hit served after waiting out another
+    requester's solve of the same key; it is emitted only when true,
+    so ordinary hit envelopes keep their historical bytes. *)
 val serve_section :
+  ?coalesced:bool ->
   ?deadline_ms:int -> wall_us:float -> solver:(string * int) list -> unit -> Obs.Json.t
 
 (** All solver counters at zero — a cache hit's ["serve"] section. *)

@@ -48,6 +48,11 @@ type config = {
   max_deadline_ms : int;  (* cap on client-requested deadlines *)
   breaker_threshold : int;  (* consecutive failures that open the breaker *)
   breaker_ttl_s : float;  (* how long an open breaker rejects *)
+  metrics : bool;  (* mint live telemetry instruments (scrape via "metrics") *)
+  trace_sample : int;
+      (* capture a span trace for every Nth request (0 = never); the
+         envelope gains "trace_id" and a compact "trace" summary *)
+  access_log : string option;  (* JSONL access log path (None = off) *)
 }
 
 let default_config =
@@ -60,6 +65,9 @@ let default_config =
     max_deadline_ms = 300_000;
     breaker_threshold = 3;
     breaker_ttl_s = 30.0;
+    metrics = true;
+    trace_sample = 0;
+    access_log = None;
   }
 
 type t = {
@@ -75,33 +83,73 @@ type t = {
   shed : int Atomic.t;  (* schedule requests refused by admission control *)
   recovered : int Atomic.t;  (* exceptions caught by the solve firewall *)
   started : float;  (* Clock.now — uptime survives NTP steps *)
+  seq : int Atomic.t;  (* answered-line sequence, drives trace sampling *)
+  telemetry : Telemetry.t;
+  access : Access.t option;
   mutable on_stop : unit -> unit;
       (* wakes a blocked accept loop after a shutdown request *)
 }
 
 let create ?(config = default_config) () =
+  let cache = Cache.create ~capacity:config.cache_capacity in
+  let breaker =
+    Breaker.create ~threshold:config.breaker_threshold
+      ~ttl_s:config.breaker_ttl_s
+  in
+  let inflight = Atomic.make 0 in
+  let queued = Atomic.make 0 in
+  let shed = Atomic.make 0 in
+  let recovered = Atomic.make 0 in
+  let started = Linalg.Clock.now () in
+  let telemetry =
+    Telemetry.create ~enabled:config.metrics
+      {
+        Telemetry.cache_stats = (fun () -> Cache.stats cache);
+        breaker_open = (fun () -> Breaker.open_count breaker);
+        breaker_trips = (fun () -> Breaker.trips breaker);
+        breaker_rejects = (fun () -> Breaker.rejects breaker);
+        inflight = (fun () -> Atomic.get inflight);
+        queued = (fun () -> Atomic.get queued);
+        shed_total = (fun () -> Atomic.get shed);
+        recovered_total = (fun () -> Atomic.get recovered);
+        uptime_s = (fun () -> Linalg.Clock.now () -. started);
+      }
+  in
+  (* per-stage pipeline latency flows in from Counters.time; the hook
+     is process-wide, so the most recently created server owns it
+     (observe_stage is a no-op when its telemetry is disabled) *)
+  if config.metrics then
+    Linalg.Counters.set_stage_observer (fun stage seconds ->
+        Telemetry.observe_stage telemetry ~stage ~seconds);
   {
     config;
-    cache = Cache.create ~capacity:config.cache_capacity;
-    breaker =
-      Breaker.create ~threshold:config.breaker_threshold
-        ~ttl_s:config.breaker_ttl_s;
+    cache;
+    breaker;
     solver = Mutex.create ();
     out = Mutex.create ();
     stop = Atomic.make false;
     requests = Atomic.make 0;
-    inflight = Atomic.make 0;
-    queued = Atomic.make 0;
-    shed = Atomic.make 0;
-    recovered = Atomic.make 0;
-    started = Linalg.Clock.now ();
+    inflight;
+    queued;
+    shed;
+    recovered;
+    started;
+    seq = Atomic.make 0;
+    telemetry;
+    access = Option.map (fun path -> Access.open_ ~path) config.access_log;
     on_stop = (fun () -> ());
   }
 
 let cache t = t.cache
 let breaker t = t.breaker
+let telemetry t = t.telemetry
 let stopping t = Atomic.get t.stop
 let backlog t = Atomic.get t.inflight + Atomic.get t.queued
+
+(* Flush and close the access log (idempotent; no-op without one).
+   The serving loops call this on every exit path; tests driving
+   [handle_line] directly call it before reading the file. *)
+let close t = Option.iter Access.close t.access
 
 (* --- building the cached result payload --------------------------------- *)
 
@@ -257,8 +305,8 @@ let hit_response ~id ~key ~coalesced ~wall0 ?deadline_ms (e : Cache.entry) =
   let wall_us = Linalg.Clock.elapsed_us ~since:wall0 in
   Protocol.schedule_response ~id ~key ~cache_state:"hit"
     ~serve:
-      (Protocol.serve_section ?deadline_ms ~wall_us ~solver:Protocol.zero_solver
-         ())
+      (Protocol.serve_section ~coalesced ?deadline_ms ~wall_us
+         ~solver:Protocol.zero_solver ())
     ~result:e.Cache.payload
 
 (* A solve failure (typed diagnostic or firewalled exception) feeds the
@@ -374,6 +422,15 @@ let handle_schedule t ~id ~kernel ~size ~model:model_name ~engine:engine_name
                       with
                       | payload, deps_fp, degraded, solve_ms ->
                         Breaker.record_success t.breaker key;
+                        let engine_used =
+                          Option.value
+                            (Option.bind
+                               (Obs.Json.member "engine_used" payload)
+                               Obs.Json.to_string_opt)
+                            ~default:"none"
+                        in
+                        Telemetry.record_solve t.telemetry ~engine_used
+                          ~solve_ms;
                         (* degraded = this request's deadline (or an
                            injected fault) shaped the result; it is
                            valid for this caller but must not be served
@@ -428,7 +485,10 @@ let handle_request t ({ id; op } : Protocol.request) =
       ~draining ~backlog ~max_pending:t.config.max_pending
       ~breaker_open:(Breaker.open_count t.breaker)
       ~uptime_s:(Linalg.Clock.now () -. t.started)
+      ~snapshot:(Telemetry.snapshot t.telemetry)
       (Cache.stats t.cache)
+  | Protocol.Metrics ->
+    Protocol.metrics_response ~id ~text:(Telemetry.exposition t.telemetry)
   | Protocol.Shutdown ->
     (* idempotent: a second shutdown (op or signal) during drain finds
        the flag already set and just answers again *)
@@ -451,16 +511,89 @@ let sync_hardening t =
   Linalg.Counters.serve_breaker_trips := Breaker.trips t.breaker;
   Linalg.Counters.serve_breaker_rejects := Breaker.rejects t.breaker
 
+(* --- per-request observability ------------------------------------------- *)
+
+(* splitmix64 finalizer over (start time, sequence number): unique,
+   cheap, and stable within a run — no global RNG state to contend on *)
+let gen_trace_id t n =
+  let mix z =
+    let open Int64 in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+  in
+  Printf.sprintf "%016Lx"
+    (mix
+       (Int64.add
+          (Int64.bits_of_float t.started)
+          (Int64.mul (Int64.of_int (n + 1)) 0x9E3779B97F4A7C15L)))
+
+(* Compact summary of a sampled request's captured events: completed
+   spans (begin/end pairs of any category) with their durations, plus
+   the raw event count. *)
+let trace_json events =
+  let spans = ref [] in
+  let stack = ref [] in
+  List.iter
+    (fun (e : Obs.Trace.event) ->
+      match e.Obs.Trace.ph with
+      | Obs.Trace.B -> stack := (e.name, e.cat, e.ts) :: !stack
+      | Obs.Trace.E -> (
+        match !stack with
+        | (name, cat, t0) :: rest when name = e.Obs.Trace.name ->
+          stack := rest;
+          spans :=
+            Obs.Json.Obj
+              [ ("name", Obs.Json.Str name);
+                ("cat", Obs.Json.Str cat);
+                ("us", Obs.Json.Float (Obs.Json.round2 (e.ts -. t0))) ]
+            :: !spans
+        | _ -> ())
+      | Obs.Trace.I -> ())
+    events;
+  Obs.Json.Obj
+    [ ("events", Obs.Json.Int (List.length events));
+      ("spans", Obs.Json.List (List.rev !spans)) ]
+
+(* The single exit point for every answered line: stamp the sampled
+   trace into the envelope, feed telemetry (outcome counters, latency
+   histograms) and the access log, render. The telemetry-off,
+   no-access-log path costs two loads and a float subtraction. *)
+let finish t ~wall0 ?trace response =
+  let response =
+    match trace with
+    | None -> response
+    | Some (tid, tr) -> (
+      match response with
+      | Obs.Json.Obj fields ->
+        Obs.Json.Obj
+          (fields @ [ ("trace_id", Obs.Json.Str tid); ("trace", tr) ])
+      | j -> j)
+  in
+  (if Telemetry.enabled t.telemetry || t.access <> None then begin
+     let wall_us = Linalg.Clock.elapsed_us ~since:wall0 in
+     let outcome = Telemetry.record_response t.telemetry ~wall_us response in
+     match t.access with
+     | None -> ()
+     | Some a ->
+       Access.log a
+         (Access.render ~ts:(Unix.gettimeofday ()) ~wall_us
+            ~trace_id:(Option.map fst trace) ~outcome response)
+   end);
+  Protocol.to_line response
+
 (* One request line in, one response line out (no trailing newline).
    Blank lines are ignored. Never raises: anything unexpected becomes
    an "internal" error envelope so the stream stays alive. This is the
    admission boundary: oversized lines, drain rejections and overload
    shedding are all decided here, before any solver work. *)
 let handle_line t line =
+  let wall0 = Linalg.Clock.now () in
   if String.length line > t.config.max_line_bytes then begin
     Atomic.incr t.requests;
+    ignore (Atomic.fetch_and_add t.seq 1);
     Cache.sync_counters t.cache ~requests:(Atomic.get t.requests);
-    Some (Protocol.to_line (oversized_error t ~id:Obs.Json.Null))
+    Some (finish t ~wall0 (oversized_error t ~id:Obs.Json.Null))
   end
   else
     let line = String.trim line in
@@ -468,10 +601,14 @@ let handle_line t line =
     else begin
       Atomic.incr t.requests;
       Atomic.incr t.inflight;
+      let n = Atomic.fetch_and_add t.seq 1 in
+      let sampled =
+        t.config.trace_sample > 0 && n mod t.config.trace_sample = 0
+      in
       Fun.protect
         ~finally:(fun () -> Atomic.decr t.inflight)
         (fun () ->
-          let response =
+          let compute () =
             match Protocol.parse_request line with
             | Error pe ->
               Protocol.error_response ~id:pe.Protocol.err_id
@@ -502,50 +639,22 @@ let handle_line t line =
                   Protocol.error_response ~id:req.Protocol.id ~code:"internal"
                     ~message:(Printexc.to_string e)))
           in
+          let response, trace =
+            if sampled then begin
+              (* per-domain capture: concurrent sampled requests on
+                 other domains record independently, and the nested
+                 capture inside [solve] still composes *)
+              let resp, events = Obs.Trace.capture compute in
+              (resp, Some (gen_trace_id t n, trace_json events))
+            end
+            else (compute (), None)
+          in
           Cache.sync_counters t.cache ~requests:(Atomic.get t.requests);
           sync_hardening t;
-          Some (Protocol.to_line response))
+          Some (finish t ~wall0 ?trace response))
     end
 
 (* --- serving loops ------------------------------------------------------- *)
-
-(* A minimal blocking multi-producer/multi-consumer queue for the
-   domain pools. [pop] returns [None] once the queue is closed and
-   drained. *)
-module Bqueue = struct
-  type 'a t = {
-    q : 'a Queue.t;
-    m : Mutex.t;
-    c : Condition.t;
-    mutable closed : bool;
-  }
-
-  let create () =
-    { q = Queue.create (); m = Mutex.create (); c = Condition.create (); closed = false }
-
-  let push t x =
-    Mutex.lock t.m;
-    if not t.closed then begin
-      Queue.push x t.q;
-      Condition.signal t.c
-    end;
-    Mutex.unlock t.m
-
-  let close t =
-    Mutex.lock t.m;
-    t.closed <- true;
-    Condition.broadcast t.c;
-    Mutex.unlock t.m
-
-  let pop t =
-    Mutex.lock t.m;
-    while Queue.is_empty t.q && not t.closed do
-      Condition.wait t.c t.m
-    done;
-    let r = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
-    Mutex.unlock t.m;
-    r
-end
 
 (* Bounded line framing: read up to [max] bytes of one
    newline-terminated line. An overlong line is consumed to its
@@ -570,11 +679,15 @@ let read_line_bounded ic ~max =
   in
   go false
 
-(* the response line for an input the reader refused to buffer *)
+(* the response line for an input the reader refused to buffer — still
+   routed through [finish] so it is counted and access-logged like
+   every other answered line *)
 let oversized_line t =
+  let wall0 = Linalg.Clock.now () in
   Atomic.incr t.requests;
+  ignore (Atomic.fetch_and_add t.seq 1);
   Cache.sync_counters t.cache ~requests:(Atomic.get t.requests);
-  Protocol.to_line (oversized_error t ~id:Obs.Json.Null)
+  finish t ~wall0 (oversized_error t ~id:Obs.Json.Null)
 
 (* Both SIGTERM and SIGINT mean: stop taking work, finish what is in
    flight, clean up, exit 0 — the contract the CI serve job asserts. A
@@ -608,7 +721,7 @@ let emit_locked t oc line =
   Mutex.unlock t.out
 
 let serve_stdio t =
-  install_drain_signals ~immediate:true t (fun () -> ());
+  install_drain_signals ~immediate:true t (fun () -> close t);
   let max = t.config.max_line_bytes in
   if t.config.domains <= 1 then begin
     (* synchronous: responses come back in request order *)
@@ -630,7 +743,8 @@ let serve_stdio t =
             flush stdout);
           loop ()
     in
-    loop ()
+    loop ();
+    close t
   end
   else begin
     (* pool: N domains drain a shared line queue; responses may
@@ -665,7 +779,8 @@ let serve_stdio t =
     in
     feed ();
     Bqueue.close jobs;
-    List.iter Domain.join workers
+    List.iter Domain.join workers;
+    close t
   end
 
 (* Live connections, so a drain can unblock workers parked in a read:
@@ -730,6 +845,7 @@ let serve_socket t ~path =
   if Sys.file_exists path then Unix.unlink path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let cleanup () =
+    close t;
     (try Unix.close sock with Unix.Unix_error _ -> ());
     if Sys.file_exists path then try Unix.unlink path with Sys_error _ -> ()
   in

@@ -48,17 +48,41 @@ type config = {
   breaker_threshold : int;
       (** consecutive same-fingerprint failures that open the breaker *)
   breaker_ttl_s : float;  (** how long an open breaker rejects *)
+  metrics : bool;
+      (** mint live {!Telemetry} instruments, scraped by the
+          ["metrics"] op; [false] mints no-op instruments (the
+          measured zero-cost disabled path) *)
+  trace_sample : int;
+      (** capture a span trace for every Nth answered line (0 =
+          never); sampled envelopes gain ["trace_id"] and a compact
+          ["trace"] summary *)
+  access_log : string option;
+      (** JSONL access log path, written by a dedicated writer domain
+          (one line per answered request); [None] = off *)
 }
 
 val default_config : config
 (** 1 domain, 512 cache entries, 64 pending, 1 MiB lines, 10 s default
-    deadline (300 s cap), breaker 3 failures / 30 s TTL. *)
+    deadline (300 s cap), breaker 3 failures / 30 s TTL, metrics on,
+    no trace sampling, no access log. *)
 
 type t
 
 val create : ?config:config -> unit -> t
+(** Builds the cache, breaker and telemetry registry, opens the access
+    log (raising [Sys_error] if its path cannot be opened), and — when
+    [config.metrics] — installs the process-wide stage observer
+    ([Linalg.Counters.set_stage_observer]), so the most recently
+    created metrics-enabled server owns per-stage latency. *)
+
 val cache : t -> Cache.t
 val breaker : t -> Breaker.t
+val telemetry : t -> Telemetry.t
+
+(** Flush and close the access log (idempotent; no-op without one).
+    Every serving loop calls it on exit; tests driving {!handle_line}
+    directly call it before reading the log file. *)
+val close : t -> unit
 
 (** Has a shutdown request (or drain signal) been processed? *)
 val stopping : t -> bool

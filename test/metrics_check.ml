@@ -1,0 +1,286 @@
+(* Standalone telemetry validator for the CI serve job.
+
+   Two modes:
+
+     metrics_check [--file FILE] [--require NAME]...
+         - validate a Prometheus text exposition (stdin or FILE):
+           every sample line is "name[{labels}] value" with a numeric
+           value; every family has # TYPE before its first sample;
+           histogram series render cumulative le buckets that never
+           decrease, with le="+Inf" present and equal to _count; each
+           --require NAME must appear with at least one sample.
+
+     metrics_check --jsonl FILE --lines N
+         - validate a JSONL access log: every line is a JSON object
+           carrying ts/id/outcome/status/wall_us, and there are
+           exactly N lines.
+
+   Exits 1 on any violation, with one "BAD ..." line per violation. *)
+
+let violations = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr violations;
+      Printf.printf "BAD %s\n" msg)
+    fmt
+
+(* --- Prometheus text mode ------------------------------------------------- *)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let valid_name s = s <> "" && String.for_all is_name_char s
+
+(* family name of a sample: strip the histogram series suffixes *)
+let family_of base =
+  let strip suf =
+    let n = String.length suf and m = String.length base in
+    if m > n && String.sub base (m - n) n = suf then
+      Some (String.sub base 0 (m - n))
+    else None
+  in
+  match strip "_bucket" with
+  | Some f -> (f, `Bucket)
+  | None -> (
+    match strip "_sum" with
+    | Some f -> (f, `Sum)
+    | None -> (
+      match strip "_count" with
+      | Some f -> (f, `Count)
+      | None -> (base, `Plain)))
+
+(* remove the le="..." label from a label block, returning the series
+   key without it plus the le value *)
+let split_le head =
+  match
+    let rec find i =
+      if i + 4 > String.length head then None
+      else if String.sub head i 4 = {|le="|} then Some i
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> (head, None)
+  | Some start -> (
+    match String.index_from_opt head (start + 4) '"' with
+    | None -> (head, None)
+    | Some stop ->
+      let le = String.sub head (start + 4) (stop - start - 4) in
+      let before =
+        (* swallow the separating comma (le is never alone in our
+           exposition only when the series itself has labels) *)
+        if start > 0 && head.[start - 1] = ',' then start - 1 else start
+      in
+      let rest =
+        String.sub head 0 before
+        ^ String.sub head (stop + 1) (String.length head - stop - 1)
+      in
+      (* an le-only label block collapses to no block at all, matching
+         the key rebuilt from an unlabelled _count line *)
+      let rest =
+        let m = String.length rest in
+        if m >= 2 && String.sub rest (m - 2) 2 = "{}" then
+          String.sub rest 0 (m - 2)
+        else rest
+      in
+      (rest, Some le))
+
+let le_value = function
+  | "+Inf" -> infinity
+  | s -> ( match float_of_string_opt s with Some f -> f | None -> nan)
+
+let check_exposition ic required =
+  let types = Hashtbl.create 64 in (* family -> TYPE *)
+  let sampled = Hashtbl.create 64 in (* family -> sample count *)
+  (* series key -> (last cumulative, last le) for bucket monotonicity *)
+  let cum = Hashtbl.create 64 in
+  let inf_total = Hashtbl.create 64 in (* series key -> +Inf value *)
+  let counts = Hashtbl.create 64 in (* series key -> _count value *)
+  let lines = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lines;
+       if line = "" then ()
+       else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+         match String.split_on_char ' ' line with
+         | [ "#"; "TYPE"; name; ty ] ->
+           if not (valid_name name) then fail "TYPE for invalid name %S" name;
+           if not (List.mem ty [ "counter"; "gauge"; "histogram" ]) then
+             fail "unknown TYPE %S for %s" ty name;
+           if Hashtbl.mem types name then fail "duplicate TYPE for %s" name;
+           Hashtbl.replace types name ty
+         | _ -> fail "malformed TYPE line: %s" line
+       end
+       else if line.[0] = '#' then () (* HELP or comment *)
+       else begin
+         match String.rindex_opt line ' ' with
+         | None -> fail "sample line without a value: %s" line
+         | Some sp ->
+           let head = String.sub line 0 sp in
+           let value =
+             String.sub line (sp + 1) (String.length line - sp - 1)
+           in
+           let v =
+             match float_of_string_opt value with
+             | Some f when Float.is_finite f -> f
+             | _ ->
+               fail "non-numeric value %S in: %s" value line;
+               nan
+           in
+           let base, labels_ok =
+             match String.index_opt head '{' with
+             | None -> (head, true)
+             | Some b ->
+               (String.sub head 0 b, head.[String.length head - 1] = '}')
+           in
+           if not labels_ok then fail "unclosed label block: %s" line;
+           if not (valid_name base) then fail "invalid metric name %S" base;
+           let fam, kind = family_of base in
+           let fam, kind =
+             (* _sum/_count/_bucket only belong to histogram families;
+                a plain counter named *_total stays itself *)
+             if kind <> `Plain && Hashtbl.find_opt types fam = Some "histogram"
+             then (fam, kind)
+             else (base, `Plain)
+           in
+           (match Hashtbl.find_opt types fam with
+           | None -> fail "sample before any TYPE for %s: %s" fam line
+           | Some _ -> ());
+           Hashtbl.replace sampled fam
+             (1 + Option.value (Hashtbl.find_opt sampled fam) ~default:0);
+           (match kind with
+           | `Bucket -> (
+             let key, le = split_le head in
+             match le with
+             | None -> fail "bucket sample without le: %s" line
+             | Some le ->
+               let lev = le_value le in
+               if Float.is_nan lev then fail "bad le %S: %s" le line;
+               (match Hashtbl.find_opt cum key with
+               | Some (last_v, last_le) ->
+                 if v < last_v then
+                   fail "cumulative le buckets decrease at: %s" line;
+                 if lev <= last_le then
+                   fail "le edges not increasing at: %s" line
+               | None -> ());
+               Hashtbl.replace cum key (v, lev);
+               if lev = infinity then Hashtbl.replace inf_total key v)
+           | `Count ->
+             let key =
+               (* rebuild the bucket series key: family{labels} *)
+               let labels =
+                 match String.index_opt head '{' with
+                 | None -> ""
+                 | Some b ->
+                   String.sub head b (String.length head - b)
+               in
+               fam ^ "_bucket" ^ labels
+             in
+             Hashtbl.replace counts key v
+           | `Sum | `Plain -> ())
+       end
+     done
+   with End_of_file -> ());
+  if !lines = 0 then fail "empty exposition";
+  (* +Inf must exist and equal _count for every histogram series *)
+  Hashtbl.iter
+    (fun key count ->
+      match Hashtbl.find_opt inf_total key with
+      | None -> fail "histogram series %s has _count but no +Inf bucket" key
+      | Some inf ->
+        if inf <> count then
+          fail "series %s: +Inf bucket %.0f <> _count %.0f" key inf count)
+    counts;
+  Hashtbl.iter
+    (fun key (_, last_le) ->
+      if last_le <> infinity then
+        fail "histogram series %s never reached le=\"+Inf\"" key)
+    cum;
+  List.iter
+    (fun name ->
+      if not (Hashtbl.mem types name) then
+        fail "required metric %s has no TYPE" name
+      else if Option.value (Hashtbl.find_opt sampled name) ~default:0 = 0
+      then fail "required metric %s has no samples" name)
+    required;
+  Printf.printf
+    "metrics_check: %d lines, %d families, %d histogram series, %d \
+     violations\n"
+    !lines (Hashtbl.length types) (Hashtbl.length counts) !violations
+
+(* --- JSONL access-log mode ------------------------------------------------ *)
+
+let check_jsonl path expected_lines =
+  let ic = open_in path in
+  let n = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         incr n;
+         match Obs.Json.parse line with
+         | Error msg -> fail "access log line %d unparseable: %s" !n msg
+         | Ok (Obs.Json.Obj _ as j) ->
+           let member = Obs.Json.member in
+           if
+             Option.bind (member "ts" j) Obs.Json.to_float_opt = None
+           then fail "access log line %d lacks numeric ts" !n;
+           if member "id" j = None then fail "access log line %d lacks id" !n;
+           (match Option.bind (member "outcome" j) Obs.Json.to_string_opt with
+           | Some o when o <> "" -> ()
+           | _ -> fail "access log line %d lacks outcome" !n);
+           (match Option.bind (member "status" j) Obs.Json.to_string_opt with
+           | Some ("ok" | "error") -> ()
+           | _ -> fail "access log line %d lacks ok|error status" !n);
+           (match Option.bind (member "wall_us" j) Obs.Json.to_float_opt with
+           | Some w when w >= 0.0 -> ()
+           | _ -> fail "access log line %d lacks non-negative wall_us" !n)
+         | Ok _ -> fail "access log line %d is not an object" !n
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  (match expected_lines with
+  | Some e when e <> !n -> fail "access log has %d lines, expected %d" !n e
+  | _ -> ());
+  Printf.printf "metrics_check: %d access-log lines, %d violations\n" !n
+    !violations
+
+(* --- driver --------------------------------------------------------------- *)
+
+let () =
+  let rec parse args (file, required, jsonl, lines) =
+    match args with
+    | [] -> (file, required, jsonl, lines)
+    | "--file" :: f :: rest -> parse rest (Some f, required, jsonl, lines)
+    | "--require" :: n :: rest ->
+      parse rest (file, n :: required, jsonl, lines)
+    | "--jsonl" :: f :: rest -> parse rest (file, required, Some f, lines)
+    | "--lines" :: n :: rest ->
+      parse rest (file, required, jsonl, int_of_string_opt n)
+    | a :: _ ->
+      prerr_endline ("metrics_check: unknown argument " ^ a);
+      prerr_endline
+        "usage: metrics_check [--file FILE] [--require NAME]... | \
+         metrics_check --jsonl FILE [--lines N]";
+      exit 2
+  in
+  let file, required, jsonl, lines =
+    parse (List.tl (Array.to_list Sys.argv)) (None, [], None, None)
+  in
+  (match jsonl with
+  | Some path -> check_jsonl path lines
+  | None -> (
+    match file with
+    | None -> check_exposition stdin required
+    | Some path ->
+      let ic = open_in path in
+      check_exposition ic required;
+      close_in ic));
+  exit (if !violations = 0 then 0 else 1)

@@ -18,9 +18,11 @@
    (schedule, partition, wisecheck, explain, counters) whose wisecheck
    verdict is certified. Cache hits must report zero solver work — the
    proof that cached schedules bypass the LP/B&B machinery. Health
-   envelopes must carry the full readiness/backlog/breaker gauge set.
-   Exits 1 on any violation, with a per-class summary on stdout either
-   way. *)
+   envelopes must carry the full readiness/backlog/breaker gauge set
+   plus the telemetry "snapshot"; metrics envelopes must carry a
+   Prometheus text exposition (deep syntax checks live in
+   metrics_check). Exits 1 on any violation, with a per-class summary
+   on stdout either way. *)
 
 let violations = ref 0
 let seen = ref 0
@@ -117,8 +119,27 @@ let check_line line =
               (fun f ->
                 if member f h = None then fail line "health lacks %S" f)
               [ "ready"; "draining"; "backlog"; "max_pending"; "breaker_open";
-                "uptime_s"; "cache_entries" ]);
-          incr others (* pong / stats / health / bye *)
+                "uptime_s"; "cache_entries"; "snapshot" ];
+            match member "snapshot" h with
+            | None -> ()
+            | Some snap ->
+              List.iter
+                (fun f ->
+                  match Option.bind (member f snap) Obs.Json.to_int_opt with
+                  | Some n when n >= 0 -> ()
+                  | _ -> fail line "health snapshot lacks counter %S" f)
+                [ "requests"; "hit"; "coalesced"; "cold"; "degraded";
+                  "errors"; "ops" ]);
+          (match member "metrics" j with
+          | None -> ()
+          | Some m ->
+            (match Option.bind (member "format" m) Obs.Json.to_string_opt with
+            | Some "prometheus-text-0.0.4" -> ()
+            | _ -> fail line {|metrics lacks format "prometheus-text-0.0.4"|});
+            match Option.bind (member "text" m) Obs.Json.to_string_opt with
+            | Some t when String.length t > 0 && t.[0] = '#' -> ()
+            | _ -> fail line "metrics.text missing or not an exposition");
+          incr others (* pong / stats / health / metrics / bye *)
         end
       | Some "error" -> (
         incr errors;

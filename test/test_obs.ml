@@ -176,6 +176,48 @@ let test_null_sink_no_effect () =
   Alcotest.(check bool) "tracing adds no counters" true
     (counters_off = counters_on)
 
+let test_multi_domain_capture () =
+  (* Concurrent captures on separate domains must each harvest exactly
+     their own events — none lost, none leaked from a sibling.  Under
+     the old design (one global sink behind plain refs) concurrent
+     emitters raced the shared list head and dropped events; the
+     per-domain sinks make this deterministic. *)
+  let domains = 4 and per = 200 in
+  let worker d () =
+    let (), events =
+      Obs.Trace.capture (fun () ->
+          for i = 1 to per do
+            Obs.Trace.instant ~cat:"md" (Printf.sprintf "d%d-%d" d i)
+          done)
+    in
+    events
+  in
+  (* an outer recording on the test's own domain must survive the
+     concurrent captures untouched *)
+  Obs.Trace.enable ();
+  Obs.Trace.instant ~cat:"md" "outer";
+  let results =
+    List.init domains (fun d -> Domain.spawn (worker d))
+    |> List.map Domain.join
+  in
+  List.iteri
+    (fun d events ->
+      Alcotest.(check int)
+        (Printf.sprintf "domain %d: no event lost" d)
+        per (List.length events);
+      let prefix = Printf.sprintf "d%d-" d in
+      let own (e : Obs.Trace.event) =
+        String.length e.Obs.Trace.name >= String.length prefix
+        && String.sub e.Obs.Trace.name 0 (String.length prefix) = prefix
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d: only its own events" d)
+        true (List.for_all own events))
+    results;
+  Alcotest.(check int) "outer sink untouched" 1 (Obs.Trace.event_count ());
+  Obs.Trace.disable ();
+  Alcotest.(check bool) "all sinks off again" false (Obs.Trace.on ())
+
 let test_self_times_reconcile () =
   (* the span tree's exclusive self-times must agree with the
      Counters.stage_times accumulators: same stages, and each within
@@ -206,6 +248,8 @@ let () =
         [
           Alcotest.test_case "span tree" `Quick test_span_tree;
           Alcotest.test_case "validate rejects" `Quick test_validate_rejects;
+          Alcotest.test_case "multi-domain capture" `Quick
+            test_multi_domain_capture;
         ] );
       ( "pipeline",
         [

@@ -619,6 +619,223 @@ let test_deadline_validation () =
   Alcotest.(check string) "non-integer deadline is a usage error" "usage"
     (error_code bad)
 
+(* --- telemetry: metrics op, snapshot, sampling, access log ---------------- *)
+
+let test_metrics_op () =
+  let t = Serve.Server.create () in
+  let tel = Serve.Server.telemetry t in
+  ignore (respond t {|{"id": 1, "op": "ping"}|});
+  ignore (respond t (sched_line ~id:2 "gemver")); (* cold *)
+  ignore (respond t (sched_line ~id:3 "gemver")); (* hit *)
+  ignore (respond t {|garbage|}); (* parse error *)
+  Alcotest.(check int) "requests counted" 4
+    (Serve.Telemetry.requests_total tel);
+  Alcotest.(check int) "one hit" 1 (Serve.Telemetry.outcome_total tel "hit");
+  Alcotest.(check int) "one cold" 1 (Serve.Telemetry.outcome_total tel "cold");
+  Alcotest.(check int) "one parse" 1
+    (Serve.Telemetry.outcome_total tel "parse");
+  Alcotest.(check int) "one ping" 1 (Serve.Telemetry.op_total tel "ping");
+  (* the scrape op: a valid envelope carrying the exposition text,
+     rendered before the scrape itself is recorded *)
+  let _, j = respond t {|{"id": 5, "op": "metrics"}|} in
+  Alcotest.(check string) "metrics ok" "ok" (str_field j "status");
+  let m = field j "metrics" in
+  Alcotest.(check string) "format" "prometheus-text-0.0.4"
+    (str_field m "format");
+  let text = str_field m "text" in
+  let contains needle =
+    let n = String.length needle and l = String.length text in
+    let rec go i =
+      i + n <= l && (String.sub text i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "requests_total sample" true
+    (contains "wisefuse_serve_requests_total 4");
+  Alcotest.(check bool) "hit outcome sample" true
+    (contains {|wisefuse_serve_outcomes_total{outcome="hit"} 1|});
+  Alcotest.(check bool) "hit duration histogram" true
+    (contains {|wisefuse_request_duration_us_count{class="hit"} 1|});
+  Alcotest.(check bool) "cache counters ride along" true
+    (contains "wisefuse_cache_hits_total 1");
+  Alcotest.(check int) "scrape recorded as an op" 1
+    (Serve.Telemetry.op_total tel "metrics");
+  (* requests_total == sum outcomes + sum ops, the wire invariant *)
+  let sum l = List.fold_left (fun a (_, v) -> a + v) 0 l in
+  Alcotest.(check int) "totals reconcile"
+    (Serve.Telemetry.requests_total tel)
+    (sum (Serve.Telemetry.outcome_totals tel)
+    + sum (Serve.Telemetry.op_totals tel));
+  (* health carries the compact snapshot *)
+  let _, health = respond t {|{"id": 6, "op": "health"}|} in
+  let snap = field (field health "health") "snapshot" in
+  Alcotest.(check bool) "snapshot.requests" true
+    (Obs.Json.to_int_opt (field snap "requests") = Some 5);
+  Alcotest.(check bool) "snapshot.hit" true
+    (Obs.Json.to_int_opt (field snap "hit") = Some 1);
+  (* a metrics-disabled server answers the op with a comment line and
+     counts nothing *)
+  let off =
+    Serve.Server.create
+      ~config:{ Serve.Server.default_config with metrics = false }
+      ()
+  in
+  ignore (respond off (sched_line ~id:1 "gemver"));
+  let _, j = respond off {|{"id": 2, "op": "metrics"}|} in
+  let text = str_field (field j "metrics") "text" in
+  Alcotest.(check bool) "disabled exposition is a comment" true
+    (String.length text > 0 && text.[0] = '#');
+  Alcotest.(check int) "disabled records nothing" 0
+    (Serve.Telemetry.requests_total (Serve.Server.telemetry off))
+
+let is_hex s =
+  s <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+       s
+
+let test_trace_sampling () =
+  (* every 2nd request samples a span trace; the result payload stays
+     byte-identical to an unsampled server's *)
+  let reference =
+    let t = Serve.Server.create () in
+    let _, cold = respond t (sched_line ~id:1 "gemver") in
+    Obs.Json.to_string (field cold "result")
+  in
+  let t =
+    Serve.Server.create
+      ~config:{ Serve.Server.default_config with trace_sample = 2 }
+      ()
+  in
+  let _, first = respond t (sched_line ~id:1 "gemver") in
+  Alcotest.(check string) "sampled result byte-identical" reference
+    (Obs.Json.to_string (field first "result"));
+  let tid = str_field first "trace_id" in
+  Alcotest.(check bool) "trace_id is 16 hex chars" true
+    (String.length tid = 16 && is_hex tid);
+  let trace = field first "trace" in
+  (match Obs.Json.to_int_opt (field trace "events") with
+  | Some n when n > 0 -> ()
+  | _ -> Alcotest.fail "sampled trace has no events");
+  (match Obs.Json.to_list_opt (field trace "spans") with
+  | Some (_ :: _ as spans) ->
+    List.iter
+      (fun s ->
+        ignore (field s "name");
+        ignore (field s "cat");
+        ignore (field s "us"))
+      spans
+  | _ -> Alcotest.fail "sampled trace has no spans");
+  (* the sampler must not leave the domain's tracer running *)
+  Alcotest.(check bool) "tracer off after sampled request" false
+    (Obs.Trace.on ());
+  (* second request (n = 1) is unsampled: no trace fields, same bytes *)
+  let _, second = respond t (sched_line ~id:2 "gemver") in
+  Alcotest.(check bool) "unsampled has no trace_id" true
+    (Obs.Json.member "trace_id" second = None);
+  Alcotest.(check string) "warm hit result identical" reference
+    (Obs.Json.to_string (field second "result"));
+  (* third (n = 2) samples again — now a cache hit with its own id *)
+  let _, third = respond t (sched_line ~id:3 "gemver") in
+  let tid3 = str_field third "trace_id" in
+  Alcotest.(check bool) "distinct trace ids" true (tid <> tid3)
+
+let test_access_log () =
+  let path = Filename.temp_file "wisefuse_access" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let t =
+        Serve.Server.create
+          ~config:
+            { Serve.Server.default_config with access_log = Some path }
+          ()
+      in
+      ignore (respond t (sched_line ~id:1 "gemver")); (* cold *)
+      ignore (respond t (sched_line ~id:2 "gemver")); (* hit *)
+      ignore (respond t {|{"id": 3, "op": "ping"}|});
+      ignore (respond t {|garbage|});
+      Serve.Server.close t;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let lines = List.rev !lines in
+      Alcotest.(check int) "one line per answered request" 4
+        (List.length lines);
+      let outcomes =
+        List.map
+          (fun line ->
+            match Obs.Json.parse line with
+            | Error m -> Alcotest.failf "access line unparseable: %s" m
+            | Ok j ->
+              (* every line carries the core fields *)
+              ignore (field j "ts");
+              ignore (field j "id");
+              ignore (field j "wall_us");
+              ignore (str_field j "status");
+              str_field j "outcome")
+          lines
+      in
+      Alcotest.(check (list string))
+        "outcomes in order" [ "cold"; "hit"; "ping"; "parse" ] outcomes;
+      (* the hit line carries the cache verdict and the key *)
+      (match Obs.Json.parse (List.nth lines 1) with
+      | Ok j ->
+        Alcotest.(check string) "hit cache field" "hit" (str_field j "cache");
+        Alcotest.(check bool) "hit carries key" true
+          (String.length (str_field j "key") = 32)
+      | Error _ -> assert false);
+      (* close is idempotent, and a new server appends *)
+      Serve.Server.close t;
+      let t2 =
+        Serve.Server.create
+          ~config:
+            { Serve.Server.default_config with access_log = Some path }
+          ()
+      in
+      ignore (respond t2 {|{"id": 5, "op": "ping"}|});
+      Serve.Server.close t2;
+      let ic = open_in path in
+      let n = ref 0 in
+      (try
+         while true do
+           ignore (input_line ic);
+           incr n
+         done
+       with End_of_file -> ());
+      close_in ic;
+      Alcotest.(check int) "restart appends" 5 !n)
+
+let test_metrics_monotone_across_recovery () =
+  (* fault recovery scrubs Linalg.Counters (per-request deltas), but
+     the cumulative telemetry must keep counting through it *)
+  with_chaos (fun () ->
+      let t = Serve.Server.create () in
+      let tel = Serve.Server.telemetry t in
+      ignore (respond t (sched_line ~id:1 "gemver"))(* cold *);
+      let before = Serve.Telemetry.requests_total tel in
+      Alcotest.(check int) "one request before the fault" 1 before;
+      Serve.Chaos.arm_queue [ Serve.Chaos.Raise ];
+      let _, faulted = respond t (sched_line ~id:2 "tce") in
+      Alcotest.(check string) "typed internal error" "internal"
+        (error_code faulted);
+      (* the scrub zeroed the per-request counters — the telemetry
+         kept going *)
+      Alcotest.(check int) "requests grew through recovery" 2
+        (Serve.Telemetry.requests_total tel);
+      Alcotest.(check int) "internal outcome counted" 1
+        (Serve.Telemetry.outcome_total tel "internal");
+      ignore (respond t (sched_line ~id:3 "tce"));
+      Alcotest.(check int) "still monotone after the clean retry" 3
+        (Serve.Telemetry.requests_total tel);
+      Alcotest.(check int) "cold solves accumulate" 2
+        (Serve.Telemetry.outcome_total tel "cold"))
+
 let () =
   Alcotest.run "serve"
     [
@@ -660,6 +877,11 @@ let () =
             test_admission_shedding;
           Alcotest.test_case "health + idempotent shutdown" `Quick
             test_health_and_idempotent_shutdown;
+          Alcotest.test_case "metrics op + snapshot" `Quick test_metrics_op;
+          Alcotest.test_case "trace sampling" `Quick test_trace_sampling;
+          Alcotest.test_case "access log" `Quick test_access_log;
+          Alcotest.test_case "metrics monotone across recovery" `Quick
+            test_metrics_monotone_across_recovery;
           Alcotest.test_case "deadline validation" `Quick
             test_deadline_validation;
         ] );
